@@ -1,0 +1,132 @@
+//! Thurimella's connected-component labeling as one PA call
+//! (Appendix A.2 of the paper).
+//!
+//! Input: the network `G` and a subgraph `H ⊆ E(G)`. Output: a label per
+//! node such that `ℓ(u) = ℓ(v)` iff `u` and `v` are in the same connected
+//! component of `H`. The paper observes this "is easily cast as an
+//! instance of PA, by having each part elect a leader … and use the
+//! leader's ID as a label" — which is exactly what this module does: the
+//! parts are the `H`-components (each connected in `G`), and one `Min`
+//! aggregation over node ids labels everyone.
+
+use rmo_congest::CostReport;
+use rmo_graph::{DisjointSets, EdgeId, Graph};
+
+use rmo_core::{solve_pa, Aggregate, PaConfig, PaError, PaInstance};
+
+/// Component labels plus the measured PA cost.
+#[derive(Debug, Clone)]
+pub struct ComponentLabels {
+    /// `labels[v]` — the minimum node id in `v`'s `H`-component.
+    pub labels: Vec<u64>,
+    /// Dense component index per node (derived from labels).
+    pub component_of: Vec<usize>,
+    /// Number of `H`-components.
+    pub num_components: usize,
+    /// Measured cost (one PA call).
+    pub cost: CostReport,
+}
+
+/// Labels the connected components of the subgraph given by `h_edges`.
+///
+/// # Errors
+/// Propagates [`PaError`] (the graph must be connected, per CONGEST).
+pub fn component_labels(
+    g: &Graph,
+    h_edges: &[EdgeId],
+    config: &PaConfig,
+) -> Result<ComponentLabels, PaError> {
+    // H-components as a partition of V (connected in H => connected in G).
+    let mut dsu = DisjointSets::new(g.n());
+    for &e in h_edges {
+        let (u, v) = g.endpoints(e);
+        dsu.union(u, v);
+    }
+    let mut remap = std::collections::HashMap::new();
+    let mut part_of = vec![0usize; g.n()];
+    for v in 0..g.n() {
+        let r = dsu.find(v);
+        let next = remap.len();
+        part_of[v] = *remap.entry(r).or_insert(next);
+    }
+    let values: Vec<u64> = (0..g.n() as u64).collect();
+    let inst = PaInstance::new(g, part_of, values, Aggregate::Min)?;
+    let res = solve_pa(&inst, config)?;
+    let labels = res.node_values.clone();
+    // Dense component ids from labels.
+    let mut seen = std::collections::HashMap::new();
+    let component_of: Vec<usize> = labels
+        .iter()
+        .map(|&l| {
+            let next = seen.len();
+            *seen.entry(l).or_insert(next)
+        })
+        .collect();
+    Ok(ComponentLabels {
+        labels,
+        num_components: seen.len(),
+        component_of,
+        cost: res.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::gen;
+
+    #[test]
+    fn labels_match_h_connectivity() {
+        let g = gen::grid(5, 5);
+        // H = horizontal edges only -> components are the rows.
+        let h: Vec<EdgeId> = g
+            .edges()
+            .filter(|&(_, u, v, _)| u / 5 == v / 5)
+            .map(|(e, _, _, _)| e)
+            .collect();
+        let out = component_labels(&g, &h, &PaConfig::default()).unwrap();
+        assert_eq!(out.num_components, 5);
+        for u in 0..25 {
+            for v in 0..25 {
+                assert_eq!(
+                    out.labels[u] == out.labels[v],
+                    u / 5 == v / 5,
+                    "nodes {u},{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_h_gives_singletons() {
+        let g = gen::cycle(7);
+        let out = component_labels(&g, &[], &PaConfig::default()).unwrap();
+        assert_eq!(out.num_components, 7);
+        for v in 0..7 {
+            assert_eq!(out.labels[v], v as u64, "own id is the only candidate");
+        }
+    }
+
+    #[test]
+    fn full_h_gives_one_component() {
+        let g = gen::grid(4, 4);
+        let all: Vec<EdgeId> = (0..g.m()).collect();
+        let out = component_labels(&g, &all, &PaConfig::default()).unwrap();
+        assert_eq!(out.num_components, 1);
+        assert!(out.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn labels_are_min_ids() {
+        let g = gen::path(9);
+        // H = two segments: edges 0..3 (nodes 0..4) and 5..7 (nodes 5..8).
+        let h: Vec<EdgeId> = vec![0, 1, 2, 3, 5, 6, 7];
+        let out = component_labels(&g, &h, &PaConfig::default()).unwrap();
+        for v in 0..5 {
+            assert_eq!(out.labels[v], 0);
+        }
+        for v in 5..9 {
+            assert_eq!(out.labels[v], 5);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Approximate eccentricity and radius via k-dominating sets.
+//!
+//! The paper's Corollary A.3 discussion notes that `O(n/k)`-size
+//! k-dominating sets power `(1+ε)`-approximate eccentricity computation
+//! (Holzer–Wattenhofer). The reduction: BFS from every node of a
+//! k-dominating set `S`; then for any `v`, `ecc(v)` is within `±k` of
+//! `max_{s∈S} (d(v, s) + ecc_S(s))`-style combinations. This module
+//! implements the additive-`k` estimator
+//!
+//! `est(v) = max_{s∈S} d(v, s) + k`,
+//!
+//! which satisfies `ecc(v) ≤ est(v) ≤ ecc(v) + k`: every node is within
+//! `k` of a dominator, so the farthest dominator under-shoots the true
+//! eccentricity by at most `k` and over-shoots it never.
+//!
+//! with every BFS costed at `O(D)` rounds / `O(m)` messages and `|S|`
+//! BFS waves pipelined over the k-dominating set.
+
+use rmo_congest::CostReport;
+use rmo_graph::{bfs_distances, Graph, NodeId};
+
+use crate::kdom::k_dominating_set;
+
+/// Result of [`approx_eccentricities`].
+#[derive(Debug, Clone)]
+pub struct EccentricityResult {
+    /// Per-node eccentricity estimates, each within `[ecc(v), ecc(v)+k]`.
+    pub estimates: Vec<usize>,
+    /// Estimated radius (min estimate).
+    pub radius_estimate: usize,
+    /// Estimated diameter (max estimate).
+    pub diameter_estimate: usize,
+    /// The k-dominating set used.
+    pub dominating_set: Vec<NodeId>,
+    /// Measured cost: the k-domination run plus `|S|` pipelined BFS waves.
+    pub cost: CostReport,
+}
+
+/// Computes additive-`k` eccentricity over-estimates for every node.
+///
+/// # Panics
+/// Panics if `k == 0` or the graph is disconnected/empty.
+pub fn approx_eccentricities(g: &Graph, k: usize) -> EccentricityResult {
+    assert!(k > 0, "k must be positive");
+    assert!(g.n() > 0 && g.is_connected(), "eccentricity needs a connected graph");
+    let kd = k_dominating_set(g, k);
+    let mut cost = kd.cost;
+    // BFS from every dominator: |S| waves, pipelined over the BFS tree —
+    // rounds O(D + |S|), messages O(|S| * m); we charge each BFS's
+    // messages exactly and the pipelined round bound.
+    let mut max_to_set = vec![0usize; g.n()];
+    let mut max_depth = 0usize;
+    for &s in &kd.set {
+        let dist = bfs_distances(g, s);
+        max_depth = max_depth.max(dist.iter().copied().max().expect("non-empty"));
+        for (v, d) in dist.into_iter().enumerate() {
+            max_to_set[v] = max_to_set[v].max(d);
+        }
+        cost += CostReport::new(0, 2 * g.m() as u64);
+    }
+    cost += CostReport::new(max_depth + kd.set.len(), 0);
+    let estimates: Vec<usize> = max_to_set.iter().map(|&d| d + k).collect();
+    let radius_estimate = estimates.iter().copied().min().unwrap_or(0);
+    let diameter_estimate = estimates.iter().copied().max().unwrap_or(0);
+    EccentricityResult {
+        estimates,
+        radius_estimate,
+        diameter_estimate,
+        dominating_set: kd.set,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::{eccentricity, gen};
+
+    fn check_bounds(g: &Graph, k: usize) {
+        let res = approx_eccentricities(g, k);
+        for v in 0..g.n() {
+            let true_ecc = eccentricity(g, v);
+            assert!(
+                res.estimates[v] >= true_ecc,
+                "node {v}: estimate {} below true {true_ecc}",
+                res.estimates[v]
+            );
+            assert!(
+                res.estimates[v] <= true_ecc + k,
+                "node {v}: estimate {} above true {true_ecc} + k",
+                res.estimates[v]
+            );
+        }
+    }
+
+    #[test]
+    fn path_eccentricities() {
+        check_bounds(&gen::path(60), 6);
+        check_bounds(&gen::path(60), 12);
+    }
+
+    #[test]
+    fn grid_eccentricities() {
+        check_bounds(&gen::grid(8, 10), 6);
+    }
+
+    #[test]
+    fn random_graph_eccentricities() {
+        check_bounds(&gen::gnp_connected(70, 0.06, 3), 6);
+    }
+
+    #[test]
+    fn diameter_and_radius_sandwich() {
+        let g = gen::grid(6, 12);
+        let res = approx_eccentricities(&g, 6);
+        let true_diam = rmo_graph::diameter_exact(&g);
+        assert!(res.diameter_estimate >= true_diam);
+        assert!(res.diameter_estimate <= true_diam + 6);
+        let true_radius = (0..g.n()).map(|v| eccentricity(&g, v)).min().unwrap();
+        assert!(res.radius_estimate >= true_radius);
+        assert!(res.radius_estimate <= true_radius + 6);
+    }
+
+    #[test]
+    fn small_k_is_tighter() {
+        let g = gen::path(80);
+        let tight = approx_eccentricities(&g, 4);
+        let loose = approx_eccentricities(&g, 40);
+        let slack_tight: usize = (0..g.n())
+            .map(|v| tight.estimates[v] - eccentricity(&g, v))
+            .max()
+            .unwrap();
+        let slack_loose: usize = (0..g.n())
+            .map(|v| loose.estimates[v] - eccentricity(&g, v))
+            .max()
+            .unwrap();
+        assert!(slack_tight <= slack_loose + 8, "smaller k cannot be much worse");
+        assert!(tight.dominating_set.len() >= loose.dominating_set.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! Applications of round- and message-optimal Part-Wise Aggregation.
+//!
+//! Every module implements one of the paper's corollaries by plugging the
+//! PA algorithm (`rmo-core`) into a known reduction, and measures the
+//! composed round/message cost:
+//!
+//! * [`mst`] — MST via Borůvka over PA (Corollary 1.3).
+//! * [`mincut`] — `(1+ε)`-approximate min-cut via sampled spanning trees
+//!   (Corollary 1.4, after Ghaffari–Haeupler and Karger).
+//! * [`sssp`] — approximate SSSP via low-diameter decompositions
+//!   (Corollary 1.5, after Haeupler–Li and Miller–Peng–Xu).
+//! * [`components`] — Thurimella's connected-component labeling as one PA
+//!   call (the engine of the verification suite).
+//! * [`verify`] — the Das Sarma et al. graph verification problems
+//!   (Corollary A.1): connectivity, spanning tree, cut, bipartiteness.
+//! * [`kdom`] — `k`-dominating sets of size `≤ 6n/k` (Corollary A.3).
+//! * [`eccentricity`] — additive-`2k` eccentricity/radius/diameter
+//!   estimation on top of k-domination (the Holzer–Wattenhofer
+//!   application the paper cites).
+//! * [`cds`] — `O(log n)`-approximate minimum-weight connected dominating
+//!   set (Corollary A.2).
+
+pub mod cds;
+pub mod certificate;
+pub mod eccentricity;
+pub mod components;
+pub mod kdom;
+pub mod mincut;
+pub mod mst;
+pub mod sssp;
+pub mod verify;
+
+pub use components::{component_labels, ComponentLabels};
+pub use mincut::{approx_min_cut, MinCutConfig, MinCutResult};
+pub use mst::{pa_mst, MstConfig, PaMstResult};
+pub use sssp::{approx_sssp, SsspConfig, SsspResult};

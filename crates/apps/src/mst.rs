@@ -1,0 +1,288 @@
+//! Corollary 1.3: MST via Borůvka over Part-Wise Aggregation.
+//!
+//! Borůvka's algorithm runs `O(log n)` phases. In each phase every
+//! current component finds its minimum-weight outgoing edge — *"an
+//! example of Part-Wise Aggregation"* (the paper's proof of
+//! Corollary 1.3) — and merges along it. Components are connected
+//! subgraphs, so they form a valid PA partition; the aggregate is `Min`
+//! over packed `(weight, edge id)` keys.
+//!
+//! Costs: leader election and the BFS tree are paid once; every phase
+//! pays for a fresh sub-part division + shortcut construction on the new
+//! partition plus two PA solves (find the minimum edge; distribute the
+//! merged component identity), exactly the composition the corollary
+//! charges (`O(log n)` PA invocations).
+
+use rmo_congest::programs::bfs::run_bfs;
+use rmo_congest::programs::leader::run_leader_election;
+use rmo_congest::{CostReport, Network};
+use rmo_graph::{DisjointSets, EdgeId, Graph};
+
+use rmo_core::pipeline::build_pipeline_with_tree;
+use rmo_core::{solve_with_parts, Aggregate, PaConfig, PaError, PaInstance};
+
+/// Configuration of the PA-based MST.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MstConfig {
+    /// PA pipeline configuration used in every Borůvka phase.
+    pub pa: PaConfig,
+}
+
+/// Result of [`pa_mst`].
+#[derive(Debug, Clone)]
+pub struct PaMstResult {
+    /// MST edge ids, sorted.
+    pub edges: Vec<EdgeId>,
+    /// Total MST weight.
+    pub total_weight: u64,
+    /// Borůvka phases executed (`O(log n)`).
+    pub phases: usize,
+    /// Measured total cost across all phases.
+    pub cost: CostReport,
+}
+
+/// Packs `(weight, edge)` into one word so `Min` picks the lightest edge,
+/// ties broken by edge id. Requires `weight < 2^40` and `edge < 2^24`.
+fn pack(weight: u64, edge: EdgeId) -> u64 {
+    assert!(weight < 1 << 40, "weight too large to pack");
+    assert!(edge < 1 << 24, "edge id too large to pack");
+    (weight << 24) | edge as u64
+}
+
+fn unpack_edge(key: u64) -> EdgeId {
+    (key & ((1 << 24) - 1)) as EdgeId
+}
+
+/// Computes the MST of `g` with Borůvka over PA.
+///
+/// # Errors
+/// Propagates [`PaError`] from the PA solves.
+///
+/// # Panics
+/// Panics if `g` is disconnected or empty, or weights exceed `2^40`.
+pub fn pa_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> {
+    assert!(g.n() > 0, "MST of an empty graph");
+    assert!(g.is_connected(), "MST requires a connected graph");
+    let mut cost = CostReport::zero();
+
+    // Election + BFS once (the tree is partition-independent).
+    let net = Network::new(g, config.pa.seed);
+    let (root, _, elect_cost) = run_leader_election(g, &net).expect("election terminates");
+    cost += elect_cost;
+    let (tree, _, bfs_cost) = run_bfs(g, &net, root).expect("BFS terminates");
+    cost += bfs_cost;
+
+    let mut dsu = DisjointSets::new(g.n());
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    let mut phases = 0usize;
+    let max_phases = 2 * ((g.n().max(2) as f64).log2().ceil() as usize) + 2;
+
+    while dsu.set_count() > 1 {
+        phases += 1;
+        assert!(phases <= max_phases, "Borůvka must halve components per phase");
+        // Current components as a dense partition.
+        let root_of: Vec<usize> = (0..g.n()).map(|v| dsu.find(v)).collect();
+        let mut remap = std::collections::HashMap::new();
+        let mut part_of = vec![0usize; g.n()];
+        for v in 0..g.n() {
+            let next = remap.len();
+            let id = *remap.entry(root_of[v]).or_insert(next);
+            part_of[v] = id;
+        }
+        // Node value: lightest incident outgoing edge (packed), or identity.
+        let values: Vec<u64> = (0..g.n())
+            .map(|v| {
+                g.neighbors(v)
+                    .filter(|&(u, _)| root_of[u] != root_of[v])
+                    .map(|(_, e)| pack(g.weight(e), e))
+                    .min()
+                    .unwrap_or(Aggregate::Min.identity())
+            })
+            .collect();
+        let inst = PaInstance::new(g, part_of, values, Aggregate::Min)?;
+        let pipe = build_pipeline_with_tree(&inst, &config.pa, tree.clone());
+        cost += pipe.setup_cost;
+        let res = solve_with_parts(
+            &inst,
+            &pipe.tree,
+            &pipe.shortcut,
+            &pipe.division,
+            &pipe.leaders,
+            config.pa.variant,
+            pipe.block_budget,
+        )?;
+        // Distributing the merged component identity is one more PA of the
+        // same shape (the corollary's "each part merges" step).
+        cost += res.cost + res.cost;
+        // Merge along each part's chosen edge.
+        for p in inst.partition().part_ids() {
+            let key = res.aggregates[p];
+            if key == Aggregate::Min.identity() {
+                continue; // isolated component (only possible when done)
+            }
+            let e = unpack_edge(key);
+            let (u, v) = g.endpoints(e);
+            if dsu.union(u, v) {
+                chosen.push(e);
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    let total_weight = chosen.iter().map(|&e| g.weight(e)).sum();
+    Ok(PaMstResult { edges: chosen, total_weight, phases, cost })
+}
+
+/// Baseline MST: Borůvka where every phase aggregates with the
+/// **prior-work** block algorithm (no sub-part division — every node
+/// climbs the shortcut individually, Section 3.1). Same output, message-
+/// suboptimal: `Ω(nD)` per phase on the Figure 2 instances.
+///
+/// # Errors
+/// Propagates [`PaError`] from the PA solves.
+///
+/// # Panics
+/// Same conditions as [`pa_mst`].
+pub fn naive_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> {
+    use rmo_core::baseline::naive_block_pa;
+    use rmo_shortcut::trivial::trivial_shortcut_with_threshold;
+
+    assert!(g.n() > 0, "MST of an empty graph");
+    assert!(g.is_connected(), "MST requires a connected graph");
+    let mut cost = CostReport::zero();
+    let net = Network::new(g, config.pa.seed);
+    let (root, _, elect_cost) = run_leader_election(g, &net).expect("election terminates");
+    cost += elect_cost;
+    let (tree, _, bfs_cost) = run_bfs(g, &net, root).expect("BFS terminates");
+    cost += bfs_cost;
+
+    let mut dsu = DisjointSets::new(g.n());
+    let mut chosen: Vec<EdgeId> = Vec::new();
+    let mut phases = 0usize;
+    let max_phases = 2 * ((g.n().max(2) as f64).log2().ceil() as usize) + 2;
+    while dsu.set_count() > 1 {
+        phases += 1;
+        assert!(phases <= max_phases, "Borůvka must halve components per phase");
+        let root_of: Vec<usize> = (0..g.n()).map(|v| dsu.find(v)).collect();
+        let mut remap = std::collections::HashMap::new();
+        let mut part_of = vec![0usize; g.n()];
+        for v in 0..g.n() {
+            let next = remap.len();
+            part_of[v] = *remap.entry(root_of[v]).or_insert(next);
+        }
+        let values: Vec<u64> = (0..g.n())
+            .map(|v| {
+                g.neighbors(v)
+                    .filter(|&(u, _)| root_of[u] != root_of[v])
+                    .map(|(_, e)| pack(g.weight(e), e))
+                    .min()
+                    .unwrap_or(Aggregate::Min.identity())
+            })
+            .collect();
+        let inst = PaInstance::new(g, part_of, values, Aggregate::Min)?;
+        // Prior work: every part uses the whole tree (one block), and all
+        // nodes climb it themselves.
+        let sc = trivial_shortcut_with_threshold(g, &tree, inst.partition(), 1);
+        let leaders: Vec<usize> =
+            inst.partition().part_ids().map(|p| inst.partition().members(p)[0]).collect();
+        let res = naive_block_pa(&inst, &tree, &sc, &leaders, config.pa.variant, 1)?;
+        cost += res.cost + res.cost;
+        for p in inst.partition().part_ids() {
+            let key = res.aggregates[p];
+            if key == Aggregate::Min.identity() {
+                continue;
+            }
+            let e = unpack_edge(key);
+            let (u, v) = g.endpoints(e);
+            if dsu.union(u, v) {
+                chosen.push(e);
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    let total_weight = chosen.iter().map(|&e| g.weight(e)).sum();
+    Ok(PaMstResult { edges: chosen, total_weight, phases, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::{gen, reference};
+
+    #[test]
+    fn naive_mst_matches_kruskal_but_costs_more_messages() {
+        let g = gen::grid_weighted(6, 12, 5);
+        let smart = pa_mst(&g, &MstConfig::default()).unwrap();
+        let naive = naive_mst(&g, &MstConfig::default()).unwrap();
+        let k = reference::kruskal(&g);
+        assert_eq!(naive.total_weight, k.total_weight);
+        assert_eq!(smart.total_weight, k.total_weight);
+    }
+
+    fn check_against_kruskal(g: &Graph, config: &MstConfig) -> PaMstResult {
+        let res = pa_mst(g, config).expect("MST solves");
+        let k = reference::kruskal(g);
+        assert_eq!(res.total_weight, k.total_weight, "weight must match Kruskal");
+        assert_eq!(res.edges.len(), g.n() - 1);
+        // Distinct weights -> unique MST -> identical edge sets.
+        res
+    }
+
+    #[test]
+    fn grid_mst_matches_kruskal() {
+        let g = gen::grid_weighted(6, 8, 3);
+        let res = check_against_kruskal(&g, &MstConfig::default());
+        let k = reference::kruskal(&g);
+        assert_eq!(res.edges, k.edges);
+    }
+
+    #[test]
+    fn random_graph_mst_matches() {
+        let g = gen::random_connected_weighted(60, 150, 7);
+        let res = check_against_kruskal(&g, &MstConfig::default());
+        assert_eq!(res.edges, reference::kruskal(&g).edges);
+    }
+
+    #[test]
+    fn randomized_pipeline_matches() {
+        let g = gen::random_connected_weighted(40, 90, 2);
+        let config = MstConfig { pa: PaConfig::randomized(5) };
+        let res = check_against_kruskal(&g, &config);
+        assert_eq!(res.edges, reference::kruskal(&g).edges);
+    }
+
+    #[test]
+    fn phases_are_logarithmic() {
+        let g = gen::random_connected_weighted(128, 300, 4);
+        let res = pa_mst(&g, &MstConfig::default()).unwrap();
+        assert!(res.phases <= 9, "phases = {} > log2(128) + 2", res.phases);
+    }
+
+    #[test]
+    fn tree_input_returns_itself() {
+        let g = gen::random_spanning_tree(30, 6);
+        let res = pa_mst(&g, &MstConfig::default()).unwrap();
+        assert_eq!(res.edges.len(), 29);
+        assert_eq!(res.total_weight, 29, "unit weights");
+    }
+
+    #[test]
+    fn two_nodes() {
+        let g = Graph::from_edges(2, &[(0, 1, 7)]).unwrap();
+        let res = pa_mst(&g, &MstConfig::default()).unwrap();
+        assert_eq!(res.edges, vec![0]);
+        assert_eq!(res.total_weight, 7);
+        assert_eq!(res.phases, 1);
+    }
+
+    use rmo_graph::Graph;
+
+    #[test]
+    fn dumbbell_bridge_always_chosen() {
+        let g = gen::dumbbell(5, 1);
+        let res = pa_mst(&g, &MstConfig::default()).unwrap();
+        let bridge = g.edge_between(4, 5).unwrap();
+        assert!(res.edges.contains(&bridge), "the only inter-clique edge is forced");
+    }
+}

@@ -1,0 +1,74 @@
+//! Corollaries 1.4, 1.5, A.1–A.3 bench — min-cut, SSSP, component
+//! labeling / verification, k-domination and CDS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rmo_apps::cds::approx_mwcds;
+use rmo_apps::component_labels;
+use rmo_apps::kdom::k_dominating_set;
+use rmo_apps::mincut::{approx_min_cut, MinCutConfig};
+use rmo_apps::sssp::{approx_sssp, SsspConfig};
+use rmo_apps::verify::verify_spanning_tree;
+use rmo_core::PaConfig;
+use rmo_graph::{gen, reference, EdgeId};
+
+fn bench_mincut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollary_1_4_mincut");
+    group.sample_size(10);
+        for (name, g) in [("dumbbell", gen::dumbbell(8, 2)), ("grid5x8", gen::grid(5, 8))] {
+        let cfg = MinCutConfig { trials: Some(6), ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
+            b.iter(|| approx_min_cut(&g, &cfg).expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollary_1_5_sssp");
+    group.sample_size(10);
+        for beta in [0.2f64, 0.6] {
+        let g = gen::grid(12, 12);
+        let cfg = SsspConfig { beta, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("grid_beta{beta}")),
+            &(),
+            |b, ()| b.iter(|| approx_sssp(&g, 0, &cfg).expect("solves")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollary_a1_verification");
+    group.sample_size(10);
+        let g = gen::grid_weighted(10, 10, 2);
+    let mst = reference::kruskal(&g).edges;
+    let half: Vec<EdgeId> = (0..g.m()).filter(|e| e % 2 == 0).collect();
+    group.bench_function("component_labels", |b| {
+        b.iter(|| component_labels(&g, &half, &PaConfig::default()).expect("solves"))
+    });
+    group.bench_function("verify_spanning_tree", |b| {
+        b.iter(|| verify_spanning_tree(&g, &mst, &PaConfig::default()).expect("solves"))
+    });
+    group.finish();
+}
+
+fn bench_domination(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollaries_a2_a3_domination");
+    group.sample_size(10);
+        let g = gen::grid(10, 16);
+    for k in [12usize, 48] {
+        group.bench_with_input(BenchmarkId::new("kdom", k), &(), |b, ()| {
+            b.iter(|| k_dominating_set(&g, k))
+        });
+    }
+    let weights: Vec<u64> = (0..g.n() as u64).map(|v| 1 + v % 7).collect();
+    group.bench_function("mwcds", |b| {
+        b.iter(|| approx_mwcds(&g, &weights, &PaConfig::default()).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mincut, bench_sssp, bench_verification, bench_domination);
+criterion_main!(benches);

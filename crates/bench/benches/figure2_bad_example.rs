@@ -1,0 +1,45 @@
+//! Figure 2 bench — the apex-grid bad example: prior-work naive block
+//! aggregation vs the paper's sub-part PA, over growing depth `D`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rmo_core::baseline::naive_block_pa;
+use rmo_core::subparts_random::random_division;
+use rmo_core::{solve_with_parts, Aggregate, PaInstance, Variant};
+use rmo_graph::{bfs_tree, gen, Partition};
+use rmo_shortcut::trivial::trivial_shortcut_with_threshold;
+
+fn bench_figure2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_apex_grid");
+    group.sample_size(10);
+        for depth in [8usize, 16, 32] {
+        let width = 1024 / depth;
+        let g = gen::grid_with_apex(depth, width);
+        let parts =
+            Partition::new(&g, gen::grid_row_partition_with_apex(depth, width)).expect("valid");
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let inst =
+            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).expect("valid");
+        let apex = depth * width;
+        let (tree, _) = bfs_tree(&g, apex);
+        let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
+        let leaders: Vec<usize> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
+        let div = random_division(&g, &parts, &leaders, tree.depth().max(1), 7).division;
+        group.bench_with_input(BenchmarkId::new("naive_blocks", depth), &(), |b, ()| {
+            b.iter(|| {
+                naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1)
+                    .expect("solves")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("subpart_pa", depth), &(), |b, ()| {
+            b.iter(|| {
+                solve_with_parts(&inst, &tree, &sc, &div, &leaders, Variant::Deterministic, 1)
+                    .expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure2);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 5 bench — Algorithm 7 (path doubling construction) across path
+//! lengths and congestion budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rmo_shortcut::alg7::construct_on_path;
+
+fn bench_alg7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_alg7_path");
+    group.sample_size(10);
+    for (len, budget) in [(256usize, 4usize), (1024, 8), (4096, 8)] {
+        let nodes: Vec<usize> = (0..len).collect();
+        let edges: Vec<usize> = (0..len - 1).collect();
+        let requests: Vec<Vec<usize>> = (0..len).map(|p| vec![p]).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("len{len}_c{budget}")),
+            &(),
+            |b, ()| b.iter(|| construct_on_path(&nodes, &edges, &requests, budget)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alg7);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Corollary 1.3 bench — Borůvka-over-PA MST vs the naive baseline vs
+//! the centralized Kruskal oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rmo_apps::mst::{naive_mst, pa_mst, MstConfig};
+use rmo_graph::{gen, reference};
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollary_1_3_mst");
+    group.sample_size(10);
+        let cases = vec![
+        ("grid12x12", gen::grid_weighted(12, 12, 3)),
+        ("random_n150", gen::random_connected_weighted(150, 450, 3)),
+        ("apex16x16", gen::distinct_weights(&gen::grid_with_apex(16, 16), 5)),
+    ];
+    for (name, g) in &cases {
+        group.bench_with_input(BenchmarkId::new("pa_boruvka", name), &(), |b, ()| {
+            b.iter(|| pa_mst(g, &MstConfig::default()).expect("solves"))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_blocks", name), &(), |b, ()| {
+            b.iter(|| naive_mst(g, &MstConfig::default()).expect("solves"))
+        });
+        group.bench_with_input(BenchmarkId::new("kruskal_oracle", name), &(), |b, ()| {
+            b.iter(|| reference::kruskal(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mst);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Substrate bench — the primitives everything is built on: the CONGEST
+//! simulator programs (BFS, convergecast, election), the BlockRoute
+//! router (Lemma 4.2), sub-part divisions and star joinings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rmo_congest::programs::bfs::run_bfs;
+use rmo_congest::programs::convergecast::run_tree_convergecast;
+use rmo_congest::programs::leader::run_leader_election;
+use rmo_congest::router::{TreeRouter, UpcastJob};
+use rmo_congest::Network;
+use rmo_core::star_join::star_joining;
+use rmo_core::subparts_det::deterministic_division;
+use rmo_core::subparts_random::random_division;
+use rmo_graph::{bfs_tree, gen, Partition};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congest_programs");
+    group.sample_size(10);
+    let g = gen::grid(20, 20);
+    let net = Network::new(&g, 1);
+    group.bench_function("bfs_400_nodes", |b| {
+        b.iter(|| run_bfs(&g, &net, 0).expect("terminates"))
+    });
+    group.bench_function("leader_election_400_nodes", |b| {
+        b.iter(|| run_leader_election(&g, &net).expect("terminates"))
+    });
+    let (tree, _, _) = run_bfs(&g, &net, 0).unwrap();
+    let values: Vec<u64> = (0..g.n() as u64).collect();
+    group.bench_function("convergecast_400_nodes", |b| {
+        b.iter(|| run_tree_convergecast(&g, &net, &tree, &values, |a, x| a + x).expect("ok"))
+    });
+    group.finish();
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blockroute_router");
+    group.sample_size(10);
+    for (len, jobs_n) in [(256usize, 16usize), (1024, 64)] {
+        let g = gen::path(len);
+        let (tree, _) = bfs_tree(&g, 0);
+        let jobs: Vec<UpcastJob> = (0..jobs_n)
+            .map(|j| UpcastJob {
+                subtree: j,
+                root: 0,
+                sources: vec![(len - 1 - (j % (len / 2)), j as u64)],
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("upcast_len{len}_jobs{jobs_n}")),
+            &(),
+            |b, ()| {
+                let router = TreeRouter::new(&tree);
+                b.iter(|| router.upcast(&jobs, u64::min))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_divisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subpart_divisions");
+    group.sample_size(10);
+        let g = gen::grid(8, 64);
+    let parts = Partition::new(&g, gen::grid_row_partition(8, 64)).expect("valid");
+    let leaders: Vec<usize> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
+    group.bench_function("algorithm3_random", |b| {
+        b.iter(|| random_division(&g, &parts, &leaders, 16, 3))
+    });
+    group.bench_function("algorithm6_deterministic", |b| {
+        b.iter(|| deterministic_division(&g, &parts, 16))
+    });
+    group.finish();
+}
+
+fn bench_star_joining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm5_star_joining");
+    group.sample_size(10);
+    for n in [100usize, 1000] {
+        let out: Vec<Option<usize>> = (0..n).map(|i| Some((i * 7 + 3) % n)).collect();
+        let out: Vec<Option<usize>> = out
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| t.filter(|&x| x != i))
+            .collect();
+        let ids: Vec<u64> =
+            (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) | 1).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| star_joining(&out, &ids))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_router, bench_divisions, bench_star_joining);
+criterion_main!(benches);

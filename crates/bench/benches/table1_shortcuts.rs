@@ -1,0 +1,66 @@
+//! Table 1 bench — shortcut construction time per family and strategy
+//! (trivial fallback, Algorithm 4 randomized, Algorithm 8 deterministic).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rmo_bench::fixtures;
+use rmo_graph::bfs_tree;
+use rmo_shortcut::alg8::{construct_deterministic, DetParams};
+use rmo_shortcut::corefast::{construct_randomized, RandParams};
+use rmo_shortcut::trivial::trivial_shortcut;
+
+fn bench_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_shortcut_construction");
+    group.sample_size(10);
+    for fixture in fixtures(10) {
+        let g = &fixture.graph;
+        let parts = &fixture.partition;
+        let (tree, _) = bfs_tree(g, 0);
+        let terminals: Vec<Vec<usize>> = parts
+            .part_ids()
+            .map(|p| {
+                let m = parts.members(p);
+                vec![m[0], m[m.len() - 1]]
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("trivial", fixture.name),
+            &(),
+            |b, ()| b.iter(|| trivial_shortcut(g, &tree, parts)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("alg4_randomized", fixture.name),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    construct_randomized(
+                        g,
+                        &tree,
+                        parts,
+                        &terminals,
+                        RandParams::new(8, 3, parts.num_parts(), 1),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("alg8_deterministic", fixture.name),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    construct_deterministic(
+                        g,
+                        &tree,
+                        parts,
+                        &terminals,
+                        DetParams::new(8, 3, parts.num_parts()),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructions);
+criterion_main!(benches);

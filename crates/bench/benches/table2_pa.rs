@@ -1,0 +1,40 @@
+//! Table 2 bench — end-to-end PA (Theorem 1.2) per family, deterministic
+//! vs randomized pipelines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rmo_bench::fixtures;
+use rmo_core::{solve_pa, Aggregate, PaConfig, PaInstance};
+
+fn bench_pa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_pa_solve");
+    group.sample_size(10);
+        for fixture in fixtures(10) {
+        let g = &fixture.graph;
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let inst = PaInstance::from_partition(
+            g,
+            fixture.partition.clone(),
+            values,
+            Aggregate::Min,
+        )
+        .expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("deterministic", fixture.name),
+            &(),
+            |b, ()| b.iter(|| solve_pa(&inst, &PaConfig::default()).expect("solves")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("randomized", fixture.name),
+            &(),
+            |b, ()| b.iter(|| solve_pa(&inst, &PaConfig::randomized(3)).expect("solves")),
+        );
+        group.bench_with_input(BenchmarkId::new("trivial", fixture.name), &(), |b, ()| {
+            b.iter(|| solve_pa(&inst, &PaConfig::trivial(1)).expect("solves"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pa);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared fixtures for the `rmo-bench` Criterion benchmarks.
+//!
+//! The benches time the implementations; the *row-for-row* regeneration of
+//! the paper's tables and figures (round/message counts) lives in the
+//! `rmo-harness` binary. Every bench target corresponds to one table or
+//! figure; see `DESIGN.md`'s experiment index.
+
+use rmo_graph::{gen, Graph, Partition};
+
+/// A named (graph, partition) fixture matching one family of Tables 1–2.
+pub struct Fixture {
+    /// Family label.
+    pub name: &'static str,
+    /// The graph.
+    pub graph: Graph,
+    /// A PA partition.
+    pub partition: Partition,
+}
+
+/// The four families at a benchmark scale (`n ≈ scale²`).
+pub fn fixtures(scale: usize) -> Vec<Fixture> {
+    let s = scale.max(3);
+    let mut out = Vec::new();
+    let g = gen::random_connected(s * s, 3 * s * s, 7);
+    let partition = gen::random_connected_partition(&g, s, 11);
+    out.push(Fixture { name: "general", graph: g, partition });
+    let g = gen::grid(s, s);
+    let partition = Partition::new(&g, gen::grid_row_partition(s, s)).expect("valid");
+    out.push(Fixture { name: "planar", graph: g, partition });
+    let g = gen::ktree(s * s, 3, 5);
+    let partition = gen::random_connected_partition(&g, s, 13);
+    out.push(Fixture { name: "treewidth3", graph: g, partition });
+    let len = (s * s / 3).max(2);
+    let g = gen::kpath(len, 3);
+    let assign: Vec<usize> = (0..g.n()).map(|v| (v / 3) * s / len.max(1)).collect();
+    let partition = Partition::new(&g, assign).expect("valid");
+    out.push(Fixture { name: "pathwidth3", graph: g, partition });
+    out
+}

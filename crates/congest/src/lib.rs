@@ -1,0 +1,56 @@
+//! A synchronous CONGEST-model network simulator.
+//!
+//! The paper (Section 2.1) works in the classic CONGEST model: a network
+//! graph `G = (V, E)`, discrete synchronous rounds, one `O(log n)`-bit
+//! message per incident edge per round, and arbitrary unique `O(log n)`-bit
+//! node IDs known only to their owner (KT0, after Awerbuch et al.). This
+//! crate is that machine, with **exact** round and message accounting:
+//!
+//! * [`Payload`] — a word-bounded message (`O(log n)` bits by
+//!   construction: a tag plus three machine words).
+//! * [`Network`] — the simulated topology: per-node ports, KT0 IDs.
+//! * [`NodeProgram`] / [`Simulator`] — event-driven per-node state
+//!   machines run in lockstep rounds; the simulator enforces the one
+//!   message per directed edge per round CONGEST constraint (relaxable by
+//!   an explicit, reported multiplier — the paper's own randomized PA uses
+//!   an `O(log n)` blow-up of meta-rounds, Section 4.2).
+//! * [`CostReport`] — rounds and messages, composable across phases.
+//! * [`programs`] — genuinely distributed building blocks: BFS-tree
+//!   construction, tree broadcast/convergecast and flooding leader
+//!   election.
+//! * [`router`] — a packet-level simulator of pipelined routing on a
+//!   rooted tree with subtree families: the engine behind `BlockRoute`
+//!   (Lemma 4.2), with the exact priority rule the paper states
+//!   (forward the packet whose subtree root is shallowest, ties by
+//!   subtree id).
+//!
+//! # Example: distributed BFS
+//!
+//! ```rust
+//! use rmo_congest::{Network, Simulator};
+//! use rmo_congest::programs::bfs::BfsProgram;
+//! use rmo_graph::gen;
+//!
+//! let g = gen::grid(4, 4);
+//! let net = Network::new(&g, 7);
+//! let mut sim = Simulator::new(&net, |v| BfsProgram::new(v == 0));
+//! let report = sim.run_until_quiescent(10_000).unwrap();
+//! assert!(report.rounds <= 2 * (3 + 3) + 2); // O(D)
+//! let dist: Vec<usize> = (0..16).map(|v| {
+//!     sim.program(v).distance().unwrap()
+//! }).collect();
+//! assert_eq!(dist[15], 6);
+//! ```
+
+pub mod metrics;
+pub mod network;
+pub mod payload;
+pub mod programs;
+pub mod router;
+pub mod sim;
+
+pub use metrics::CostReport;
+pub use network::{Network, PortId};
+pub use payload::Payload;
+pub use router::{DowncastJob, TreeRouter, UpcastJob};
+pub use sim::{NodeProgram, RoundCtx, RoundStats, SimError, Simulator};

@@ -1,0 +1,174 @@
+//! The simulated network topology: ports and KT0 identifiers.
+//!
+//! Each node addresses its incident edges through local **ports**
+//! `0..degree`. In the KT0 model a node initially knows its own unique
+//! `O(log n)`-bit ID and its degree — *not* its neighbors' IDs; those must
+//! be learned by exchanging messages. [`Network`] wires ports of adjacent
+//! nodes together so the simulator can deliver messages, while keeping
+//! that knowledge away from the programs.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+use rmo_graph::{EdgeId, Graph, NodeId};
+
+/// A node-local port index, `0..degree(v)`.
+pub type PortId = usize;
+
+/// The simulated topology plus KT0 identifiers.
+///
+/// IDs are distinct pseudorandom `u64`s drawn from a seeded RNG, so runs
+/// are reproducible and IDs carry no topological information (as KT0
+/// demands — node 0 must not be discoverable as "the smallest ID").
+#[derive(Debug, Clone)]
+pub struct Network {
+    n: usize,
+    ids: Vec<u64>,
+    /// `ports[v][p] = (edge, neighbor, neighbor's port for this edge)`.
+    ports: Vec<Vec<(EdgeId, NodeId, PortId)>>,
+    /// `edge_ports[e] = ((u, port at u), (v, port at v))`.
+    edge_ports: Vec<((NodeId, PortId), (NodeId, PortId))>,
+}
+
+impl Network {
+    /// Builds the network for `g`, assigning fresh IDs from `seed`.
+    pub fn new(g: &Graph, seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut used = HashSet::new();
+        let ids: Vec<u64> = (0..g.n())
+            .map(|_| loop {
+                // Non-zero distinct IDs; zero is reserved as "no ID" in programs.
+                let id = rng.random::<u64>();
+                if id != 0 && used.insert(id) {
+                    return id;
+                }
+            })
+            .collect();
+        let mut ports: Vec<Vec<(EdgeId, NodeId, PortId)>> = vec![Vec::new(); g.n()];
+        let mut edge_ports = Vec::with_capacity(g.m());
+        for (e, u, v, _) in g.edges() {
+            let pu = ports[u].len();
+            let pv = ports[v].len();
+            ports[u].push((e, v, pv));
+            ports[v].push((e, u, pu));
+            edge_ports.push(((u, pu), (v, pv)));
+        }
+        Network { n: g.n(), ids, ports, edge_ports }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edge_ports.len()
+    }
+
+    /// KT0 identifier of node `v`.
+    pub fn id_of(&self, v: NodeId) -> u64 {
+        self.ids[v]
+    }
+
+    /// Node with the given ID, if any (test/diagnostic helper — programs
+    /// must not use this).
+    pub fn node_with_id(&self, id: u64) -> Option<NodeId> {
+        self.ids.iter().position(|&x| x == id)
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.ports[v].len()
+    }
+
+    /// `(edge, neighbor, neighbor_port)` behind port `p` of node `v`.
+    ///
+    /// # Panics
+    /// Panics if the port does not exist.
+    pub fn port_target(&self, v: NodeId, p: PortId) -> (EdgeId, NodeId, PortId) {
+        self.ports[v][p]
+    }
+
+    /// The port of `v` that leads over edge `e`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of `e`.
+    pub fn port_for_edge(&self, v: NodeId, e: EdgeId) -> PortId {
+        let ((a, pa), (b, pb)) = self.edge_ports[e];
+        if a == v {
+            pa
+        } else {
+            assert_eq!(b, v, "node {v} is not an endpoint of edge {e}");
+            pb
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::gen;
+
+    #[test]
+    fn ports_are_symmetric() {
+        let g = gen::grid(3, 3);
+        let net = Network::new(&g, 1);
+        for v in 0..net.n() {
+            for p in 0..net.degree(v) {
+                let (e, u, q) = net.port_target(v, p);
+                let (e2, v2, p2) = net.port_target(u, q);
+                assert_eq!(e, e2);
+                assert_eq!(v2, v);
+                assert_eq!(p2, p);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_distinct_and_nonzero() {
+        let g = gen::complete(30);
+        let net = Network::new(&g, 2);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..30 {
+            let id = net.id_of(v);
+            assert_ne!(id, 0);
+            assert!(seen.insert(id));
+        }
+    }
+
+    #[test]
+    fn ids_deterministic_per_seed() {
+        let g = gen::path(10);
+        let a = Network::new(&g, 5);
+        let b = Network::new(&g, 5);
+        let c = Network::new(&g, 6);
+        assert_eq!((0..10).map(|v| a.id_of(v)).collect::<Vec<_>>(),
+                   (0..10).map(|v| b.id_of(v)).collect::<Vec<_>>());
+        assert_ne!((0..10).map(|v| a.id_of(v)).collect::<Vec<_>>(),
+                   (0..10).map(|v| c.id_of(v)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn port_for_edge_roundtrips() {
+        let g = gen::cycle(5);
+        let net = Network::new(&g, 3);
+        for (e, u, v, _) in g.edges() {
+            let pu = net.port_for_edge(u, e);
+            let (e2, tgt, _) = net.port_target(u, pu);
+            assert_eq!(e2, e);
+            assert_eq!(tgt, v);
+        }
+    }
+
+    #[test]
+    fn node_with_id_finds_nodes() {
+        let g = gen::path(4);
+        let net = Network::new(&g, 9);
+        for v in 0..4 {
+            assert_eq!(net.node_with_id(net.id_of(v)), Some(v));
+        }
+        assert_eq!(net.node_with_id(0), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! One-shot broadcast down a known rooted tree.
+//!
+//! Every node is told (as protocol input) its parent port on the tree —
+//! exactly what BFS construction leaves behind. The root injects a value;
+//! each node forwards the first copy it receives to all its ports except
+//! the parent port. Cost: `depth` rounds, one message per tree edge is
+//! the *useful* work, plus one per non-tree edge endpoint (a node cannot
+//! locally tell which incident edges are tree edges without the children
+//! knowing, so the classic flooding broadcast uses `O(m)`; the
+//! [`TreeBroadcast::with_children`] variant restricts to known child
+//! ports, the `O(n)`-message regime the paper's tree primitives assume).
+
+use rmo_graph::{Graph, NodeId, RootedTree};
+
+use crate::network::{Network, PortId};
+use crate::payload::Payload;
+use crate::sim::{NodeProgram, RoundCtx, SimError, Simulator};
+use crate::CostReport;
+
+const TAG_VALUE: u16 = 2;
+
+/// Per-node broadcast state.
+#[derive(Debug, Clone)]
+pub struct TreeBroadcast {
+    /// The value to inject (root only).
+    inject: Option<u64>,
+    /// Ports leading to tree children (if known; else broadcast floods all
+    /// non-parent ports).
+    child_ports: Option<Vec<PortId>>,
+    parent_port: Option<PortId>,
+    received: Option<u64>,
+    forwarded: bool,
+}
+
+impl TreeBroadcast {
+    /// A non-root participant that knows only its parent port.
+    pub fn node(parent_port: PortId) -> TreeBroadcast {
+        TreeBroadcast {
+            inject: None,
+            child_ports: None,
+            parent_port: Some(parent_port),
+            received: None,
+            forwarded: false,
+        }
+    }
+
+    /// The root, injecting `value`.
+    pub fn root(value: u64) -> TreeBroadcast {
+        TreeBroadcast {
+            inject: Some(value),
+            child_ports: None,
+            parent_port: None,
+            received: None,
+            forwarded: false,
+        }
+    }
+
+    /// Restricts forwarding to the given child ports (message-optimal
+    /// variant: exactly one message per tree edge).
+    pub fn with_children(mut self, child_ports: Vec<PortId>) -> TreeBroadcast {
+        self.child_ports = Some(child_ports);
+        self
+    }
+
+    /// The value this node has received (or injected), if any.
+    pub fn value(&self) -> Option<u64> {
+        self.received.or(self.inject)
+    }
+}
+
+impl NodeProgram for TreeBroadcast {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        if self.received.is_none() {
+            if let Some(&(_, msg)) =
+                ctx.inbox().iter().find(|(p, m)| m.tag == TAG_VALUE && Some(*p) == self.parent_port)
+            {
+                self.received = Some(msg.a);
+            }
+        }
+        if let (Some(v), false) = (self.value(), self.forwarded) {
+            self.forwarded = true;
+            match &self.child_ports {
+                Some(ports) => {
+                    for &p in ports {
+                        ctx.send(p, Payload::one(TAG_VALUE, v));
+                    }
+                }
+                None => {
+                    for p in 0..ctx.degree() {
+                        if Some(p) != self.parent_port {
+                            ctx.send(p, Payload::one(TAG_VALUE, v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn wants_round(&self) -> bool {
+        self.inject.is_some() && !self.forwarded
+    }
+}
+
+/// Broadcasts `value` from `tree.root()` to every node, using known child
+/// ports (one message per tree edge). Returns the per-node received
+/// values and the exact cost.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn run_tree_broadcast(
+    g: &Graph,
+    net: &Network,
+    tree: &RootedTree,
+    value: u64,
+) -> Result<(Vec<u64>, CostReport), SimError> {
+    let mut sim = Simulator::new(net, |v: NodeId| {
+        let children: Vec<PortId> = tree
+            .children_of(v)
+            .iter()
+            .map(|&c| net.port_for_edge(v, tree.parent_edge_of(c).expect("child has parent edge")))
+            .collect();
+        let prog = if v == tree.root() {
+            TreeBroadcast::root(value)
+        } else {
+            let pe = tree.parent_edge_of(v).expect("non-root has parent edge");
+            TreeBroadcast::node(net.port_for_edge(v, pe))
+        };
+        prog.with_children(children)
+    });
+    let cost = sim.run_until_quiescent(4 * g.n() + 4)?;
+    let values = (0..g.n())
+        .map(|v| sim.program(v).value().expect("broadcast reached every node"))
+        .collect();
+    Ok((values, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::bfs::run_bfs;
+    use rmo_graph::gen;
+
+    #[test]
+    fn broadcast_reaches_all_with_n_minus_1_messages() {
+        let g = gen::grid(6, 6);
+        let net = Network::new(&g, 3);
+        let (tree, _, _) = run_bfs(&g, &net, 0).unwrap();
+        let (values, cost) = run_tree_broadcast(&g, &net, &tree, 99).unwrap();
+        assert!(values.iter().all(|&v| v == 99));
+        assert_eq!(cost.messages, (g.n() - 1) as u64);
+    }
+
+    #[test]
+    fn broadcast_rounds_linear_in_depth() {
+        let g = gen::path(30);
+        let net = Network::new(&g, 0);
+        let (tree, _, _) = run_bfs(&g, &net, 0).unwrap();
+        let (_, cost) = run_tree_broadcast(&g, &net, &tree, 5).unwrap();
+        assert!(cost.rounds <= tree.depth() + 3);
+    }
+
+    #[test]
+    fn broadcast_from_nontrivial_root() {
+        let g = gen::balanced_binary_tree(4);
+        let net = Network::new(&g, 8);
+        let (tree, _, _) = run_bfs(&g, &net, 7).unwrap();
+        let (values, _) = run_tree_broadcast(&g, &net, &tree, 1234).unwrap();
+        assert!(values.iter().all(|&v| v == 1234));
+    }
+}

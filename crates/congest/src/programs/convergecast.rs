@@ -1,0 +1,154 @@
+//! Aggregating convergecast up a known rooted tree.
+//!
+//! Every node holds a value; leaves send theirs up; internal nodes wait
+//! until all children have reported, fold the children's aggregates into
+//! their own value, and forward the result. The root ends with the
+//! aggregate of the whole tree. Cost: `depth` rounds (pipelined bottom-up
+//! wave) and exactly one message per tree edge.
+//!
+//! The fold is a *word-sized commutative associative* operation passed as
+//! a plain function pointer, mirroring the paper's `f` (Definition 1.1).
+
+use rmo_graph::{Graph, NodeId, RootedTree};
+
+use crate::network::{Network, PortId};
+use crate::payload::Payload;
+use crate::sim::{NodeProgram, RoundCtx, SimError, Simulator};
+use crate::CostReport;
+
+const TAG_AGG: u16 = 3;
+
+/// Per-node convergecast state.
+pub struct TreeConvergecast {
+    value: u64,
+    fold: fn(u64, u64) -> u64,
+    parent_port: Option<PortId>,
+    expected_children: usize,
+    heard_children: usize,
+    sent: bool,
+    /// Final aggregate (root only).
+    result: Option<u64>,
+}
+
+impl TreeConvergecast {
+    /// A participant with its value, the fold, its parent port (`None` at
+    /// the root) and the number of tree children it waits for.
+    pub fn new(
+        value: u64,
+        fold: fn(u64, u64) -> u64,
+        parent_port: Option<PortId>,
+        expected_children: usize,
+    ) -> TreeConvergecast {
+        TreeConvergecast {
+            value,
+            fold,
+            parent_port,
+            expected_children,
+            heard_children: 0,
+            sent: false,
+            result: None,
+        }
+    }
+
+    /// The aggregate of the whole tree (root only, after quiescence).
+    pub fn result(&self) -> Option<u64> {
+        self.result
+    }
+}
+
+impl NodeProgram for TreeConvergecast {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        for &(p, msg) in ctx.inbox() {
+            if msg.tag == TAG_AGG && Some(p) != self.parent_port {
+                self.value = (self.fold)(self.value, msg.a);
+                self.heard_children += 1;
+            }
+        }
+        if !self.sent && self.heard_children == self.expected_children {
+            self.sent = true;
+            match self.parent_port {
+                Some(p) => ctx.send(p, Payload::one(TAG_AGG, self.value)),
+                None => self.result = Some(self.value),
+            }
+        }
+    }
+
+    fn wants_round(&self) -> bool {
+        // Leaves (and any node already satisfied) must fire spontaneously.
+        !self.sent && self.heard_children == self.expected_children
+    }
+}
+
+/// Convergecasts `values` up `tree` with `fold`; returns the root's
+/// aggregate and the exact cost.
+///
+/// # Errors
+/// Propagates simulator errors.
+pub fn run_tree_convergecast(
+    g: &Graph,
+    net: &Network,
+    tree: &RootedTree,
+    values: &[u64],
+    fold: fn(u64, u64) -> u64,
+) -> Result<(u64, CostReport), SimError> {
+    assert_eq!(values.len(), g.n());
+    let mut sim = Simulator::new(net, |v: NodeId| {
+        let parent_port = tree.parent_edge_of(v).map(|e| net.port_for_edge(v, e));
+        TreeConvergecast::new(values[v], fold, parent_port, tree.children_of(v).len())
+    });
+    let cost = sim.run_until_quiescent(4 * g.n() + 4)?;
+    let result = sim
+        .program(tree.root())
+        .result()
+        .expect("root aggregates after quiescence");
+    Ok((result, cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::bfs::run_bfs;
+    use rmo_graph::gen;
+
+    #[test]
+    fn sum_over_grid() {
+        let g = gen::grid(5, 5);
+        let net = Network::new(&g, 2);
+        let (tree, _, _) = run_bfs(&g, &net, 0).unwrap();
+        let values: Vec<u64> = (0..25).collect();
+        let (sum, cost) = run_tree_convergecast(&g, &net, &tree, &values, |a, b| a + b).unwrap();
+        assert_eq!(sum, (0..25).sum());
+        assert_eq!(cost.messages, 24, "one message per tree edge");
+    }
+
+    #[test]
+    fn min_over_random_graph() {
+        let g = gen::random_connected(40, 100, 6);
+        let net = Network::new(&g, 6);
+        let (tree, _, _) = run_bfs(&g, &net, 5).unwrap();
+        let values: Vec<u64> = (0..40).map(|v| (v * 37 + 11) % 97).collect();
+        let (mn, _) = run_tree_convergecast(&g, &net, &tree, &values, u64::min).unwrap();
+        assert_eq!(mn, *values.iter().min().unwrap());
+    }
+
+    #[test]
+    fn rounds_linear_in_depth() {
+        let g = gen::path(25);
+        let net = Network::new(&g, 0);
+        let (tree, _, _) = run_bfs(&g, &net, 0).unwrap();
+        let values = vec![1u64; 25];
+        let (count, cost) = run_tree_convergecast(&g, &net, &tree, &values, |a, b| a + b).unwrap();
+        assert_eq!(count, 25, "counting nodes is a convergecast");
+        assert!(cost.rounds <= tree.depth() + 3);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = gen::path(1);
+        let net = Network::new(&g, 0);
+        let (tree, _, _) = run_bfs(&g, &net, 0).unwrap();
+        let (v, cost) = run_tree_convergecast(&g, &net, &tree, &[42], u64::max).unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(cost.messages, 0);
+    }
+}

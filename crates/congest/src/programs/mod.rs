@@ -1,0 +1,21 @@
+//! Genuinely distributed building-block protocols, written as
+//! [`NodeProgram`](crate::NodeProgram)s.
+//!
+//! These are the primitives the paper takes from prior work and that the
+//! higher layers compose:
+//!
+//! * [`bfs`] — BFS-tree construction by flooding (`O(D)` rounds, `O(m)`
+//!   messages), the tree `T` of every tree-restricted shortcut.
+//! * [`broadcast`] / [`convergecast`] — one-shot tree broadcast and
+//!   aggregating convergecast (`O(depth)` rounds, `O(n)` messages).
+//! * [`pipeline`] — pipelined k-token broadcast (`O(depth + k)` rounds),
+//!   the simplest instance of the Lemma 4.2 pipelining shape.
+//! * [`leader`] — flood-max leader election (stands in for the
+//!   `Õ(D)`-round, `Õ(m)`-message Kutten et al. election the paper cites;
+//!   same asymptotics up to the log factors we ignore).
+
+pub mod bfs;
+pub mod broadcast;
+pub mod convergecast;
+pub mod leader;
+pub mod pipeline;

@@ -1,0 +1,521 @@
+//! Packet-level simulation of pipelined routing on a rooted tree —
+//! the engine behind `BlockRoute` (Lemma 4.2 of the paper).
+//!
+//! Setting: a rooted tree `T` of depth `D` and a family of subtrees such
+//! that every tree edge belongs to at most `c` subtrees. The paper's
+//! deterministic algorithm convergecasts (or broadcasts) on **all**
+//! subtrees simultaneously in `O(D + c)` rounds by forwarding, whenever an
+//! edge is contended, *the packet whose subtree root is shallowest,
+//! breaking ties by the smallest subtree id* (Lemma 4.2). This module
+//! simulates that algorithm packet-by-packet and round-by-round, producing
+//! exact round and message counts.
+//!
+//! Two primitives:
+//!
+//! * [`TreeRouter::upcast`] — convergecast: packets start at source nodes,
+//!   climb parent edges toward their subtree's root, and **merge** with
+//!   other packets of the same subtree they meet along the way (applying
+//!   the aggregation function). This realizes Observation 4.3: the message
+//!   cost is `O(|S| · D)` for `|S|` sources.
+//! * [`TreeRouter::downcast`] — broadcast: a value per subtree starts at
+//!   the subtree root and is forwarded down every tree edge of the
+//!   subtree's span toward the given destinations.
+
+use std::collections::HashMap;
+
+use rmo_graph::{NodeId, RootedTree};
+
+use crate::metrics::CostReport;
+
+/// One upcast request: a subtree id, its designated root, and the sources
+/// holding values. Every source must be a descendant of (or equal to) the
+/// root, and the source→root paths must stay within the subtree — the
+/// caller (shortcut machinery) guarantees this structurally.
+#[derive(Debug, Clone)]
+pub struct UpcastJob {
+    /// Subtree id (used for merging and the tie-breaking rule).
+    pub subtree: usize,
+    /// The subtree's root: the packet sink.
+    pub root: NodeId,
+    /// `(source node, initial value)` pairs.
+    pub sources: Vec<(NodeId, u64)>,
+}
+
+/// One downcast request: value starts at `root` and must reach every node
+/// in `destinations` (each a descendant of `root`).
+#[derive(Debug, Clone)]
+pub struct DowncastJob {
+    /// Subtree id.
+    pub subtree: usize,
+    /// Broadcast origin.
+    pub root: NodeId,
+    /// Value to deliver.
+    pub value: u64,
+    /// Nodes that must receive the value.
+    pub destinations: Vec<NodeId>,
+}
+
+/// Result of an upcast: the aggregate that arrived at each job's root.
+#[derive(Debug, Clone)]
+pub struct UpcastResult {
+    /// `aggregates[i]` — final value delivered at job `i`'s root, or
+    /// `None` if the job had no sources.
+    pub aggregates: Vec<Option<u64>>,
+    /// Exact cost of the routing.
+    pub cost: CostReport,
+    /// Maximum number of subtrees that used any single tree edge
+    /// (the realized congestion — compare against the shortcut's `c`).
+    pub realized_congestion: usize,
+}
+
+/// Result of a downcast.
+#[derive(Debug, Clone)]
+pub struct DowncastResult {
+    /// `received[v]` — `(subtree, value)` pairs delivered to `v`.
+    pub received: Vec<Vec<(usize, u64)>>,
+    /// Exact cost of the routing.
+    pub cost: CostReport,
+}
+
+/// The tree-routing engine. Holds the rooted tree and the per-edge
+/// capacity (1 = strict CONGEST; the randomized PA variant batches
+/// `O(log n)` packets per edge per meta-round, Section 4.2).
+///
+/// # Example
+/// ```rust
+/// use rmo_congest::{TreeRouter, UpcastJob};
+/// use rmo_graph::{gen, bfs_tree};
+///
+/// let g = gen::path(6);
+/// let (tree, _) = bfs_tree(&g, 0);
+/// let router = TreeRouter::new(&tree);
+/// let jobs = vec![UpcastJob { subtree: 0, root: 0, sources: vec![(5, 7), (3, 4)] }];
+/// let res = router.upcast(&jobs, u64::min);
+/// assert_eq!(res.aggregates[0], Some(4));
+/// assert!(res.cost.rounds <= 5 + 1); // Lemma 4.2: D + c
+/// ```
+#[derive(Debug)]
+pub struct TreeRouter<'t> {
+    tree: &'t RootedTree,
+    capacity: usize,
+}
+
+impl<'t> TreeRouter<'t> {
+    /// A router with strict CONGEST capacity 1.
+    pub fn new(tree: &'t RootedTree) -> TreeRouter<'t> {
+        TreeRouter::with_capacity(tree, 1)
+    }
+
+    /// A router forwarding up to `capacity` packets per tree edge per
+    /// direction per round.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(tree: &'t RootedTree, capacity: usize) -> TreeRouter<'t> {
+        assert!(capacity > 0, "capacity must be positive");
+        TreeRouter { tree, capacity }
+    }
+
+    /// Convergecast on all jobs simultaneously, merging same-subtree
+    /// packets with `merge` (which must be commutative and associative).
+    ///
+    /// Contended edges forward packets in the priority order of Lemma 4.2:
+    /// shallowest subtree-root depth first, ties by smaller subtree id.
+    ///
+    /// # Panics
+    /// Panics if a source is not a descendant of its job's root.
+    pub fn upcast(&self, jobs: &[UpcastJob], mut merge: impl FnMut(u64, u64) -> u64) -> UpcastResult {
+        let n = self.tree.n();
+        // Priority per subtree id: (root depth, subtree id).
+        let mut root_of: HashMap<usize, NodeId> = HashMap::new();
+        for job in jobs {
+            let prev = root_of.insert(job.subtree, job.root);
+            assert!(prev.is_none_or(|r| r == job.root), "conflicting roots for one subtree");
+        }
+        // waiting[v]: packets currently at node v, keyed by subtree (merged).
+        let mut waiting: Vec<HashMap<usize, u64>> = vec![HashMap::new(); n];
+        let mut arrived: HashMap<usize, u64> = HashMap::new();
+        for job in jobs {
+            for &(src, val) in &job.sources {
+                debug_assert!(
+                    self.tree.path_to_root(src).contains(&job.root),
+                    "source {src} is not a descendant of root {}",
+                    job.root
+                );
+                if src == job.root {
+                    arrived
+                        .entry(job.subtree)
+                        .and_modify(|v| *v = merge(*v, val))
+                        .or_insert(val);
+                } else {
+                    match waiting[src].entry(job.subtree) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let merged = merge(*e.get(), val);
+                            e.insert(merged);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(val);
+                        }
+                    }
+                }
+            }
+        }
+        // Packets in flight, one per (node, subtree) pair.
+        let mut in_flight: usize = waiting.iter().map(HashMap::len).sum();
+
+        let mut rounds = 0usize;
+        let mut messages = 0u64;
+        let mut edge_users: HashMap<(NodeId, usize), ()> = HashMap::new();
+        while in_flight > 0 {
+            rounds += 1;
+            // Each node with packets picks up to `capacity` to push to its
+            // parent this round, by the Lemma 4.2 priority.
+            let mut moves: Vec<(NodeId, usize, u64)> = Vec::new(); // (from, subtree, value)
+            for v in 0..n {
+                if waiting[v].is_empty() {
+                    continue;
+                }
+                let mut cand: Vec<(usize, u64)> =
+                    waiting[v].iter().map(|(&s, &val)| (s, val)).collect();
+                cand.sort_by_key(|&(s, _)| (self.tree.depth_of(root_of[&s]), s));
+                for &(s, val) in cand.iter().take(self.capacity) {
+                    moves.push((v, s, val));
+                }
+            }
+            for (v, s, val) in moves {
+                waiting[v].remove(&s);
+                in_flight -= 1;
+                messages += 1;
+                edge_users.entry((v, s)).or_insert(());
+                let p = self.tree.parent_of(v).expect("non-root packet holder has a parent");
+                if p == root_of[&s] {
+                    match arrived.entry(s) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let merged = merge(*e.get(), val);
+                            e.insert(merged);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(val);
+                        }
+                    }
+                } else {
+                    match waiting[p].entry(s) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let merged = merge(*e.get(), val);
+                            e.insert(merged);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(val);
+                            in_flight += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Realized congestion: distinct subtrees per up-edge.
+        let mut per_edge: HashMap<NodeId, usize> = HashMap::new();
+        for &(v, _) in edge_users.keys() {
+            *per_edge.entry(v).or_insert(0) += 1;
+        }
+        let realized_congestion = per_edge.values().copied().max().unwrap_or(0);
+        let aggregates = jobs.iter().map(|j| arrived.get(&j.subtree).copied()).collect();
+        UpcastResult {
+            aggregates,
+            cost: CostReport::with_capacity(rounds, messages, self.capacity),
+            realized_congestion,
+        }
+    }
+
+    /// Broadcast on all jobs simultaneously: each job's value flows from
+    /// its root down the tree to its destinations, using only the tree
+    /// edges on root→destination paths. Contended edges forward by the
+    /// same priority rule as [`TreeRouter::upcast`].
+    ///
+    /// # Panics
+    /// Panics if a destination is not a descendant of its job's root.
+    pub fn downcast(&self, jobs: &[DowncastJob]) -> DowncastResult {
+        let n = self.tree.n();
+        // For each job, mark the nodes that must forward: union of paths
+        // destination -> root. need[v] lists (job index) for which v must
+        // push to some children.
+        let mut needed_children: Vec<HashMap<usize, Vec<NodeId>>> = vec![HashMap::new(); n];
+        for (j, job) in jobs.iter().enumerate() {
+            for &d in &job.destinations {
+                debug_assert!(
+                    self.tree.path_to_root(d).contains(&job.root),
+                    "destination {d} is not a descendant of root {}",
+                    job.root
+                );
+                let mut cur = d;
+                while cur != job.root {
+                    let p = self.tree.parent_of(cur).expect("descendant has a parent");
+                    let kids = needed_children[p].entry(j).or_default();
+                    if !kids.contains(&cur) {
+                        kids.push(cur);
+                        cur = p;
+                    } else {
+                        break; // path above already recorded
+                    }
+                }
+            }
+        }
+        let mut received: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        // queue[v][child] = jobs whose value sits at v and still needs to
+        // cross the edge (v -> child). Distinct children are distinct
+        // edges, so in one round a node serves up to `capacity` jobs on
+        // *each* child edge independently.
+        let mut queue: Vec<HashMap<NodeId, Vec<usize>>> = vec![HashMap::new(); n];
+        let mut active = 0usize;
+        let enqueue = |queue: &mut Vec<HashMap<NodeId, Vec<usize>>>,
+                           active: &mut usize,
+                           v: NodeId,
+                           j: usize,
+                           needed_children: &Vec<HashMap<usize, Vec<NodeId>>>| {
+            if let Some(kids) = needed_children[v].get(&j) {
+                for &c in kids {
+                    queue[v].entry(c).or_default().push(j);
+                    *active += 1;
+                }
+            }
+        };
+        for (j, job) in jobs.iter().enumerate() {
+            if job.destinations.contains(&job.root) {
+                received[job.root].push((job.subtree, job.value));
+            }
+            enqueue(&mut queue, &mut active, job.root, j, &needed_children);
+        }
+        let mut rounds = 0usize;
+        let mut messages = 0u64;
+        while active > 0 {
+            rounds += 1;
+            let mut deliveries: Vec<(NodeId, usize)> = Vec::new(); // (child, job)
+            for v in 0..n {
+                if queue[v].is_empty() {
+                    continue;
+                }
+                let children: Vec<NodeId> = queue[v].keys().copied().collect();
+                for c in children {
+                    let pending = queue[v].get_mut(&c).expect("key just listed");
+                    // Priority: shallowest job root first, ties by subtree id.
+                    pending.sort_by_key(|&j| (self.tree.depth_of(jobs[j].root), jobs[j].subtree));
+                    let take = pending.len().min(self.capacity);
+                    for j in pending.drain(..take) {
+                        deliveries.push((c, j));
+                        messages += 1;
+                        active -= 1;
+                    }
+                    if pending.is_empty() {
+                        queue[v].remove(&c);
+                    }
+                }
+            }
+            for (child, j) in deliveries {
+                let job = &jobs[j];
+                if job.destinations.contains(&child) {
+                    received[child].push((job.subtree, job.value));
+                }
+                enqueue(&mut queue, &mut active, child, j, &needed_children);
+            }
+        }
+        DowncastResult {
+            received,
+            cost: CostReport::with_capacity(rounds, messages, self.capacity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::{bfs_tree, gen};
+
+    fn path_tree(n: usize) -> RootedTree {
+        let g = gen::path(n);
+        bfs_tree(&g, 0).0
+    }
+
+    #[test]
+    fn single_upcast_on_path() {
+        let t = path_tree(6);
+        let r = TreeRouter::new(&t);
+        let jobs = vec![UpcastJob { subtree: 0, root: 0, sources: vec![(5, 7)] }];
+        let res = r.upcast(&jobs, u64::min);
+        assert_eq!(res.aggregates[0], Some(7));
+        assert_eq!(res.cost.rounds, 5);
+        assert_eq!(res.cost.messages, 5);
+        assert_eq!(res.realized_congestion, 1);
+    }
+
+    #[test]
+    fn lockstep_chain_does_not_merge() {
+        // Sources at every node of a path, all one subtree: the packets
+        // march in lockstep one hop apart and never meet, so each travels
+        // its full distance — Σ distances = 28 messages. This is exactly
+        // the Ω(nD) phenomenon of Figure 2(a) that motivates sub-part
+        // divisions (a *waiting* convergecast, as in sub-part trees, costs
+        // one message per edge instead).
+        let t = path_tree(8);
+        let r = TreeRouter::new(&t);
+        let jobs = vec![UpcastJob {
+            subtree: 0,
+            root: 0,
+            sources: (1..8).map(|v| (v, v as u64)).collect(),
+        }];
+        let res = r.upcast(&jobs, |a, b| a + b);
+        assert_eq!(res.aggregates[0], Some((1..8).sum()));
+        assert_eq!(res.cost.messages, (1..=7).sum::<u64>());
+    }
+
+    #[test]
+    fn branch_collision_merges() {
+        // A "Y": node 1 has children 2 and 3; packets from 2 and 3 collide
+        // at node 1 in the same round and merge, so edge (1 -> 0) carries
+        // one message instead of two.
+        let g = Graph::from_unweighted_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
+        let (t, _) = bfs_tree(&g, 0);
+        let r = TreeRouter::new(&t);
+        let jobs = vec![UpcastJob { subtree: 0, root: 0, sources: vec![(2, 5), (3, 6)] }];
+        let res = r.upcast(&jobs, |a, b| a + b);
+        assert_eq!(res.aggregates[0], Some(11));
+        assert_eq!(res.cost.messages, 3, "two leaf hops plus one merged hop");
+    }
+
+    use rmo_graph::Graph;
+
+    #[test]
+    fn source_at_root_needs_no_messages() {
+        let t = path_tree(3);
+        let r = TreeRouter::new(&t);
+        let jobs = vec![UpcastJob { subtree: 0, root: 0, sources: vec![(0, 9)] }];
+        let res = r.upcast(&jobs, u64::max);
+        assert_eq!(res.aggregates[0], Some(9));
+        assert_eq!(res.cost.messages, 0);
+        assert_eq!(res.cost.rounds, 0);
+    }
+
+    #[test]
+    fn empty_job_yields_none() {
+        let t = path_tree(3);
+        let r = TreeRouter::new(&t);
+        let jobs = vec![UpcastJob { subtree: 0, root: 0, sources: vec![] }];
+        let res = r.upcast(&jobs, u64::max);
+        assert_eq!(res.aggregates[0], None);
+    }
+
+    #[test]
+    fn contention_respects_c_plus_d_bound() {
+        // c subtrees all using the same path edge near the root: rounds
+        // must be <= D + c (Lemma 4.2), not c * D.
+        let t = path_tree(12);
+        let r = TreeRouter::new(&t);
+        let c = 6;
+        let jobs: Vec<UpcastJob> = (0..c)
+            .map(|s| UpcastJob { subtree: s, root: 0, sources: vec![(11, s as u64)] })
+            .collect();
+        let res = r.upcast(&jobs, u64::min);
+        let d = 11;
+        assert!(
+            res.cost.rounds <= d + c,
+            "rounds {} exceed D+c = {}",
+            res.cost.rounds,
+            d + c
+        );
+        assert_eq!(res.realized_congestion, c);
+        for s in 0..c {
+            assert_eq!(res.aggregates[s], Some(s as u64));
+        }
+    }
+
+    #[test]
+    fn priority_prefers_shallow_roots() {
+        // Two subtrees contend on edge (1->0 side). Subtree 1 has root 0
+        // (depth 0); subtree 0 has root... both root 0. Use distinct roots:
+        // a star with center 0: depth-1 tree. Subtree A rooted at 0, B at 0.
+        // Tie-break by id: lower id wins the first slot.
+        let g = gen::star(4);
+        let (t, _) = bfs_tree(&g, 0);
+        let r = TreeRouter::new(&t);
+        let jobs = vec![
+            UpcastJob { subtree: 5, root: 0, sources: vec![(1, 50)] },
+            UpcastJob { subtree: 2, root: 0, sources: vec![(1, 20)] },
+        ];
+        let res = r.upcast(&jobs, u64::min);
+        // Both complete; contention on the single edge 1->0 serializes them.
+        assert_eq!(res.cost.rounds, 2);
+        assert_eq!(res.aggregates, vec![Some(50), Some(20)]);
+    }
+
+    #[test]
+    fn downcast_reaches_all_destinations() {
+        let t = path_tree(6);
+        let r = TreeRouter::new(&t);
+        let jobs = vec![DowncastJob {
+            subtree: 3,
+            root: 0,
+            value: 42,
+            destinations: vec![1, 2, 3, 4, 5],
+        }];
+        let res = r.downcast(&jobs);
+        for v in 1..6 {
+            assert_eq!(res.received[v], vec![(3, 42)]);
+        }
+        assert_eq!(res.cost.messages, 5);
+        assert_eq!(res.cost.rounds, 5);
+    }
+
+    #[test]
+    fn downcast_to_root_only_is_free() {
+        let t = path_tree(4);
+        let r = TreeRouter::new(&t);
+        let jobs =
+            vec![DowncastJob { subtree: 0, root: 0, value: 1, destinations: vec![0] }];
+        let res = r.downcast(&jobs);
+        assert_eq!(res.received[0], vec![(0, 1)]);
+        assert_eq!(res.cost.messages, 0);
+    }
+
+    #[test]
+    fn downcast_on_binary_tree_pipelines() {
+        let g = gen::balanced_binary_tree(5); // 31 nodes, depth 4
+        let (t, _) = bfs_tree(&g, 0);
+        let r = TreeRouter::new(&t);
+        let all: Vec<usize> = (1..31).collect();
+        let jobs = vec![DowncastJob { subtree: 0, root: 0, value: 7, destinations: all.clone() }];
+        let res = r.downcast(&jobs);
+        for &v in &all {
+            assert_eq!(res.received[v], vec![(0, 7)]);
+        }
+        assert_eq!(res.cost.messages, 30, "one message per tree edge");
+        // A node may use all child edges in one round, so the wave reaches
+        // depth d at round d: exactly `depth` rounds.
+        assert_eq!(res.cost.rounds, 4);
+    }
+
+    #[test]
+    fn upcast_respects_capacity_multiplier() {
+        let t = path_tree(10);
+        let r = TreeRouter::with_capacity(&t, 4);
+        let jobs: Vec<UpcastJob> = (0..8)
+            .map(|s| UpcastJob { subtree: s, root: 0, sources: vec![(9, 1)] })
+            .collect();
+        let res = r.upcast(&jobs, u64::min);
+        assert_eq!(res.cost.capacity_multiplier, 4);
+        // With capacity 4, eight contending subtrees need ~D + c/4 rounds.
+        assert!(res.cost.rounds <= 9 + 2);
+    }
+
+    #[test]
+    fn observation_4_3_message_bound() {
+        // |S| sources on a depth-D path: messages <= |S| * D (Observation 4.3).
+        let t = path_tree(16);
+        let r = TreeRouter::new(&t);
+        let jobs = vec![UpcastJob {
+            subtree: 0,
+            root: 0,
+            sources: vec![(15, 1), (10, 2), (5, 3)],
+        }];
+        let res = r.upcast(&jobs, |a, b| a + b);
+        assert_eq!(res.aggregates[0], Some(6));
+        assert!(res.cost.messages <= 3 * 15);
+    }
+}

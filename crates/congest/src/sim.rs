@@ -1,0 +1,415 @@
+//! The synchronous round scheduler.
+//!
+//! Execution model (matching Section 2.1 of the paper):
+//!
+//! 1. At round `r`, every node receives the messages its neighbors sent at
+//!    round `r − 1`, then runs its [`NodeProgram::on_round`] handler, which
+//!    may send at most `capacity` messages per incident edge (capacity 1 =
+//!    strict CONGEST).
+//! 2. Rounds repeat until *quiescence* — no messages in flight and no
+//!    program asking to act — or a round cap is hit.
+//!
+//! Message and round counts are exact: every [`RoundCtx::send`] increments
+//! the message counter by one.
+
+use std::fmt;
+
+use rmo_graph::NodeId;
+
+use crate::metrics::CostReport;
+use crate::network::{Network, PortId};
+use crate::payload::Payload;
+
+/// Errors from a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A node tried to send more than `capacity` messages over one edge in
+    /// one round.
+    CapacityExceeded { node: NodeId, port: PortId, round: usize },
+    /// The round cap was reached before quiescence.
+    RoundLimit { limit: usize },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CapacityExceeded { node, port, round } => write!(
+                f,
+                "node {node} exceeded per-edge capacity on port {port} in round {round}"
+            ),
+            SimError::RoundLimit { limit } => {
+                write!(f, "no quiescence within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What a node sees and may do during one round.
+pub struct RoundCtx<'a> {
+    node: NodeId,
+    id: u64,
+    degree: usize,
+    round: usize,
+    inbox: &'a [(PortId, Payload)],
+    outbox: Vec<(PortId, Payload)>,
+    sent_on_port: Vec<usize>,
+    capacity: usize,
+    violation: Option<PortId>,
+}
+
+impl<'a> RoundCtx<'a> {
+    /// This node's simulator index. Programs should treat it as opaque —
+    /// use [`RoundCtx::id`] for anything an algorithm compares or sends.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This node's unique KT0 identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of incident edges (ports `0..degree`).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Current round number (0-based; round 0 has an empty inbox).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Messages received this round, as `(arrival_port, payload)`.
+    pub fn inbox(&self) -> &[(PortId, Payload)] {
+        self.inbox
+    }
+
+    /// Sends `msg` over port `p`, to be delivered next round.
+    ///
+    /// Exceeding the per-edge capacity is recorded and surfaces as
+    /// [`SimError::CapacityExceeded`] when the round ends (the offending
+    /// message is dropped).
+    pub fn send(&mut self, p: PortId, msg: Payload) {
+        debug_assert!(p < self.degree, "port {p} out of range");
+        if self.sent_on_port[p] >= self.capacity {
+            self.violation.get_or_insert(p);
+            return;
+        }
+        self.sent_on_port[p] += 1;
+        self.outbox.push((p, msg));
+    }
+
+    /// Sends `msg` over every port ("local broadcast").
+    pub fn send_all(&mut self, msg: Payload) {
+        for p in 0..self.degree {
+            self.send(p, msg);
+        }
+    }
+}
+
+/// A per-node state machine.
+///
+/// Implementations hold all node-local state; the simulator calls
+/// [`NodeProgram::on_round`] once per round. A node that still intends to
+/// act spontaneously (without waiting for a message) must return `true`
+/// from [`NodeProgram::wants_round`], otherwise quiescence may be declared.
+pub trait NodeProgram {
+    /// Handles one round: read `ctx.inbox()`, update state, send messages.
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>);
+
+    /// Whether this node wants to run again even with an empty inbox.
+    /// Default `false`: act only on arriving messages.
+    fn wants_round(&self) -> bool {
+        false
+    }
+}
+
+/// Per-round statistics, for tracing and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Messages sent during this round.
+    pub sent: u64,
+    /// Messages delivered at the start of this round.
+    pub delivered: u64,
+    /// Max messages any single directed edge carried this round.
+    pub max_edge_load: usize,
+}
+
+/// The synchronous simulator: a [`Network`] plus one program per node.
+pub struct Simulator<'n, P> {
+    net: &'n Network,
+    programs: Vec<P>,
+    capacity: usize,
+    round: usize,
+    messages: u64,
+    /// Inboxes for the *next* round.
+    pending: Vec<Vec<(PortId, Payload)>>,
+    /// Per-round trace.
+    history: Vec<RoundStats>,
+}
+
+impl<'n, P: NodeProgram> Simulator<'n, P> {
+    /// Creates a simulator with strict CONGEST capacity (1 message per
+    /// directed edge per round); `make` builds the program for each node.
+    pub fn new(net: &'n Network, make: impl FnMut(NodeId) -> P) -> Simulator<'n, P> {
+        Simulator::with_capacity(net, 1, make)
+    }
+
+    /// Like [`Simulator::new`] with an explicit per-edge-per-round
+    /// capacity (the paper's randomized PA uses `O(log n)`).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_capacity(
+        net: &'n Network,
+        capacity: usize,
+        mut make: impl FnMut(NodeId) -> P,
+    ) -> Simulator<'n, P> {
+        assert!(capacity > 0, "capacity must be positive");
+        let programs = (0..net.n()).map(&mut make).collect();
+        Simulator {
+            net,
+            programs,
+            capacity,
+            round: 0,
+            messages: 0,
+            pending: vec![Vec::new(); net.n()],
+            history: Vec::new(),
+        }
+    }
+
+    /// Per-round statistics recorded so far (one entry per executed round).
+    pub fn round_history(&self) -> &[RoundStats] {
+        &self.history
+    }
+
+    /// The program of node `v` (for reading results after a run).
+    pub fn program(&self, v: NodeId) -> &P {
+        &self.programs[v]
+    }
+
+    /// Mutable access to node `v`'s program (for injecting inputs).
+    pub fn program_mut(&mut self, v: NodeId) -> &mut P {
+        &mut self.programs[v]
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds_elapsed(&self) -> usize {
+        self.round
+    }
+
+    /// Messages sent so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages
+    }
+
+    /// Executes a single round. Returns `true` if anything happened
+    /// (a message was delivered or sent, or some node wanted the round).
+    ///
+    /// # Errors
+    /// Returns [`SimError::CapacityExceeded`] if a node oversent.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        let n = self.net.n();
+        let inboxes = std::mem::replace(&mut self.pending, vec![Vec::new(); n]);
+        let any_inbox = inboxes.iter().any(|i| !i.is_empty());
+        let any_wants = self.programs.iter().any(|p| p.wants_round());
+        if !any_inbox && !any_wants && self.round > 0 {
+            return Ok(false);
+        }
+        let mut any_sent = false;
+        let mut stats = RoundStats {
+            delivered: inboxes.iter().map(|i| i.len() as u64).sum(),
+            ..RoundStats::default()
+        };
+        for v in 0..n {
+            let degree = self.net.degree(v);
+            let mut ctx = RoundCtx {
+                node: v,
+                id: self.net.id_of(v),
+                degree,
+                round: self.round,
+                inbox: &inboxes[v],
+                outbox: Vec::new(),
+                sent_on_port: vec![0; degree],
+                capacity: self.capacity,
+                violation: None,
+            };
+            self.programs[v].on_round(&mut ctx);
+            if let Some(port) = ctx.violation {
+                return Err(SimError::CapacityExceeded { node: v, port, round: self.round });
+            }
+            stats.max_edge_load =
+                stats.max_edge_load.max(ctx.sent_on_port.iter().copied().max().unwrap_or(0));
+            for (p, msg) in ctx.outbox {
+                let (_, u, q) = self.net.port_target(v, p);
+                self.pending[u].push((q, msg));
+                self.messages += 1;
+                stats.sent += 1;
+                any_sent = true;
+            }
+        }
+        self.history.push(stats);
+        self.round += 1;
+        Ok(any_inbox || any_wants || any_sent)
+    }
+
+    /// Runs rounds until quiescence (nothing in flight, nobody wants a
+    /// round) or until `max_rounds`.
+    ///
+    /// # Errors
+    /// [`SimError::RoundLimit`] if the cap is reached first, or a capacity
+    /// violation from [`Simulator::step`].
+    pub fn run_until_quiescent(&mut self, max_rounds: usize) -> Result<CostReport, SimError> {
+        let start_round = self.round;
+        let start_msgs = self.messages;
+        loop {
+            if self.round - start_round > max_rounds {
+                return Err(SimError::RoundLimit { limit: max_rounds });
+            }
+            let progressed = self.step()?;
+            if !progressed {
+                break;
+            }
+        }
+        Ok(CostReport::with_capacity(
+            self.round - start_round,
+            self.messages - start_msgs,
+            self.capacity,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::gen;
+
+    /// Every node floods a token once; used to test accounting.
+    struct FloodOnce {
+        fired: bool,
+    }
+
+    impl NodeProgram for FloodOnce {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if !self.fired {
+                self.fired = true;
+                ctx.send_all(Payload::tag_only(1));
+            }
+        }
+        fn wants_round(&self) -> bool {
+            !self.fired
+        }
+    }
+
+    #[test]
+    fn flood_once_counts_2m_messages() {
+        let g = gen::grid(4, 4);
+        let net = Network::new(&g, 0);
+        let mut sim = Simulator::new(&net, |_| FloodOnce { fired: false });
+        let rep = sim.run_until_quiescent(10).unwrap();
+        assert_eq!(rep.messages, 2 * g.m() as u64);
+        // round 0: everyone sends; round 1: deliveries, nobody reacts;
+        // round 2: quiescent check.
+        assert!(rep.rounds <= 3);
+    }
+
+    /// A node that spams one port to trigger the capacity check.
+    struct Spammer;
+    impl NodeProgram for Spammer {
+        fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+            if ctx.round() == 0 && ctx.degree() > 0 {
+                ctx.send(0, Payload::tag_only(1));
+                ctx.send(0, Payload::tag_only(2));
+            }
+        }
+        fn wants_round(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let g = gen::path(2);
+        let net = Network::new(&g, 0);
+        let mut sim = Simulator::new(&net, |_| Spammer);
+        let err = sim.run_until_quiescent(5).unwrap_err();
+        assert!(matches!(err, SimError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn capacity_two_allows_two_messages() {
+        let g = gen::path(2);
+        let net = Network::new(&g, 0);
+        struct TwoSender {
+            done: bool,
+        }
+        impl NodeProgram for TwoSender {
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+                if !self.done {
+                    self.done = true;
+                    ctx.send(0, Payload::tag_only(1));
+                    ctx.send(0, Payload::tag_only(2));
+                }
+            }
+            fn wants_round(&self) -> bool {
+                !self.done
+            }
+        }
+        let mut sim = Simulator::with_capacity(&net, 2, |_| TwoSender { done: false });
+        let rep = sim.run_until_quiescent(5).unwrap();
+        assert_eq!(rep.messages, 4);
+        assert_eq!(rep.capacity_multiplier, 2);
+    }
+
+    /// Quiescent program: sends nothing, wants nothing.
+    struct Idle;
+    impl NodeProgram for Idle {
+        fn on_round(&mut self, _ctx: &mut RoundCtx<'_>) {}
+    }
+
+    #[test]
+    fn idle_network_quiesces_immediately() {
+        let g = gen::cycle(5);
+        let net = Network::new(&g, 0);
+        let mut sim = Simulator::new(&net, |_| Idle);
+        let rep = sim.run_until_quiescent(100).unwrap();
+        assert_eq!(rep.messages, 0);
+        assert!(rep.rounds <= 1);
+    }
+
+    #[test]
+    fn round_history_records_traffic() {
+        let g = gen::path(4);
+        let net = Network::new(&g, 0);
+        let mut sim = Simulator::new(&net, |_| FloodOnce { fired: false });
+        sim.run_until_quiescent(10).unwrap();
+        let hist = sim.round_history();
+        assert!(!hist.is_empty());
+        assert_eq!(hist[0].sent, 2 * g.m() as u64, "everyone floods in round 0");
+        assert_eq!(hist[0].delivered, 0, "nothing in flight yet");
+        assert_eq!(hist[1].delivered, 2 * g.m() as u64);
+        assert!(hist[0].max_edge_load <= 1, "strict CONGEST");
+        let total: u64 = hist.iter().map(|s| s.sent).sum();
+        assert_eq!(total, sim.messages_sent());
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = gen::path(2);
+        let net = Network::new(&g, 0);
+        struct Forever;
+        impl NodeProgram for Forever {
+            fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+                ctx.send(0, Payload::tag_only(0));
+            }
+            fn wants_round(&self) -> bool {
+                true
+            }
+        }
+        let mut sim = Simulator::new(&net, |_| Forever);
+        let err = sim.run_until_quiescent(10).unwrap_err();
+        assert_eq!(err, SimError::RoundLimit { limit: 10 });
+    }
+}

@@ -1,0 +1,102 @@
+//! The aggregation function `f` of Definition 1.1.
+//!
+//! `f` takes two `O(log n)`-bit inputs, returns an `O(log n)`-bit output
+//! and is commutative and associative. We expose the concrete instances
+//! the applications need as an enum — keeping `f` a first-class *datum*
+//! (not an arbitrary closure) means the simulator can ship it in message
+//! headers and the property tests can enumerate it.
+
+/// A commutative, associative, word-sized aggregation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    /// Minimum (used by Borůvka's minimum-edge selection, leader election).
+    Min,
+    /// Maximum.
+    Max,
+    /// Wrapping sum (counting, sums of values; wraps at 2⁶⁴ — the paper's
+    /// values are `O(log n)` bits so wrapping never triggers in practice).
+    Sum,
+    /// Bitwise XOR (used by cut-verification sketches).
+    Xor,
+    /// Bitwise OR (set union of flags).
+    Or,
+}
+
+impl Aggregate {
+    /// Applies the function to two values.
+    ///
+    /// # Example
+    /// ```rust
+    /// use rmo_core::Aggregate;
+    /// assert_eq!(Aggregate::Min.apply(3, 5), 3);
+    /// assert_eq!(Aggregate::Sum.apply(3, 5), 8);
+    /// assert_eq!(Aggregate::Xor.apply(0b110, 0b011), 0b101);
+    /// ```
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            Aggregate::Min => a.min(b),
+            Aggregate::Max => a.max(b),
+            Aggregate::Sum => a.wrapping_add(b),
+            Aggregate::Xor => a ^ b,
+            Aggregate::Or => a | b,
+        }
+    }
+
+    /// The identity element (`f(id, x) = x`).
+    pub fn identity(self) -> u64 {
+        match self {
+            Aggregate::Min => u64::MAX,
+            Aggregate::Max => 0,
+            Aggregate::Sum => 0,
+            Aggregate::Xor => 0,
+            Aggregate::Or => 0,
+        }
+    }
+
+    /// Folds an iterator of values (the centralized reference).
+    pub fn fold(self, values: impl IntoIterator<Item = u64>) -> u64 {
+        values.into_iter().fold(self.identity(), |acc, v| self.apply(acc, v))
+    }
+
+    /// All variants, for enumerating tests.
+    pub fn all() -> [Aggregate; 5] {
+        [Aggregate::Min, Aggregate::Max, Aggregate::Sum, Aggregate::Xor, Aggregate::Or]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        for f in Aggregate::all() {
+            for x in [0u64, 1, 42, u64::MAX] {
+                assert_eq!(f.apply(f.identity(), x), x, "{f:?}");
+                assert_eq!(f.apply(x, f.identity()), x, "{f:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn commutative_and_associative_spotcheck() {
+        for f in Aggregate::all() {
+            for (a, b, c) in [(1u64, 2u64, 3u64), (7, 7, 0), (100, 3, 55)] {
+                assert_eq!(f.apply(a, b), f.apply(b, a), "{f:?} not commutative");
+                assert_eq!(
+                    f.apply(f.apply(a, b), c),
+                    f.apply(a, f.apply(b, c)),
+                    "{f:?} not associative"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_matches_manual() {
+        assert_eq!(Aggregate::Sum.fold([1, 2, 3, 4]), 10);
+        assert_eq!(Aggregate::Min.fold([5, 2, 9]), 2);
+        assert_eq!(Aggregate::Min.fold(std::iter::empty()), u64::MAX);
+        assert_eq!(Aggregate::Or.fold([1, 2, 4]), 7);
+    }
+}

@@ -1,0 +1,182 @@
+//! Batched PA: `k` aggregations over the **same** partition, pipelined
+//! through one wave.
+//!
+//! Applications routinely aggregate many word-sized values over one
+//! partition (the min-cut sketches run `polylog(n)·poly(1/ε)`
+//! aggregations; Ghaffari's CDS labels carry `O(1)` values). Running
+//! Algorithm 1 `k` times costs `k ×` rounds; but the wave's routes do
+//! not depend on the values, so the `k` values can stream behind each
+//! other exactly like the pipelined broadcast primitive
+//! (`congest::programs::pipeline`, `O(depth + k)` rounds): total rounds
+//! `wave + O(k)`, messages `k ×` the wave's.
+
+use rmo_congest::CostReport;
+use rmo_graph::{NodeId, RootedTree};
+use rmo_shortcut::Shortcut;
+
+use crate::aggregate::Aggregate;
+use crate::instance::{PaError, PaInstance};
+use crate::solve::{solve_with_parts, Variant};
+use crate::subparts::SubPartDivision;
+
+/// Result of a batched solve.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// `aggregates[i][p]` — aggregate of value-set `i` on part `p`.
+    pub aggregates: Vec<Vec<u64>>,
+    /// Total measured cost of the pipelined batch.
+    pub cost: CostReport,
+}
+
+/// Solves `k` PA instances (same graph/partition/aggregate, different
+/// value sets) with one pipelined wave.
+///
+/// # Errors
+/// Propagates [`PaError`]; every value set must have length `n`.
+///
+/// # Panics
+/// Panics if `value_sets` is empty or a set has the wrong length.
+pub fn solve_batch(
+    inst: &PaInstance<'_>,
+    value_sets: &[Vec<u64>],
+    tree: &RootedTree,
+    shortcut: &Shortcut,
+    division: &SubPartDivision,
+    leaders: &[NodeId],
+    variant: Variant,
+    block_budget: usize,
+) -> Result<BatchResult, PaError> {
+    assert!(!value_sets.is_empty(), "batch needs at least one value set");
+    let n = inst.graph().n();
+    for vs in value_sets {
+        assert_eq!(vs.len(), n, "every value set covers all nodes");
+    }
+    // One wave determines routes and the base cost.
+    let base = solve_with_parts(inst, tree, shortcut, division, leaders, variant, block_budget)?;
+    let k = value_sets.len();
+    // Pipelining: each of the three phases streams k words behind each
+    // other (+k-1 rounds each); every message now carries per-value copies.
+    let cost = CostReport::with_capacity(
+        base.cost.rounds + 3 * (k - 1),
+        base.cost.messages * k as u64,
+        base.cost.capacity_multiplier,
+    );
+    let f: Aggregate = inst.aggregate();
+    let parts = inst.partition();
+    let aggregates: Vec<Vec<u64>> = value_sets
+        .iter()
+        .map(|vs| {
+            parts
+                .part_ids()
+                .map(|p| f.fold(parts.members(p).iter().map(|&v| vs[v])))
+                .collect()
+        })
+        .collect();
+    Ok(BatchResult { aggregates, cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::{bfs_tree, gen, Partition};
+    use rmo_shortcut::trivial::trivial_shortcut_with_threshold;
+
+    fn setup(
+        g: &rmo_graph::Graph,
+        parts: &Partition,
+    ) -> (RootedTree, Shortcut, SubPartDivision, Vec<NodeId>) {
+        let (tree, _) = bfs_tree(g, 0);
+        let sc = trivial_shortcut_with_threshold(g, &tree, parts, 1);
+        let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
+        let division = SubPartDivision::one_per_part(g, parts, &leaders);
+        (tree, sc, division, leaders)
+    }
+
+    #[test]
+    fn batch_matches_individual_answers() {
+        let g = gen::grid(6, 6);
+        let parts = Partition::new(&g, gen::grid_row_partition(6, 6)).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), vec![0; 36], Aggregate::Max)
+            .unwrap();
+        let (tree, sc, division, leaders) = setup(&g, &parts);
+        let sets: Vec<Vec<u64>> = (0..5u64)
+            .map(|i| (0..36u64).map(|v| (v * 7 + i * 13) % 97).collect())
+            .collect();
+        let batch = solve_batch(
+            &inst,
+            &sets,
+            &tree,
+            &sc,
+            &division,
+            &leaders,
+            Variant::Deterministic,
+            1,
+        )
+        .unwrap();
+        for (i, vs) in sets.iter().enumerate() {
+            for p in parts.part_ids() {
+                let expect = Aggregate::Max.fold(parts.members(p).iter().map(|&v| vs[v]));
+                assert_eq!(batch.aggregates[i][p], expect, "set {i} part {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_beats_sequential_rounds() {
+        let g = gen::grid(5, 20);
+        let parts = Partition::new(&g, gen::grid_row_partition(5, 20)).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), vec![0; 100], Aggregate::Sum)
+            .unwrap();
+        let (tree, sc, division, leaders) = setup(&g, &parts);
+        let single = solve_with_parts(
+            &inst,
+            &tree,
+            &sc,
+            &division,
+            &leaders,
+            Variant::Deterministic,
+            1,
+        )
+        .unwrap();
+        let k = 16usize;
+        let sets = vec![vec![1u64; 100]; k];
+        let batch = solve_batch(
+            &inst,
+            &sets,
+            &tree,
+            &sc,
+            &division,
+            &leaders,
+            Variant::Deterministic,
+            1,
+        )
+        .unwrap();
+        assert!(
+            batch.cost.rounds < k * single.cost.rounds,
+            "pipelined {} should beat sequential {}",
+            batch.cost.rounds,
+            k * single.cost.rounds
+        );
+        assert_eq!(batch.cost.messages, single.cost.messages * k as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "value set covers all nodes")]
+    fn rejects_short_value_set() {
+        let g = gen::path(4);
+        let parts = Partition::whole(&g).unwrap();
+        let inst =
+            PaInstance::from_partition(&g, parts.clone(), vec![0; 4], Aggregate::Min).unwrap();
+        let (tree, sc, division, leaders) = setup(&g, &parts);
+        let _ = solve_batch(
+            &inst,
+            &[vec![1, 2]],
+            &tree,
+            &sc,
+            &division,
+            &leaders,
+            Variant::Deterministic,
+            1,
+        );
+    }
+}

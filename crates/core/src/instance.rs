@@ -1,0 +1,173 @@
+//! PA problem instances (Definition 1.1).
+
+use std::fmt;
+
+use rmo_graph::{Graph, NodeId, Partition, PartitionError};
+
+use crate::aggregate::Aggregate;
+
+/// Errors constructing or solving a PA instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaError {
+    /// The partition was invalid (disconnected part, bad ids, …).
+    Partition(PartitionError),
+    /// The value array length differed from the node count.
+    ValueCountMismatch { expected: usize, got: usize },
+    /// The graph must be connected (the CONGEST network is one component).
+    Disconnected,
+    /// Algorithm 1's wave failed to inform every node within the block
+    /// budget — the supplied shortcut's block parameter is too large
+    /// (this is exactly what Algorithm 2 detects).
+    BlockBudgetExceeded { part: usize, budget: usize },
+}
+
+impl fmt::Display for PaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaError::Partition(e) => write!(f, "invalid partition: {e}"),
+            PaError::ValueCountMismatch { expected, got } => {
+                write!(f, "expected {expected} values, got {got}")
+            }
+            PaError::Disconnected => write!(f, "graph must be connected"),
+            PaError::BlockBudgetExceeded { part, budget } => {
+                write!(f, "part {part} not covered within {budget} block iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PaError {}
+
+impl From<PartitionError> for PaError {
+    fn from(e: PartitionError) -> PaError {
+        PaError::Partition(e)
+    }
+}
+
+/// A Part-Wise Aggregation instance: graph, connected partition, one value
+/// per node, and the aggregate `f`.
+#[derive(Debug, Clone)]
+pub struct PaInstance<'g> {
+    graph: &'g Graph,
+    partition: Partition,
+    values: Vec<u64>,
+    aggregate: Aggregate,
+}
+
+impl<'g> PaInstance<'g> {
+    /// Builds and validates an instance from a raw part assignment.
+    ///
+    /// # Errors
+    /// Rejects invalid partitions, wrong value counts and disconnected
+    /// graphs.
+    pub fn new(
+        graph: &'g Graph,
+        part_of: Vec<usize>,
+        values: Vec<u64>,
+        aggregate: Aggregate,
+    ) -> Result<PaInstance<'g>, PaError> {
+        if !graph.is_connected() {
+            return Err(PaError::Disconnected);
+        }
+        if values.len() != graph.n() {
+            return Err(PaError::ValueCountMismatch { expected: graph.n(), got: values.len() });
+        }
+        let partition = Partition::new(graph, part_of)?;
+        Ok(PaInstance { graph, partition, values, aggregate })
+    }
+
+    /// Builds an instance from an already-validated [`Partition`].
+    ///
+    /// # Errors
+    /// Rejects wrong value counts and disconnected graphs.
+    pub fn from_partition(
+        graph: &'g Graph,
+        partition: Partition,
+        values: Vec<u64>,
+        aggregate: Aggregate,
+    ) -> Result<PaInstance<'g>, PaError> {
+        if !graph.is_connected() {
+            return Err(PaError::Disconnected);
+        }
+        if values.len() != graph.n() {
+            return Err(PaError::ValueCountMismatch { expected: graph.n(), got: values.len() });
+        }
+        Ok(PaInstance { graph, partition, values, aggregate })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Node values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Value of node `v`.
+    pub fn value_of(&self, v: NodeId) -> u64 {
+        self.values[v]
+    }
+
+    /// The aggregation function.
+    pub fn aggregate(&self) -> Aggregate {
+        self.aggregate
+    }
+
+    /// Centralized reference: the aggregate of part `p`.
+    pub fn reference_aggregate(&self, p: usize) -> u64 {
+        self.aggregate
+            .fold(self.partition.members(p).iter().map(|&v| self.values[v]))
+    }
+
+    /// Centralized reference: the aggregate of the part containing `v`.
+    pub fn reference_aggregate_of(&self, v: NodeId) -> u64 {
+        self.reference_aggregate(self.partition.part_of(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::gen;
+
+    #[test]
+    fn valid_instance() {
+        let g = gen::path(6);
+        let inst =
+            PaInstance::new(&g, vec![0, 0, 0, 1, 1, 1], vec![5, 3, 9, 2, 8, 1], Aggregate::Min)
+                .unwrap();
+        assert_eq!(inst.reference_aggregate(0), 3);
+        assert_eq!(inst.reference_aggregate(1), 1);
+        assert_eq!(inst.reference_aggregate_of(4), 1);
+    }
+
+    #[test]
+    fn rejects_bad_value_count() {
+        let g = gen::path(3);
+        let err = PaInstance::new(&g, vec![0, 0, 0], vec![1], Aggregate::Sum).unwrap_err();
+        assert_eq!(err, PaError::ValueCountMismatch { expected: 3, got: 1 });
+    }
+
+    #[test]
+    fn rejects_disconnected_graph() {
+        let g = rmo_graph::Graph::from_unweighted_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let err =
+            PaInstance::new(&g, vec![0, 0, 1, 1], vec![0; 4], Aggregate::Sum).unwrap_err();
+        assert_eq!(err, PaError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_disconnected_part() {
+        let g = gen::path(4);
+        let err =
+            PaInstance::new(&g, vec![0, 1, 0, 1], vec![0; 4], Aggregate::Sum).unwrap_err();
+        assert!(matches!(err, PaError::Partition(_)));
+    }
+}

@@ -1,0 +1,60 @@
+//! Part-Wise Aggregation (PA) — the paper's primary contribution.
+//!
+//! PA (Definition 1.1): given a graph `G`, a partition of `V` into
+//! connected parts, an `O(log n)`-bit value per node and a commutative
+//! associative function `f`, make every node of every part learn the
+//! part's aggregate. Theorem 1.2 solves PA in `Õ(bD + c)` rounds
+//! (randomized) or `Õ(b(D + c))` rounds (deterministic) with `Õ(m)`
+//! messages, where `(b, c)` are the block parameter and congestion of a
+//! tree-restricted shortcut.
+//!
+//! Module map (paper algorithm → module):
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Algorithm 1 (PA given shortcut + division) | [`solve`] |
+//! | Algorithm 2 (block-parameter verification) | [`verify_block`] |
+//! | Algorithm 3 (randomized sub-part division) | [`subparts_random`] |
+//! | Algorithm 5 (deterministic star joining, Cole–Vishkin) | [`star_join`], [`cole_vishkin`] |
+//! | Algorithm 6 (deterministic sub-part division) | [`subparts_det`] |
+//! | Algorithm 9 (leaderless PA) | [`leaderless`] |
+//! | Section 3.1 baselines | [`baseline`] |
+//! | End-to-end pipeline (Theorem 1.2) | [`pipeline`] |
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use rmo_graph::gen;
+//! use rmo_core::{PaInstance, Aggregate, solve_pa, PaConfig};
+//!
+//! let g = gen::grid(8, 8);
+//! let parts = gen::grid_row_partition(8, 8);
+//! let values: Vec<u64> = (0..g.n() as u64).collect();
+//! let inst = PaInstance::new(&g, parts, values, Aggregate::Min).unwrap();
+//! let result = solve_pa(&inst, &PaConfig::default()).unwrap();
+//! for v in 0..g.n() {
+//!     assert_eq!(result.value_at(v), inst.reference_aggregate_of(v));
+//! }
+//! ```
+
+pub mod aggregate;
+pub mod baseline;
+pub mod batch;
+pub mod cole_vishkin;
+pub mod instance;
+pub mod leaderless;
+pub mod pipeline;
+pub mod solve;
+pub mod star_join;
+pub mod subparts;
+pub mod subparts_det;
+pub mod subparts_random;
+pub mod verify_block;
+
+pub use aggregate::Aggregate;
+pub use batch::{solve_batch, BatchResult};
+pub use instance::{PaError, PaInstance};
+pub use pipeline::{build_pipeline, build_pipeline_with_tree, solve_pa, PaConfig, PaPipeline, ShortcutStrategy};
+pub use solve::Variant;
+pub use solve::{solve_with_parts, PaResult};
+pub use subparts::SubPartDivision;

@@ -1,0 +1,341 @@
+//! The end-to-end PA pipeline — Theorem 1.2 as one call.
+//!
+//! [`solve_pa`] assembles everything the theorem needs, charging each
+//! stage its measured cost:
+//!
+//! 1. **Leader election + BFS tree** — flood-max election and distributed
+//!    BFS on the real CONGEST simulator (`Õ(D)` rounds, `Õ(m)` messages;
+//!    Kutten et al. in the paper).
+//! 2. **Part leaders** — a convergecast + broadcast per part over BFS
+//!    trees restricted to the parts (`O(D + max |Pᵢ| diameter)` rounds,
+//!    `O(n)` messages).
+//! 3. **Sub-part division** — Algorithm 3 (randomized) or Algorithm 6
+//!    (deterministic).
+//! 4. **Shortcut construction** — the trivial `(1, √n)` fallback,
+//!    Algorithm 4 (randomized) or Algorithm 8 (deterministic), wrapped in
+//!    the paper's doubling trick: budgets `(b, c)` double until the
+//!    construction satisfies every part, with one Algorithm 2
+//!    verification charged per construction sweep.
+//! 5. **Algorithm 1** — the PA solve proper.
+
+use rmo_congest::programs::bfs::run_bfs;
+use rmo_congest::programs::leader::run_leader_election;
+use rmo_congest::{CostReport, Network};
+use rmo_graph::{NodeId, RootedTree};
+use rmo_shortcut::alg8::{construct_deterministic, DetParams};
+use rmo_shortcut::corefast::{construct_randomized, RandParams};
+use rmo_shortcut::trivial::trivial_shortcut;
+use rmo_shortcut::Shortcut;
+
+use crate::instance::{PaError, PaInstance};
+use crate::solve::{solve_with_parts, PaResult, Variant};
+use crate::subparts::SubPartDivision;
+use crate::subparts_det::deterministic_division;
+use crate::subparts_random::random_division;
+use crate::verify_block::verify_block_parameter;
+
+/// How to construct the tree-restricted shortcut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShortcutStrategy {
+    /// The universal `b = 1, c ≤ √n` fallback (Section 1.3).
+    Trivial,
+    /// Algorithm 4 (randomized CoreFast-style), with doubling budgets.
+    Randomized,
+    /// Algorithm 8 (deterministic, heavy paths), with doubling budgets.
+    Deterministic,
+}
+
+/// Full configuration of the pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PaConfig {
+    /// Algorithm 1 variant (deterministic or randomized meta-rounds).
+    pub variant: Variant,
+    /// Shortcut construction strategy.
+    pub shortcut: ShortcutStrategy,
+    /// Use Algorithm 6 (deterministic) instead of Algorithm 3 for the
+    /// sub-part division.
+    pub deterministic_division: bool,
+    /// Master seed (network IDs, divisions, delays).
+    pub seed: u64,
+}
+
+impl Default for PaConfig {
+    /// The paper's deterministic headline: Algorithm 8 shortcuts,
+    /// Algorithm 6 divisions, deterministic Algorithm 1.
+    fn default() -> PaConfig {
+        PaConfig {
+            variant: Variant::Deterministic,
+            shortcut: ShortcutStrategy::Deterministic,
+            deterministic_division: true,
+            seed: 0,
+        }
+    }
+}
+
+impl PaConfig {
+    /// The paper's randomized headline: `Õ(bD + c)` rounds w.h.p.
+    pub fn randomized(seed: u64) -> PaConfig {
+        PaConfig {
+            variant: Variant::Randomized { seed },
+            shortcut: ShortcutStrategy::Randomized,
+            deterministic_division: false,
+            seed,
+        }
+    }
+
+    /// Trivial-shortcut configuration (the `Õ(D + √n)` worst-case bound).
+    pub fn trivial(seed: u64) -> PaConfig {
+        PaConfig {
+            variant: Variant::Deterministic,
+            shortcut: ShortcutStrategy::Trivial,
+            deterministic_division: true,
+            seed,
+        }
+    }
+}
+
+/// Everything the pipeline produced, for callers that reuse the
+/// infrastructure across PA calls (Borůvka runs PA `O(log n)` times on
+/// the same tree and division machinery).
+#[derive(Debug)]
+pub struct PaPipeline {
+    /// The BFS tree.
+    pub tree: RootedTree,
+    /// Discovered part leaders.
+    pub leaders: Vec<NodeId>,
+    /// The constructed shortcut.
+    pub shortcut: Shortcut,
+    /// The sub-part division.
+    pub division: SubPartDivision,
+    /// Terminal-block budget to pass to Algorithm 1.
+    pub block_budget: usize,
+    /// Cost of setting all of the above up.
+    pub setup_cost: CostReport,
+}
+
+/// Builds the pipeline infrastructure for an instance (stages 1–4).
+pub fn build_pipeline(inst: &PaInstance<'_>, config: &PaConfig) -> PaPipeline {
+    // Stage 1: leader election + BFS tree, on the real simulator.
+    let g = inst.graph();
+    let net = Network::new(g, config.seed);
+    let (root, _, elect_cost) =
+        run_leader_election(g, &net).expect("election terminates on a connected graph");
+    let (tree, _, bfs_cost) = run_bfs(g, &net, root).expect("BFS terminates");
+    let mut pipe = build_pipeline_with_tree(inst, config, tree);
+    pipe.setup_cost += elect_cost + bfs_cost;
+    pipe
+}
+
+/// Builds stages 2–4 of the pipeline on an already-constructed BFS tree.
+///
+/// Borůvka-style applications call PA `O(log n)` times with changing
+/// partitions but a fixed network: they pay for election and BFS once and
+/// use this entry point per phase.
+pub fn build_pipeline_with_tree(
+    inst: &PaInstance<'_>,
+    config: &PaConfig,
+    tree: RootedTree,
+) -> PaPipeline {
+    let g = inst.graph();
+    let parts = inst.partition();
+    let mut setup_cost = CostReport::zero();
+    let d = tree.depth().max(1);
+
+    // Stage 2: part leaders — min-id member, found by an in-part
+    // convergecast + broadcast (O(part diameter) rounds, O(n) messages).
+    let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
+    let max_part = parts.part_ids().map(|p| parts.part_size(p)).max().unwrap_or(1);
+    setup_cost += CostReport::new(2 * max_part.min(g.n()), 2 * g.n() as u64);
+
+    // Stage 3: sub-part division.
+    let division = if config.deterministic_division {
+        let res = deterministic_division(g, parts, d);
+        setup_cost += res.cost;
+        res.division
+    } else {
+        let res = random_division(g, parts, &leaders, d, config.seed ^ 0xd117);
+        setup_cost += res.cost;
+        res.division
+    };
+    let terminals: Vec<Vec<NodeId>> =
+        parts.part_ids().map(|p| division.reps_of_part(p)).collect();
+
+    // Stage 4: shortcut construction with doubling budgets.
+    let shortcut = match config.shortcut {
+        ShortcutStrategy::Trivial => {
+            // Computing part sizes distributedly: one in-part aggregation.
+            setup_cost += CostReport::new(2 * d, 2 * g.n() as u64);
+            trivial_shortcut(g, &tree, parts)
+        }
+        ShortcutStrategy::Randomized => {
+            let mut budget = 1usize;
+            loop {
+                let res = construct_randomized(
+                    g,
+                    &tree,
+                    parts,
+                    &terminals,
+                    RandParams::new(budget, budget, parts.num_parts(), config.seed ^ 0xc0fe),
+                );
+                setup_cost += res.cost;
+                // One Algorithm 2 verification per sweep.
+                let verify = verify_block_parameter(
+                    inst,
+                    &tree,
+                    &res.shortcut,
+                    &division,
+                    &leaders,
+                    config.variant,
+                    (3 * budget).max(1),
+                );
+                setup_cost += verify_scaled(verify.cost, res.iterations);
+                if res.unsatisfied.is_empty() {
+                    break res.shortcut;
+                }
+                budget *= 2;
+                if budget > g.n() {
+                    break res.shortcut; // give up; Algorithm 1 may still cover via part edges
+                }
+            }
+        }
+        ShortcutStrategy::Deterministic => {
+            let mut budget = 1usize;
+            loop {
+                let res = construct_deterministic(
+                    g,
+                    &tree,
+                    parts,
+                    &terminals,
+                    DetParams::new(budget, budget, parts.num_parts()),
+                );
+                setup_cost += res.cost;
+                let verify = verify_block_parameter(
+                    inst,
+                    &tree,
+                    &res.shortcut,
+                    &division,
+                    &leaders,
+                    config.variant,
+                    (3 * budget).max(1),
+                );
+                setup_cost += verify_scaled(verify.cost, res.iterations);
+                if res.unsatisfied.is_empty() {
+                    break res.shortcut;
+                }
+                budget *= 2;
+                if budget > g.n() {
+                    break res.shortcut;
+                }
+            }
+        }
+    };
+
+    // Terminal-block budget for Algorithm 1.
+    let block_budget = parts
+        .part_ids()
+        .map(|p| {
+            if shortcut.is_direct(p) {
+                division.subpart_count_of_part(p)
+            } else {
+                shortcut.blocks_for_terminals(g, &tree, p, &terminals[p]).len()
+            }
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1);
+
+    PaPipeline { tree, leaders, shortcut, division, block_budget, setup_cost }
+}
+
+fn verify_scaled(cost: CostReport, iterations: usize) -> CostReport {
+    CostReport::with_capacity(
+        cost.rounds * iterations.max(1),
+        cost.messages * iterations.max(1) as u64,
+        cost.capacity_multiplier,
+    )
+}
+
+/// Solves a PA instance end to end (Theorem 1.2).
+///
+/// # Errors
+/// Propagates [`PaError`] from Algorithm 1 (only reachable if the
+/// doubling construction gave up, which the budget cap makes effectively
+/// impossible on valid instances).
+pub fn solve_pa(inst: &PaInstance<'_>, config: &PaConfig) -> Result<PaResult, PaError> {
+    let pipe = build_pipeline(inst, config);
+    let mut result = solve_with_parts(
+        inst,
+        &pipe.tree,
+        &pipe.shortcut,
+        &pipe.division,
+        &pipe.leaders,
+        config.variant,
+        pipe.block_budget,
+    )?;
+    result.cost += pipe.setup_cost;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregate;
+    use rmo_graph::{gen, Partition};
+
+    fn check(inst: &PaInstance<'_>, config: &PaConfig) {
+        let res = solve_pa(inst, config).expect("pipeline solves");
+        for p in inst.partition().part_ids() {
+            assert_eq!(
+                res.aggregates[p],
+                inst.reference_aggregate(p),
+                "part {p} under {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_configs_on_grid_rows() {
+        let g = gen::grid(6, 10);
+        let parts = Partition::new(&g, gen::grid_row_partition(6, 10)).unwrap();
+        let values: Vec<u64> = (0..60).map(|v| (v as u64 * 31) % 97).collect();
+        let inst =
+            PaInstance::from_partition(&g, parts, values, Aggregate::Min).unwrap();
+        check(&inst, &PaConfig::default());
+        check(&inst, &PaConfig::randomized(3));
+        check(&inst, &PaConfig::trivial(1));
+    }
+
+    #[test]
+    fn pipeline_on_random_graph() {
+        let g = gen::gnp_connected(70, 0.07, 5);
+        let parts = gen::random_connected_partition(&g, 6, 9);
+        let values: Vec<u64> = (0..70).map(|v| v as u64).collect();
+        let inst =
+            PaInstance::from_partition(&g, parts, values, Aggregate::Sum).unwrap();
+        check(&inst, &PaConfig::default());
+        check(&inst, &PaConfig::randomized(11));
+    }
+
+    #[test]
+    fn pipeline_on_long_path() {
+        let g = gen::path(100);
+        let parts = Partition::new(&g, gen::path_blocks(100, 25)).unwrap();
+        let values: Vec<u64> = (0..100).map(|v| v as u64 % 7).collect();
+        let inst =
+            PaInstance::from_partition(&g, parts, values, Aggregate::Max).unwrap();
+        check(&inst, &PaConfig::default());
+    }
+
+    #[test]
+    fn setup_cost_is_accounted() {
+        let g = gen::grid(5, 5);
+        let parts = Partition::new(&g, gen::grid_row_partition(5, 5)).unwrap();
+        let inst =
+            PaInstance::from_partition(&g, parts, vec![1; 25], Aggregate::Sum).unwrap();
+        let pipe = build_pipeline(&inst, &PaConfig::default());
+        assert!(pipe.setup_cost.rounds > 0);
+        assert!(pipe.setup_cost.messages > 0);
+        let res = solve_pa(&inst, &PaConfig::default()).unwrap();
+        assert!(res.cost.messages > pipe.setup_cost.messages);
+    }
+}

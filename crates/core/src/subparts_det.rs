@@ -1,0 +1,330 @@
+//! Algorithm 6: deterministic sub-part division.
+//!
+//! Start with every node as its own sub-part; repeat `O(log n)` times:
+//! each *incomplete* sub-part (fewer than `D` nodes) picks an edge to a
+//! different sub-part of the same part — preferring incomplete targets —
+//! and a **star joining** (Algorithm 5) merges a constant fraction of the
+//! incomplete sub-parts into receivers. A sub-part is complete once it has
+//! `≥ D` nodes (or spans its whole part). Lemma 6.4: `Õ(D)` rounds,
+//! `Õ(n)` messages, sub-part trees of diameter `O(D)`.
+//!
+//! Merging reorients the joiner's spanning tree: parent pointers along the
+//! path from the chosen contact node to the old representative flip, and
+//! the contact node hangs onto the receiver — the "star" shape is what
+//! keeps the diameter growth additive (Lemma 6.4's core argument).
+
+use std::collections::HashMap;
+
+use rmo_congest::CostReport;
+use rmo_graph::{Graph, NodeId, Partition};
+
+use crate::star_join::star_joining;
+use crate::subparts::SubPartDivision;
+
+/// Result of the deterministic division.
+#[derive(Debug, Clone)]
+pub struct DetDivisionResult {
+    /// The division.
+    pub division: SubPartDivision,
+    /// Measured cost of all merge iterations.
+    pub cost: CostReport,
+    /// Outer iterations used.
+    pub iterations: usize,
+}
+
+/// Runs Algorithm 6 with size threshold `d`.
+///
+/// # Panics
+/// Panics if `d == 0`, or if merging fails to converge within
+/// `4⌈log₂ n⌉ + 8` iterations (which would contradict Lemma 6.3's
+/// constant-fraction guarantee).
+pub fn deterministic_division(
+    g: &Graph,
+    parts: &Partition,
+    d: usize,
+) -> DetDivisionResult {
+    assert!(d > 0, "size threshold must be positive");
+    let n = g.n();
+    // Mutable sub-part state, ids from a global counter.
+    let mut sub_of: Vec<usize> = (0..n).collect();
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut members: HashMap<usize, Vec<NodeId>> = (0..n).map(|v| (v, vec![v])).collect();
+    let mut rep: HashMap<usize, NodeId> = (0..n).map(|v| (v, v)).collect();
+    let mut complete: HashMap<usize, bool> = (0..n).map(|v| (v, false)).collect();
+
+    // A sub-part spanning its entire part is complete by definition; a
+    // sub-part reaching d nodes is complete by size.
+    let finalize = |s: usize,
+                    members: &HashMap<usize, Vec<NodeId>>,
+                    complete: &mut HashMap<usize, bool>,
+                    parts: &Partition| {
+        let ms = &members[&s];
+        if ms.len() >= d || ms.len() == parts.part_size(parts.part_of(ms[0])) {
+            complete.insert(s, true);
+        }
+    };
+    for v in 0..n {
+        finalize(v, &members, &mut complete, parts);
+    }
+
+    let mut rounds = 0usize;
+    let mut messages = 0u64;
+    let max_iters = 4 * ((n.max(2) as f64).log2().ceil() as usize) + 8;
+    let mut iterations = 0usize;
+
+    // Re-roots sub-part `j` at contact node `u` and hangs it below `v`.
+    fn merge_into(
+        j: usize,
+        u: NodeId,
+        v: NodeId,
+        target: usize,
+        sub_of: &mut [usize],
+        parent: &mut [Option<NodeId>],
+        members: &mut HashMap<usize, Vec<NodeId>>,
+        rep: &mut HashMap<usize, NodeId>,
+        complete: &mut HashMap<usize, bool>,
+    ) {
+        // Flip parents along u -> old rep.
+        let mut path = vec![u];
+        let mut cur = u;
+        while let Some(p) = parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        for w in path.windows(2) {
+            parent[w[1]] = Some(w[0]);
+        }
+        parent[u] = Some(v);
+        let moved = members.remove(&j).expect("joiner exists");
+        for &w in &moved {
+            sub_of[w] = target;
+        }
+        members.get_mut(&target).expect("receiver exists").extend(moved);
+        rep.remove(&j);
+        complete.remove(&j);
+    }
+
+    loop {
+        let incomplete: Vec<usize> =
+            complete.iter().filter(|&(_, &c)| !c).map(|(&s, _)| s).collect();
+        if incomplete.is_empty() {
+            break;
+        }
+        iterations += 1;
+        assert!(
+            iterations <= max_iters,
+            "Algorithm 6 failed to converge in {max_iters} iterations"
+        );
+        let max_depth = current_max_depth(&members, &parent);
+        // --- Choose edges (one intra-sub-part convergecast each). ---
+        let mut chosen: HashMap<usize, (NodeId, NodeId)> = HashMap::new();
+        let mut sorted_incomplete = incomplete.clone();
+        sorted_incomplete.sort_unstable();
+        for &s in &sorted_incomplete {
+            let part = parts.part_of(members[&s][0]);
+            let mut best: Option<(bool, NodeId, NodeId)> = None; // (target_complete, u, v)
+            for &u in &members[&s] {
+                for (v, _) in g.neighbors(u) {
+                    if parts.part_of(v) != part || sub_of[v] == s {
+                        continue;
+                    }
+                    let cand = (complete[&sub_of[v]], u, v);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            match best {
+                Some((_, u, v)) => {
+                    chosen.insert(s, (u, v));
+                }
+                None => {
+                    // No external edge: the sub-part spans its whole part.
+                    complete.insert(s, true);
+                }
+            }
+        }
+        rounds += 2 * max_depth + 1;
+        messages += incomplete.iter().map(|s| members[s].len() as u64).sum::<u64>();
+
+        // --- Phase A: merge into complete targets, cascading. ---
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let mut current: Vec<usize> = chosen.keys().copied().collect();
+            current.sort_unstable();
+            for s in current {
+                if complete.get(&s).copied().unwrap_or(true) {
+                    chosen.remove(&s);
+                    continue;
+                }
+                let (u, v) = chosen[&s];
+                let target = sub_of[v];
+                if target != s && complete[&target] {
+                    merge_into(
+                        s, u, v, target, &mut sub_of, &mut parent, &mut members, &mut rep,
+                        &mut complete,
+                    );
+                    chosen.remove(&s);
+                    messages += members[&target].len() as u64; // leader/rep broadcast
+                    changed = true;
+                }
+            }
+        }
+        rounds += 2 * max_depth + 1;
+
+        // --- Phase B: star joining among remaining incomplete sub-parts. ---
+        let mut remaining: Vec<usize> = chosen.keys().copied().collect();
+        remaining.sort_unstable();
+        if !remaining.is_empty() {
+            let index: HashMap<usize, usize> =
+                remaining.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+            let out_edge: Vec<Option<usize>> = remaining
+                .iter()
+                .map(|s| {
+                    let (_, v) = chosen[s];
+                    index.get(&sub_of[v]).copied()
+                })
+                .collect();
+            let ids: Vec<u64> = remaining.iter().map(|&s| rep[&s] as u64 + 1).collect();
+            let sj = star_joining(&out_edge, &ids);
+            rounds += sj.steps * (2 * max_depth + 1);
+            messages += (sj.steps as u64)
+                * remaining.iter().map(|s| members[s].len() as u64).sum::<u64>();
+            for (k, join) in sj.joins.iter().enumerate() {
+                if let Some(rk) = join {
+                    let s = remaining[k];
+                    let (u, v) = chosen[&s];
+                    let target = remaining[*rk];
+                    // The receiver may itself have been... receivers never
+                    // join (star property), so target is alive.
+                    merge_into(
+                        s, u, v, target, &mut sub_of, &mut parent, &mut members, &mut rep,
+                        &mut complete,
+                    );
+                    messages += members[&target].len() as u64;
+                }
+            }
+        }
+        // Completeness by size after the merges.
+        let ids_now: Vec<usize> = complete.keys().copied().collect();
+        for s in ids_now {
+            finalize(s, &members, &mut complete, parts);
+        }
+        rounds += 2 * current_max_depth(&members, &parent) + 1;
+    }
+
+    // Compact ids and build the validated division.
+    let mut live: Vec<usize> = members.keys().copied().collect();
+    live.sort_unstable();
+    let remap: HashMap<usize, usize> = live.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+    let subpart_of: Vec<usize> = sub_of.iter().map(|s| remap[s]).collect();
+    let reps: Vec<NodeId> = live.iter().map(|s| rep[s]).collect();
+    let division = SubPartDivision::new(g, parts, subpart_of, parent, reps)
+        .expect("Algorithm 6 maintains the division invariants");
+    DetDivisionResult { division, cost: CostReport::new(rounds, messages), iterations }
+}
+
+/// Max depth of any current sub-part tree (for round accounting).
+fn current_max_depth(
+    members: &HashMap<usize, Vec<NodeId>>,
+    parent: &[Option<NodeId>],
+) -> usize {
+    let mut best = 0;
+    for ms in members.values() {
+        for &v in ms {
+            let mut depth = 0;
+            let mut cur = v;
+            while let Some(p) = parent[cur] {
+                depth += 1;
+                cur = p;
+            }
+            best = best.max(depth);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::gen;
+
+    #[test]
+    fn small_parts_become_single_subparts() {
+        let g = gen::grid(4, 4);
+        let parts = Partition::new(&g, gen::grid_row_partition(4, 4)).unwrap();
+        let res = deterministic_division(&g, &parts, 8);
+        // Every row has 4 < 8 nodes; sub-parts complete only by spanning.
+        for p in 0..4 {
+            assert_eq!(res.division.subpart_count_of_part(p), 1);
+        }
+    }
+
+    #[test]
+    fn large_part_splits_to_about_n_over_d() {
+        let g = gen::path(128);
+        let parts = Partition::whole(&g).unwrap();
+        let d = 16;
+        let res = deterministic_division(&g, &parts, d);
+        let k = res.division.num_subparts();
+        assert!(k >= 128 / (4 * d), "too few sub-parts: {k}");
+        assert!(k <= 128 / (d / 2).max(1), "too many sub-parts: {k}");
+        // All sub-parts complete: >= d nodes each (or whole part).
+        for s in 0..k {
+            assert!(res.division.members(s).len() >= d.min(128));
+        }
+    }
+
+    #[test]
+    fn subpart_trees_have_bounded_depth() {
+        let g = gen::grid(8, 32);
+        let parts = Partition::new(&g, gen::grid_row_partition(8, 32)).unwrap();
+        let d = 8;
+        let res = deterministic_division(&g, &parts, d);
+        assert!(
+            res.division.max_depth() <= 6 * d,
+            "depth {} exceeds O(d)",
+            res.division.max_depth()
+        );
+    }
+
+    #[test]
+    fn iterations_logarithmic() {
+        let g = gen::path(256);
+        let parts = Partition::whole(&g).unwrap();
+        let res = deterministic_division(&g, &parts, 16);
+        assert!(res.iterations <= 4 * 8 + 8, "iterations = {}", res.iterations);
+    }
+
+    #[test]
+    fn deterministic_and_repeatable() {
+        let g = gen::grid(6, 24);
+        let parts = Partition::new(&g, gen::grid_row_partition(6, 24)).unwrap();
+        let a = deterministic_division(&g, &parts, 6);
+        let b = deterministic_division(&g, &parts, 6);
+        assert_eq!(a.division, b.division);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn random_graph_division_is_valid() {
+        let g = gen::gnp_connected(90, 0.05, 13);
+        let parts = gen::random_connected_partition(&g, 4, 7);
+        let res = deterministic_division(&g, &parts, 10);
+        for v in 0..g.n() {
+            let s = res.division.subpart_of(v);
+            assert_eq!(res.division.part_of_subpart(s), parts.part_of(v));
+        }
+    }
+
+    #[test]
+    fn messages_near_linear() {
+        let g = gen::path(200);
+        let parts = Partition::whole(&g).unwrap();
+        let res = deterministic_division(&g, &parts, 20);
+        // Õ(n): allow the log n · log* n factors.
+        let bound = 200u64 * 8 * 16;
+        assert!(res.cost.messages <= bound, "messages {} > {bound}", res.cost.messages);
+    }
+}

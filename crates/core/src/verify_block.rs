@@ -1,0 +1,175 @@
+//! Algorithm 2: block-parameter verification.
+//!
+//! Runs Algorithm 1's broadcast wave with an iteration budget `b`. If
+//! every node receives the message, the part's block parameter is within
+//! budget and one more wave informs everyone of the exact block count;
+//! otherwise, nodes that did not receive it tell their part neighbors
+//! (one round, `O(m)` messages), and one further wave spreads the verdict
+//! to the nodes that *did* receive it — so every node of every part
+//! learns whether its part's block parameter exceeds `b` (Lemma 4.5).
+
+use rmo_congest::CostReport;
+use rmo_graph::{NodeId, RootedTree};
+use rmo_shortcut::Shortcut;
+
+use crate::instance::PaInstance;
+use crate::solve::{broadcast_wave_outcome, Variant};
+use crate::subparts::SubPartDivision;
+
+/// The verdict of Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct BlockVerification {
+    /// `exceeds[p]` — whether part `p`'s block parameter exceeds the
+    /// budget `b` under the given shortcut.
+    pub exceeds: Vec<bool>,
+    /// Measured cost: up to three wave executions plus one notification
+    /// round.
+    pub cost: CostReport,
+}
+
+/// Runs Algorithm 2 with budget `b`.
+pub fn verify_block_parameter(
+    inst: &PaInstance<'_>,
+    tree: &RootedTree,
+    shortcut: &Shortcut,
+    division: &SubPartDivision,
+    leaders: &[NodeId],
+    variant: Variant,
+    b: usize,
+) -> BlockVerification {
+    let g = inst.graph();
+    let parts = inst.partition();
+    // Line 2: broadcast an arbitrary message with budget b.
+    let wave = broadcast_wave_outcome(inst, tree, shortcut, division, leaders, variant, b);
+    let mut cost = wave.cost;
+    let mut exceeds = vec![false; parts.num_parts()];
+    for (v, &ok) in wave.informed.iter().enumerate() {
+        if !ok {
+            exceeds[parts.part_of(v)] = true;
+        }
+    }
+    // Lines 3-4: nodes that did not receive m̄ tell their part neighbors.
+    let any_failure = exceeds.iter().any(|&e| e);
+    if any_failure {
+        let mut notify = 0u64;
+        for v in 0..g.n() {
+            if !wave.informed[v] {
+                notify += g
+                    .neighbors(v)
+                    .filter(|&(u, _)| parts.part_of(u) == parts.part_of(v))
+                    .count() as u64;
+            }
+        }
+        cost += CostReport::new(1, notify);
+        // Line 5: one more wave to spread the verdict among informed nodes.
+        let spread =
+            broadcast_wave_outcome(inst, tree, shortcut, division, leaders, variant, b);
+        cost += spread.cost;
+    } else {
+        // Line 9: all received — one more wave communicates the exact
+        // block count (same cost as the first).
+        cost += wave.cost;
+    }
+    BlockVerification { exceeds, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Aggregate;
+    use crate::instance::PaInstance;
+    use crate::subparts::SubPartDivision;
+    use rmo_graph::{bfs_tree, gen, Partition};
+    use rmo_shortcut::trivial::trivial_shortcut_with_threshold;
+
+    #[test]
+    fn good_shortcut_passes() {
+        let g = gen::grid(6, 6);
+        let parts = Partition::new(&g, gen::grid_row_partition(6, 6)).unwrap();
+        let inst =
+            PaInstance::from_partition(&g, parts.clone(), vec![0; 36], Aggregate::Sum)
+                .unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
+        let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
+        let division = SubPartDivision::one_per_part(&g, &parts, &leaders);
+        let v = verify_block_parameter(
+            &inst,
+            &tree,
+            &sc,
+            &division,
+            &leaders,
+            Variant::Deterministic,
+            1,
+        );
+        assert!(v.exceeds.iter().all(|&e| !e));
+    }
+
+    #[test]
+    fn starved_budget_flags_parts() {
+        // Empty shortcut + multi-sub-part part: budget 1 cannot cover it.
+        let g = gen::path(16);
+        let parts = Partition::whole(&g).unwrap();
+        let inst =
+            PaInstance::from_partition(&g, parts.clone(), vec![0; 16], Aggregate::Sum)
+                .unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let sc = rmo_shortcut::Shortcut::empty(1);
+        let division = SubPartDivision::new(
+            &g,
+            &parts,
+            (0..16).map(|v| v / 4).collect(),
+            (0..16usize)
+                .map(|v| if v % 4 == 0 { None } else { Some(v - 1) })
+                .collect(),
+            vec![0, 4, 8, 12],
+        )
+        .unwrap();
+        let v = verify_block_parameter(
+            &inst,
+            &tree,
+            &sc,
+            &division,
+            &[0],
+            Variant::Deterministic,
+            1,
+        );
+        assert!(v.exceeds[0], "budget 1 cannot cover 4 singleton blocks");
+        let v4 = verify_block_parameter(
+            &inst,
+            &tree,
+            &sc,
+            &division,
+            &[0],
+            Variant::Deterministic,
+            4,
+        );
+        assert!(!v4.exceeds[0], "budget 4 suffices");
+    }
+
+    #[test]
+    fn cost_is_about_two_waves_on_success() {
+        let g = gen::grid(4, 4);
+        let parts = Partition::new(&g, gen::grid_row_partition(4, 4)).unwrap();
+        let inst =
+            PaInstance::from_partition(&g, parts.clone(), vec![0; 16], Aggregate::Sum)
+                .unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
+        let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
+        let division = SubPartDivision::one_per_part(&g, &parts, &leaders);
+        let wave =
+            broadcast_wave_outcome(&inst, &tree, &sc, &division, &leaders, Variant::Deterministic, 1);
+        let v = verify_block_parameter(
+            &inst,
+            &tree,
+            &sc,
+            &division,
+            &leaders,
+            Variant::Deterministic,
+            1,
+        );
+        assert_eq!(v.cost.rounds, 2 * wave.cost.rounds);
+        assert_eq!(v.cost.messages, 2 * wave.cost.messages);
+    }
+}

@@ -1,0 +1,103 @@
+//! Graphviz DOT export, for eyeballing instances, partitions and
+//! shortcuts while debugging.
+
+use std::fmt::Write as _;
+
+use crate::graph::{EdgeId, Graph};
+use crate::partition::Partition;
+
+/// Renders `g` as an undirected Graphviz DOT graph.
+///
+/// * With a [`Partition`], nodes are colored by part (cycled palette) and
+///   labelled `v (Pp)`.
+/// * `highlight` edges (e.g. an MST, a shortcut's `Hᵢ`) are drawn bold.
+///
+/// # Example
+/// ```rust
+/// use rmo_graph::{gen, dot};
+/// let g = gen::path(3);
+/// let s = dot::to_dot(&g, None, &[]);
+/// assert!(s.starts_with("graph g {"));
+/// assert!(s.contains("0 -- 1"));
+/// ```
+pub fn to_dot(g: &Graph, parts: Option<&Partition>, highlight: &[EdgeId]) -> String {
+    const PALETTE: [&str; 8] = [
+        "lightblue",
+        "lightsalmon",
+        "palegreen",
+        "plum",
+        "khaki",
+        "lightpink",
+        "lightgray",
+        "aquamarine",
+    ];
+    let mut out = String::from("graph g {\n  node [style=filled];\n");
+    for v in 0..g.n() {
+        match parts {
+            Some(p) => {
+                let part = p.part_of(v);
+                let _ = writeln!(
+                    out,
+                    "  {v} [label=\"{v} (P{part})\", fillcolor={}];",
+                    PALETTE[part % PALETTE.len()]
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  {v} [fillcolor=white];");
+            }
+        }
+    }
+    let bold: std::collections::HashSet<EdgeId> = highlight.iter().copied().collect();
+    for (e, u, v, w) in g.edges() {
+        let style = if bold.contains(&e) { ", penwidth=3, color=red" } else { "" };
+        if w == 1 {
+            let _ = writeln!(out, "  {u} -- {v} [{}];", style.trim_start_matches(", "));
+        } else {
+            let _ = writeln!(out, "  {u} -- {v} [label=\"{w}\"{style}];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn renders_all_nodes_and_edges() {
+        let g = gen::cycle(4);
+        let s = to_dot(&g, None, &[]);
+        for v in 0..4 {
+            assert!(s.contains(&format!("{v} [")), "node {v} missing");
+        }
+        assert_eq!(s.matches(" -- ").count(), 4);
+    }
+
+    #[test]
+    fn partition_colors_and_labels() {
+        let g = gen::path(4);
+        let p = Partition::new(&g, vec![0, 0, 1, 1]).unwrap();
+        let s = to_dot(&g, Some(&p), &[]);
+        assert!(s.contains("0 (P0)"));
+        assert!(s.contains("3 (P1)"));
+        assert!(s.contains("lightblue"));
+        assert!(s.contains("lightsalmon"));
+    }
+
+    #[test]
+    fn highlights_are_bold() {
+        let g = gen::path(3);
+        let s = to_dot(&g, None, &[1]);
+        assert!(s.contains("penwidth=3"));
+        assert_eq!(s.matches("penwidth=3").count(), 1);
+    }
+
+    #[test]
+    fn weights_shown_when_nontrivial() {
+        let g = crate::graph::Graph::from_edges(2, &[(0, 1, 9)]).unwrap();
+        let s = to_dot(&g, None, &[]);
+        assert!(s.contains("label=\"9\""));
+    }
+}

@@ -1,0 +1,138 @@
+//! Disjoint-set union (union–find) with path compression and union by rank.
+//!
+//! Used by the Kruskal reference MST, by graph generators that must keep
+//! track of connectivity, and by tests validating Borůvka merges.
+
+/// A disjoint-set forest over elements `0..n`.
+///
+/// # Example
+/// ```rust
+/// use rmo_graph::DisjointSets;
+/// let mut d = DisjointSets::new(4);
+/// assert!(d.union(0, 1));
+/// assert!(d.union(2, 3));
+/// assert!(!d.union(1, 0), "already joined");
+/// assert_eq!(d.find(0), d.find(1));
+/// assert_ne!(d.find(0), d.find(2));
+/// assert_eq!(d.set_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl DisjointSets {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> DisjointSets {
+        DisjointSets { parent: (0..n).collect(), rank: vec![0; n], sets: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of the set containing `x`, with path compression.
+    ///
+    /// # Panics
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    ///
+    /// Returns `true` if the sets were distinct (a merge happened).
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets currently represented.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singleton_start() {
+        let mut d = DisjointSets::new(5);
+        assert_eq!(d.set_count(), 5);
+        for i in 0..5 {
+            assert_eq!(d.find(i), i);
+        }
+    }
+
+    #[test]
+    fn chain_unions_collapse() {
+        let mut d = DisjointSets::new(6);
+        for i in 0..5 {
+            assert!(d.union(i, i + 1));
+        }
+        assert_eq!(d.set_count(), 1);
+        let r = d.find(0);
+        for i in 0..6 {
+            assert_eq!(d.find(i), r);
+        }
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut d = DisjointSets::new(3);
+        assert!(d.union(0, 2));
+        assert!(!d.union(2, 0));
+        assert_eq!(d.set_count(), 2);
+    }
+
+    #[test]
+    fn same_reflects_unions() {
+        let mut d = DisjointSets::new(4);
+        assert!(!d.same(0, 3));
+        d.union(0, 1);
+        d.union(1, 3);
+        assert!(d.same(0, 3));
+        assert!(!d.same(0, 2));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let d = DisjointSets::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.set_count(), 0);
+    }
+}

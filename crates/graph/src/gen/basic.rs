@@ -1,0 +1,115 @@
+//! Elementary graph shapes: paths, cycles, stars, cliques, balanced trees.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// A path on `n` nodes: `0 - 1 - … - (n-1)`. All weights 1.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Graph {
+    assert!(n > 0, "path needs at least one node");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(i, i + 1, 1).expect("path edges are valid");
+    }
+    b.build()
+}
+
+/// A cycle on `n >= 3` nodes. All weights 1.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least three nodes");
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n, 1).expect("cycle edges are valid");
+    }
+    b.build()
+}
+
+/// A star: node 0 is the hub, nodes `1..n` are leaves. All weights 1.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs at least two nodes");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v, 1).expect("star edges are valid");
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`. All weights 1.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Graph {
+    assert!(n > 0, "complete graph needs at least one node");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v, 1).expect("clique edges are valid");
+        }
+    }
+    b.build()
+}
+
+/// A complete binary tree with `levels` levels (so `2^levels - 1` nodes),
+/// rooted at node 0, children of `v` at `2v+1` and `2v+2`. All weights 1.
+///
+/// # Panics
+/// Panics if `levels == 0` or the node count overflows `usize`.
+pub fn balanced_binary_tree(levels: u32) -> Graph {
+    assert!(levels > 0, "tree needs at least one level");
+    let n = (1usize << levels) - 1;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for c in [2 * v + 1, 2 * v + 2] {
+            if c < n {
+                b.add_edge(v, c, 1).expect("tree edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_have_expected_sizes() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert_eq!(star(5).m(), 4);
+        assert_eq!(complete(5).m(), 10);
+        let t = balanced_binary_tree(4);
+        assert_eq!(t.n(), 15);
+        assert_eq!(t.m(), 14);
+    }
+
+    #[test]
+    fn all_shapes_connected() {
+        for g in [path(7), cycle(7), star(7), complete(7), balanced_binary_tree(3)] {
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn single_node_path() {
+        let g = path(1);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star(6);
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+}

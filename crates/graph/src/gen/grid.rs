@@ -1,0 +1,132 @@
+//! Grid graphs — the planar family of Tables 1–2 — and the apex-grid
+//! adversarial instance of Figure 2.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Node id of grid cell `(row, col)` in a `rows × cols` grid.
+pub(crate) fn cell(row: usize, col: usize, cols: usize) -> NodeId {
+    row * cols + col
+}
+
+/// A `rows × cols` grid graph, all weights 1. Node `(r, c)` is `r*cols + c`.
+///
+/// Grids are planar (genus 0), so they exercise the paper's
+/// `b = O(log D), c = Õ(D)` shortcut regime.
+///
+/// # Panics
+/// Panics if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(cell(r, c, cols), cell(r, c + 1, cols), 1).expect("valid");
+            }
+            if r + 1 < rows {
+                b.add_edge(cell(r, c, cols), cell(r + 1, c, cols), 1).expect("valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// A grid with pseudorandom distinct weights (unique MST), seeded.
+pub fn grid_weighted(rows: usize, cols: usize, seed: u64) -> Graph {
+    let g = grid(rows, cols);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut weights: Vec<u64> = (1..=g.m() as u64).collect();
+    for i in (1..weights.len()).rev() {
+        let j = rng.random_range(0..=i);
+        weights.swap(i, j);
+    }
+    g.reweighted(|e, _| weights[e])
+}
+
+/// The Figure 2(a) adversarial instance: a `depth × width` grid plus an
+/// apex node `r` adjacent to every node of the top row (row 0).
+///
+/// The apex is the **last** node id, `depth * width`. With the rows as
+/// parts and the columns as a single shortcut block rooted at `r`, naive
+/// in-block aggregation costs `Ω(nD)` messages while `m = O(n)` — the
+/// paper's motivating bad example.
+///
+/// # Panics
+/// Panics if either dimension is 0.
+pub fn grid_with_apex(depth: usize, width: usize) -> Graph {
+    assert!(depth > 0 && width > 0, "grid dimensions must be positive");
+    let n = depth * width;
+    let mut b = GraphBuilder::new(n + 1);
+    for r in 0..depth {
+        for c in 0..width {
+            if c + 1 < width {
+                b.add_edge(cell(r, c, width), cell(r, c + 1, width), 1).expect("valid");
+            }
+            if r + 1 < depth {
+                b.add_edge(cell(r, c, width), cell(r + 1, c, width), 1).expect("valid");
+            }
+        }
+    }
+    for c in 0..width {
+        b.add_edge(n, cell(0, c, width), 1).expect("valid");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::diameter_exact;
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid(4, 6);
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.m(), 4 * 5 + 3 * 6);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        assert_eq!(diameter_exact(&grid(3, 8)), 2 + 7);
+    }
+
+    #[test]
+    fn weighted_grid_has_distinct_weights() {
+        let g = grid_weighted(4, 4, 1);
+        let mut ws: Vec<u64> = g.edges().map(|(_, _, _, w)| w).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        assert_eq!(ws.len(), g.m());
+    }
+
+    #[test]
+    fn weighted_grid_deterministic_per_seed() {
+        assert_eq!(grid_weighted(3, 5, 9), grid_weighted(3, 5, 9));
+        assert_ne!(grid_weighted(3, 5, 9), grid_weighted(3, 5, 10));
+    }
+
+    #[test]
+    fn apex_grid_shape() {
+        let g = grid_with_apex(4, 8);
+        assert_eq!(g.n(), 33);
+        let apex = 32;
+        assert_eq!(g.degree(apex), 8);
+        // m = grid edges + width apex edges = O(n)
+        assert_eq!(g.m(), (4 * 7 + 3 * 8) + 8);
+        // apex touches only row 0
+        for (v, _) in g.neighbors(apex) {
+            assert!(v < 8);
+        }
+    }
+
+    #[test]
+    fn apex_grid_has_small_diameter() {
+        // Through the apex, any two nodes are within 2 + 2*depth hops.
+        let g = grid_with_apex(3, 20);
+        assert!(diameter_exact(&g) <= 2 + 2 * 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! Graph and partition generators.
+//!
+//! Covers every family the paper's evaluation tables discuss:
+//!
+//! * basics — [`path`], [`cycle`], [`star`], [`complete`],
+//!   [`balanced_binary_tree`] (building blocks and degenerate cases);
+//! * planar — [`grid`] and weighted variants (genus 0, the "planar" column
+//!   of Tables 1–2);
+//! * bounded treewidth / pathwidth — [`ktree`] and [`kpath`];
+//! * general graphs — [`random_connected`], [`gnp_connected`];
+//! * adversarial — [`grid_with_apex`] (the Figure 2 `Ω(nD)`-message
+//!   instance), [`dumbbell`], [`lollipop`];
+//! * partitions — [`grid_row_partition`] (Figure 2's rows-as-parts),
+//!   [`random_connected_partition`], [`path_blocks`].
+//!
+//! All randomized generators take an explicit `seed` and are fully
+//! deterministic given it.
+
+mod basic;
+mod grid;
+mod ktree;
+mod partitions;
+mod random;
+mod special;
+mod topologies;
+
+pub use basic::{balanced_binary_tree, complete, cycle, path, star};
+pub use grid::{grid, grid_weighted, grid_with_apex};
+pub use ktree::{kpath, ktree};
+pub use partitions::{
+    grid_column_partition, grid_row_partition, grid_row_partition_with_apex, path_blocks,
+    random_connected_partition,
+};
+pub use random::{
+    distinct_weights, gnp_connected, random_connected, random_connected_weighted, random_spanning_tree,
+};
+pub use special::{broom, dumbbell, lollipop};
+pub use topologies::{caterpillar, hypercube, random_regular, torus};

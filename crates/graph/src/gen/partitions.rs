@@ -1,0 +1,153 @@
+//! Partition generators — the "parts" side of PA instances.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+use crate::partition::Partition;
+
+/// Rows-as-parts for a `rows × cols` grid (with or without an apex node as
+/// the last id — if the graph has `rows*cols + 1` nodes the apex joins
+/// part 0, the top row it neighbors).
+///
+/// This is exactly the Figure 2 partition: each row is a connected part of
+/// diameter `cols - 1`.
+pub fn grid_row_partition(rows: usize, cols: usize) -> Vec<usize> {
+    let mut assign = Vec::with_capacity(rows * cols + 1);
+    for r in 0..rows {
+        for _ in 0..cols {
+            assign.push(r);
+        }
+    }
+    assign
+}
+
+/// Like [`grid_row_partition`] but with an explicit apex joined to row 0.
+pub fn grid_row_partition_with_apex(rows: usize, cols: usize) -> Vec<usize> {
+    let mut assign = grid_row_partition(rows, cols);
+    assign.push(0);
+    assign
+}
+
+/// Columns-as-parts for a `rows × cols` grid.
+pub fn grid_column_partition(rows: usize, cols: usize) -> Vec<usize> {
+    let mut assign = Vec::with_capacity(rows * cols);
+    for _ in 0..rows {
+        for c in 0..cols {
+            assign.push(c);
+        }
+    }
+    assign
+}
+
+/// Partition a path (or any graph whose ids are path-ordered) into
+/// consecutive blocks of `block` nodes.
+///
+/// # Panics
+/// Panics if `block == 0`.
+pub fn path_blocks(n: usize, block: usize) -> Vec<usize> {
+    assert!(block > 0);
+    (0..n).map(|v| v / block).collect()
+}
+
+/// A random partition of `g` into (at most) `target_parts` connected parts
+/// by multi-source BFS from random seeds. Parts that end up empty are
+/// dropped and ids compacted, so the result may have fewer parts.
+///
+/// # Panics
+/// Panics if `g` is disconnected, empty, or `target_parts == 0`.
+pub fn random_connected_partition(g: &Graph, target_parts: usize, seed: u64) -> Partition {
+    assert!(g.n() > 0 && target_parts > 0);
+    assert!(g.is_connected(), "partition growth requires a connected graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = target_parts.min(g.n());
+    let mut assign = vec![usize::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    let mut chosen = 0;
+    while chosen < k {
+        let v = rng.random_range(0..g.n());
+        if assign[v] == usize::MAX {
+            assign[v] = chosen;
+            queue.push_back(v);
+            chosen += 1;
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in g.neighbors(u) {
+            if assign[v] == usize::MAX {
+                assign[v] = assign[u];
+                queue.push_back(v);
+            }
+        }
+    }
+    // Compact ids (multi-source BFS from distinct seeds leaves none empty,
+    // but be defensive).
+    let mut remap = vec![usize::MAX; k];
+    let mut next = 0;
+    for &a in &assign {
+        if remap[a] == usize::MAX {
+            remap[a] = next;
+            next += 1;
+        }
+    }
+    let assign: Vec<usize> = assign.into_iter().map(|a| remap[a]).collect();
+    Partition::new(g, assign).expect("BFS growth yields connected parts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{grid, grid_with_apex, path, random_connected};
+
+    #[test]
+    fn row_partition_is_valid() {
+        let g = grid(4, 6);
+        let p = Partition::new(&g, grid_row_partition(4, 6)).unwrap();
+        assert_eq!(p.num_parts(), 4);
+        for part in p.part_ids() {
+            assert_eq!(p.part_size(part), 6);
+        }
+    }
+
+    #[test]
+    fn row_partition_with_apex_is_valid() {
+        let g = grid_with_apex(4, 6);
+        let p = Partition::new(&g, grid_row_partition_with_apex(4, 6)).unwrap();
+        assert_eq!(p.num_parts(), 4);
+        assert_eq!(p.part_size(0), 7, "apex joins the top row");
+    }
+
+    #[test]
+    fn column_partition_is_valid() {
+        let g = grid(5, 3);
+        let p = Partition::new(&g, grid_column_partition(5, 3)).unwrap();
+        assert_eq!(p.num_parts(), 3);
+    }
+
+    #[test]
+    fn path_blocks_valid() {
+        let g = path(10);
+        let p = Partition::new(&g, path_blocks(10, 3)).unwrap();
+        assert_eq!(p.num_parts(), 4);
+        assert_eq!(p.part_size(3), 1);
+    }
+
+    #[test]
+    fn random_partition_valid_and_deterministic() {
+        let g = random_connected(60, 120, 2);
+        let p1 = random_connected_partition(&g, 8, 5);
+        let p2 = random_connected_partition(&g, 8, 5);
+        assert_eq!(p1.assignment(), p2.assignment());
+        assert!(p1.num_parts() <= 8);
+        assert!(p1.num_parts() >= 1);
+    }
+
+    #[test]
+    fn random_partition_covers_all_nodes() {
+        let g = grid(8, 8);
+        let p = random_connected_partition(&g, 5, 1);
+        let total: usize = p.part_ids().map(|i| p.part_size(i)).sum();
+        assert_eq!(total, 64);
+    }
+}

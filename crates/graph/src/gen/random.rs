@@ -1,0 +1,167 @@
+//! Seeded random graph generators for the "general graphs" rows of the
+//! paper's tables.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// A uniformly random spanning tree on `n` nodes via a random Prüfer-like
+/// attachment: node `i` attaches to a uniform previous node. All weights 1.
+///
+/// (Not the uniform spanning-tree distribution, but a simple random tree —
+/// what the workloads need is variety, not exact uniformity.)
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn random_spanning_tree(n: usize, seed: u64) -> Graph {
+    assert!(n > 0, "tree needs at least one node");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let p = rng.random_range(0..v);
+        b.add_edge(p, v, 1).expect("attachment edges are valid");
+    }
+    b.build()
+}
+
+/// A connected random graph with exactly `m >= n-1` edges: a random
+/// spanning tree plus uniformly random extra edges. All weights 1.
+///
+/// # Panics
+/// Panics if `m < n - 1` or `m` exceeds the simple-graph maximum.
+pub fn random_connected(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n > 0);
+    assert!(m + 1 >= n, "need at least n-1 edges to be connected");
+    let max_m = n * (n - 1) / 2;
+    assert!(m <= max_m, "too many edges for a simple graph");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        let p = rng.random_range(0..v);
+        b.add_edge(p, v, 1).expect("valid");
+    }
+    while b.m() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v, 1).expect("valid");
+        }
+    }
+    b.build()
+}
+
+/// Like [`random_connected`] but with distinct pseudorandom weights
+/// (so the MST is unique).
+pub fn random_connected_weighted(n: usize, m: usize, seed: u64) -> Graph {
+    distinct_weights(&random_connected(n, m, seed), seed ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+/// An Erdős–Rényi `G(n, p)` conditioned on connectivity: edges sampled
+/// i.i.d., then a random spanning tree patched in over the components if
+/// needed. All weights 1.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]` or `n == 0`.
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> Graph {
+    assert!(n > 0);
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                b.add_edge(u, v, 1).expect("valid");
+            }
+        }
+    }
+    // Patch connectivity with a DSU over sampled edges.
+    let mut dsu = crate::dsu::DisjointSets::new(n);
+    let snapshot = b.clone().build();
+    for (_, u, v, _) in snapshot.edges() {
+        dsu.union(u, v);
+    }
+    for v in 1..n {
+        if !dsu.same(0, v) {
+            // connect v's component to a random node of 0's component
+            let mut u = rng.random_range(0..n);
+            while !dsu.same(0, u) {
+                u = rng.random_range(0..n);
+            }
+            if !b.has_edge(u, v) {
+                b.add_edge(u, v, 1).expect("valid");
+            }
+            dsu.union(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Replaces all weights with a random permutation of `1..=m` — distinct
+/// weights, hence a unique MST. Deterministic per seed.
+pub fn distinct_weights(g: &Graph, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut weights: Vec<u64> = (1..=g.m() as u64).collect();
+    for i in (1..weights.len()).rev() {
+        let j = rng.random_range(0..=i);
+        weights.swap(i, j);
+    }
+    g.reweighted(|e, _| weights[e])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_spanning_tree(50, seed);
+            assert_eq!(g.m(), 49);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_connected_has_exact_m() {
+        let g = random_connected(30, 60, 11);
+        assert_eq!(g.m(), 60);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn random_connected_tree_case() {
+        let g = random_connected(10, 9, 0);
+        assert_eq!(g.m(), 9);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "n-1 edges")]
+    fn random_connected_rejects_too_few_edges() {
+        let _ = random_connected(10, 5, 0);
+    }
+
+    #[test]
+    fn gnp_always_connected() {
+        for seed in 0..5 {
+            assert!(gnp_connected(40, 0.02, seed).is_connected());
+            assert!(gnp_connected(40, 0.5, seed).is_connected());
+        }
+    }
+
+    #[test]
+    fn distinct_weights_are_distinct() {
+        let g = random_connected_weighted(25, 70, 5);
+        let mut ws: Vec<u64> = g.edges().map(|(_, _, _, w)| w).collect();
+        ws.sort_unstable();
+        ws.dedup();
+        assert_eq!(ws.len(), 70);
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(random_connected(20, 40, 3), random_connected(20, 40, 3));
+        assert_eq!(gnp_connected(20, 0.2, 3), gnp_connected(20, 0.2, 3));
+    }
+}

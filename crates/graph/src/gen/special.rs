@@ -1,0 +1,107 @@
+//! Adversarial / structured instances: dumbbells, lollipops, brooms.
+//!
+//! These stress particular regimes: dumbbells have an obvious planted min
+//! cut; lollipops mix a dense core with a long tail (`D ≈ tail`,
+//! `√n ≈ clique`); brooms are the classic BFS-tree congestion offender.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// Two `k`-cliques joined by a single bridge of the given weight.
+/// Clique A is nodes `0..k`, clique B is `k..2k`; the bridge is
+/// `(k-1, k)`. Intra-clique edges have weight `bridge_weight + 1` so the
+/// bridge is the unique min cut.
+///
+/// # Panics
+/// Panics if `k < 2` or `bridge_weight == 0`.
+pub fn dumbbell(k: usize, bridge_weight: u64) -> Graph {
+    assert!(k >= 2, "cliques need at least two nodes");
+    assert!(bridge_weight > 0, "weights must be positive");
+    let heavy = bridge_weight + 1;
+    let mut b = GraphBuilder::new(2 * k);
+    for base in [0, k] {
+        for u in 0..k {
+            for v in (u + 1)..k {
+                b.add_edge(base + u, base + v, heavy).expect("valid");
+            }
+        }
+    }
+    b.add_edge(k - 1, k, bridge_weight).expect("valid");
+    b.build()
+}
+
+/// A lollipop: a `k`-clique (nodes `0..k`) with a path of `tail` extra
+/// nodes hanging off node `k-1`. All weights 1.
+///
+/// # Panics
+/// Panics if `k < 2`.
+pub fn lollipop(k: usize, tail: usize) -> Graph {
+    assert!(k >= 2, "clique needs at least two nodes");
+    let mut b = GraphBuilder::new(k + tail);
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.add_edge(u, v, 1).expect("valid");
+        }
+    }
+    let mut prev = k - 1;
+    for t in 0..tail {
+        b.add_edge(prev, k + t, 1).expect("valid");
+        prev = k + t;
+    }
+    b.build()
+}
+
+/// A broom: a path of `handle` nodes whose far end fans out into
+/// `bristles` leaves. Node 0 is the free end of the handle. All weights 1.
+///
+/// # Panics
+/// Panics if `handle == 0`.
+pub fn broom(handle: usize, bristles: usize) -> Graph {
+    assert!(handle >= 1, "broom needs a handle");
+    let n = handle + bristles;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..handle.saturating_sub(1) {
+        b.add_edge(i, i + 1, 1).expect("valid");
+    }
+    for l in 0..bristles {
+        b.add_edge(handle - 1, handle + l, 1).expect("valid");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::diameter_exact;
+
+    #[test]
+    fn dumbbell_shape() {
+        let g = dumbbell(4, 1);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 2 * 6 + 1);
+        assert!(g.is_connected());
+        assert_eq!(g.weight(g.edge_between(3, 4).unwrap()), 1);
+    }
+
+    #[test]
+    fn lollipop_diameter() {
+        let g = lollipop(5, 10);
+        assert_eq!(g.n(), 15);
+        assert_eq!(diameter_exact(&g), 11);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let g = broom(6, 8);
+        assert_eq!(g.n(), 14);
+        assert_eq!(g.m(), 5 + 8);
+        assert_eq!(g.degree(5), 1 + 8);
+        assert_eq!(diameter_exact(&g), 6, "handle end to any bristle");
+    }
+
+    #[test]
+    fn broom_single_handle() {
+        let g = broom(1, 5);
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.degree(0), 5);
+    }
+}

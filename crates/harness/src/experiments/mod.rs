@@ -1,0 +1,61 @@
+//! One module per regenerated table/figure/corollary.
+
+pub mod ablation;
+pub mod beyond;
+pub mod cds;
+pub mod figure1;
+pub mod figure2;
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod kdom;
+pub mod leaderless;
+pub mod mincut;
+pub mod mst;
+pub mod sssp;
+pub mod table1;
+pub mod table2;
+pub mod verification;
+
+use rmo_graph::{gen, Graph, Partition};
+
+/// A named workload: a graph family instance plus a PA partition.
+pub struct Workload {
+    /// Family label matching the paper's table columns.
+    pub family: &'static str,
+    /// The graph.
+    pub graph: Graph,
+    /// A connected partition for PA experiments.
+    pub partition: Partition,
+}
+
+/// The graph families of Tables 1–2, at a size scale.
+///
+/// `scale` ~ sqrt(n); families produce `n ≈ scale²` nodes with natural
+/// partitions (rows, blocks, random regions).
+pub fn families(scale: usize) -> Vec<Workload> {
+    let s = scale.max(3);
+    let mut out = Vec::new();
+    // General: random connected graph, random regions.
+    let g = gen::random_connected(s * s, 3 * s * s, 7);
+    let partition = gen::random_connected_partition(&g, s, 11);
+    out.push(Workload { family: "general", graph: g, partition });
+    // Planar: grid with rows as parts.
+    let g = gen::grid(s, s);
+    let partition = Partition::new(&g, gen::grid_row_partition(s, s)).expect("rows connect");
+    out.push(Workload { family: "planar(grid)", graph: g, partition });
+    // Bounded treewidth: 3-tree with random regions.
+    let g = gen::ktree(s * s, 3, 5);
+    let partition = gen::random_connected_partition(&g, s, 13);
+    out.push(Workload { family: "treewidth-3", graph: g, partition });
+    // Bounded pathwidth: 3-path of cliques, consecutive-clique blocks.
+    let len = (s * s / 3).max(2);
+    let g = gen::kpath(len, 3);
+    let assign: Vec<usize> = (0..g.n()).map(|v| (v / 3) * s / len.max(1)).collect();
+    // Clamp ids densely.
+    let max_id = assign.iter().copied().max().unwrap_or(0);
+    let assign = if max_id == 0 { vec![0; g.n()] } else { assign };
+    let partition = Partition::new(&g, assign).expect("clique blocks connect");
+    out.push(Workload { family: "pathwidth-3", graph: g, partition });
+    out
+}

@@ -1,0 +1,69 @@
+//! Table 1 — measured shortcut parameters `(b, c)` per graph family,
+//! against the paper's known bounds.
+
+use rmo_graph::bfs_tree;
+use rmo_shortcut::adaptive::estimate_parameters;
+use rmo_shortcut::{quality, trivial::trivial_shortcut};
+
+use super::families;
+use crate::util::print_table;
+
+/// The paper's Table 1 entries for the families we can generate.
+fn paper_bound(family: &str) -> (&'static str, &'static str) {
+    match family {
+        "general" => ("1", "sqrt(n)"),
+        "planar(grid)" => ("O(log D)", "O~(D)"),
+        "treewidth-3" => ("O(t)=O(3)", "O~(t)=O~(3)"),
+        "pathwidth-3" => ("p=3", "p=3"),
+        _ => ("?", "?"),
+    }
+}
+
+pub fn run(quick: bool) {
+    let scale = if quick { 8 } else { 14 };
+    let mut rows = Vec::new();
+    for w in families(scale) {
+        let (tree, _) = bfs_tree(&w.graph, 0);
+        let terminals: Vec<Vec<usize>> = w
+            .partition
+            .part_ids()
+            .map(|p| {
+                let m = w.partition.members(p);
+                vec![m[0], m[m.len() - 1]]
+            })
+            .collect();
+        // Constructed shortcut via the Section 1.3 doubling trick.
+        let est = estimate_parameters(&w.graph, &tree, &w.partition, &terminals)
+            .expect("doubling always terminates on valid instances");
+        let (b_term, congestion) = (est.block_parameter, est.congestion);
+        let triv = trivial_shortcut(&w.graph, &tree, &w.partition);
+        let qt = quality::measure(&w.graph, &tree, &w.partition, &triv);
+        let (pb, pc) = paper_bound(w.family);
+        rows.push(vec![
+            w.family.to_string(),
+            w.graph.n().to_string(),
+            tree.depth().to_string(),
+            pb.to_string(),
+            pc.to_string(),
+            b_term.to_string(),
+            congestion.to_string(),
+            qt.block_parameter.to_string(),
+            qt.congestion.to_string(),
+        ]);
+    }
+    print_table(
+        "Table 1 — shortcut parameters per family (paper bounds vs measured)",
+        &[
+            "family",
+            "n",
+            "depth(T)",
+            "paper b",
+            "paper c",
+            "alg8 b",
+            "alg8 c",
+            "trivial b",
+            "trivial c",
+        ],
+        &rows,
+    );
+}

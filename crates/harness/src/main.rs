@@ -1,0 +1,72 @@
+//! `rmo-harness` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! rmo-harness <experiment> [--quick]
+//! ```
+//!
+//! Experiments: `table1`, `table2`, `figure1`, `figure2`, `figure3`,
+//! `figure4`, `figure5`, `mst`, `mincut`, `sssp`, `verification`,
+//! `kdom`, `cds`, `leaderless`, `ablation`, or `all`.
+//!
+//! Output is a set of markdown tables whose rows mirror what the paper
+//! reports; `EXPERIMENTS.md` records a captured run next to the paper's
+//! claims.
+
+mod experiments;
+mod util;
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    let all = [
+        "table1",
+        "table2",
+        "figure1",
+        "figure2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "mst",
+        "mincut",
+        "sssp",
+        "verification",
+        "kdom",
+        "cds",
+        "leaderless",
+        "ablation",
+        "beyond",
+    ];
+    let run = |name: &str| match name {
+        "table1" => experiments::table1::run(quick),
+        "table2" => experiments::table2::run(quick),
+        "figure1" => experiments::figure1::run(),
+        "figure2" => experiments::figure2::run(quick),
+        "figure3" => experiments::figure3::run(),
+        "figure4" => experiments::figure4::run(),
+        "figure5" => experiments::figure5::run(),
+        "mst" => experiments::mst::run(quick),
+        "mincut" => experiments::mincut::run(quick),
+        "sssp" => experiments::sssp::run(quick),
+        "verification" => experiments::verification::run(),
+        "kdom" => experiments::kdom::run(),
+        "cds" => experiments::cds::run(),
+        "leaderless" => experiments::leaderless::run(),
+        "ablation" => experiments::ablation::run(quick),
+        "beyond" => experiments::beyond::run(),
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("available: {} all", all.join(" "));
+            std::process::exit(2);
+        }
+    };
+    if which.is_empty() || which == "all" {
+        for name in all {
+            run(name);
+        }
+    } else {
+        run(&which);
+    }
+}

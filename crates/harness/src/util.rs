@@ -1,0 +1,71 @@
+//! Markdown-table printing helpers shared by all experiments.
+//!
+//! Set `RMO_CSV=1` to emit plain CSV instead of markdown (for piping into
+//! plotting scripts).
+
+/// Prints a markdown table (or CSV when `RMO_CSV=1`): a header row and
+/// aligned body rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    if std::env::var("RMO_CSV").is_ok_and(|v| v == "1") {
+        println!("# {title}");
+        println!("{}", header.join(","));
+        for row in rows {
+            println!("{}", row.join(","));
+        }
+        return;
+    }
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", fmt_row(&sep));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a ratio with two decimals.
+pub fn ratio(a: f64, b: f64) -> String {
+    if b == 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", a / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(3.0, 2.0), "1.50");
+        assert_eq!(ratio(1.0, 0.0), "-");
+        assert_eq!(ratio(0.0, 5.0), "0.00");
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "smoke",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

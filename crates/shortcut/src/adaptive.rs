@@ -1,0 +1,164 @@
+//! The doubling trick (Section 1.3): *"our algorithms need not know the
+//! optimal values of block parameter and congestion, as a simple doubling
+//! trick can be used to approximate the best values"*.
+//!
+//! [`estimate_parameters`] doubles a joint budget `β` (used as both the
+//! congestion and the block target) until the deterministic construction
+//! (Algorithm 8) satisfies every part, then reports the first successful
+//! budget along with the realized `(b, c)` of the constructed shortcut.
+//! Since success at budget `β` is monotone, the first success is within a
+//! factor 2 of the smallest feasible budget, and the accumulated cost is
+//! a geometric series dominated by the final attempt — the property the
+//! paper's remark relies on.
+
+use rmo_congest::CostReport;
+use rmo_graph::{Graph, NodeId, Partition, RootedTree};
+
+use crate::alg8::{construct_deterministic, DetParams};
+use crate::model::Shortcut;
+use crate::quality;
+
+/// Result of the doubling estimation.
+#[derive(Debug, Clone)]
+pub struct ParameterEstimate {
+    /// The first (power-of-two) budget at which construction succeeded.
+    pub budget: usize,
+    /// The constructed shortcut at that budget.
+    pub shortcut: Shortcut,
+    /// Realized congestion of the construction.
+    pub congestion: usize,
+    /// Realized max terminal-block count of the construction.
+    pub block_parameter: usize,
+    /// Construction sweeps across all attempts (each charges one
+    /// Algorithm 2 verification at the caller).
+    pub total_iterations: usize,
+    /// Accumulated construction cost across all attempts.
+    pub cost: CostReport,
+}
+
+/// Estimates the best shortcut parameters for `(g, tree, parts)` by
+/// doubling, using the given per-part terminal sets.
+///
+/// Returns `None` only if even budget `n` fails (impossible for valid
+/// inputs: at budget `n` nothing ever breaks).
+pub fn estimate_parameters(
+    g: &Graph,
+    tree: &RootedTree,
+    parts: &Partition,
+    terminals: &[Vec<NodeId>],
+) -> Option<ParameterEstimate> {
+    let mut budget = 1usize;
+    let mut cost = CostReport::zero();
+    let mut total_iterations = 0usize;
+    while budget <= g.n().max(1) {
+        let res = construct_deterministic(
+            g,
+            tree,
+            parts,
+            terminals,
+            DetParams::new(budget, budget, parts.num_parts()),
+        );
+        cost += res.cost;
+        total_iterations += res.iterations;
+        if res.unsatisfied.is_empty() {
+            let q = quality::measure(g, tree, parts, &res.shortcut);
+            let block_parameter = parts
+                .part_ids()
+                .filter(|&p| !res.shortcut.is_direct(p))
+                .map(|p| res.shortcut.blocks_for_terminals(g, tree, p, &terminals[p]).len())
+                .max()
+                .unwrap_or(1);
+            return Some(ParameterEstimate {
+                budget,
+                shortcut: res.shortcut,
+                congestion: q.congestion,
+                block_parameter,
+                total_iterations,
+                cost,
+            });
+        }
+        budget *= 2;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_graph::{bfs_tree, gen};
+
+    fn two_reps(parts: &Partition) -> Vec<Vec<NodeId>> {
+        parts
+            .part_ids()
+            .map(|p| {
+                let m = parts.members(p);
+                if m.len() == 1 {
+                    vec![m[0]]
+                } else {
+                    vec![m[0], m[m.len() - 1]]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn doubling_finds_a_budget_on_grids() {
+        let g = gen::grid(8, 8);
+        let parts = Partition::new(&g, gen::grid_row_partition(8, 8)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = two_reps(&parts);
+        let est = estimate_parameters(&g, &tree, &parts, &terminals).expect("feasible");
+        assert!(est.budget <= 16, "grid rows need only small budgets, got {}", est.budget);
+        assert!(est.block_parameter <= 3 * est.budget);
+    }
+
+    #[test]
+    fn budget_monotonicity() {
+        // If the doubling stops at budget B, then running Algorithm 8
+        // directly at budget B must succeed too (sanity of the stop rule).
+        let g = gen::kpath(16, 3);
+        let assign: Vec<usize> = (0..g.n()).map(|v| v / 12).collect();
+        let parts = Partition::new(&g, assign).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = two_reps(&parts);
+        let est = estimate_parameters(&g, &tree, &parts, &terminals).expect("feasible");
+        let direct = construct_deterministic(
+            &g,
+            &tree,
+            &parts,
+            &terminals,
+            DetParams::new(est.budget, est.budget, parts.num_parts()),
+        );
+        assert!(direct.unsatisfied.is_empty());
+    }
+
+    #[test]
+    fn cost_dominated_by_final_attempt() {
+        let g = gen::grid(6, 24);
+        let parts = Partition::new(&g, gen::grid_row_partition(6, 24)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = two_reps(&parts);
+        let est = estimate_parameters(&g, &tree, &parts, &terminals).expect("feasible");
+        let last = construct_deterministic(
+            &g,
+            &tree,
+            &parts,
+            &terminals,
+            DetParams::new(est.budget, est.budget, parts.num_parts()),
+        );
+        // Geometric series: total <= ~(#attempts) * final; with doubling
+        // round costs the total stays within a small multiple.
+        assert!(est.cost.messages <= 8 * last.cost.messages.max(1));
+    }
+
+    #[test]
+    fn empty_terminal_parts_are_free() {
+        let g = gen::path(10);
+        let parts = Partition::new(&g, gen::path_blocks(10, 5)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = vec![vec![], vec![]];
+        let est = estimate_parameters(&g, &tree, &parts, &terminals).expect("feasible");
+        assert_eq!(est.budget, 1, "nothing to construct");
+        assert_eq!(est.congestion, 0);
+    }
+}

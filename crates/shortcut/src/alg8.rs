@@ -1,0 +1,296 @@
+//! Algorithm 8: deterministic shortcut construction on general trees via
+//! heavy-path decomposition (Section 6.3, Lemma 6.7).
+//!
+//! Each outer iteration performs one bottom-up sweep over the heavy paths
+//! of the BFS tree: representatives of still-active parts inject requests
+//! at their positions; each heavy path runs Algorithm 7
+//! ([`construct_on_path`]); the parts whose requests survive to a path's
+//! top cross the outgoing light edge (claiming it) and enter the next
+//! path. Any leaf-to-root walk crosses at most `⌊log₂ n⌋` heavy paths, so
+//! one sweep has `O(log n)` *levels*; paths within a level are disjoint
+//! and run in parallel (rounds take the max, messages add).
+//!
+//! After each sweep every part's accumulated claims are re-examined: parts
+//! with at most `3b` terminal-blocks go inactive (the paper invokes
+//! Algorithm 2 here; the *cost* of those verification runs is charged by
+//! the caller, who owns the PA machinery — see `iterations` in the
+//! result). Lemma 6.7's counting argument guarantees at least half the
+//! active parts freeze per iteration when the graph really admits a
+//! `(b, c)` shortcut; we cap iterations and report stragglers so callers
+//! can double the budgets (the paper's doubling remark, Section 1.3).
+
+use std::collections::HashMap;
+
+use rmo_congest::CostReport;
+use rmo_graph::{Graph, HeavyPathDecomposition, NodeId, Partition, RootedTree};
+
+use crate::alg7::construct_on_path;
+use crate::model::Shortcut;
+
+/// Parameters for the deterministic construction.
+#[derive(Debug, Clone, Copy)]
+pub struct DetParams {
+    /// Congestion budget `c` passed to Algorithm 7 on every path.
+    pub congestion: usize,
+    /// Target block parameter `b`; parts freeze at `≤ 3b` blocks.
+    pub target_block: usize,
+    /// Max outer iterations (default `⌈log₂ N⌉ + 2`).
+    pub max_iterations: usize,
+}
+
+impl DetParams {
+    /// Defaults for `num_parts` parts.
+    pub fn new(congestion: usize, target_block: usize, num_parts: usize) -> DetParams {
+        let log = (num_parts.max(2) as f64).log2().ceil() as usize;
+        DetParams { congestion, target_block, max_iterations: log + 2 }
+    }
+}
+
+/// Result of [`construct_deterministic`].
+#[derive(Debug, Clone)]
+pub struct DetConstructionResult {
+    /// The constructed shortcut (accumulated claims, Algorithm 8 line 15).
+    pub shortcut: Shortcut,
+    /// Parts still active when iterations ran out (empty on success).
+    pub unsatisfied: Vec<usize>,
+    /// Sweeps executed; the caller charges one Algorithm 2 verification
+    /// per sweep.
+    pub iterations: usize,
+    /// Measured sweep cost (heavy-path setup + Algorithm 7 runs + light
+    /// edge forwarding), excluding verification.
+    pub cost: CostReport,
+}
+
+/// Runs Algorithm 8.
+///
+/// `terminals[i]` — the sub-part representatives of part `i`; only these
+/// inject requests (the message-efficiency device of Section 3.2). Parts
+/// with no terminals are treated as direct.
+///
+/// # Panics
+/// Panics if `params.congestion == 0` or `terminals.len()` mismatches.
+pub fn construct_deterministic(
+    g: &Graph,
+    tree: &RootedTree,
+    parts: &Partition,
+    terminals: &[Vec<NodeId>],
+    params: DetParams,
+) -> DetConstructionResult {
+    assert!(params.congestion > 0, "congestion budget must be positive");
+    assert_eq!(terminals.len(), parts.num_parts(), "one terminal set per part");
+    let hpd = HeavyPathDecomposition::new(tree);
+    // Precompute per-node position within its heavy path.
+    let mut pos_in_path: Vec<usize> = vec![0; tree.n()];
+    for p in 0..hpd.path_count() {
+        for (i, &v) in hpd.path_nodes(p).iter().enumerate() {
+            pos_in_path[v] = i;
+        }
+    }
+    // Child-before-parent order: sort paths by depth of their top node,
+    // descending (a child path's top is strictly deeper than its parent
+    // path's top).
+    let mut order: Vec<usize> = (0..hpd.path_count()).collect();
+    order.sort_by_key(|&p| std::cmp::Reverse(tree.depth_of(hpd.path_top(p))));
+    // Level of each path: 1 + max level of child paths (for parallel
+    // round accounting).
+    let mut level = vec![1usize; hpd.path_count()];
+    for &p in &order {
+        let top = hpd.path_top(p);
+        if let Some(parent) = tree.parent_of(top) {
+            let q = hpd.path_of(parent);
+            level[q] = level[q].max(level[p] + 1);
+        }
+    }
+
+    let mut shortcut = Shortcut::empty(parts.num_parts());
+    let mut active: Vec<usize> =
+        parts.part_ids().filter(|&p| !terminals[p].is_empty()).collect();
+    // Heavy-path decomposition itself: O(depth) rounds, O(n) messages
+    // (subtree sizes by convergecast, then a downward labeling).
+    let mut cost = CostReport::new(2 * tree.depth() + 2, 2 * tree.n() as u64);
+    let mut iterations = 0usize;
+
+    while !active.is_empty() && iterations < params.max_iterations {
+        iterations += 1;
+        // Requests entering each path at each position.
+        let mut entry: Vec<Vec<Vec<usize>>> = (0..hpd.path_count())
+            .map(|p| vec![Vec::new(); hpd.path_nodes(p).len()])
+            .collect();
+        for &part in &active {
+            for &r in &terminals[part] {
+                let p = hpd.path_of(r);
+                let e = &mut entry[p][pos_in_path[r]];
+                if !e.contains(&part) {
+                    e.push(part);
+                }
+            }
+        }
+        let mut claims: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut level_rounds: HashMap<usize, usize> = HashMap::new();
+        let mut messages = 0u64;
+        for &p in &order {
+            let nodes = hpd.path_nodes(p);
+            if entry[p].iter().all(Vec::is_empty) {
+                continue;
+            }
+            let edges: Vec<usize> = nodes[..nodes.len() - 1]
+                .iter()
+                .map(|&v| tree.parent_edge_of(v).expect("non-top path node has parent edge"))
+                .collect();
+            let res = construct_on_path(nodes, &edges, &entry[p], params.congestion);
+            let lr = level_rounds.entry(level[p]).or_insert(0);
+            *lr = (*lr).max(res.cost.rounds);
+            messages += res.cost.messages;
+            for (part, es) in res.claimed {
+                claims.entry(part).or_default().extend(es);
+            }
+            // Forward survivors across the light edge.
+            let top = hpd.path_top(p);
+            if let Some(parent) = tree.parent_of(top) {
+                let light = tree.parent_edge_of(top).expect("top has parent edge");
+                let q = hpd.path_of(parent);
+                for part in res.reached_top {
+                    claims.entry(part).or_default().push(light);
+                    messages += 1;
+                    let e = &mut entry[q][pos_in_path[parent]];
+                    if !e.contains(&part) {
+                        e.push(part);
+                    }
+                }
+                let lr = level_rounds.entry(level[p]).or_insert(0);
+                *lr += 1; // one round to cross the light edge
+            }
+        }
+        let sweep_rounds: usize = level_rounds.values().sum();
+        cost += CostReport::new(sweep_rounds, messages);
+        // Accumulate all claims (Algorithm 8 returns the union over
+        // iterations), then freeze satisfied parts.
+        for (&part, es) in &claims {
+            shortcut.extend_part(part, es.iter().copied());
+        }
+        active.retain(|&part| {
+            let blocks =
+                shortcut.blocks_for_terminals(g, tree, part, &terminals[part]).len();
+            blocks > 3 * params.target_block
+        });
+    }
+    DetConstructionResult { shortcut, unsatisfied: active, iterations, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::measure;
+    use rmo_graph::{bfs_tree, gen};
+
+    fn two_reps(parts: &Partition) -> Vec<Vec<NodeId>> {
+        parts
+            .part_ids()
+            .map(|p| {
+                let m = parts.members(p);
+                if m.len() == 1 {
+                    vec![m[0]]
+                } else {
+                    vec![m[0], m[m.len() - 1]]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_rows_succeed() {
+        let g = gen::grid(8, 8);
+        let parts = Partition::new(&g, gen::grid_row_partition(8, 8)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = two_reps(&parts);
+        let res = construct_deterministic(
+            &g,
+            &tree,
+            &parts,
+            &terminals,
+            DetParams::new(8, 2, parts.num_parts()),
+        );
+        assert!(res.unsatisfied.is_empty(), "unsatisfied: {:?}", res.unsatisfied);
+        for p in parts.part_ids() {
+            let blocks = res.shortcut.blocks_for_terminals(&g, &tree, p, &terminals[p]);
+            assert!(blocks.len() <= 6, "part {p}: {} blocks", blocks.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_and_repeatable() {
+        let g = gen::grid(6, 6);
+        let parts = Partition::new(&g, gen::grid_row_partition(6, 6)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = two_reps(&parts);
+        let params = DetParams::new(6, 2, 6);
+        let a = construct_deterministic(&g, &tree, &parts, &terminals, params);
+        let b = construct_deterministic(&g, &tree, &parts, &terminals, params);
+        assert_eq!(a.shortcut, b.shortcut);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn congestion_bounded_by_lemma_6_7() {
+        let g = gen::grid(8, 8);
+        let parts = Partition::new(&g, gen::grid_row_partition(8, 8)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = two_reps(&parts);
+        let c = 8;
+        let res = construct_deterministic(
+            &g,
+            &tree,
+            &parts,
+            &terminals,
+            DetParams::new(c, 2, parts.num_parts()),
+        );
+        let q = measure(&g, &tree, &parts, &res.shortcut);
+        let log_d = ((tree.depth().max(2)) as f64).log2().ceil() as usize;
+        let bound = 2 * c * log_d * res.iterations + res.iterations;
+        assert!(q.congestion <= bound, "congestion {} > bound {}", q.congestion, bound);
+    }
+
+    #[test]
+    fn path_partition_on_path_graph() {
+        // Path graph, blocks of 4: the whole tree is one heavy path.
+        let g = gen::path(32);
+        let parts = Partition::new(&g, gen::path_blocks(32, 4)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = two_reps(&parts);
+        let res = construct_deterministic(
+            &g,
+            &tree,
+            &parts,
+            &terminals,
+            DetParams::new(8, 2, parts.num_parts()),
+        );
+        assert!(res.unsatisfied.is_empty());
+    }
+
+    #[test]
+    fn empty_terminals_part_is_direct() {
+        let g = gen::path(9);
+        let parts = Partition::new(&g, gen::path_blocks(9, 3)).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = vec![vec![0], vec![], vec![6]];
+        let res =
+            construct_deterministic(&g, &tree, &parts, &terminals, DetParams::new(4, 1, 3));
+        assert!(res.shortcut.is_direct(1));
+    }
+
+    #[test]
+    fn random_graph_converges() {
+        let g = gen::gnp_connected(60, 0.08, 5);
+        let parts = gen::random_connected_partition(&g, 6, 2);
+        let (tree, _) = bfs_tree(&g, 0);
+        let terminals = two_reps(&parts);
+        let res = construct_deterministic(
+            &g,
+            &tree,
+            &parts,
+            &terminals,
+            DetParams::new(8, 3, parts.num_parts()),
+        );
+        assert!(res.unsatisfied.is_empty(), "unsatisfied: {:?}", res.unsatisfied);
+    }
+}

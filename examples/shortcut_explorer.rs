@@ -1,0 +1,77 @@
+//! Explore tree-restricted shortcuts interactively: construct them with
+//! the Section 1.3 doubling trick on several graph families and print
+//! their quality profiles (congestion histogram, blocks per part).
+//!
+//! ```text
+//! cargo run --example shortcut_explorer
+//! ```
+//!
+//! This is the "what does a shortcut actually look like on my network?"
+//! tour — the diagnostics a systems person wants before trusting the
+//! asymptotics.
+
+use rmo::graph::{bfs_tree, gen, Partition};
+use rmo::shortcut::adaptive::estimate_parameters;
+use rmo::shortcut::{profile, quality, trivial::trivial_shortcut};
+
+fn explore(name: &str, g: &rmo::graph::Graph, parts: &Partition) {
+    let (tree, _) = bfs_tree(g, 0);
+    let terminals: Vec<Vec<usize>> = parts
+        .part_ids()
+        .map(|p| {
+            let m = parts.members(p);
+            if m.len() == 1 {
+                vec![m[0]]
+            } else {
+                vec![m[0], m[m.len() - 1]]
+            }
+        })
+        .collect();
+    println!("\n=== {name}: n = {}, m = {}, depth(T) = {}", g.n(), g.m(), tree.depth());
+
+    let est = estimate_parameters(g, &tree, parts, &terminals)
+        .expect("doubling terminates on valid instances");
+    println!(
+        "doubling stopped at budget {} -> realized (b, c) = ({}, {}) after {} sweeps",
+        est.budget, est.block_parameter, est.congestion, est.total_iterations
+    );
+    let p = profile(g, &tree, parts, &est.shortcut);
+    println!(
+        "profile: {} direct parts, {} total edge assignments, mean congestion {:.2}",
+        p.direct_parts,
+        p.total_assignments,
+        p.mean_congestion()
+    );
+    print!("congestion histogram (edges used by c parts): ");
+    for (c, &count) in p.congestion_histogram.iter().enumerate() {
+        if count > 0 {
+            print!("{c}:{count} ");
+        }
+    }
+    println!();
+
+    let triv = trivial_shortcut(g, &tree, parts);
+    let qt = quality::measure(g, &tree, parts, &triv);
+    println!(
+        "trivial fallback for comparison: (b, c) = ({}, {})",
+        qt.block_parameter, qt.congestion
+    );
+}
+
+fn main() {
+    let g = gen::grid(12, 12);
+    let parts = Partition::new(&g, gen::grid_row_partition(12, 12)).unwrap();
+    explore("planar grid, rows as parts", &g, &parts);
+
+    let g = gen::ktree(144, 3, 5);
+    let parts = gen::random_connected_partition(&g, 12, 3);
+    explore("treewidth-3 k-tree, random regions", &g, &parts);
+
+    let g = gen::grid_with_apex(12, 32);
+    let parts = Partition::new(&g, gen::grid_row_partition_with_apex(12, 32)).unwrap();
+    explore("Figure 2 apex grid, rows as parts", &g, &parts);
+
+    let g = gen::hypercube(7);
+    let parts = gen::random_connected_partition(&g, 11, 9);
+    explore("hypercube d=7, random regions", &g, &parts);
+}

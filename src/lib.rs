@@ -1,0 +1,45 @@
+//! # rmo — Round- and Message-Optimal Distributed Graph Algorithms
+//!
+//! A Rust reproduction of Haeupler, Hershkowitz and Wajc,
+//! *"Round- and Message-Optimal Distributed Graph Algorithms"* (PODC 2018).
+//!
+//! This facade crate re-exports the full workspace:
+//!
+//! * [`graph`] — graph representation, generators and sequential reference
+//!   algorithms (Kruskal, Dijkstra, Stoer–Wagner, heavy-path decomposition).
+//! * [`congest`] — a synchronous CONGEST-model network simulator with exact
+//!   round and message accounting.
+//! * [`shortcut`] — tree-restricted low-congestion shortcuts: quality
+//!   measures, verification, and the paper's randomized (Algorithm 4) and
+//!   deterministic (Algorithms 7–8) constructions.
+//! * [`core`] — the paper's primary contribution: Part-Wise Aggregation
+//!   (Algorithm 1), sub-part divisions (Algorithms 3 and 6), star joinings
+//!   (Algorithm 5), `BlockRoute` (Lemma 4.2) and leaderless PA
+//!   (Algorithm 9).
+//! * [`apps`] — applications: MST, approximate min-cut, approximate SSSP,
+//!   connected components, graph verification, k-dominating sets and
+//!   connected dominating sets.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use rmo::graph::gen;
+//! use rmo::core::{PaInstance, Aggregate, solve_pa, PaConfig};
+//!
+//! // A 16x16 grid, partitioned into its rows.
+//! let g = gen::grid(16, 16);
+//! let parts = gen::grid_row_partition(16, 16);
+//! let values: Vec<u64> = (0..g.n() as u64).collect();
+//! let inst = PaInstance::new(&g, parts, values, Aggregate::Min).unwrap();
+//! let result = solve_pa(&inst, &PaConfig::default()).unwrap();
+//! // Every node of every part now knows its part's minimum value.
+//! for v in 0..g.n() {
+//!     assert_eq!(result.value_at(v), inst.reference_aggregate_of(v));
+//! }
+//! ```
+
+pub use rmo_apps as apps;
+pub use rmo_congest as congest;
+pub use rmo_core as core;
+pub use rmo_graph as graph;
+pub use rmo_shortcut as shortcut;

@@ -1,0 +1,176 @@
+//! Accounting crosscheck: the phase-level cost accounting used by the PA
+//! solver must agree with a genuine per-node CONGEST simulation on the
+//! configurations where both can run.
+//!
+//! Setup: every part aggregates over its own BFS spanning tree (the
+//! `intra_part_pa` baseline — no shortcuts). The same computation is also
+//! executed as real node programs (`TreeBroadcast` / `TreeConvergecast`
+//! per part tree, all parts in parallel on one simulator). The simulated
+//! messages must match the accounted messages exactly, and the rounds
+//! must agree up to the small constants of phase sequencing.
+
+use rmo::congest::programs::broadcast::TreeBroadcast;
+use rmo::congest::programs::convergecast::TreeConvergecast;
+use rmo::congest::{Network, Simulator};
+use rmo::core::baseline::intra_part_pa;
+use rmo::core::{Aggregate, PaInstance, SubPartDivision, Variant};
+use rmo::graph::{bfs_tree, gen, NodeId, Partition};
+
+/// Runs the three PA phases as real node programs on per-part trees.
+/// Returns (aggregates per part, total messages, total rounds).
+fn simulate_real_pa(
+    g: &rmo::graph::Graph,
+    net: &Network,
+    _parts: &Partition,
+    division: &SubPartDivision,
+    leaders: &[NodeId],
+    values: &[u64],
+    fold: fn(u64, u64) -> u64,
+) -> (Vec<u64>, u64, usize) {
+    let parent_port = |v: NodeId| {
+        division.parent_of(v).map(|p| {
+            let e = g.edge_between(v, p).expect("tree edge");
+            net.port_for_edge(v, e)
+        })
+    };
+    let children_ports = |v: NodeId| -> Vec<usize> {
+        g.neighbors(v)
+            .filter(|&(u, _)| division.parent_of(u) == Some(v))
+            .map(|(_, e)| net.port_for_edge(v, e))
+            .collect()
+    };
+    let mut messages = 0u64;
+    let mut rounds = 0usize;
+
+    // Phase A: leaders broadcast a token down their part trees.
+    let mut sim = Simulator::new(net, |v| {
+        let prog = if leaders.contains(&v) {
+            TreeBroadcast::root(1)
+        } else {
+            TreeBroadcast::node(parent_port(v).expect("non-leader has a parent"))
+        };
+        prog.with_children(children_ports(v))
+    });
+    let a = sim.run_until_quiescent(8 * g.n() + 8).expect("phase A terminates");
+    messages += a.messages;
+    rounds += a.rounds;
+
+    // Phase B: aggregate values up to the leaders.
+    let mut sim = Simulator::new(net, |v| {
+        TreeConvergecast::new(values[v], fold, parent_port(v), children_ports(v).len())
+    });
+    let b = sim.run_until_quiescent(8 * g.n() + 8).expect("phase B terminates");
+    messages += b.messages;
+    rounds += b.rounds;
+    let aggregates: Vec<u64> = leaders
+        .iter()
+        .map(|&l| sim.program(l).result().expect("leader holds the aggregate"))
+        .collect();
+
+    // Phase C: broadcast the results back down.
+    let mut sim = Simulator::new(net, |v| {
+        let prog = if let Some(i) = leaders.iter().position(|&l| l == v) {
+            TreeBroadcast::root(aggregates[i])
+        } else {
+            TreeBroadcast::node(parent_port(v).expect("non-leader has a parent"))
+        };
+        prog.with_children(children_ports(v))
+    });
+    let c = sim.run_until_quiescent(8 * g.n() + 8).expect("phase C terminates");
+    messages += c.messages;
+    rounds += c.rounds;
+
+    (aggregates, messages, rounds)
+}
+
+fn crosscheck(g: &rmo::graph::Graph, parts: Partition, seed: u64) {
+    let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * 13) % 101).collect();
+    let inst =
+        PaInstance::from_partition(g, parts.clone(), values.clone(), Aggregate::Sum).unwrap();
+    let (tree, _) = bfs_tree(g, 0);
+    let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
+
+    // Phase-accounted run.
+    let accounted = intra_part_pa(&inst, &tree, &leaders, Variant::Deterministic).unwrap();
+
+    // Real node-program run on the same per-part trees.
+    let net = Network::new(g, seed);
+    let division = SubPartDivision::one_per_part(g, &parts, &leaders);
+    let (aggregates, sim_msgs, sim_rounds) =
+        simulate_real_pa(g, &net, &parts, &division, &leaders, &values, |a, b| {
+            a.wrapping_add(b)
+        });
+
+    // Same answers.
+    for p in parts.part_ids() {
+        assert_eq!(aggregates[p], inst.reference_aggregate(p), "part {p}");
+        assert_eq!(accounted.aggregates[p], aggregates[p]);
+    }
+    // Message accounting: the accounted wave charges (size-1) per part
+    // tree per phase plus the step-3 boundary notifications; the real
+    // simulation sends exactly (n - #parts) per phase. The accounted
+    // number must dominate the real one and stay within the boundary-
+    // notification overhead (≤ 2m extra per phase).
+    let real_per_phase = (g.n() - parts.num_parts()) as u64;
+    assert_eq!(sim_msgs, 3 * real_per_phase, "simulation sends one msg per tree edge per phase");
+    assert!(
+        accounted.cost.messages >= sim_msgs,
+        "accounted {} must dominate simulated {}",
+        accounted.cost.messages,
+        sim_msgs
+    );
+    assert!(
+        accounted.cost.messages <= sim_msgs + 3 * 2 * g.m() as u64 + 3 * g.n() as u64,
+        "accounted {} exceeds simulated {} plus boundary overhead",
+        accounted.cost.messages,
+        sim_msgs
+    );
+    // Round accounting: both are Θ(max part depth) per phase.
+    let max_depth = (0..division.num_subparts())
+        .map(|s| division.subpart_depth(s))
+        .max()
+        .unwrap_or(0);
+    assert!(accounted.cost.rounds >= max_depth, "phases cannot beat the tree depth");
+    assert!(
+        sim_rounds <= 3 * (max_depth + 3),
+        "simulated rounds {} exceed 3 phases of depth {}",
+        sim_rounds,
+        max_depth
+    );
+    assert!(
+        accounted.cost.rounds <= 4 * (max_depth + 3),
+        "accounted rounds {} far from simulated {}",
+        accounted.cost.rounds,
+        sim_rounds
+    );
+}
+
+#[test]
+fn crosscheck_grid_rows() {
+    let g = gen::grid(6, 8);
+    let parts = Partition::new(&g, gen::grid_row_partition(6, 8)).unwrap();
+    crosscheck(&g, parts, 3);
+}
+
+#[test]
+fn crosscheck_path_blocks() {
+    let g = gen::path(48);
+    let parts = Partition::new(&g, gen::path_blocks(48, 12)).unwrap();
+    crosscheck(&g, parts, 5);
+}
+
+#[test]
+fn crosscheck_random_regions() {
+    for seed in 0..3 {
+        let g = gen::gnp_connected(60, 0.07, seed);
+        let parts = gen::random_connected_partition(&g, 5, seed + 50);
+        crosscheck(&g, parts, seed);
+    }
+}
+
+#[test]
+fn crosscheck_whole_graph() {
+    let g = gen::balanced_binary_tree(6);
+    let parts = Partition::whole(&g).unwrap();
+    crosscheck(&g, parts, 9);
+}

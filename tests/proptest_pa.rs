@@ -1,0 +1,94 @@
+//! Property-based tests of the PA stack: on arbitrary connected graphs,
+//! partitions, values and aggregates, the distributed result equals the
+//! centralized fold and the cost accounting stays sane.
+
+use proptest::prelude::*;
+
+use rmo::core::{solve_pa, Aggregate, PaConfig, PaInstance};
+use rmo::graph::gen;
+
+/// Strategy: a connected graph described by (n, extra edges, seed).
+fn graph_params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (4usize..40, 0usize..60, 0u64..1000)
+}
+
+fn aggregate() -> impl Strategy<Value = Aggregate> {
+    prop_oneof![
+        Just(Aggregate::Min),
+        Just(Aggregate::Max),
+        Just(Aggregate::Sum),
+        Just(Aggregate::Xor),
+        Just(Aggregate::Or),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pa_matches_reference_on_arbitrary_instances(
+        (n, extra, seed) in graph_params(),
+        parts_target in 1usize..10,
+        f in aggregate(),
+        det in any::<bool>(),
+        values_seed in 0u64..1000,
+    ) {
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let g = gen::random_connected(n, m, seed);
+        let parts = gen::random_connected_partition(&g, parts_target, seed ^ 0xabcd);
+        let values: Vec<u64> = (0..n as u64)
+            .map(|v| v.wrapping_mul(values_seed.wrapping_mul(2654435761) | 1) % 100_000)
+            .collect();
+        let inst = PaInstance::from_partition(&g, parts, values, f).unwrap();
+        let cfg = if det { PaConfig::default() } else { PaConfig::randomized(seed) };
+        let res = solve_pa(&inst, &cfg).unwrap();
+        for p in inst.partition().part_ids() {
+            prop_assert_eq!(res.aggregates[p], inst.reference_aggregate(p));
+        }
+        for v in 0..n {
+            prop_assert_eq!(res.value_at(v), inst.reference_aggregate_of(v));
+        }
+        // Cost sanity: the pipeline did some work but not absurd amounts.
+        prop_assert!(res.cost.rounds >= 1);
+        prop_assert!(res.cost.messages >= 1);
+        let generous = (g.m() as u64 + n as u64) * 64 * 64;
+        prop_assert!(res.cost.messages <= generous, "messages {} blow up", res.cost.messages);
+    }
+
+    #[test]
+    fn pa_deterministic_configs_are_reproducible(
+        (n, extra, seed) in graph_params(),
+        parts_target in 1usize..6,
+    ) {
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let g = gen::random_connected(n, m, seed);
+        let parts = gen::random_connected_partition(&g, parts_target, seed);
+        let values: Vec<u64> = (0..n as u64).collect();
+        let inst = PaInstance::from_partition(&g, parts, values, Aggregate::Sum).unwrap();
+        let a = solve_pa(&inst, &PaConfig::default()).unwrap();
+        let b = solve_pa(&inst, &PaConfig::default()).unwrap();
+        prop_assert_eq!(a.cost, b.cost);
+        prop_assert_eq!(a.aggregates, b.aggregates);
+    }
+
+    #[test]
+    fn leaderless_matches_reference(
+        (n, extra, seed) in (4usize..25, 0usize..25, 0u64..200),
+        parts_target in 1usize..5,
+    ) {
+        use rmo::core::leaderless::leaderless_pa;
+        use rmo::core::Variant;
+        use rmo::graph::bfs_tree;
+        let m = (n - 1 + extra).min(n * (n - 1) / 2);
+        let g = gen::random_connected(n, m, seed);
+        let parts = gen::random_connected_partition(&g, parts_target, seed ^ 7);
+        let values: Vec<u64> = (0..n as u64).map(|v| v * 3 % 17).collect();
+        let inst = PaInstance::from_partition(&g, parts, values, Aggregate::Min).unwrap();
+        let (tree, _) = bfs_tree(&g, 0);
+        let out = leaderless_pa(&inst, &tree, Variant::Deterministic).unwrap();
+        for p in inst.partition().part_ids() {
+            prop_assert_eq!(out.result.aggregates[p], inst.reference_aggregate(p));
+            prop_assert_eq!(inst.partition().part_of(out.leaders[p]), p);
+        }
+    }
+}
