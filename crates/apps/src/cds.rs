@@ -50,10 +50,17 @@ pub fn approx_mwcds(
     node_weight: &[u64],
     _config: &rmo_core::PaConfig,
 ) -> Result<CdsResult, PaError> {
-    assert!(g.n() > 0 && g.is_connected(), "MWCDS needs a connected graph");
+    assert!(
+        g.n() > 0 && g.is_connected(),
+        "MWCDS needs a connected graph"
+    );
     assert_eq!(node_weight.len(), g.n());
     if g.n() == 1 {
-        return Ok(CdsResult { set: vec![0], weight: node_weight[0], cost: CostReport::zero() });
+        return Ok(CdsResult {
+            set: vec![0],
+            weight: node_weight[0],
+            cost: CostReport::zero(),
+        });
     }
     let n = g.n();
     let mut cost = CostReport::zero();
@@ -106,12 +113,12 @@ pub fn approx_mwcds(
                 dsu.union(u, v);
             }
         }
-        let roots: HashSet<usize> =
-            (0..n).filter(|&v| in_set[v]).map(|v| dsu.find(v)).collect();
+        let roots: HashSet<usize> = (0..n).filter(|&v| in_set[v]).map(|v| dsu.find(v)).collect();
         if roots.len() <= 1 {
             break;
         }
-        cost += CostReport::new(6, 4 * n as u64); // one component-labeling round (PA scale)
+        // One component-labeling round (PA scale).
+        cost += CostReport::new(6, 4 * n as u64);
         // Cheapest connector: a path u - x (- y) - v between different
         // components with u, v in S; add the interior nodes.
         let mut best: Option<(u64, Vec<NodeId>)> = None;
@@ -154,8 +161,7 @@ pub fn approx_mwcds(
                 }
             }
         }
-        let (_, path) =
-            best.expect("a dominating set's components connect within 3 hops");
+        let (_, path) = best.expect("a dominating set's components connect within 3 hops");
         if path.is_empty() {
             // Components touched through an existing member: union happens
             // at the top of the loop. Nothing to add, but guard against
@@ -180,7 +186,11 @@ pub fn approx_mwcds(
     chosen.sort_unstable();
     chosen.dedup();
     let weight = chosen.iter().map(|&v| node_weight[v]).sum();
-    Ok(CdsResult { set: chosen, weight, cost })
+    Ok(CdsResult {
+        set: chosen,
+        weight,
+        cost,
+    })
 }
 
 /// Checks that `set` dominates `g` and induces a connected subgraph.
@@ -217,7 +227,10 @@ mod tests {
 
     fn check(g: &Graph, weights: &[u64]) -> CdsResult {
         let res = approx_mwcds(g, weights, &PaConfig::default()).unwrap();
-        assert!(is_connected_dominating_set(g, &res.set), "output must be a CDS");
+        assert!(
+            is_connected_dominating_set(g, &res.set),
+            "output must be a CDS"
+        );
         res
     }
 
@@ -244,7 +257,10 @@ mod tests {
         // {3, 0, 1}; node 1 or 3 must extend coverage to 2.
         let g = gen::cycle(4);
         let res = check(&g, &[1, 10, 100, 10]);
-        assert!(!res.set.contains(&2), "never pay 100 when cheap covers exist");
+        assert!(
+            !res.set.contains(&2),
+            "never pay 100 when cheap covers exist"
+        );
     }
 
     #[test]

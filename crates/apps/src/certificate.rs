@@ -67,10 +67,13 @@ pub fn sparse_certificate(
         }
         forests.push(forest);
     }
-    let mut edges: Vec<EdgeId> =
-        forests.iter().flat_map(|f| f.iter().copied()).collect();
+    let mut edges: Vec<EdgeId> = forests.iter().flat_map(|f| f.iter().copied()).collect();
     edges.sort_unstable();
-    Ok(SparseCertificate { edges, forests, cost })
+    Ok(SparseCertificate {
+        edges,
+        forests,
+        cost,
+    })
 }
 
 /// Minimum number of edges whose removal disconnects `g` (global edge
@@ -94,7 +97,11 @@ pub fn certificate_preserves_connectivity(g: &Graph, cert: &[EdgeId], k: usize) 
         (0..g.m()).map(|e| set.contains(&e)).collect()
     };
     let (h, _) = g.edge_subgraph(&keep);
-    let lambda_h = if h.is_connected() { edge_connectivity(&h).min(k as u64) } else { 0 };
+    let lambda_h = if h.is_connected() {
+        edge_connectivity(&h).min(k as u64)
+    } else {
+        0
+    };
     lambda_g == lambda_h
 }
 
@@ -155,7 +162,10 @@ mod tests {
         assert_eq!(edge_connectivity(&gen::cycle(7)), 2);
         assert_eq!(edge_connectivity(&gen::path(5)), 1);
         assert_eq!(edge_connectivity(&gen::complete(6)), 5);
-        assert_eq!(edge_connectivity(&gen::dumbbell(4, 1).reweighted(|_, _| 1)), 1);
+        assert_eq!(
+            edge_connectivity(&gen::dumbbell(4, 1).reweighted(|_, _| 1)),
+            1
+        );
     }
 
     #[test]
@@ -163,6 +173,9 @@ mod tests {
         let g = gen::grid(6, 6);
         let c2 = sparse_certificate(&g, 2, &PaConfig::default()).unwrap();
         let c4 = sparse_certificate(&g, 4, &PaConfig::default()).unwrap();
-        assert!(c4.cost.messages >= c2.cost.messages, "more forests, more passes");
+        assert!(
+            c4.cost.messages >= c2.cost.messages,
+            "more forests, more passes"
+        );
     }
 }

@@ -42,7 +42,10 @@ pub struct EccentricityResult {
 /// Panics if `k == 0` or the graph is disconnected/empty.
 pub fn approx_eccentricities(g: &Graph, k: usize) -> EccentricityResult {
     assert!(k > 0, "k must be positive");
-    assert!(g.n() > 0 && g.is_connected(), "eccentricity needs a connected graph");
+    assert!(
+        g.n() > 0 && g.is_connected(),
+        "eccentricity needs a connected graph"
+    );
     let kd = k_dominating_set(g, k);
     let mut cost = kd.cost;
     // BFS from every dominator: |S| waves, pipelined over the BFS tree —
@@ -134,7 +137,10 @@ mod tests {
             .map(|v| loose.estimates[v] - eccentricity(&g, v))
             .max()
             .unwrap();
-        assert!(slack_tight <= slack_loose + 8, "smaller k cannot be much worse");
+        assert!(
+            slack_tight <= slack_loose + 8,
+            "smaller k cannot be much worse"
+        );
         assert!(tight.dominating_set.len() >= loose.dominating_set.len());
     }
 }

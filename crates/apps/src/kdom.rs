@@ -30,18 +30,26 @@ pub struct KDomResult {
 /// Panics if `k == 0` or the graph is disconnected/empty.
 pub fn k_dominating_set(g: &Graph, k: usize) -> KDomResult {
     assert!(k > 0, "k must be positive");
-    assert!(g.n() > 0 && g.is_connected(), "k-domination needs a connected graph");
+    assert!(
+        g.n() > 0 && g.is_connected(),
+        "k-domination needs a connected graph"
+    );
     let parts = Partition::whole(g).expect("connected graph");
     let threshold = k.div_ceil(6);
     let res = deterministic_division(g, &parts, threshold);
-    let set: Vec<NodeId> =
-        (0..res.division.num_subparts()).map(|s| res.division.rep_of_subpart(s)).collect();
+    let set: Vec<NodeId> = (0..res.division.num_subparts())
+        .map(|s| res.division.rep_of_subpart(s))
+        .collect();
     // The distributed algorithm reaches its representative along the
     // sub-part tree; graph distance is at most that tree distance, so the
     // multi-source eccentricity is the honest upper-bound check.
     let max_distance = multi_source_ecc(g, &set);
     let cost = res.cost + CostReport::new(2, 2 * g.n() as u64);
-    KDomResult { set, max_distance, cost }
+    KDomResult {
+        set,
+        max_distance,
+        cost,
+    }
 }
 
 /// Max distance from any node to the nearest node of `sources`.

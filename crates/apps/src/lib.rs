@@ -22,8 +22,8 @@
 
 pub mod cds;
 pub mod certificate;
-pub mod eccentricity;
 pub mod components;
+pub mod eccentricity;
 pub mod kdom;
 pub mod mincut;
 pub mod mst;

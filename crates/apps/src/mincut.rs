@@ -16,7 +16,7 @@
 //! * the global argmin is one more `Min` aggregation.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use rmo_congest::CostReport;
 use rmo_graph::{bfs_tree, Graph, NodeId};
@@ -40,7 +40,12 @@ pub struct MinCutConfig {
 
 impl Default for MinCutConfig {
     fn default() -> MinCutConfig {
-        MinCutConfig { epsilon: 0.2, pa: PaConfig::default(), seed: 1, trials: None }
+        MinCutConfig {
+            epsilon: 0.2,
+            pa: PaConfig::default(),
+            seed: 1,
+            trials: None,
+        }
     }
 }
 
@@ -86,7 +91,9 @@ pub fn approx_min_cut(g: &Graph, config: &MinCutConfig) -> Result<MinCutResult, 
         // packing argument. We keep weights positive and bounded.
         let perturbed = g.reweighted(|_, w| {
             let jitter = 1 + (rng.random::<u64>() % (2 * w + 1));
-            w.saturating_mul(4).saturating_add(jitter).min((1 << 39) - 1)
+            w.saturating_mul(4)
+                .saturating_add(jitter)
+                .min((1 << 39) - 1)
         });
         let mst = pa_mst(&perturbed, &MstConfig { pa: config.pa })?;
         cost += mst.cost;
@@ -144,7 +151,12 @@ pub fn approx_min_cut(g: &Graph, config: &MinCutConfig) -> Result<MinCutResult, 
         // The argmin over candidates is one Min aggregation.
         cost += CostReport::new(2 * tree.depth() + 2, 2 * n as u64);
     }
-    Ok(MinCutResult { weight: best_weight, side: best_side, trials, cost })
+    Ok(MinCutResult {
+        weight: best_weight,
+        side: best_side,
+        trials,
+        cost,
+    })
 }
 
 fn lca_by_walk(tree: &rmo_graph::RootedTree, a: NodeId, b: NodeId) -> NodeId {
@@ -185,7 +197,10 @@ mod tests {
             .map(|(_, _, _, w)| w)
             .sum();
         assert_eq!(realized, approx.weight, "side must match weight");
-        assert!(approx.weight >= exact.weight, "cannot beat the true min cut");
+        assert!(
+            approx.weight >= exact.weight,
+            "cannot beat the true min cut"
+        );
         assert!(
             (approx.weight as f64) <= slack * exact.weight as f64,
             "approx {} vs exact {} exceeds slack {slack}",
@@ -204,7 +219,10 @@ mod tests {
     fn cycle_cut_is_two() {
         let g = gen::cycle(12);
         let res = approx_min_cut(&g, &MinCutConfig::default()).unwrap();
-        assert_eq!(res.weight, 2, "a cycle's min cut 1-respects every spanning tree");
+        assert_eq!(
+            res.weight, 2,
+            "a cycle's min cut 1-respects every spanning tree"
+        );
     }
 
     #[test]
@@ -218,7 +236,10 @@ mod tests {
         let g = gen::random_connected_weighted(24, 60, 9);
         check_quality(
             &g,
-            &MinCutConfig { trials: Some(12), ..MinCutConfig::default() },
+            &MinCutConfig {
+                trials: Some(12),
+                ..MinCutConfig::default()
+            },
             2.0,
         );
     }
@@ -226,11 +247,26 @@ mod tests {
     #[test]
     fn more_trials_never_hurt() {
         let g = gen::random_connected(20, 45, 4);
-        let few = approx_min_cut(&g, &MinCutConfig { trials: Some(1), ..Default::default() })
-            .unwrap();
-        let many = approx_min_cut(&g, &MinCutConfig { trials: Some(8), ..Default::default() })
-            .unwrap();
+        let few = approx_min_cut(
+            &g,
+            &MinCutConfig {
+                trials: Some(1),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = approx_min_cut(
+            &g,
+            &MinCutConfig {
+                trials: Some(8),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(many.weight <= few.weight);
-        assert!(many.cost.messages > few.cost.messages, "more trials cost more");
+        assert!(
+            many.cost.messages > few.cost.messages,
+            "more trials cost more"
+        );
     }
 }

@@ -79,7 +79,10 @@ pub fn pa_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> {
 
     while dsu.set_count() > 1 {
         phases += 1;
-        assert!(phases <= max_phases, "Borůvka must halve components per phase");
+        assert!(
+            phases <= max_phases,
+            "Borůvka must halve components per phase"
+        );
         // Current components as a dense partition.
         let root_of: Vec<usize> = (0..g.n()).map(|v| dsu.find(v)).collect();
         let mut remap = std::collections::HashMap::new();
@@ -130,7 +133,12 @@ pub fn pa_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> {
     chosen.sort_unstable();
     chosen.dedup();
     let total_weight = chosen.iter().map(|&e| g.weight(e)).sum();
-    Ok(PaMstResult { edges: chosen, total_weight, phases, cost })
+    Ok(PaMstResult {
+        edges: chosen,
+        total_weight,
+        phases,
+        cost,
+    })
 }
 
 /// Baseline MST: Borůvka where every phase aggregates with the
@@ -162,7 +170,10 @@ pub fn naive_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> 
     let max_phases = 2 * ((g.n().max(2) as f64).log2().ceil() as usize) + 2;
     while dsu.set_count() > 1 {
         phases += 1;
-        assert!(phases <= max_phases, "Borůvka must halve components per phase");
+        assert!(
+            phases <= max_phases,
+            "Borůvka must halve components per phase"
+        );
         let root_of: Vec<usize> = (0..g.n()).map(|v| dsu.find(v)).collect();
         let mut remap = std::collections::HashMap::new();
         let mut part_of = vec![0usize; g.n()];
@@ -183,8 +194,11 @@ pub fn naive_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> 
         // Prior work: every part uses the whole tree (one block), and all
         // nodes climb it themselves.
         let sc = trivial_shortcut_with_threshold(g, &tree, inst.partition(), 1);
-        let leaders: Vec<usize> =
-            inst.partition().part_ids().map(|p| inst.partition().members(p)[0]).collect();
+        let leaders: Vec<usize> = inst
+            .partition()
+            .part_ids()
+            .map(|p| inst.partition().members(p)[0])
+            .collect();
         let res = naive_block_pa(&inst, &tree, &sc, &leaders, config.pa.variant, 1)?;
         cost += res.cost + res.cost;
         for p in inst.partition().part_ids() {
@@ -202,7 +216,12 @@ pub fn naive_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> 
     chosen.sort_unstable();
     chosen.dedup();
     let total_weight = chosen.iter().map(|&e| g.weight(e)).sum();
-    Ok(PaMstResult { edges: chosen, total_weight, phases, cost })
+    Ok(PaMstResult {
+        edges: chosen,
+        total_weight,
+        phases,
+        cost,
+    })
 }
 
 #[cfg(test)]
@@ -223,7 +242,10 @@ mod tests {
     fn check_against_kruskal(g: &Graph, config: &MstConfig) -> PaMstResult {
         let res = pa_mst(g, config).expect("MST solves");
         let k = reference::kruskal(g);
-        assert_eq!(res.total_weight, k.total_weight, "weight must match Kruskal");
+        assert_eq!(
+            res.total_weight, k.total_weight,
+            "weight must match Kruskal"
+        );
         assert_eq!(res.edges.len(), g.n() - 1);
         // Distinct weights -> unique MST -> identical edge sets.
         res
@@ -247,7 +269,9 @@ mod tests {
     #[test]
     fn randomized_pipeline_matches() {
         let g = gen::random_connected_weighted(40, 90, 2);
-        let config = MstConfig { pa: PaConfig::randomized(5) };
+        let config = MstConfig {
+            pa: PaConfig::randomized(5),
+        };
         let res = check_against_kruskal(&g, &config);
         assert_eq!(res.edges, reference::kruskal(&g).edges);
     }
@@ -283,6 +307,9 @@ mod tests {
         let g = gen::dumbbell(5, 1);
         let res = pa_mst(&g, &MstConfig::default()).unwrap();
         let bridge = g.edge_between(4, 5).unwrap();
-        assert!(res.edges.contains(&bridge), "the only inter-clique edge is forced");
+        assert!(
+            res.edges.contains(&bridge),
+            "the only inter-clique edge is forced"
+        );
     }
 }

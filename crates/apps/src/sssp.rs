@@ -18,7 +18,7 @@
 //! `L^{O(log log n)/log(1/β)}` guarantee).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 use rmo_congest::CostReport;
@@ -40,7 +40,11 @@ pub struct SsspConfig {
 
 impl Default for SsspConfig {
     fn default() -> SsspConfig {
-        SsspConfig { beta: 0.4, pa: PaConfig::default(), seed: 1 }
+        SsspConfig {
+            beta: 0.4,
+            pa: PaConfig::default(),
+            seed: 1,
+        }
     }
 }
 
@@ -65,8 +69,14 @@ pub struct SsspResult {
 /// # Panics
 /// Panics if `β ∉ (0, 1]` or the graph is disconnected/empty.
 pub fn approx_sssp(g: &Graph, source: NodeId, config: &SsspConfig) -> Result<SsspResult, PaError> {
-    assert!(config.beta > 0.0 && config.beta <= 1.0, "beta must be in (0, 1]");
-    assert!(g.n() > 0 && g.is_connected(), "SSSP needs a connected graph");
+    assert!(
+        config.beta > 0.0 && config.beta <= 1.0,
+        "beta must be in (0, 1]"
+    );
+    assert!(
+        g.n() > 0 && g.is_connected(),
+        "SSSP needs a connected graph"
+    );
     let n = g.n();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut cost = CostReport::zero();
@@ -122,7 +132,10 @@ pub fn approx_sssp(g: &Graph, source: NodeId, config: &SsspConfig) -> Result<Sss
             }
         }
     }
-    assert!(cluster.iter().all(|&c| c != usize::MAX), "LDD must cover the graph");
+    assert!(
+        cluster.iter().all(|&c| c != usize::MAX),
+        "LDD must cover the graph"
+    );
     cost += CostReport::new(rounds_ldd, messages_ldd);
     let max_radius = hop_depth.iter().copied().max().unwrap_or(0);
 
@@ -190,7 +203,12 @@ pub fn approx_sssp(g: &Graph, source: NodeId, config: &SsspConfig) -> Result<Sss
             }
         })
         .collect();
-    Ok(SsspResult { estimates, clusters: num_clusters, max_radius, cost })
+    Ok(SsspResult {
+        estimates,
+        clusters: num_clusters,
+        max_radius,
+        cost,
+    })
 }
 
 #[cfg(test)]
@@ -243,8 +261,24 @@ mod tests {
     #[test]
     fn larger_beta_means_smaller_clusters() {
         let g = gen::grid(8, 8);
-        let tight = approx_sssp(&g, 0, &SsspConfig { beta: 0.9, ..Default::default() }).unwrap();
-        let loose = approx_sssp(&g, 0, &SsspConfig { beta: 0.1, ..Default::default() }).unwrap();
+        let tight = approx_sssp(
+            &g,
+            0,
+            &SsspConfig {
+                beta: 0.9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let loose = approx_sssp(
+            &g,
+            0,
+            &SsspConfig {
+                beta: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(
             tight.clusters >= loose.clusters,
             "beta=0.9 gives {} clusters, beta=0.1 gives {}",

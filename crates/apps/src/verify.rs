@@ -35,7 +35,10 @@ pub fn verify_connected_spanning(
     // One more tree aggregation (Or over "label differs from neighbor")
     // is dominated by the PA cost; charge a broadcast's worth.
     let cost = labels.cost + CostReport::new(2, 2 * g.n() as u64);
-    Ok(Verdict { holds: labels.num_components == 1, cost })
+    Ok(Verdict {
+        holds: labels.num_components == 1,
+        cost,
+    })
 }
 
 /// Verifies that `H` is a spanning tree of `G`: connected, spanning, and
@@ -145,9 +148,9 @@ pub fn verify_forest(g: &Graph, h_edges: &[EdgeId], config: &PaConfig) -> Result
         let (u, _) = g.endpoints(e);
         *edges_per.entry(labels.component_of[u]).or_insert(0usize) += 1;
     }
-    let holds = nodes_per.iter().all(|(c, &n)| {
-        edges_per.get(c).copied().unwrap_or(0) == n - 1 || n == 1
-    });
+    let holds = nodes_per
+        .iter()
+        .all(|(c, &n)| edges_per.get(c).copied().unwrap_or(0) == n - 1 || n == 1);
     // Two more Sum aggregations ride the same PA machinery.
     let cost = labels.cost + CostReport::new(4, 4 * g.n() as u64);
     Ok(Verdict { holds, cost })
@@ -227,8 +230,7 @@ pub fn verify_mst(g: &Graph, h_edges: &[EdgeId], config: &PaConfig) -> Result<Ve
         .all(|(_, u, v, w)| w >= path_max(u, v));
     // O(log n) labeling passes carry the path maxima distributedly.
     let log_n = (g.n().max(2) as f64).log2().ceil() as u64;
-    let cost = tree_check.cost
-        + CostReport::new(2 * tree.depth() + 2, 2 * (g.m() as u64) * log_n);
+    let cost = tree_check.cost + CostReport::new(2 * tree.depth() + 2, 2 * (g.m() as u64) * log_n);
     Ok(Verdict { holds, cost })
 }
 
@@ -247,7 +249,10 @@ pub fn verify_two_edge_connected(g: &Graph, config: &PaConfig) -> Result<Verdict
     let labels = component_labels(g, &all, config)?;
     let holds = rmo_graph::is_two_edge_connected(g);
     let log_n = (g.n().max(2) as f64).log2().ceil() as u64;
-    Ok(Verdict { holds, cost: labels.cost + CostReport::new(2, 2 * g.n() as u64 * log_n) })
+    Ok(Verdict {
+        holds,
+        cost: labels.cost + CostReport::new(2, 2 * g.n() as u64 * log_n),
+    })
 }
 
 #[cfg(test)]
@@ -286,7 +291,11 @@ mod tests {
     fn connectivity_detects_split() {
         let g = gen::path(10);
         let all: Vec<EdgeId> = (0..g.m()).collect();
-        assert!(verify_connected_spanning(&g, &all, &PaConfig::default()).unwrap().holds);
+        assert!(
+            verify_connected_spanning(&g, &all, &PaConfig::default())
+                .unwrap()
+                .holds
+        );
         let missing_middle: Vec<EdgeId> = (0..g.m()).filter(|&e| e != 4).collect();
         assert!(
             !verify_connected_spanning(&g, &missing_middle, &PaConfig::default())
@@ -299,10 +308,18 @@ mod tests {
     fn cut_verification() {
         let g = gen::dumbbell(4, 1);
         let bridge = g.edge_between(3, 4).unwrap();
-        assert!(verify_cut(&g, &[bridge], &PaConfig::default()).unwrap().holds);
+        assert!(
+            verify_cut(&g, &[bridge], &PaConfig::default())
+                .unwrap()
+                .holds
+        );
         // A non-cut: one intra-clique edge.
         let inner = g.edge_between(0, 1).unwrap();
-        assert!(!verify_cut(&g, &[inner], &PaConfig::default()).unwrap().holds);
+        assert!(
+            !verify_cut(&g, &[inner], &PaConfig::default())
+                .unwrap()
+                .holds
+        );
     }
 
     #[test]
@@ -310,17 +327,29 @@ mod tests {
         // Even cycle: bipartite. Odd cycle: not.
         let even = gen::cycle(8);
         let all_even: Vec<EdgeId> = (0..even.m()).collect();
-        assert!(verify_bipartite(&even, &all_even, &PaConfig::default()).unwrap().holds);
+        assert!(
+            verify_bipartite(&even, &all_even, &PaConfig::default())
+                .unwrap()
+                .holds
+        );
         let odd = gen::cycle(9);
         let all_odd: Vec<EdgeId> = (0..odd.m()).collect();
-        assert!(!verify_bipartite(&odd, &all_odd, &PaConfig::default()).unwrap().holds);
+        assert!(
+            !verify_bipartite(&odd, &all_odd, &PaConfig::default())
+                .unwrap()
+                .holds
+        );
     }
 
     #[test]
     fn bipartite_on_forest_always_holds() {
         let g = gen::grid(4, 6);
         let mst = reference::kruskal(&g);
-        assert!(verify_bipartite(&g, &mst.edges, &PaConfig::default()).unwrap().holds);
+        assert!(
+            verify_bipartite(&g, &mst.edges, &PaConfig::default())
+                .unwrap()
+                .holds
+        );
     }
 
     #[test]
@@ -328,12 +357,21 @@ mod tests {
         let g = gen::grid_weighted(5, 5, 1);
         let cfg = PaConfig::default();
         let mst = reference::kruskal(&g).edges;
-        assert!(verify_forest(&g, &mst, &cfg).unwrap().holds, "a tree is a forest");
+        assert!(
+            verify_forest(&g, &mst, &cfg).unwrap().holds,
+            "a tree is a forest"
+        );
         let mut partial = mst.clone();
         partial.truncate(10);
-        assert!(verify_forest(&g, &partial, &cfg).unwrap().holds, "subforests are forests");
+        assert!(
+            verify_forest(&g, &partial, &cfg).unwrap().holds,
+            "subforests are forests"
+        );
         let all: Vec<EdgeId> = (0..g.m()).collect();
-        assert!(!verify_forest(&g, &all, &cfg).unwrap().holds, "grids have cycles");
+        assert!(
+            !verify_forest(&g, &all, &cfg).unwrap().holds,
+            "grids have cycles"
+        );
     }
 
     #[test]
@@ -386,8 +424,7 @@ mod tests {
             .iter()
             .find(|&&e| g.weight(e) < g.weight(non_tree))
             .expect("MST path has a lighter edge than the non-tree edge");
-        let mut worse: Vec<EdgeId> =
-            mst.iter().copied().filter(|&e| e != lighter).collect();
+        let mut worse: Vec<EdgeId> = mst.iter().copied().filter(|&e| e != lighter).collect();
         worse.push(non_tree);
         let verdict = verify_mst(&g, &worse, &PaConfig::default()).unwrap();
         assert!(!verdict.holds, "swapped-in heavier edge must be detected");
@@ -404,9 +441,25 @@ mod tests {
     #[test]
     fn two_edge_connectivity() {
         let cfg = PaConfig::default();
-        assert!(verify_two_edge_connected(&gen::cycle(8), &cfg).unwrap().holds);
-        assert!(verify_two_edge_connected(&gen::grid(4, 4), &cfg).unwrap().holds);
-        assert!(!verify_two_edge_connected(&gen::dumbbell(4, 1), &cfg).unwrap().holds);
-        assert!(!verify_two_edge_connected(&gen::path(5), &cfg).unwrap().holds);
+        assert!(
+            verify_two_edge_connected(&gen::cycle(8), &cfg)
+                .unwrap()
+                .holds
+        );
+        assert!(
+            verify_two_edge_connected(&gen::grid(4, 4), &cfg)
+                .unwrap()
+                .holds
+        );
+        assert!(
+            !verify_two_edge_connected(&gen::dumbbell(4, 1), &cfg)
+                .unwrap()
+                .holds
+        );
+        assert!(
+            !verify_two_edge_connected(&gen::path(5), &cfg)
+                .unwrap()
+                .holds
+        );
     }
 }

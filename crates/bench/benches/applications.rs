@@ -15,8 +15,14 @@ use rmo_graph::{gen, reference, EdgeId};
 fn bench_mincut(c: &mut Criterion) {
     let mut group = c.benchmark_group("corollary_1_4_mincut");
     group.sample_size(10);
-        for (name, g) in [("dumbbell", gen::dumbbell(8, 2)), ("grid5x8", gen::grid(5, 8))] {
-        let cfg = MinCutConfig { trials: Some(6), ..Default::default() };
+    for (name, g) in [
+        ("dumbbell", gen::dumbbell(8, 2)),
+        ("grid5x8", gen::grid(5, 8)),
+    ] {
+        let cfg = MinCutConfig {
+            trials: Some(6),
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, ()| {
             b.iter(|| approx_min_cut(&g, &cfg).expect("solves"))
         });
@@ -27,9 +33,12 @@ fn bench_mincut(c: &mut Criterion) {
 fn bench_sssp(c: &mut Criterion) {
     let mut group = c.benchmark_group("corollary_1_5_sssp");
     group.sample_size(10);
-        for beta in [0.2f64, 0.6] {
+    for beta in [0.2f64, 0.6] {
         let g = gen::grid(12, 12);
-        let cfg = SsspConfig { beta, ..Default::default() };
+        let cfg = SsspConfig {
+            beta,
+            ..Default::default()
+        };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("grid_beta{beta}")),
             &(),
@@ -42,7 +51,7 @@ fn bench_sssp(c: &mut Criterion) {
 fn bench_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("corollary_a1_verification");
     group.sample_size(10);
-        let g = gen::grid_weighted(10, 10, 2);
+    let g = gen::grid_weighted(10, 10, 2);
     let mst = reference::kruskal(&g).edges;
     let half: Vec<EdgeId> = (0..g.m()).filter(|e| e % 2 == 0).collect();
     group.bench_function("component_labels", |b| {
@@ -57,7 +66,7 @@ fn bench_verification(c: &mut Criterion) {
 fn bench_domination(c: &mut Criterion) {
     let mut group = c.benchmark_group("corollaries_a2_a3_domination");
     group.sample_size(10);
-        let g = gen::grid(10, 16);
+    let g = gen::grid(10, 16);
     for k in [12usize, 48] {
         group.bench_with_input(BenchmarkId::new("kdom", k), &(), |b, ()| {
             b.iter(|| k_dominating_set(&g, k))
@@ -70,5 +79,11 @@ fn bench_domination(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mincut, bench_sssp, bench_verification, bench_domination);
+criterion_group!(
+    benches,
+    bench_mincut,
+    bench_sssp,
+    bench_verification,
+    bench_domination
+);
 criterion_main!(benches);

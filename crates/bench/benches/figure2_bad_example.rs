@@ -12,7 +12,7 @@ use rmo_shortcut::trivial::trivial_shortcut_with_threshold;
 fn bench_figure2(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure2_apex_grid");
     group.sample_size(10);
-        for depth in [8usize, 16, 32] {
+    for depth in [8usize, 16, 32] {
         let width = 1024 / depth;
         let g = gen::grid_with_apex(depth, width);
         let parts =

@@ -9,10 +9,13 @@ use rmo_graph::{gen, reference};
 fn bench_mst(c: &mut Criterion) {
     let mut group = c.benchmark_group("corollary_1_3_mst");
     group.sample_size(10);
-        let cases = vec![
+    let cases = vec![
         ("grid12x12", gen::grid_weighted(12, 12, 3)),
         ("random_n150", gen::random_connected_weighted(150, 450, 3)),
-        ("apex16x16", gen::distinct_weights(&gen::grid_with_apex(16, 16), 5)),
+        (
+            "apex16x16",
+            gen::distinct_weights(&gen::grid_with_apex(16, 16), 5),
+        ),
     ];
     for (name, g) in &cases {
         group.bench_with_input(BenchmarkId::new("pa_boruvka", name), &(), |b, ()| {

@@ -61,7 +61,7 @@ fn bench_router(c: &mut Criterion) {
 fn bench_divisions(c: &mut Criterion) {
     let mut group = c.benchmark_group("subpart_divisions");
     group.sample_size(10);
-        let g = gen::grid(8, 64);
+    let g = gen::grid(8, 64);
     let parts = Partition::new(&g, gen::grid_row_partition(8, 64)).expect("valid");
     let leaders: Vec<usize> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
     group.bench_function("algorithm3_random", |b| {
@@ -83,8 +83,9 @@ fn bench_star_joining(c: &mut Criterion) {
             .enumerate()
             .map(|(i, t)| t.filter(|&x| x != i))
             .collect();
-        let ids: Vec<u64> =
-            (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) | 1).collect();
+        let ids: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
             b.iter(|| star_joining(&out, &ids))
         });
@@ -92,5 +93,11 @@ fn bench_star_joining(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_router, bench_divisions, bench_star_joining);
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_router,
+    bench_divisions,
+    bench_star_joining
+);
 criterion_main!(benches);

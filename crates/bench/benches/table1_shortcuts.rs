@@ -23,11 +23,9 @@ fn bench_constructions(c: &mut Criterion) {
                 vec![m[0], m[m.len() - 1]]
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("trivial", fixture.name),
-            &(),
-            |b, ()| b.iter(|| trivial_shortcut(g, &tree, parts)),
-        );
+        group.bench_with_input(BenchmarkId::new("trivial", fixture.name), &(), |b, ()| {
+            b.iter(|| trivial_shortcut(g, &tree, parts))
+        });
         group.bench_with_input(
             BenchmarkId::new("alg4_randomized", fixture.name),
             &(),

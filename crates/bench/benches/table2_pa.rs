@@ -9,16 +9,11 @@ use rmo_core::{solve_pa, Aggregate, PaConfig, PaInstance};
 fn bench_pa(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_pa_solve");
     group.sample_size(10);
-        for fixture in fixtures(10) {
+    for fixture in fixtures(10) {
         let g = &fixture.graph;
         let values: Vec<u64> = (0..g.n() as u64).collect();
-        let inst = PaInstance::from_partition(
-            g,
-            fixture.partition.clone(),
-            values,
-            Aggregate::Min,
-        )
-        .expect("valid");
+        let inst = PaInstance::from_partition(g, fixture.partition.clone(), values, Aggregate::Min)
+            .expect("valid");
         group.bench_with_input(
             BenchmarkId::new("deterministic", fixture.name),
             &(),

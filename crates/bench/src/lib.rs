@@ -23,17 +23,33 @@ pub fn fixtures(scale: usize) -> Vec<Fixture> {
     let mut out = Vec::new();
     let g = gen::random_connected(s * s, 3 * s * s, 7);
     let partition = gen::random_connected_partition(&g, s, 11);
-    out.push(Fixture { name: "general", graph: g, partition });
+    out.push(Fixture {
+        name: "general",
+        graph: g,
+        partition,
+    });
     let g = gen::grid(s, s);
     let partition = Partition::new(&g, gen::grid_row_partition(s, s)).expect("valid");
-    out.push(Fixture { name: "planar", graph: g, partition });
+    out.push(Fixture {
+        name: "planar",
+        graph: g,
+        partition,
+    });
     let g = gen::ktree(s * s, 3, 5);
     let partition = gen::random_connected_partition(&g, s, 13);
-    out.push(Fixture { name: "treewidth3", graph: g, partition });
+    out.push(Fixture {
+        name: "treewidth3",
+        graph: g,
+        partition,
+    });
     let len = (s * s / 3).max(2);
     let g = gen::kpath(len, 3);
     let assign: Vec<usize> = (0..g.n()).map(|v| (v / 3) * s / len.max(1)).collect();
     let partition = Partition::new(&g, assign).expect("valid");
-    out.push(Fixture { name: "pathwidth3", graph: g, partition });
+    out.push(Fixture {
+        name: "pathwidth3",
+        graph: g,
+        partition,
+    });
     out
 }

@@ -38,17 +38,29 @@ pub struct CostReport {
 impl CostReport {
     /// A report with the given rounds and messages, strict CONGEST capacity.
     pub fn new(rounds: usize, messages: u64) -> CostReport {
-        CostReport { rounds, messages, capacity_multiplier: 1 }
+        CostReport {
+            rounds,
+            messages,
+            capacity_multiplier: 1,
+        }
     }
 
     /// The zero cost.
     pub fn zero() -> CostReport {
-        CostReport { rounds: 0, messages: 0, capacity_multiplier: 1 }
+        CostReport {
+            rounds: 0,
+            messages: 0,
+            capacity_multiplier: 1,
+        }
     }
 
     /// A report with an explicit capacity multiplier.
     pub fn with_capacity(rounds: usize, messages: u64, capacity_multiplier: usize) -> CostReport {
-        CostReport { rounds, messages, capacity_multiplier }
+        CostReport {
+            rounds,
+            messages,
+            capacity_multiplier,
+        }
     }
 
     /// Parallel composition: phases run simultaneously on disjoint edges —

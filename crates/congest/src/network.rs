@@ -8,7 +8,7 @@
 //! that knowledge away from the programs.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 use rmo_graph::{EdgeId, Graph, NodeId};
@@ -54,7 +54,12 @@ impl Network {
             ports[v].push((e, u, pu));
             edge_ports.push(((u, pu), (v, pv)));
         }
-        Network { n: g.n(), ids, ports, edge_ports }
+        Network {
+            n: g.n(),
+            ids,
+            ports,
+            edge_ports,
+        }
     }
 
     /// Number of nodes.
@@ -144,10 +149,14 @@ mod tests {
         let a = Network::new(&g, 5);
         let b = Network::new(&g, 5);
         let c = Network::new(&g, 6);
-        assert_eq!((0..10).map(|v| a.id_of(v)).collect::<Vec<_>>(),
-                   (0..10).map(|v| b.id_of(v)).collect::<Vec<_>>());
-        assert_ne!((0..10).map(|v| a.id_of(v)).collect::<Vec<_>>(),
-                   (0..10).map(|v| c.id_of(v)).collect::<Vec<_>>());
+        assert_eq!(
+            (0..10).map(|v| a.id_of(v)).collect::<Vec<_>>(),
+            (0..10).map(|v| b.id_of(v)).collect::<Vec<_>>()
+        );
+        assert_ne!(
+            (0..10).map(|v| a.id_of(v)).collect::<Vec<_>>(),
+            (0..10).map(|v| c.id_of(v)).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -40,7 +40,12 @@ impl Payload {
 
     /// A payload carrying only its tag (probe / ack style messages).
     pub fn tag_only(tag: u16) -> Payload {
-        Payload { tag, a: 0, b: 0, c: 0 }
+        Payload {
+            tag,
+            a: 0,
+            b: 0,
+            c: 0,
+        }
     }
 
     /// A payload with a tag and one word.

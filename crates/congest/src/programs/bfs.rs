@@ -30,7 +30,12 @@ impl BfsProgram {
     /// Creates the program; exactly one node per network must have
     /// `is_root = true`.
     pub fn new(is_root: bool) -> BfsProgram {
-        BfsProgram { is_root, announced: false, distance: None, parent_port: None }
+        BfsProgram {
+            is_root,
+            announced: false,
+            distance: None,
+            parent_port: None,
+        }
     }
 
     /// BFS distance from the root, once the run has quiesced.
@@ -124,8 +129,8 @@ pub fn extract_tree(
             parent_edge[v] = e;
         }
     }
-    let tree = RootedTree::from_parents(root, parent, parent_edge)
-        .expect("BFS parent ports form a tree");
+    let tree =
+        RootedTree::from_parents(root, parent, parent_edge).expect("BFS parent ports form a tree");
     (tree, dist)
 }
 
@@ -147,7 +152,11 @@ mod tests {
         let g = gen::random_connected(60, 150, 4);
         let net = Network::new(&g, 4);
         let (_, _, cost) = run_bfs(&g, &net, 0).unwrap();
-        assert_eq!(cost.messages, 2 * g.m() as u64, "each endpoint announces once");
+        assert_eq!(
+            cost.messages,
+            2 * g.m() as u64,
+            "each endpoint announces once"
+        );
     }
 
     #[test]

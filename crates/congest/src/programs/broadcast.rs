@@ -71,8 +71,10 @@ impl TreeBroadcast {
 impl NodeProgram for TreeBroadcast {
     fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
         if self.received.is_none() {
-            if let Some(&(_, msg)) =
-                ctx.inbox().iter().find(|(p, m)| m.tag == TAG_VALUE && Some(*p) == self.parent_port)
+            if let Some(&(_, msg)) = ctx
+                .inbox()
+                .iter()
+                .find(|(p, m)| m.tag == TAG_VALUE && Some(*p) == self.parent_port)
             {
                 self.received = Some(msg.a);
             }
@@ -129,7 +131,11 @@ pub fn run_tree_broadcast(
     });
     let cost = sim.run_until_quiescent(4 * g.n() + 4)?;
     let values = (0..g.n())
-        .map(|v| sim.program(v).value().expect("broadcast reached every node"))
+        .map(|v| {
+            sim.program(v)
+                .value()
+                .expect("broadcast reached every node")
+        })
         .collect();
     Ok((values, cost))
 }

@@ -32,7 +32,10 @@ pub struct LeaderElect {
 impl LeaderElect {
     /// Fresh state; the node learns its own ID in round 0.
     pub fn new() -> LeaderElect {
-        LeaderElect { best: 0, announced_best: 0 }
+        LeaderElect {
+            best: 0,
+            announced_best: 0,
+        }
     }
 
     /// The largest ID this node has seen (the leader's ID after quiescence).
@@ -72,13 +75,22 @@ impl NodeProgram for LeaderElect {
 ///
 /// # Errors
 /// Propagates simulator errors.
-pub fn run_leader_election(g: &Graph, net: &Network) -> Result<(NodeId, u64, CostReport), SimError> {
+pub fn run_leader_election(
+    g: &Graph,
+    net: &Network,
+) -> Result<(NodeId, u64, CostReport), SimError> {
     let mut sim = Simulator::new(net, |_| LeaderElect::new());
     let cost = sim.run_until_quiescent(4 * g.n() + 4)?;
     let leader_id = sim.program(0).leader_id();
-    let leader = net.node_with_id(leader_id).expect("leader ID belongs to some node");
+    let leader = net
+        .node_with_id(leader_id)
+        .expect("leader ID belongs to some node");
     for v in 0..g.n() {
-        assert_eq!(sim.program(v).leader_id(), leader_id, "node {v} disagrees on the leader");
+        assert_eq!(
+            sim.program(v).leader_id(),
+            leader_id,
+            "node {v} disagrees on the leader"
+        );
     }
     Ok((leader, leader_id, cost))
 }

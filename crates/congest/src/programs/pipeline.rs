@@ -115,7 +115,9 @@ pub fn run_pipeline_broadcast(
         }
     });
     let cost = sim.run_until_quiescent(4 * (g.n() + tokens.len()) + 8)?;
-    let received = (0..g.n()).map(|v| sim.program(v).received().to_vec()).collect();
+    let received = (0..g.n())
+        .map(|v| sim.program(v).received().to_vec())
+        .collect();
     Ok((received, cost))
 }
 

@@ -124,13 +124,20 @@ impl<'t> TreeRouter<'t> {
     ///
     /// # Panics
     /// Panics if a source is not a descendant of its job's root.
-    pub fn upcast(&self, jobs: &[UpcastJob], mut merge: impl FnMut(u64, u64) -> u64) -> UpcastResult {
+    pub fn upcast(
+        &self,
+        jobs: &[UpcastJob],
+        mut merge: impl FnMut(u64, u64) -> u64,
+    ) -> UpcastResult {
         let n = self.tree.n();
         // Priority per subtree id: (root depth, subtree id).
         let mut root_of: HashMap<usize, NodeId> = HashMap::new();
         for job in jobs {
             let prev = root_of.insert(job.subtree, job.root);
-            assert!(prev.is_none_or(|r| r == job.root), "conflicting roots for one subtree");
+            assert!(
+                prev.is_none_or(|r| r == job.root),
+                "conflicting roots for one subtree"
+            );
         }
         // waiting[v]: packets currently at node v, keyed by subtree (merged).
         let mut waiting: Vec<HashMap<usize, u64>> = vec![HashMap::new(); n];
@@ -187,7 +194,10 @@ impl<'t> TreeRouter<'t> {
                 in_flight -= 1;
                 messages += 1;
                 edge_users.entry((v, s)).or_insert(());
-                let p = self.tree.parent_of(v).expect("non-root packet holder has a parent");
+                let p = self
+                    .tree
+                    .parent_of(v)
+                    .expect("non-root packet holder has a parent");
                 if p == root_of[&s] {
                     match arrived.entry(s) {
                         std::collections::hash_map::Entry::Occupied(mut e) => {
@@ -218,7 +228,10 @@ impl<'t> TreeRouter<'t> {
             *per_edge.entry(v).or_insert(0) += 1;
         }
         let realized_congestion = per_edge.values().copied().max().unwrap_or(0);
-        let aggregates = jobs.iter().map(|j| arrived.get(&j.subtree).copied()).collect();
+        let aggregates = jobs
+            .iter()
+            .map(|j| arrived.get(&j.subtree).copied())
+            .collect();
         UpcastResult {
             aggregates,
             cost: CostReport::with_capacity(rounds, messages, self.capacity),
@@ -267,10 +280,10 @@ impl<'t> TreeRouter<'t> {
         let mut queue: Vec<HashMap<NodeId, Vec<usize>>> = vec![HashMap::new(); n];
         let mut active = 0usize;
         let enqueue = |queue: &mut Vec<HashMap<NodeId, Vec<usize>>>,
-                           active: &mut usize,
-                           v: NodeId,
-                           j: usize,
-                           needed_children: &Vec<HashMap<usize, Vec<NodeId>>>| {
+                       active: &mut usize,
+                       v: NodeId,
+                       j: usize,
+                       needed_children: &Vec<HashMap<usize, Vec<NodeId>>>| {
             if let Some(kids) = needed_children[v].get(&j) {
                 for &c in kids {
                     queue[v].entry(c).or_default().push(j);
@@ -338,7 +351,11 @@ mod tests {
     fn single_upcast_on_path() {
         let t = path_tree(6);
         let r = TreeRouter::new(&t);
-        let jobs = vec![UpcastJob { subtree: 0, root: 0, sources: vec![(5, 7)] }];
+        let jobs = vec![UpcastJob {
+            subtree: 0,
+            root: 0,
+            sources: vec![(5, 7)],
+        }];
         let res = r.upcast(&jobs, u64::min);
         assert_eq!(res.aggregates[0], Some(7));
         assert_eq!(res.cost.rounds, 5);
@@ -374,7 +391,11 @@ mod tests {
         let g = Graph::from_unweighted_edges(4, &[(0, 1), (1, 2), (1, 3)]).unwrap();
         let (t, _) = bfs_tree(&g, 0);
         let r = TreeRouter::new(&t);
-        let jobs = vec![UpcastJob { subtree: 0, root: 0, sources: vec![(2, 5), (3, 6)] }];
+        let jobs = vec![UpcastJob {
+            subtree: 0,
+            root: 0,
+            sources: vec![(2, 5), (3, 6)],
+        }];
         let res = r.upcast(&jobs, |a, b| a + b);
         assert_eq!(res.aggregates[0], Some(11));
         assert_eq!(res.cost.messages, 3, "two leaf hops plus one merged hop");
@@ -386,7 +407,11 @@ mod tests {
     fn source_at_root_needs_no_messages() {
         let t = path_tree(3);
         let r = TreeRouter::new(&t);
-        let jobs = vec![UpcastJob { subtree: 0, root: 0, sources: vec![(0, 9)] }];
+        let jobs = vec![UpcastJob {
+            subtree: 0,
+            root: 0,
+            sources: vec![(0, 9)],
+        }];
         let res = r.upcast(&jobs, u64::max);
         assert_eq!(res.aggregates[0], Some(9));
         assert_eq!(res.cost.messages, 0);
@@ -397,7 +422,11 @@ mod tests {
     fn empty_job_yields_none() {
         let t = path_tree(3);
         let r = TreeRouter::new(&t);
-        let jobs = vec![UpcastJob { subtree: 0, root: 0, sources: vec![] }];
+        let jobs = vec![UpcastJob {
+            subtree: 0,
+            root: 0,
+            sources: vec![],
+        }];
         let res = r.upcast(&jobs, u64::max);
         assert_eq!(res.aggregates[0], None);
     }
@@ -410,7 +439,11 @@ mod tests {
         let r = TreeRouter::new(&t);
         let c = 6;
         let jobs: Vec<UpcastJob> = (0..c)
-            .map(|s| UpcastJob { subtree: s, root: 0, sources: vec![(11, s as u64)] })
+            .map(|s| UpcastJob {
+                subtree: s,
+                root: 0,
+                sources: vec![(11, s as u64)],
+            })
             .collect();
         let res = r.upcast(&jobs, u64::min);
         let d = 11;
@@ -436,8 +469,16 @@ mod tests {
         let (t, _) = bfs_tree(&g, 0);
         let r = TreeRouter::new(&t);
         let jobs = vec![
-            UpcastJob { subtree: 5, root: 0, sources: vec![(1, 50)] },
-            UpcastJob { subtree: 2, root: 0, sources: vec![(1, 20)] },
+            UpcastJob {
+                subtree: 5,
+                root: 0,
+                sources: vec![(1, 50)],
+            },
+            UpcastJob {
+                subtree: 2,
+                root: 0,
+                sources: vec![(1, 20)],
+            },
         ];
         let res = r.upcast(&jobs, u64::min);
         // Both complete; contention on the single edge 1->0 serializes them.
@@ -467,8 +508,12 @@ mod tests {
     fn downcast_to_root_only_is_free() {
         let t = path_tree(4);
         let r = TreeRouter::new(&t);
-        let jobs =
-            vec![DowncastJob { subtree: 0, root: 0, value: 1, destinations: vec![0] }];
+        let jobs = vec![DowncastJob {
+            subtree: 0,
+            root: 0,
+            value: 1,
+            destinations: vec![0],
+        }];
         let res = r.downcast(&jobs);
         assert_eq!(res.received[0], vec![(0, 1)]);
         assert_eq!(res.cost.messages, 0);
@@ -480,7 +525,12 @@ mod tests {
         let (t, _) = bfs_tree(&g, 0);
         let r = TreeRouter::new(&t);
         let all: Vec<usize> = (1..31).collect();
-        let jobs = vec![DowncastJob { subtree: 0, root: 0, value: 7, destinations: all.clone() }];
+        let jobs = vec![DowncastJob {
+            subtree: 0,
+            root: 0,
+            value: 7,
+            destinations: all.clone(),
+        }];
         let res = r.downcast(&jobs);
         for &v in &all {
             assert_eq!(res.received[v], vec![(0, 7)]);
@@ -496,7 +546,11 @@ mod tests {
         let t = path_tree(10);
         let r = TreeRouter::with_capacity(&t, 4);
         let jobs: Vec<UpcastJob> = (0..8)
-            .map(|s| UpcastJob { subtree: s, root: 0, sources: vec![(9, 1)] })
+            .map(|s| UpcastJob {
+                subtree: s,
+                root: 0,
+                sources: vec![(9, 1)],
+            })
             .collect();
         let res = r.upcast(&jobs, u64::min);
         assert_eq!(res.cost.capacity_multiplier, 4);

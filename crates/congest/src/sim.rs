@@ -25,7 +25,11 @@ use crate::payload::Payload;
 pub enum SimError {
     /// A node tried to send more than `capacity` messages over one edge in
     /// one round.
-    CapacityExceeded { node: NodeId, port: PortId, round: usize },
+    CapacityExceeded {
+        node: NodeId,
+        port: PortId,
+        round: usize,
+    },
     /// The round cap was reached before quiescence.
     RoundLimit { limit: usize },
 }
@@ -238,10 +242,15 @@ impl<'n, P: NodeProgram> Simulator<'n, P> {
             };
             self.programs[v].on_round(&mut ctx);
             if let Some(port) = ctx.violation {
-                return Err(SimError::CapacityExceeded { node: v, port, round: self.round });
+                return Err(SimError::CapacityExceeded {
+                    node: v,
+                    port,
+                    round: self.round,
+                });
             }
-            stats.max_edge_load =
-                stats.max_edge_load.max(ctx.sent_on_port.iter().copied().max().unwrap_or(0));
+            stats.max_edge_load = stats
+                .max_edge_load
+                .max(ctx.sent_on_port.iter().copied().max().unwrap_or(0));
             for (p, msg) in ctx.outbox {
                 let (_, u, q) = self.net.port_target(v, p);
                 self.pending[u].push((q, msg));

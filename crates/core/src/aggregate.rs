@@ -55,12 +55,20 @@ impl Aggregate {
 
     /// Folds an iterator of values (the centralized reference).
     pub fn fold(self, values: impl IntoIterator<Item = u64>) -> u64 {
-        values.into_iter().fold(self.identity(), |acc, v| self.apply(acc, v))
+        values
+            .into_iter()
+            .fold(self.identity(), |acc, v| self.apply(acc, v))
     }
 
     /// All variants, for enumerating tests.
     pub fn all() -> [Aggregate; 5] {
-        [Aggregate::Min, Aggregate::Max, Aggregate::Sum, Aggregate::Xor, Aggregate::Or]
+        [
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Sum,
+            Aggregate::Xor,
+            Aggregate::Or,
+        ]
     }
 }
 

@@ -48,7 +48,15 @@ pub fn naive_block_pa(
     block_budget: usize,
 ) -> Result<PaResult, PaError> {
     let division = singleton_division(inst);
-    solve_with_parts(inst, tree, shortcut, &division, leaders, variant, block_budget)
+    solve_with_parts(
+        inst,
+        tree,
+        shortcut,
+        &division,
+        leaders,
+        variant,
+        block_budget,
+    )
 }
 
 /// No-shortcut baseline: one sub-part per part (a BFS tree of the part
@@ -82,18 +90,15 @@ mod tests {
     fn naive_matches_reference_on_apex_grid() {
         let (depth, width) = (4, 16);
         let g = gen::grid_with_apex(depth, width);
-        let parts =
-            Partition::new(&g, gen::grid_row_partition_with_apex(depth, width)).unwrap();
+        let parts = Partition::new(&g, gen::grid_row_partition_with_apex(depth, width)).unwrap();
         let values: Vec<u64> = (0..g.n() as u64).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
         // Root the BFS tree at the apex: columns become the single block.
         let apex = depth * width;
         let (tree, _) = bfs_tree(&g, apex);
         let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
         let leaders = min_leaders(&parts);
-        let res =
-            naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1).unwrap();
+        let res = naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1).unwrap();
         for p in parts.part_ids() {
             assert_eq!(res.aggregates[p], inst.reference_aggregate(p));
         }
@@ -106,17 +111,14 @@ mod tests {
         // they are short here, so intra-part wins on messages).
         let (depth, width) = (8, 32);
         let g = gen::grid_with_apex(depth, width);
-        let parts =
-            Partition::new(&g, gen::grid_row_partition_with_apex(depth, width)).unwrap();
+        let parts = Partition::new(&g, gen::grid_row_partition_with_apex(depth, width)).unwrap();
         let values: Vec<u64> = (0..g.n() as u64).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
         let apex = depth * width;
         let (tree, _) = bfs_tree(&g, apex);
         let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
         let leaders = min_leaders(&parts);
-        let naive =
-            naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1).unwrap();
+        let naive = naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1).unwrap();
         let intra = intra_part_pa(&inst, &tree, &leaders, Variant::Deterministic).unwrap();
         assert!(
             naive.cost.messages > 2 * intra.cost.messages,
@@ -131,8 +133,7 @@ mod tests {
         let g = gen::grid(6, 9);
         let parts = Partition::new(&g, gen::grid_row_partition(6, 9)).unwrap();
         let values: Vec<u64> = (0..54).map(|v| v as u64 % 13).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Sum).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Sum).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let leaders = min_leaders(&parts);
         let res = intra_part_pa(&inst, &tree, &leaders, Variant::Deterministic).unwrap();
@@ -147,8 +148,7 @@ mod tests {
         let g = gen::path(64);
         let parts = Partition::whole(&g).unwrap();
         let inst =
-            PaInstance::from_partition(&g, parts.clone(), vec![1; 64], Aggregate::Sum)
-                .unwrap();
+            PaInstance::from_partition(&g, parts.clone(), vec![1; 64], Aggregate::Sum).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let res = intra_part_pa(&inst, &tree, &[0], Variant::Deterministic).unwrap();
         assert!(

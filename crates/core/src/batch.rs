@@ -52,7 +52,15 @@ pub fn solve_batch(
         assert_eq!(vs.len(), n, "every value set covers all nodes");
     }
     // One wave determines routes and the base cost.
-    let base = solve_with_parts(inst, tree, shortcut, division, leaders, variant, block_budget)?;
+    let base = solve_with_parts(
+        inst,
+        tree,
+        shortcut,
+        division,
+        leaders,
+        variant,
+        block_budget,
+    )?;
     let k = value_sets.len();
     // Pipelining: each of the three phases streams k words behind each
     // other (+k-1 rounds each); every message now carries per-value copies.
@@ -96,8 +104,8 @@ mod tests {
     fn batch_matches_individual_answers() {
         let g = gen::grid(6, 6);
         let parts = Partition::new(&g, gen::grid_row_partition(6, 6)).unwrap();
-        let inst = PaInstance::from_partition(&g, parts.clone(), vec![0; 36], Aggregate::Max)
-            .unwrap();
+        let inst =
+            PaInstance::from_partition(&g, parts.clone(), vec![0; 36], Aggregate::Max).unwrap();
         let (tree, sc, division, leaders) = setup(&g, &parts);
         let sets: Vec<Vec<u64>> = (0..5u64)
             .map(|i| (0..36u64).map(|v| (v * 7 + i * 13) % 97).collect())
@@ -125,8 +133,8 @@ mod tests {
     fn batching_beats_sequential_rounds() {
         let g = gen::grid(5, 20);
         let parts = Partition::new(&g, gen::grid_row_partition(5, 20)).unwrap();
-        let inst = PaInstance::from_partition(&g, parts.clone(), vec![0; 100], Aggregate::Sum)
-            .unwrap();
+        let inst =
+            PaInstance::from_partition(&g, parts.clone(), vec![0; 100], Aggregate::Sum).unwrap();
         let (tree, sc, division, leaders) = setup(&g, &parts);
         let single = solve_with_parts(
             &inst,

@@ -88,14 +88,17 @@ pub fn three_color(succ: &[Option<usize>], initial: &[u64]) -> ThreeColoring {
             assert_ne!(colors[i], colors[t], "coloring must be proper");
         }
     }
-    ThreeColoring { colors: colors.into_iter().map(|c| c as u8).collect(), steps }
+    ThreeColoring {
+        colors: colors.into_iter().map(|c| c as u8).collect(),
+        steps,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn check_proper(succ: &[Option<usize>], colors: &[u8]) {
         for (i, &s) in succ.iter().enumerate() {
@@ -109,8 +112,9 @@ mod tests {
     #[test]
     fn colors_a_long_path() {
         let n = 200;
-        let succ: Vec<Option<usize>> =
-            (0..n).map(|i| if i + 1 < n { Some(i + 1) } else { None }).collect();
+        let succ: Vec<Option<usize>> = (0..n)
+            .map(|i| if i + 1 < n { Some(i + 1) } else { None })
+            .collect();
         let initial: Vec<u64> = (0..n as u64).map(|i| i * 2654435761 + 17).collect();
         let r = three_color(&succ, &initial);
         check_proper(&succ, &r.colors);
@@ -122,8 +126,9 @@ mod tests {
     fn colors_a_cycle() {
         let n = 37;
         let succ: Vec<Option<usize>> = (0..n).map(|i| Some((i + 1) % n)).collect();
-        let initial: Vec<u64> =
-            (0..n as u64).map(|i| (i + 1).wrapping_mul(0x9e3779b97f4a7c15)).collect();
+        let initial: Vec<u64> = (0..n as u64)
+            .map(|i| (i + 1).wrapping_mul(0x9e3779b97f4a7c15))
+            .collect();
         let r = three_color(&succ, &initial);
         check_proper(&succ, &r.colors);
     }
@@ -168,8 +173,9 @@ mod tests {
                 }
                 idx += len;
             }
-            let initial: Vec<u64> =
-                (0..n as u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D) ^ trial).collect();
+            let initial: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x2545F4914F6CDD1D) ^ trial)
+                .collect();
             let r = three_color(&succ, &initial);
             check_proper(&succ, &r.colors);
         }

@@ -30,7 +30,10 @@ impl fmt::Display for PaError {
             }
             PaError::Disconnected => write!(f, "graph must be connected"),
             PaError::BlockBudgetExceeded { part, budget } => {
-                write!(f, "part {part} not covered within {budget} block iterations")
+                write!(
+                    f,
+                    "part {part} not covered within {budget} block iterations"
+                )
             }
         }
     }
@@ -70,10 +73,18 @@ impl<'g> PaInstance<'g> {
             return Err(PaError::Disconnected);
         }
         if values.len() != graph.n() {
-            return Err(PaError::ValueCountMismatch { expected: graph.n(), got: values.len() });
+            return Err(PaError::ValueCountMismatch {
+                expected: graph.n(),
+                got: values.len(),
+            });
         }
         let partition = Partition::new(graph, part_of)?;
-        Ok(PaInstance { graph, partition, values, aggregate })
+        Ok(PaInstance {
+            graph,
+            partition,
+            values,
+            aggregate,
+        })
     }
 
     /// Builds an instance from an already-validated [`Partition`].
@@ -90,9 +101,17 @@ impl<'g> PaInstance<'g> {
             return Err(PaError::Disconnected);
         }
         if values.len() != graph.n() {
-            return Err(PaError::ValueCountMismatch { expected: graph.n(), got: values.len() });
+            return Err(PaError::ValueCountMismatch {
+                expected: graph.n(),
+                got: values.len(),
+            });
         }
-        Ok(PaInstance { graph, partition, values, aggregate })
+        Ok(PaInstance {
+            graph,
+            partition,
+            values,
+            aggregate,
+        })
     }
 
     /// The underlying graph.
@@ -140,9 +159,13 @@ mod tests {
     #[test]
     fn valid_instance() {
         let g = gen::path(6);
-        let inst =
-            PaInstance::new(&g, vec![0, 0, 0, 1, 1, 1], vec![5, 3, 9, 2, 8, 1], Aggregate::Min)
-                .unwrap();
+        let inst = PaInstance::new(
+            &g,
+            vec![0, 0, 0, 1, 1, 1],
+            vec![5, 3, 9, 2, 8, 1],
+            Aggregate::Min,
+        )
+        .unwrap();
         assert_eq!(inst.reference_aggregate(0), 3);
         assert_eq!(inst.reference_aggregate(1), 1);
         assert_eq!(inst.reference_aggregate_of(4), 1);
@@ -152,22 +175,26 @@ mod tests {
     fn rejects_bad_value_count() {
         let g = gen::path(3);
         let err = PaInstance::new(&g, vec![0, 0, 0], vec![1], Aggregate::Sum).unwrap_err();
-        assert_eq!(err, PaError::ValueCountMismatch { expected: 3, got: 1 });
+        assert_eq!(
+            err,
+            PaError::ValueCountMismatch {
+                expected: 3,
+                got: 1
+            }
+        );
     }
 
     #[test]
     fn rejects_disconnected_graph() {
         let g = rmo_graph::Graph::from_unweighted_edges(4, &[(0, 1), (2, 3)]).unwrap();
-        let err =
-            PaInstance::new(&g, vec![0, 0, 1, 1], vec![0; 4], Aggregate::Sum).unwrap_err();
+        let err = PaInstance::new(&g, vec![0, 0, 1, 1], vec![0; 4], Aggregate::Sum).unwrap_err();
         assert_eq!(err, PaError::Disconnected);
     }
 
     #[test]
     fn rejects_disconnected_part() {
         let g = gen::path(4);
-        let err =
-            PaInstance::new(&g, vec![0, 1, 0, 1], vec![0; 4], Aggregate::Sum).unwrap_err();
+        let err = PaInstance::new(&g, vec![0, 1, 0, 1], vec![0; 4], Aggregate::Sum).unwrap_err();
         assert!(matches!(err, PaError::Partition(_)));
     }
 }

@@ -44,8 +44,8 @@ fn cost_of_a(
     variant: Variant,
 ) -> CostReport {
     let g = inst.graph();
-    let classes = Partition::new(g, assignment.to_vec())
-        .expect("coarsening classes stay connected");
+    let classes =
+        Partition::new(g, assignment.to_vec()).expect("coarsening classes stay connected");
     let dummy = PaInstance::from_partition(g, classes.clone(), vec![0; g.n()], Aggregate::Min)
         .expect("instance stays valid");
     let sc = trivial_shortcut(g, tree, &classes);
@@ -105,8 +105,7 @@ pub fn leaderless_pa(
         // Line 5 costs one run of A (selecting the minimum exit edge is a
         // part-wise aggregation over the classes).
         let (dense_assign, class_order) = remap(&class_of);
-        let current_leaders: Vec<NodeId> =
-            class_order.iter().map(|c| leader_of_class[c]).collect();
+        let current_leaders: Vec<NodeId> = class_order.iter().map(|c| leader_of_class[c]).collect();
         let a_cost = cost_of_a(inst, tree, &dense_assign, &current_leaders, variant);
         cost += a_cost;
 
@@ -115,7 +114,10 @@ pub fn leaderless_pa(
             .iter()
             .map(|e| e.map(|(_, u)| index[&class_of[u]]))
             .collect();
-        let ids: Vec<u64> = class_ids.iter().map(|&c| leader_of_class[&c] as u64 + 1).collect();
+        let ids: Vec<u64> = class_ids
+            .iter()
+            .map(|&c| leader_of_class[&c] as u64 + 1)
+            .collect();
         let sj = star_joining(&out_edge, &ids);
         cost += a_cost.repeated(sj.steps);
 
@@ -145,7 +147,11 @@ pub fn leaderless_pa(
     let division = SubPartDivision::one_per_part(g, parts, &leaders);
     let mut result = solve_with_parts(inst, tree, &sc, &division, &leaders, variant, 1)?;
     result.cost += cost;
-    Ok(LeaderlessResult { result, leaders, coarsening_iterations: iterations })
+    Ok(LeaderlessResult {
+        result,
+        leaders,
+        coarsening_iterations: iterations,
+    })
 }
 
 /// Densely remaps arbitrary class ids to `0..k` for `Partition::new`,
@@ -176,8 +182,7 @@ mod tests {
         let g = gen::grid(5, 7);
         let parts = Partition::new(&g, gen::grid_row_partition(5, 7)).unwrap();
         let values: Vec<u64> = (0..35).map(|v| 1000 - v as u64).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let out = leaderless_pa(&inst, &tree, Variant::Deterministic).unwrap();
         for p in parts.part_ids() {
@@ -192,8 +197,7 @@ mod tests {
         let g = gen::path(128);
         let parts = Partition::whole(&g).unwrap();
         let inst =
-            PaInstance::from_partition(&g, parts.clone(), vec![1; 128], Aggregate::Sum)
-                .unwrap();
+            PaInstance::from_partition(&g, parts.clone(), vec![1; 128], Aggregate::Sum).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let out = leaderless_pa(&inst, &tree, Variant::Deterministic).unwrap();
         assert_eq!(out.result.aggregates[0], 128);
@@ -209,15 +213,21 @@ mod tests {
         let g = gen::grid(6, 6);
         let parts = Partition::new(&g, gen::grid_row_partition(6, 6)).unwrap();
         let inst =
-            PaInstance::from_partition(&g, parts.clone(), vec![2; 36], Aggregate::Max)
-                .unwrap();
+            PaInstance::from_partition(&g, parts.clone(), vec![2; 36], Aggregate::Max).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
         let sc = trivial_shortcut(&g, &tree, &parts);
         let division = SubPartDivision::one_per_part(&g, &parts, &leaders);
-        let single =
-            solve_with_parts(&inst, &tree, &sc, &division, &leaders, Variant::Deterministic, 1)
-                .unwrap();
+        let single = solve_with_parts(
+            &inst,
+            &tree,
+            &sc,
+            &division,
+            &leaders,
+            Variant::Deterministic,
+            1,
+        )
+        .unwrap();
         let out = leaderless_pa(&inst, &tree, Variant::Deterministic).unwrap();
         // Lemma B.1: Õ(R) rounds, Õ(M) messages — allow log n * log* n ~ 30x.
         assert!(out.result.cost.rounds <= 60 * single.cost.rounds.max(1));
@@ -228,13 +238,8 @@ mod tests {
     fn singleton_parts_trivial() {
         let g = gen::star(6);
         let parts = Partition::singletons(&g);
-        let inst = PaInstance::from_partition(
-            &g,
-            parts.clone(),
-            (0..6).collect(),
-            Aggregate::Sum,
-        )
-        .unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), (0..6).collect(), Aggregate::Sum)
+            .unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let out = leaderless_pa(&inst, &tree, Variant::Deterministic).unwrap();
         for p in parts.part_ids() {

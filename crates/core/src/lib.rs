@@ -54,7 +54,9 @@ pub mod verify_block;
 pub use aggregate::Aggregate;
 pub use batch::{solve_batch, BatchResult};
 pub use instance::{PaError, PaInstance};
-pub use pipeline::{build_pipeline, build_pipeline_with_tree, solve_pa, PaConfig, PaPipeline, ShortcutStrategy};
+pub use pipeline::{
+    build_pipeline, build_pipeline_with_tree, solve_pa, PaConfig, PaPipeline, ShortcutStrategy,
+};
 pub use solve::Variant;
 pub use solve::{solve_with_parts, PaResult};
 pub use subparts::SubPartDivision;

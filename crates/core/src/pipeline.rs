@@ -144,7 +144,11 @@ pub fn build_pipeline_with_tree(
     // Stage 2: part leaders — min-id member, found by an in-part
     // convergecast + broadcast (O(part diameter) rounds, O(n) messages).
     let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
-    let max_part = parts.part_ids().map(|p| parts.part_size(p)).max().unwrap_or(1);
+    let max_part = parts
+        .part_ids()
+        .map(|p| parts.part_size(p))
+        .max()
+        .unwrap_or(1);
     setup_cost += CostReport::new(2 * max_part.min(g.n()), 2 * g.n() as u64);
 
     // Stage 3: sub-part division.
@@ -157,8 +161,7 @@ pub fn build_pipeline_with_tree(
         setup_cost += res.cost;
         res.division
     };
-    let terminals: Vec<Vec<NodeId>> =
-        parts.part_ids().map(|p| division.reps_of_part(p)).collect();
+    let terminals: Vec<Vec<NodeId>> = parts.part_ids().map(|p| division.reps_of_part(p)).collect();
 
     // Stage 4: shortcut construction with doubling budgets.
     let shortcut = match config.shortcut {
@@ -237,14 +240,23 @@ pub fn build_pipeline_with_tree(
             if shortcut.is_direct(p) {
                 division.subpart_count_of_part(p)
             } else {
-                shortcut.blocks_for_terminals(g, &tree, p, &terminals[p]).len()
+                shortcut
+                    .blocks_for_terminals(g, &tree, p, &terminals[p])
+                    .len()
             }
         })
         .max()
         .unwrap_or(1)
         .max(1);
 
-    PaPipeline { tree, leaders, shortcut, division, block_budget, setup_cost }
+    PaPipeline {
+        tree,
+        leaders,
+        shortcut,
+        division,
+        block_budget,
+        setup_cost,
+    }
 }
 
 fn verify_scaled(cost: CostReport, iterations: usize) -> CostReport {
@@ -298,8 +310,7 @@ mod tests {
         let g = gen::grid(6, 10);
         let parts = Partition::new(&g, gen::grid_row_partition(6, 10)).unwrap();
         let values: Vec<u64> = (0..60).map(|v| (v as u64 * 31) % 97).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts, values, Aggregate::Min).unwrap();
+        let inst = PaInstance::from_partition(&g, parts, values, Aggregate::Min).unwrap();
         check(&inst, &PaConfig::default());
         check(&inst, &PaConfig::randomized(3));
         check(&inst, &PaConfig::trivial(1));
@@ -310,8 +321,7 @@ mod tests {
         let g = gen::gnp_connected(70, 0.07, 5);
         let parts = gen::random_connected_partition(&g, 6, 9);
         let values: Vec<u64> = (0..70).map(|v| v as u64).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts, values, Aggregate::Sum).unwrap();
+        let inst = PaInstance::from_partition(&g, parts, values, Aggregate::Sum).unwrap();
         check(&inst, &PaConfig::default());
         check(&inst, &PaConfig::randomized(11));
     }
@@ -321,8 +331,7 @@ mod tests {
         let g = gen::path(100);
         let parts = Partition::new(&g, gen::path_blocks(100, 25)).unwrap();
         let values: Vec<u64> = (0..100).map(|v| v as u64 % 7).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts, values, Aggregate::Max).unwrap();
+        let inst = PaInstance::from_partition(&g, parts, values, Aggregate::Max).unwrap();
         check(&inst, &PaConfig::default());
     }
 
@@ -330,8 +339,7 @@ mod tests {
     fn setup_cost_is_accounted() {
         let g = gen::grid(5, 5);
         let parts = Partition::new(&g, gen::grid_row_partition(5, 5)).unwrap();
-        let inst =
-            PaInstance::from_partition(&g, parts, vec![1; 25], Aggregate::Sum).unwrap();
+        let inst = PaInstance::from_partition(&g, parts, vec![1; 25], Aggregate::Sum).unwrap();
         let pipe = build_pipeline(&inst, &PaConfig::default());
         assert!(pipe.setup_cost.rounds > 0);
         assert!(pipe.setup_cost.messages > 0);

@@ -32,7 +32,7 @@
 use std::collections::{HashMap, HashSet};
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use rmo_congest::router::{DowncastJob, TreeRouter, UpcastJob};
 use rmo_congest::CostReport;
@@ -97,15 +97,26 @@ pub fn solve_with_parts(
     variant: Variant,
     block_budget: usize,
 ) -> Result<PaResult, PaError> {
-    let wave = broadcast_wave(inst, tree, shortcut, division, leaders, variant, block_budget)?;
+    let wave = broadcast_wave(
+        inst,
+        tree,
+        shortcut,
+        division,
+        leaders,
+        variant,
+        block_budget,
+    )?;
     // Phases B (convergecast of f) and C (broadcast of the result) replay
     // the wave's communication pattern; their cost equals phase A's.
     let cost = wave.cost + wave.cost + wave.cost;
     let parts = inst.partition();
-    let aggregates: Vec<u64> =
-        parts.part_ids().map(|p| inst.reference_aggregate(p)).collect();
-    let node_values: Vec<u64> =
-        (0..inst.graph().n()).map(|v| aggregates[parts.part_of(v)]).collect();
+    let aggregates: Vec<u64> = parts
+        .part_ids()
+        .map(|p| inst.reference_aggregate(p))
+        .collect();
+    let node_values: Vec<u64> = (0..inst.graph().n())
+        .map(|v| aggregates[parts.part_of(v)])
+        .collect();
     Ok(PaResult {
         aggregates,
         node_values,
@@ -154,7 +165,15 @@ pub fn broadcast_wave_outcome(
     variant: Variant,
     block_budget: usize,
 ) -> WaveOutcome {
-    run_wave(inst, tree, shortcut, division, leaders, variant, block_budget)
+    run_wave(
+        inst,
+        tree,
+        shortcut,
+        division,
+        leaders,
+        variant,
+        block_budget,
+    )
 }
 
 fn broadcast_wave(
@@ -166,7 +185,15 @@ fn broadcast_wave(
     variant: Variant,
     block_budget: usize,
 ) -> Result<WaveOutcome, PaError> {
-    let outcome = run_wave(inst, tree, shortcut, division, leaders, variant, block_budget);
+    let outcome = run_wave(
+        inst,
+        tree,
+        shortcut,
+        division,
+        leaders,
+        variant,
+        block_budget,
+    );
     if let Some(v) = outcome.informed.iter().position(|&i| !i) {
         return Err(PaError::BlockBudgetExceeded {
             part: inst.partition().part_of(v),
@@ -205,7 +232,10 @@ fn run_wave(
             // Singleton blocks: the wave spreads via part edges only.
             for &r in &reps {
                 let id = blocks.len();
-                blocks.push(BlockInfo { root: r, terminals: vec![r] });
+                blocks.push(BlockInfo {
+                    root: r,
+                    terminals: vec![r],
+                });
                 block_of_rep.insert(r, id);
                 blocks_of_part[p].push(id);
             }
@@ -216,7 +246,10 @@ fn run_wave(
                     block_of_rep.insert(t, id);
                 }
                 blocks_of_part[p].push(id);
-                blocks.push(BlockInfo { root: b.root, terminals: b.part_nodes });
+                blocks.push(BlockInfo {
+                    root: b.root,
+                    terminals: b.part_nodes,
+                });
             }
         }
     }
@@ -448,8 +481,7 @@ mod tests {
         let g = gen::grid(6, 6);
         let parts = Partition::new(&g, gen::grid_row_partition(6, 6)).unwrap();
         let values: Vec<u64> = (0..36).map(|v| (v as u64 * 7919) % 1000).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
         let (tree, sc, division, leaders) = simple_setup(&g, &parts);
         let res = solve_with_parts(
             &inst,
@@ -473,8 +505,7 @@ mod tests {
         let parts = Partition::new(&g, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]).unwrap();
         for f in Aggregate::all() {
             let values: Vec<u64> = (0..12).map(|v| (v as u64).wrapping_mul(37) % 50).collect();
-            let inst =
-                PaInstance::from_partition(&g, parts.clone(), values, f).unwrap();
+            let inst = PaInstance::from_partition(&g, parts.clone(), values, f).unwrap();
             let (tree, sc, division, leaders) = simple_setup(&g, &parts);
             let res = solve_with_parts(
                 &inst,
@@ -497,8 +528,7 @@ mod tests {
         let g = gen::grid(5, 8);
         let parts = Partition::new(&g, gen::grid_row_partition(5, 8)).unwrap();
         let values: Vec<u64> = (0..40).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Sum).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Sum).unwrap();
         let (tree, sc, division, leaders) = simple_setup(&g, &parts);
         let res = solve_with_parts(
             &inst,
@@ -513,7 +543,10 @@ mod tests {
         for v in 0..40 {
             assert_eq!(res.value_at(v), inst.reference_aggregate_of(v));
         }
-        assert!(res.cost.capacity_multiplier > 1, "meta-rounds use batched capacity");
+        assert!(
+            res.cost.capacity_multiplier > 1,
+            "meta-rounds use batched capacity"
+        );
     }
 
     #[test]
@@ -523,8 +556,7 @@ mod tests {
         let g = gen::path(24);
         let parts = Partition::new(&g, gen::path_blocks(24, 8)).unwrap();
         let values: Vec<u64> = (0..24).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Max).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Max).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let sc = Shortcut::empty(parts.num_parts());
         let leaders = min_leaders(&parts);
@@ -552,8 +584,7 @@ mod tests {
         let g = gen::path(8);
         let parts = Partition::whole(&g).unwrap();
         let values = vec![1u64; 8];
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Sum).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Sum).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let sc = Shortcut::empty(1);
         // Two sub-parts: {0..3} rep 0, {4..7} rep 4.
@@ -561,7 +592,16 @@ mod tests {
             &g,
             &parts,
             vec![0, 0, 0, 0, 1, 1, 1, 1],
-            vec![None, Some(0), Some(1), Some(2), None, Some(4), Some(5), Some(6)],
+            vec![
+                None,
+                Some(0),
+                Some(1),
+                Some(2),
+                None,
+                Some(4),
+                Some(5),
+                Some(6),
+            ],
             vec![0, 4],
         )
         .unwrap();
@@ -596,8 +636,7 @@ mod tests {
         let g = gen::grid(8, 8);
         let parts = Partition::new(&g, gen::grid_row_partition(8, 8)).unwrap();
         let values: Vec<u64> = (0..64).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
         let (tree, sc, division, leaders) = simple_setup(&g, &parts);
         let res = solve_with_parts(
             &inst,
@@ -612,7 +651,11 @@ mod tests {
         // Õ(m): with b=1 and one sub-part per part, each phase is O(n + m)
         // plus one BlockRoute (O(#reps * D)).
         let bound = 3 * (4 * g.m() as u64 + 8 * 64);
-        assert!(res.cost.messages <= bound, "messages {} > {bound}", res.cost.messages);
+        assert!(
+            res.cost.messages <= bound,
+            "messages {} > {bound}",
+            res.cost.messages
+        );
     }
 
     #[test]
@@ -620,8 +663,7 @@ mod tests {
         let g = gen::path(32);
         let parts = Partition::whole(&g).unwrap();
         let inst =
-            PaInstance::from_partition(&g, parts.clone(), vec![1; 32], Aggregate::Sum)
-                .unwrap();
+            PaInstance::from_partition(&g, parts.clone(), vec![1; 32], Aggregate::Sum).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let sc = Shortcut::empty(1);
         let mut parent: Vec<Option<NodeId>> = Vec::new();
@@ -662,8 +704,7 @@ mod tests {
         let g = gen::path(32);
         let parts = Partition::whole(&g).unwrap();
         let inst =
-            PaInstance::from_partition(&g, parts.clone(), vec![1; 32], Aggregate::Sum)
-                .unwrap();
+            PaInstance::from_partition(&g, parts.clone(), vec![1; 32], Aggregate::Sum).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let sc = Shortcut::empty(1);
         // 4 sub-parts of 8, reps at their left ends.
@@ -690,6 +731,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(res.aggregates[0], 32);
-        assert_eq!(res.iterations_per_part[0], 4, "one hop of sub-parts per iteration");
+        assert_eq!(
+            res.iterations_per_part[0], 4,
+            "one hop of sub-parts per iteration"
+        );
     }
 }

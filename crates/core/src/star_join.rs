@@ -126,12 +126,15 @@ pub fn star_joining(out_edge: &[Option<usize>], ids: &[u64]) -> StarJoining {
             }
         }
     }
-    debug_assert!((0..n).all(|i| !present[i]), "every participating item resolved");
+    debug_assert!(
+        (0..n).all(|i| !present[i]),
+        "every participating item resolved"
+    );
     // Star property: a joiner's target is never itself a joiner.
-    debug_assert!(joins
-        .iter()
-        .flatten()
-        .all(|&t| joins[t].is_none()), "joiner chains would break star diameter");
+    debug_assert!(
+        joins.iter().flatten().all(|&t| joins[t].is_none()),
+        "joiner chains would break star diameter"
+    );
     StarJoining { joins, steps }
 }
 
@@ -139,10 +142,12 @@ pub fn star_joining(out_edge: &[Option<usize>], ids: &[u64]) -> StarJoining {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::{RngExt, SeedableRng};
+    use rand::{Rng, SeedableRng};
 
     fn ids(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) | 1).collect()
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) | 1)
+            .collect()
     }
 
     #[test]
@@ -170,8 +175,9 @@ mod tests {
     fn chain_merges_constant_fraction() {
         // 0 -> 1 -> 2 -> ... -> 29 -> None's end.
         let n = 30;
-        let out: Vec<Option<usize>> =
-            (0..n).map(|i| if i + 1 < n { Some(i + 1) } else { None }).collect();
+        let out: Vec<Option<usize>> = (0..n)
+            .map(|i| if i + 1 < n { Some(i + 1) } else { None })
+            .collect();
         let r = star_joining(&out, &ids(n));
         // item n-1 doesn't participate; of the rest, at least 1/3 join.
         assert!(
@@ -244,8 +250,9 @@ mod tests {
     #[test]
     fn steps_are_log_star_scale() {
         let n = 500;
-        let out: Vec<Option<usize>> =
-            (0..n).map(|i| if i + 1 < n { Some(i + 1) } else { None }).collect();
+        let out: Vec<Option<usize>> = (0..n)
+            .map(|i| if i + 1 < n { Some(i + 1) } else { None })
+            .collect();
         let r = star_joining(&out, &ids(n));
         assert!(r.steps <= 16, "steps = {}", r.steps);
     }

@@ -109,7 +109,9 @@ impl SubPartDivision {
                 None => {
                     // must be the rep of its sub-part
                     if rep[subpart_of[v]] != v {
-                        return Err(DivisionError::NotATree { subpart: subpart_of[v] });
+                        return Err(DivisionError::NotATree {
+                            subpart: subpart_of[v],
+                        });
                     }
                 }
                 Some(p) => {
@@ -140,7 +142,14 @@ impl SubPartDivision {
                 return Err(DivisionError::NotATree { subpart: s });
             }
         }
-        Ok(SubPartDivision { subpart_of, parent, rep, members, part_of_subpart, depth })
+        Ok(SubPartDivision {
+            subpart_of,
+            parent,
+            rep,
+            members,
+            part_of_subpart,
+            depth,
+        })
     }
 
     /// The trivial division: every part is a single sub-part whose
@@ -216,7 +225,11 @@ impl SubPartDivision {
 
     /// Depth of sub-part `s`'s tree (max member depth).
     pub fn subpart_depth(&self, s: usize) -> usize {
-        self.members[s].iter().map(|&v| self.depth[v]).max().unwrap_or(0)
+        self.members[s]
+            .iter()
+            .map(|&v| self.depth[v])
+            .max()
+            .unwrap_or(0)
     }
 
     /// The part containing sub-part `s`.
@@ -226,18 +239,26 @@ impl SubPartDivision {
 
     /// Sub-part ids belonging to part `p`.
     pub fn subparts_of_part(&self, p: usize) -> Vec<usize> {
-        (0..self.num_subparts()).filter(|&s| self.part_of_subpart[s] == p).collect()
+        (0..self.num_subparts())
+            .filter(|&s| self.part_of_subpart[s] == p)
+            .collect()
     }
 
     /// Representatives of part `p` (the set `Rᵢ` of Algorithm 1).
     pub fn reps_of_part(&self, p: usize) -> Vec<NodeId> {
-        self.subparts_of_part(p).into_iter().map(|s| self.rep[s]).collect()
+        self.subparts_of_part(p)
+            .into_iter()
+            .map(|s| self.rep[s])
+            .collect()
     }
 
     /// Max sub-part tree depth over all sub-parts (bounds the rounds of
     /// intra-sub-part broadcast phases).
     pub fn max_depth(&self) -> usize {
-        (0..self.num_subparts()).map(|s| self.subpart_depth(s)).max().unwrap_or(0)
+        (0..self.num_subparts())
+            .map(|s| self.subpart_depth(s))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Number of sub-parts of part `p`.

@@ -38,11 +38,7 @@ pub struct DetDivisionResult {
 /// Panics if `d == 0`, or if merging fails to converge within
 /// `4⌈log₂ n⌉ + 8` iterations (which would contradict Lemma 6.3's
 /// constant-fraction guarantee).
-pub fn deterministic_division(
-    g: &Graph,
-    parts: &Partition,
-    d: usize,
-) -> DetDivisionResult {
+pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivisionResult {
     assert!(d > 0, "size threshold must be positive");
     let n = g.n();
     // Mutable sub-part state, ids from a global counter.
@@ -99,14 +95,20 @@ pub fn deterministic_division(
         for &w in &moved {
             sub_of[w] = target;
         }
-        members.get_mut(&target).expect("receiver exists").extend(moved);
+        members
+            .get_mut(&target)
+            .expect("receiver exists")
+            .extend(moved);
         rep.remove(&j);
         complete.remove(&j);
     }
 
     loop {
-        let incomplete: Vec<usize> =
-            complete.iter().filter(|&(_, &c)| !c).map(|(&s, _)| s).collect();
+        let incomplete: Vec<usize> = complete
+            .iter()
+            .filter(|&(_, &c)| !c)
+            .map(|(&s, _)| s)
+            .collect();
         if incomplete.is_empty() {
             break;
         }
@@ -145,7 +147,10 @@ pub fn deterministic_division(
             }
         }
         rounds += 2 * max_depth + 1;
-        messages += incomplete.iter().map(|s| members[s].len() as u64).sum::<u64>();
+        messages += incomplete
+            .iter()
+            .map(|s| members[s].len() as u64)
+            .sum::<u64>();
 
         // --- Phase A: merge into complete targets, cascading. ---
         let mut changed = true;
@@ -162,7 +167,14 @@ pub fn deterministic_division(
                 let target = sub_of[v];
                 if target != s && complete[&target] {
                     merge_into(
-                        s, u, v, target, &mut sub_of, &mut parent, &mut members, &mut rep,
+                        s,
+                        u,
+                        v,
+                        target,
+                        &mut sub_of,
+                        &mut parent,
+                        &mut members,
+                        &mut rep,
                         &mut complete,
                     );
                     chosen.remove(&s);
@@ -190,7 +202,10 @@ pub fn deterministic_division(
             let sj = star_joining(&out_edge, &ids);
             rounds += sj.steps * (2 * max_depth + 1);
             messages += (sj.steps as u64)
-                * remaining.iter().map(|s| members[s].len() as u64).sum::<u64>();
+                * remaining
+                    .iter()
+                    .map(|s| members[s].len() as u64)
+                    .sum::<u64>();
             for (k, join) in sj.joins.iter().enumerate() {
                 if let Some(rk) = join {
                     let s = remaining[k];
@@ -199,7 +214,14 @@ pub fn deterministic_division(
                     // The receiver may itself have been... receivers never
                     // join (star property), so target is alive.
                     merge_into(
-                        s, u, v, target, &mut sub_of, &mut parent, &mut members, &mut rep,
+                        s,
+                        u,
+                        v,
+                        target,
+                        &mut sub_of,
+                        &mut parent,
+                        &mut members,
+                        &mut rep,
                         &mut complete,
                     );
                     messages += members[&target].len() as u64;
@@ -222,14 +244,15 @@ pub fn deterministic_division(
     let reps: Vec<NodeId> = live.iter().map(|s| rep[s]).collect();
     let division = SubPartDivision::new(g, parts, subpart_of, parent, reps)
         .expect("Algorithm 6 maintains the division invariants");
-    DetDivisionResult { division, cost: CostReport::new(rounds, messages), iterations }
+    DetDivisionResult {
+        division,
+        cost: CostReport::new(rounds, messages),
+        iterations,
+    }
 }
 
 /// Max depth of any current sub-part tree (for round accounting).
-fn current_max_depth(
-    members: &HashMap<usize, Vec<NodeId>>,
-    parent: &[Option<NodeId>],
-) -> usize {
+fn current_max_depth(members: &HashMap<usize, Vec<NodeId>>, parent: &[Option<NodeId>]) -> usize {
     let mut best = 0;
     for ms in members.values() {
         for &v in ms {
@@ -294,7 +317,11 @@ mod tests {
         let g = gen::path(256);
         let parts = Partition::whole(&g).unwrap();
         let res = deterministic_division(&g, &parts, 16);
-        assert!(res.iterations <= 4 * 8 + 8, "iterations = {}", res.iterations);
+        assert!(
+            res.iterations <= 4 * 8 + 8,
+            "iterations = {}",
+            res.iterations
+        );
     }
 
     #[test]
@@ -325,6 +352,10 @@ mod tests {
         let res = deterministic_division(&g, &parts, 20);
         // Õ(n): allow the log n · log* n factors.
         let bound = 200u64 * 8 * 16;
-        assert!(res.cost.messages <= bound, "messages {} > {bound}", res.cost.messages);
+        assert!(
+            res.cost.messages <= bound,
+            "messages {} > {bound}",
+            res.cost.messages
+        );
     }
 }

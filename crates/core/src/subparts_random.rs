@@ -15,7 +15,7 @@
 //! `1/poly(n)`.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 use rmo_congest::CostReport;
@@ -93,8 +93,10 @@ pub fn random_division(
                 subpart_of[v] = s;
                 frontier.push_back(v);
                 // A representative announces itself to part neighbors.
-                messages += g.neighbors(v).filter(|&(w, _)| parts.part_of(w) == part).count()
-                    as u64;
+                messages += g
+                    .neighbors(v)
+                    .filter(|&(w, _)| parts.part_of(w) == part)
+                    .count() as u64;
             }
         }
         let mut part_rounds = 1usize; // the election/announcement round
@@ -121,7 +123,11 @@ pub fn random_division(
                 frontier = next;
             }
             // Fallback for the 1/poly(n) failure event: unclaimed nodes.
-            match members.iter().copied().find(|&v| subpart_of[v] == usize::MAX) {
+            match members
+                .iter()
+                .copied()
+                .find(|&v| subpart_of[v] == usize::MAX)
+            {
                 None => break,
                 Some(v) => {
                     let s = reps.len();
@@ -136,7 +142,10 @@ pub fn random_division(
     }
     let division = SubPartDivision::new(g, parts, subpart_of, parent, reps)
         .expect("BFS-grown sub-parts satisfy the division invariants");
-    RandomDivisionResult { division, cost: CostReport::new(rounds, messages) }
+    RandomDivisionResult {
+        division,
+        cost: CostReport::new(rounds, messages),
+    }
 }
 
 #[cfg(test)]

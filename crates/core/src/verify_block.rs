@@ -62,8 +62,7 @@ pub fn verify_block_parameter(
         }
         cost += CostReport::new(1, notify);
         // Line 5: one more wave to spread the verdict among informed nodes.
-        let spread =
-            broadcast_wave_outcome(inst, tree, shortcut, division, leaders, variant, b);
+        let spread = broadcast_wave_outcome(inst, tree, shortcut, division, leaders, variant, b);
         cost += spread.cost;
     } else {
         // Line 9: all received — one more wave communicates the exact
@@ -87,8 +86,7 @@ mod tests {
         let g = gen::grid(6, 6);
         let parts = Partition::new(&g, gen::grid_row_partition(6, 6)).unwrap();
         let inst =
-            PaInstance::from_partition(&g, parts.clone(), vec![0; 36], Aggregate::Sum)
-                .unwrap();
+            PaInstance::from_partition(&g, parts.clone(), vec![0; 36], Aggregate::Sum).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
         let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
@@ -111,8 +109,7 @@ mod tests {
         let g = gen::path(16);
         let parts = Partition::whole(&g).unwrap();
         let inst =
-            PaInstance::from_partition(&g, parts.clone(), vec![0; 16], Aggregate::Sum)
-                .unwrap();
+            PaInstance::from_partition(&g, parts.clone(), vec![0; 16], Aggregate::Sum).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let sc = rmo_shortcut::Shortcut::empty(1);
         let division = SubPartDivision::new(
@@ -152,14 +149,20 @@ mod tests {
         let g = gen::grid(4, 4);
         let parts = Partition::new(&g, gen::grid_row_partition(4, 4)).unwrap();
         let inst =
-            PaInstance::from_partition(&g, parts.clone(), vec![0; 16], Aggregate::Sum)
-                .unwrap();
+            PaInstance::from_partition(&g, parts.clone(), vec![0; 16], Aggregate::Sum).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
         let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
         let division = SubPartDivision::one_per_part(&g, &parts, &leaders);
-        let wave =
-            broadcast_wave_outcome(&inst, &tree, &sc, &division, &leaders, Variant::Deterministic, 1);
+        let wave = broadcast_wave_outcome(
+            &inst,
+            &tree,
+            &sc,
+            &division,
+            &leaders,
+            Variant::Deterministic,
+            1,
+        );
         let v = verify_block_parameter(
             &inst,
             &tree,

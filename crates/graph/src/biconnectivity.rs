@@ -115,10 +115,14 @@ pub fn biconnected_components(g: &Graph) -> Biconnectivity {
             }
         }
     }
-    let articulation_points: Vec<NodeId> =
-        (0..n).filter(|&v| is_articulation[v]).collect();
+    let articulation_points: Vec<NodeId> = (0..n).filter(|&v| is_articulation[v]).collect();
     bridges.sort_unstable();
-    Biconnectivity { articulation_points, bridges, component_of_edge, num_components }
+    Biconnectivity {
+        articulation_points,
+        bridges,
+        component_of_edge,
+        num_components,
+    }
 }
 
 /// Whether a connected graph is 2-edge-connected (bridgeless).
@@ -201,11 +205,8 @@ mod tests {
     #[test]
     fn two_triangles_sharing_a_vertex() {
         // 0-1-2-0 and 2-3-4-2: node 2 is the articulation point.
-        let g = Graph::from_unweighted_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)],
-        )
-        .unwrap();
+        let g = Graph::from_unweighted_edges(5, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)])
+            .unwrap();
         let b = biconnected_components(&g);
         assert_eq!(b.articulation_points, vec![2]);
         assert!(b.bridges.is_empty());

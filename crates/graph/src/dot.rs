@@ -49,7 +49,11 @@ pub fn to_dot(g: &Graph, parts: Option<&Partition>, highlight: &[EdgeId]) -> Str
     }
     let bold: std::collections::HashSet<EdgeId> = highlight.iter().copied().collect();
     for (e, u, v, w) in g.edges() {
-        let style = if bold.contains(&e) { ", penwidth=3, color=red" } else { "" };
+        let style = if bold.contains(&e) {
+            ", penwidth=3, color=red"
+        } else {
+            ""
+        };
         if w == 1 {
             let _ = writeln!(out, "  {u} -- {v} [{}];", style.trim_start_matches(", "));
         } else {

@@ -26,7 +26,11 @@ pub struct DisjointSets {
 impl DisjointSets {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> DisjointSets {
-        DisjointSets { parent: (0..n).collect(), rank: vec![0; n], sets: n }
+        DisjointSets {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
     }
 
     /// Number of elements.
@@ -65,7 +69,11 @@ impl DisjointSets {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo] = hi;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;

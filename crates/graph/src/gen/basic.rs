@@ -23,7 +23,8 @@ pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs at least three nodes");
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
-        b.add_edge(i, (i + 1) % n, 1).expect("cycle edges are valid");
+        b.add_edge(i, (i + 1) % n, 1)
+            .expect("cycle edges are valid");
     }
     b.build()
 }
@@ -92,7 +93,13 @@ mod tests {
 
     #[test]
     fn all_shapes_connected() {
-        for g in [path(7), cycle(7), star(7), complete(7), balanced_binary_tree(3)] {
+        for g in [
+            path(7),
+            cycle(7),
+            star(7),
+            complete(7),
+            balanced_binary_tree(3),
+        ] {
             assert!(g.is_connected());
         }
     }

@@ -2,7 +2,7 @@
 //! adversarial instance of Figure 2.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::graph::{Graph, GraphBuilder, NodeId};
 
@@ -24,10 +24,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                b.add_edge(cell(r, c, cols), cell(r, c + 1, cols), 1).expect("valid");
+                b.add_edge(cell(r, c, cols), cell(r, c + 1, cols), 1)
+                    .expect("valid");
             }
             if r + 1 < rows {
-                b.add_edge(cell(r, c, cols), cell(r + 1, c, cols), 1).expect("valid");
+                b.add_edge(cell(r, c, cols), cell(r + 1, c, cols), 1)
+                    .expect("valid");
             }
         }
     }
@@ -63,10 +65,12 @@ pub fn grid_with_apex(depth: usize, width: usize) -> Graph {
     for r in 0..depth {
         for c in 0..width {
             if c + 1 < width {
-                b.add_edge(cell(r, c, width), cell(r, c + 1, width), 1).expect("valid");
+                b.add_edge(cell(r, c, width), cell(r, c + 1, width), 1)
+                    .expect("valid");
             }
             if r + 1 < depth {
-                b.add_edge(cell(r, c, width), cell(r + 1, c, width), 1).expect("valid");
+                b.add_edge(cell(r, c, width), cell(r + 1, c, width), 1)
+                    .expect("valid");
             }
         }
     }

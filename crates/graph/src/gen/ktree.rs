@@ -6,7 +6,7 @@
 //! cliques" [`kpath`] has pathwidth `k`.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::graph::{Graph, GraphBuilder};
 

@@ -32,7 +32,8 @@ pub use partitions::{
     random_connected_partition,
 };
 pub use random::{
-    distinct_weights, gnp_connected, random_connected, random_connected_weighted, random_spanning_tree,
+    distinct_weights, gnp_connected, random_connected, random_connected_weighted,
+    random_spanning_tree,
 };
 pub use special::{broom, dumbbell, lollipop};
 pub use topologies::{caterpillar, hypercube, random_regular, torus};

@@ -1,7 +1,7 @@
 //! Partition generators — the "parts" side of PA instances.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 use crate::graph::Graph;
@@ -59,7 +59,10 @@ pub fn path_blocks(n: usize, block: usize) -> Vec<usize> {
 /// Panics if `g` is disconnected, empty, or `target_parts == 0`.
 pub fn random_connected_partition(g: &Graph, target_parts: usize, seed: u64) -> Partition {
     assert!(g.n() > 0 && target_parts > 0);
-    assert!(g.is_connected(), "partition growth requires a connected graph");
+    assert!(
+        g.is_connected(),
+        "partition growth requires a connected graph"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let k = target_parts.min(g.n());
     let mut assign = vec![usize::MAX; g.n()];

@@ -2,7 +2,7 @@
 //! paper's tables.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::graph::{Graph, GraphBuilder};
 

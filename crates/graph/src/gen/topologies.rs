@@ -9,7 +9,7 @@
 //! degree skew.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::graph::{Graph, GraphBuilder};
 
@@ -24,8 +24,10 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(cell(r, c), cell(r, (c + 1) % cols), 1).expect("valid");
-            b.add_edge(cell(r, c), cell((r + 1) % rows, c), 1).expect("valid");
+            b.add_edge(cell(r, c), cell(r, (c + 1) % cols), 1)
+                .expect("valid");
+            b.add_edge(cell(r, c), cell((r + 1) % rows, c), 1)
+                .expect("valid");
         }
     }
     b.build()

@@ -87,7 +87,10 @@ impl Graph {
     ///
     /// # Errors
     /// Same conditions as [`Graph::from_edges`].
-    pub fn from_unweighted_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Graph, GraphError> {
+    pub fn from_unweighted_edges(
+        n: usize,
+        edges: &[(NodeId, NodeId)],
+    ) -> Result<Graph, GraphError> {
         let weighted: Vec<(NodeId, NodeId, u64)> = edges.iter().map(|&(u, v)| (u, v, 1)).collect();
         Graph::from_edges(n, &weighted)
     }
@@ -145,7 +148,10 @@ impl Graph {
 
     /// Iterator over all edges as `(edge_id, u, v, weight)`.
     pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, u64)> + '_ {
-        self.edges.iter().enumerate().map(|(e, &(u, v, w))| (e, u, v, w))
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v, w))| (e, u, v, w))
     }
 
     /// The edge id joining `u` and `v`, if one exists.
@@ -203,7 +209,8 @@ impl Graph {
         let mut map = Vec::new();
         for (e, u, v, w) in self.edges() {
             if keep[e] {
-                b.add_edge(u, v, w).expect("subgraph of a valid graph is valid");
+                b.add_edge(u, v, w)
+                    .expect("subgraph of a valid graph is valid");
                 map.push(e);
             }
         }
@@ -233,7 +240,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` nodes and no edges.
     pub fn new(n: usize) -> GraphBuilder {
-        GraphBuilder { n, edges: Vec::new(), seen: HashSet::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+        }
     }
 
     /// Adds the undirected edge `(u, v)` with the given weight.
@@ -280,7 +291,11 @@ impl GraphBuilder {
             adj[u].push((v, e));
             adj[v].push((u, e));
         }
-        Graph { n: self.n, edges: self.edges, adj }
+        Graph {
+            n: self.n,
+            edges: self.edges,
+            adj,
+        }
     }
 }
 
@@ -314,7 +329,10 @@ mod tests {
     fn rejects_duplicate_even_reversed() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1, 1).unwrap();
-        assert_eq!(b.add_edge(1, 0, 9).unwrap_err(), GraphError::DuplicateEdge { u: 1, v: 0 });
+        assert_eq!(
+            b.add_edge(1, 0, 9).unwrap_err(),
+            GraphError::DuplicateEdge { u: 1, v: 0 }
+        );
     }
 
     #[test]

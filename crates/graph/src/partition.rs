@@ -27,7 +27,10 @@ impl fmt::Display for PartitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PartitionError::LengthMismatch { expected, got } => {
-                write!(f, "assignment length {got} does not match node count {expected}")
+                write!(
+                    f,
+                    "assignment length {got} does not match node count {expected}"
+                )
             }
             PartitionError::NonDenseParts { missing } => {
                 write!(f, "part id {missing} has no members (ids must be dense)")
@@ -69,10 +72,16 @@ impl Partition {
     /// Returns [`PartitionError`] describing the first violated condition.
     pub fn new(g: &Graph, part_of: Vec<usize>) -> Result<Partition, PartitionError> {
         if part_of.len() != g.n() {
-            return Err(PartitionError::LengthMismatch { expected: g.n(), got: part_of.len() });
+            return Err(PartitionError::LengthMismatch {
+                expected: g.n(),
+                got: part_of.len(),
+            });
         }
         if g.n() == 0 {
-            return Ok(Partition { part_of, members: Vec::new() });
+            return Ok(Partition {
+                part_of,
+                members: Vec::new(),
+            });
         }
         let num_parts = part_of.iter().copied().max().map_or(0, |mx| mx + 1);
         if num_parts == 0 {
@@ -195,7 +204,13 @@ mod tests {
     fn length_mismatch_rejected() {
         let g = gen::path(3);
         let err = Partition::new(&g, vec![0, 0]).unwrap_err();
-        assert_eq!(err, PartitionError::LengthMismatch { expected: 3, got: 2 });
+        assert_eq!(
+            err,
+            PartitionError::LengthMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
     }
 
     #[test]

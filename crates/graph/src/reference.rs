@@ -54,7 +54,10 @@ pub fn kruskal(g: &Graph) -> MstResult {
         "kruskal requires a connected graph"
     );
     edges.sort_unstable();
-    MstResult { edges, total_weight: total }
+    MstResult {
+        edges,
+        total_weight: total,
+    }
 }
 
 /// Prim's MST from node 0, used as a second, independently-coded oracle so
@@ -87,7 +90,10 @@ pub fn prim(g: &Graph) -> MstResult {
     }
     assert_eq!(edges.len(), g.n() - 1, "prim requires a connected graph");
     edges.sort_unstable();
-    MstResult { edges, total_weight: total }
+    MstResult {
+        edges,
+        total_weight: total,
+    }
 }
 
 /// Dijkstra single-source shortest paths over edge weights.
@@ -200,7 +206,10 @@ pub fn stoer_wagner(g: &Graph) -> CutResult {
         }
         active.retain(|&v| v != t);
     }
-    CutResult { weight: best_weight, side: best_side }
+    CutResult {
+        weight: best_weight,
+        side: best_side,
+    }
 }
 
 #[cfg(test)]

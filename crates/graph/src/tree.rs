@@ -114,7 +114,14 @@ impl RootedTree {
         if order.len() != n {
             return Err(TreeError::NotATree);
         }
-        Ok(RootedTree { root, parent, parent_edge, children, depth, order })
+        Ok(RootedTree {
+            root,
+            parent,
+            parent_edge,
+            children,
+            depth,
+            order,
+        })
     }
 
     /// Number of nodes spanned.
@@ -315,7 +322,8 @@ mod tests {
     #[test]
     fn from_parents_validates() {
         // 0 <- 1 <- 2
-        let t = RootedTree::from_parents(0, vec![usize::MAX, 0, 1], vec![usize::MAX, 0, 1]).unwrap();
+        let t =
+            RootedTree::from_parents(0, vec![usize::MAX, 0, 1], vec![usize::MAX, 0, 1]).unwrap();
         assert_eq!(t.depth(), 2);
         assert_eq!(t.path_to_root(2), vec![2, 1, 0]);
         assert_eq!(t.tree_edge_ids(), vec![0, 1]);
@@ -323,8 +331,8 @@ mod tests {
 
     #[test]
     fn rejects_cycle() {
-        let err =
-            RootedTree::from_parents(0, vec![usize::MAX, 2, 1], vec![usize::MAX, 0, 1]).unwrap_err();
+        let err = RootedTree::from_parents(0, vec![usize::MAX, 2, 1], vec![usize::MAX, 0, 1])
+            .unwrap_err();
         assert_eq!(err, TreeError::NotATree);
     }
 
@@ -336,9 +344,12 @@ mod tests {
 
     #[test]
     fn rejects_missing_parent() {
-        let err =
-            RootedTree::from_parents(0, vec![usize::MAX, usize::MAX], vec![usize::MAX, usize::MAX])
-                .unwrap_err();
+        let err = RootedTree::from_parents(
+            0,
+            vec![usize::MAX, usize::MAX],
+            vec![usize::MAX, usize::MAX],
+        )
+        .unwrap_err();
         assert_eq!(err, TreeError::MissingParent { node: 1 });
     }
 

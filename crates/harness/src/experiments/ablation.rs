@@ -64,7 +64,14 @@ pub fn run(quick: bool) {
             "Ablation — PA strategies on a {side}x{} grid (rows as parts)",
             side * 4
         ),
-        &["configuration", "rounds", "messages", "wave rounds", "max b iters", "cap"],
+        &[
+            "configuration",
+            "rounds",
+            "messages",
+            "wave rounds",
+            "max b iters",
+            "cap",
+        ],
         &rows,
     );
     println!(

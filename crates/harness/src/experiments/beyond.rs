@@ -22,8 +22,7 @@ pub fn run() {
         let d = two_sweep_diameter_lower_bound(&g, 0).max(1);
         let parts = gen::random_connected_partition(&g, (n as f64).sqrt() as usize, 3);
         let values: Vec<u64> = (0..n as u64).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts, values, Aggregate::Min).expect("valid");
+        let inst = PaInstance::from_partition(&g, parts, values, Aggregate::Min).expect("valid");
         let det = solve_pa(&inst, &PaConfig::default()).expect("solves");
         rows.push(vec![
             family.to_string(),
@@ -38,7 +37,16 @@ pub fn run() {
     }
     print_table(
         "Beyond worst-case — PA on families outside Tables 1-2",
-        &["family", "n", "m", "D", "rounds", "messages", "rounds/(D+sqrt n)", "msgs/m"],
+        &[
+            "family",
+            "n",
+            "m",
+            "D",
+            "rounds",
+            "messages",
+            "rounds/(D+sqrt n)",
+            "msgs/m",
+        ],
         &rows,
     );
     println!(

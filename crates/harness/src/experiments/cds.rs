@@ -19,7 +19,10 @@ pub fn run() {
     for (family, g) in &cases {
         let weights: Vec<u64> = (0..g.n() as u64).map(|v| 1 + (v * 13) % 7).collect();
         let res = approx_mwcds(g, &weights, &cfg).expect("CDS solves");
-        assert!(is_connected_dominating_set(g, &res.set), "{family}: must be a CDS");
+        assert!(
+            is_connected_dominating_set(g, &res.set),
+            "{family}: must be a CDS"
+        );
         rows.push(vec![
             family.to_string(),
             g.n().to_string(),

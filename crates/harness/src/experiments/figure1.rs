@@ -18,11 +18,9 @@ pub fn run() {
     //  3 4   5
     //  |     |
     //  6     7
-    let g = Graph::from_unweighted_edges(
-        8,
-        &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (3, 6), (5, 7)],
-    )
-    .expect("tree edges");
+    let g =
+        Graph::from_unweighted_edges(8, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (3, 6), (5, 7)])
+            .expect("tree edges");
     let parts = Partition::new(&g, vec![0, 1, 2, 1, 3, 2, 1, 2]).expect("connected parts");
     let (tree, _) = bfs_tree(&g, 0);
     let e = |u: usize, v: usize| g.edge_between(u, v).expect("edge exists");
@@ -57,7 +55,10 @@ pub fn run() {
         &["part", "members", "H_i (edge ids)", "blocks", "block roots"],
         &rows,
     );
-    println!("\nMeasured congestion c = {}, block parameter b = {}", q.congestion, q.block_parameter);
+    println!(
+        "\nMeasured congestion c = {}, block parameter b = {}",
+        q.congestion, q.block_parameter
+    );
     assert_eq!(q.congestion, 3, "the figure's congestion");
     assert_eq!(q.block_parameter, 2, "the figure's block parameter");
 }

@@ -37,20 +37,17 @@ pub fn run(quick: bool) {
         }
         let g = gen::grid_with_apex(depth, width);
         let n = g.n();
-        let parts =
-            Partition::new(&g, gen::grid_row_partition_with_apex(depth, width)).unwrap();
+        let parts = Partition::new(&g, gen::grid_row_partition_with_apex(depth, width)).unwrap();
         let values: Vec<u64> = (0..n as u64).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
         // Shared infrastructure: BFS tree at the apex, whole-tree shortcut.
         let apex = depth * width;
         let (tree, _) = bfs_tree(&g, apex);
         let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
         let leaders: Vec<usize> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
         // Prior work: every node uses the block.
-        let naive =
-            naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1)
-                .expect("naive PA solves");
+        let naive = naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1)
+            .expect("naive PA solves");
         // The paper: sub-part division first (cost included), then
         // Algorithm 1 where only representatives use the block.
         let div = random_division(&g, &parts, &leaders, tree.depth().max(1), 7);

@@ -15,15 +15,16 @@ pub fn run() {
     // iteration-by-iteration activation of b1, b2, b3.
     let g = gen::path(24);
     let parts = Partition::whole(&g).unwrap();
-    let inst =
-        PaInstance::from_partition(&g, parts.clone(), vec![1; 24], Aggregate::Sum).unwrap();
+    let inst = PaInstance::from_partition(&g, parts.clone(), vec![1; 24], Aggregate::Sum).unwrap();
     let (tree, _) = bfs_tree(&g, 0);
     let sc = Shortcut::empty(1);
     let division = SubPartDivision::new(
         &g,
         &parts,
         (0..24).map(|v| v / 8).collect(),
-        (0..24usize).map(|v| if v % 8 == 0 { None } else { Some(v - 1) }).collect(),
+        (0..24usize)
+            .map(|v| if v % 8 == 0 { None } else { Some(v - 1) })
+            .collect(),
         vec![0, 8, 16],
     )
     .unwrap();
@@ -48,10 +49,19 @@ pub fn run() {
     }
     print_table(
         "Figure 4 — wave trace per block iteration (3 sub-part blocks b1, b2, b3)",
-        &["iteration", "blocks routed", "sub-parts spread", "nodes informed", "active reps"],
+        &[
+            "iteration",
+            "blocks routed",
+            "sub-parts spread",
+            "nodes informed",
+            "active reps",
+        ],
         &rows,
     );
-    assert!(wave.informed.iter().all(|&i| i), "3 iterations cover 3 blocks");
+    assert!(
+        wave.informed.iter().all(|&i| i),
+        "3 iterations cover 3 blocks"
+    );
     println!(
         "\nShape check: exactly one block activates per iteration and the part \
          is covered at iteration 3 = its block count, matching the figure."

@@ -30,7 +30,9 @@ pub fn run() {
     }
     print_table(
         "Corollary A.3 — k-dominating sets (size <= 6n/k, distance <= k)",
-        &["family", "n", "k", "|S|", "6n/k", "max dist", "rounds", "messages"],
+        &[
+            "family", "n", "k", "|S|", "6n/k", "max dist", "rounds", "messages",
+        ],
         &rows,
     );
 }

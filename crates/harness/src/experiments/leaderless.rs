@@ -2,9 +2,7 @@
 //! known-leader assumption.
 
 use rmo_core::leaderless::leaderless_pa;
-use rmo_core::{
-    solve_with_parts, Aggregate, PaInstance, SubPartDivision, Variant,
-};
+use rmo_core::{solve_with_parts, Aggregate, PaInstance, SubPartDivision, Variant};
 use rmo_graph::{bfs_tree, gen, Partition};
 use rmo_shortcut::trivial::trivial_shortcut;
 
@@ -20,8 +18,7 @@ pub fn run() {
     for (family, g, assign) in cases {
         let parts = Partition::new(&g, assign).unwrap();
         let values: Vec<u64> = (0..g.n() as u64).collect();
-        let inst =
-            PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
+        let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         // Known-leader run with the same (trivial) machinery.
         let leaders: Vec<usize> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
@@ -50,7 +47,10 @@ pub fn run() {
             without.coarsening_iterations.to_string(),
             with.cost.rounds.to_string(),
             without.result.cost.rounds.to_string(),
-            ratio(without.result.cost.rounds as f64, with.cost.rounds.max(1) as f64),
+            ratio(
+                without.result.cost.rounds as f64,
+                with.cost.rounds.max(1) as f64,
+            ),
             ratio(
                 without.result.cost.messages as f64,
                 with.cost.messages.max(1) as f64,

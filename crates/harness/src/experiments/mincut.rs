@@ -19,7 +19,10 @@ pub fn run(quick: bool) {
     ];
     for (family, g) in cases {
         let exact = reference::stoer_wagner(&g);
-        let cfg = MinCutConfig { trials, ..MinCutConfig::default() };
+        let cfg = MinCutConfig {
+            trials,
+            ..MinCutConfig::default()
+        };
         let approx = approx_min_cut(&g, &cfg).expect("min cut solves");
         rows.push(vec![
             family.to_string(),

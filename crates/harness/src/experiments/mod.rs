@@ -39,15 +39,27 @@ pub fn families(scale: usize) -> Vec<Workload> {
     // General: random connected graph, random regions.
     let g = gen::random_connected(s * s, 3 * s * s, 7);
     let partition = gen::random_connected_partition(&g, s, 11);
-    out.push(Workload { family: "general", graph: g, partition });
+    out.push(Workload {
+        family: "general",
+        graph: g,
+        partition,
+    });
     // Planar: grid with rows as parts.
     let g = gen::grid(s, s);
     let partition = Partition::new(&g, gen::grid_row_partition(s, s)).expect("rows connect");
-    out.push(Workload { family: "planar(grid)", graph: g, partition });
+    out.push(Workload {
+        family: "planar(grid)",
+        graph: g,
+        partition,
+    });
     // Bounded treewidth: 3-tree with random regions.
     let g = gen::ktree(s * s, 3, 5);
     let partition = gen::random_connected_partition(&g, s, 13);
-    out.push(Workload { family: "treewidth-3", graph: g, partition });
+    out.push(Workload {
+        family: "treewidth-3",
+        graph: g,
+        partition,
+    });
     // Bounded pathwidth: 3-path of cliques, consecutive-clique blocks.
     let len = (s * s / 3).max(2);
     let g = gen::kpath(len, 3);
@@ -56,6 +68,10 @@ pub fn families(scale: usize) -> Vec<Workload> {
     let max_id = assign.iter().copied().max().unwrap_or(0);
     let assign = if max_id == 0 { vec![0; g.n()] } else { assign };
     let partition = Partition::new(&g, assign).expect("clique blocks connect");
-    out.push(Workload { family: "pathwidth-3", graph: g, partition });
+    out.push(Workload {
+        family: "pathwidth-3",
+        graph: g,
+        partition,
+    });
     out
 }

@@ -8,22 +8,35 @@ use rmo_graph::{gen, reference, two_sweep_diameter_lower_bound};
 use crate::util::{print_table, ratio};
 
 pub fn run(quick: bool) {
-    let sizes: Vec<usize> = if quick { vec![64, 144] } else { vec![64, 144, 256, 400] };
+    let sizes: Vec<usize> = if quick {
+        vec![64, 144]
+    } else {
+        vec![64, 144, 256, 400]
+    };
     let mut rows = Vec::new();
     for n in sizes {
         let side = (n as f64).sqrt() as usize;
         let cases = [
             ("grid", gen::grid_weighted(side, side, 3)),
             ("random", gen::random_connected_weighted(n, 3 * n, 3)),
-            ("apex-grid", gen::distinct_weights(&gen::grid_with_apex(8, n / 8), 5)),
+            (
+                "apex-grid",
+                gen::distinct_weights(&gen::grid_with_apex(8, n / 8), 5),
+            ),
         ];
         for (family, g) in cases {
             let d = two_sweep_diameter_lower_bound(&g, 0).max(1);
             let smart = pa_mst(&g, &MstConfig::default()).expect("MST solves");
             let naive = naive_mst(&g, &MstConfig::default()).expect("naive MST solves");
             let kref = reference::kruskal(&g);
-            assert_eq!(smart.total_weight, kref.total_weight, "correctness vs Kruskal");
-            assert_eq!(naive.total_weight, kref.total_weight, "correctness vs Kruskal");
+            assert_eq!(
+                smart.total_weight, kref.total_weight,
+                "correctness vs Kruskal"
+            );
+            assert_eq!(
+                naive.total_weight, kref.total_weight,
+                "correctness vs Kruskal"
+            );
             rows.push(vec![
                 family.to_string(),
                 g.n().to_string(),
@@ -52,7 +65,9 @@ pub fn run(quick: bool) {
         ],
         &rows,
     );
-    let cfg = MstConfig { pa: PaConfig::randomized(7) };
+    let cfg = MstConfig {
+        pa: PaConfig::randomized(7),
+    };
     let g = gen::random_connected_weighted(100, 300, 9);
     let r = pa_mst(&g, &cfg).expect("randomized MST solves");
     println!(

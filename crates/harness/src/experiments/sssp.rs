@@ -17,16 +17,26 @@ fn max_stretch(truth: &[u64], est: &[u64]) -> f64 {
 
 pub fn run(quick: bool) {
     let mut rows = Vec::new();
-    let betas = if quick { vec![0.3, 0.7] } else { vec![0.1, 0.3, 0.5, 0.7, 0.9] };
+    let betas = if quick {
+        vec![0.3, 0.7]
+    } else {
+        vec![0.1, 0.3, 0.5, 0.7, 0.9]
+    };
     let cases: Vec<(&str, rmo_graph::Graph)> = vec![
         ("grid", gen::grid(10, 10)),
-        ("weighted-random", gen::random_connected_weighted(120, 360, 6)),
+        (
+            "weighted-random",
+            gen::random_connected_weighted(120, 360, 6),
+        ),
         ("path", gen::path(100)),
     ];
     for (family, g) in &cases {
         let truth = reference::dijkstra(g, 0);
         for &beta in &betas {
-            let cfg = SsspConfig { beta, ..SsspConfig::default() };
+            let cfg = SsspConfig {
+                beta,
+                ..SsspConfig::default()
+            };
             let res = approx_sssp(g, 0, &cfg).expect("SSSP solves");
             // Guarantee: estimates are upper bounds.
             for v in 0..g.n() {
@@ -45,7 +55,15 @@ pub fn run(quick: bool) {
     }
     print_table(
         "Corollary 1.5 — approximate SSSP (stretch vs Dijkstra, per beta)",
-        &["family", "beta", "clusters", "max radius", "max stretch", "rounds", "messages"],
+        &[
+            "family",
+            "beta",
+            "clusters",
+            "max radius",
+            "max stretch",
+            "rounds",
+            "messages",
+        ],
         &rows,
     );
     println!(

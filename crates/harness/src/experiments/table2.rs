@@ -8,20 +8,20 @@ use super::families;
 use crate::util::{print_table, ratio};
 
 pub fn run(quick: bool) {
-    let scales: Vec<usize> = if quick { vec![8, 12] } else { vec![8, 12, 16, 20] };
+    let scales: Vec<usize> = if quick {
+        vec![8, 12]
+    } else {
+        vec![8, 12, 16, 20]
+    };
     let mut rows = Vec::new();
     for scale in scales {
         for w in families(scale) {
             let n = w.graph.n();
             let d = two_sweep_diameter_lower_bound(&w.graph, 0).max(1);
             let values: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(2654435761)).collect();
-            let inst = PaInstance::from_partition(
-                &w.graph,
-                w.partition.clone(),
-                values,
-                Aggregate::Min,
-            )
-            .expect("valid instance");
+            let inst =
+                PaInstance::from_partition(&w.graph, w.partition.clone(), values, Aggregate::Min)
+                    .expect("valid instance");
             let det = solve_pa(&inst, &PaConfig::default()).expect("det PA solves");
             let rand = solve_pa(&inst, &PaConfig::randomized(5)).expect("rand PA solves");
             let budget = (d as f64) + (n as f64).sqrt();

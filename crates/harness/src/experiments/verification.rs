@@ -3,8 +3,8 @@
 
 use rmo_apps::certificate::sparse_certificate;
 use rmo_apps::verify::{
-    verify_bipartite, verify_connected_spanning, verify_cut, verify_forest,
-    verify_spanning_tree, verify_st_connectivity, verify_two_edge_connected,
+    verify_bipartite, verify_connected_spanning, verify_cut, verify_forest, verify_spanning_tree,
+    verify_st_connectivity, verify_two_edge_connected,
 };
 use rmo_core::PaConfig;
 use rmo_graph::{gen, reference, EdgeId};
@@ -34,30 +34,62 @@ pub fn run() {
             v.cost.messages.to_string(),
         ]);
     };
-    push("spanning-tree(MST)", true, verify_spanning_tree(&g, &mst, &cfg).unwrap());
-    push("spanning-tree(MST minus edge)", false, verify_spanning_tree(&g, &broken, &cfg).unwrap());
-    push("connected-spanning(all edges)", true, verify_connected_spanning(&g, &all, &cfg).unwrap());
+    push(
+        "spanning-tree(MST)",
+        true,
+        verify_spanning_tree(&g, &mst, &cfg).unwrap(),
+    );
+    push(
+        "spanning-tree(MST minus edge)",
+        false,
+        verify_spanning_tree(&g, &broken, &cfg).unwrap(),
+    );
+    push(
+        "connected-spanning(all edges)",
+        true,
+        verify_connected_spanning(&g, &all, &cfg).unwrap(),
+    );
     push(
         "connected-spanning(tree minus edge)",
         false,
         verify_connected_spanning(&g, &broken, &cfg).unwrap(),
     );
-    push("cut(dumbbell bridge)", true, verify_cut(&bridgey, &bridge, &cfg).unwrap());
+    push(
+        "cut(dumbbell bridge)",
+        true,
+        verify_cut(&bridgey, &bridge, &cfg).unwrap(),
+    );
     push(
         "cut(one clique edge)",
         false,
         verify_cut(&bridgey, &[bridgey.edge_between(0, 1).unwrap()], &cfg).unwrap(),
     );
-    push("bipartite(forest)", true, verify_bipartite(&g, &mst, &cfg).unwrap());
-    push("bipartite(odd cycle)", false, verify_bipartite(&odd, &odd_all, &cfg).unwrap());
+    push(
+        "bipartite(forest)",
+        true,
+        verify_bipartite(&g, &mst, &cfg).unwrap(),
+    );
+    push(
+        "bipartite(odd cycle)",
+        false,
+        verify_bipartite(&odd, &odd_all, &cfg).unwrap(),
+    );
     push("forest(MST)", true, verify_forest(&g, &mst, &cfg).unwrap());
-    push("forest(all grid edges)", false, verify_forest(&g, &all, &cfg).unwrap());
+    push(
+        "forest(all grid edges)",
+        false,
+        verify_forest(&g, &all, &cfg).unwrap(),
+    );
     push(
         "s-t connectivity(path prefix)",
         true,
         verify_st_connectivity(&g, &mst, 0, g.n() - 1, &cfg).unwrap(),
     );
-    push("2-edge-connected(grid)", true, verify_two_edge_connected(&g, &cfg).unwrap());
+    push(
+        "2-edge-connected(grid)",
+        true,
+        verify_two_edge_connected(&g, &cfg).unwrap(),
+    );
     push(
         "2-edge-connected(dumbbell)",
         false,
@@ -65,7 +97,13 @@ pub fn run() {
     );
     print_table(
         "Corollary A.1 — verification problems at O~(D + sqrt n) rounds, O~(m) messages",
-        &["verifier (instance)", "expected", "verdict", "rounds", "messages"],
+        &[
+            "verifier (instance)",
+            "expected",
+            "verdict",
+            "rounds",
+            "messages",
+        ],
         &rows,
     );
     // Sparse certificates (Thurimella), the machinery behind the suite.

@@ -20,7 +20,11 @@ use std::env;
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_default();
     let all = [
         "table1",
         "table2",

@@ -65,7 +65,11 @@ pub fn estimate_parameters(
             let block_parameter = parts
                 .part_ids()
                 .filter(|&p| !res.shortcut.is_direct(p))
-                .map(|p| res.shortcut.blocks_for_terminals(g, tree, p, &terminals[p]).len())
+                .map(|p| {
+                    res.shortcut
+                        .blocks_for_terminals(g, tree, p, &terminals[p])
+                        .len()
+                })
                 .max()
                 .unwrap_or(1);
             return Some(ParameterEstimate {
@@ -108,7 +112,11 @@ mod tests {
         let (tree, _) = bfs_tree(&g, 0);
         let terminals = two_reps(&parts);
         let est = estimate_parameters(&g, &tree, &parts, &terminals).expect("feasible");
-        assert!(est.budget <= 16, "grid rows need only small budgets, got {}", est.budget);
+        assert!(
+            est.budget <= 16,
+            "grid rows need only small budgets, got {}",
+            est.budget
+        );
         assert!(est.block_parameter <= 3 * est.budget);
     }
 

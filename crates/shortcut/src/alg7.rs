@@ -56,7 +56,11 @@ pub fn construct_on_path(
     congestion: usize,
 ) -> PathConstructionResult {
     assert!(congestion > 0, "congestion budget must be positive");
-    assert_eq!(edges.len() + 1, nodes.len(), "edges must join consecutive nodes");
+    assert_eq!(
+        edges.len() + 1,
+        nodes.len(),
+        "edges must join consecutive nodes"
+    );
     assert_eq!(requests.len(), nodes.len(), "one request set per node");
     let len = nodes.len();
     // sets[p] = request set currently resting at position p (BTreeSet of part ids
@@ -81,8 +85,7 @@ pub fn construct_on_path(
             let mut round_cost_this_iter = 0usize;
             // Positions are 1-based in the paper; position p (0-based) has
             // 1-based height p+1.
-            let senders: Vec<usize> =
-                (0..len - 1).filter(|p| (p + 1) % modulus == step).collect();
+            let senders: Vec<usize> = (0..len - 1).filter(|p| (p + 1) % modulus == step).collect();
             for p in senders {
                 if sets[p].is_empty() {
                     continue;
@@ -99,8 +102,7 @@ pub fn construct_on_path(
                 }
                 // Pipelined transmission: |set| ids over (u - p) hops.
                 let set: Vec<usize> = sets[p].iter().copied().collect();
-                round_cost_this_iter =
-                    round_cost_this_iter.max(set.len() + (u - p) - 1);
+                round_cost_this_iter = round_cost_this_iter.max(set.len() + (u - p) - 1);
                 for q in p..u {
                     edge_load[q] += set.len();
                     for &part in &set {
@@ -115,8 +117,12 @@ pub fn construct_on_path(
         }
     }
     let reached_top: Vec<usize> = sets[len - 1].iter().copied().collect();
-    let broken_edges: Vec<EdgeId> =
-        broken.iter().enumerate().filter(|&(_, &b)| b).map(|(q, _)| edges[q]).collect();
+    let broken_edges: Vec<EdgeId> = broken
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b)
+        .map(|(q, _)| edges[q])
+        .collect();
     let mut keys: Vec<usize> = claim_map.keys().copied().collect();
     keys.sort_unstable();
     for k in keys {

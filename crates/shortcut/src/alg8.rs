@@ -42,7 +42,11 @@ impl DetParams {
     /// Defaults for `num_parts` parts.
     pub fn new(congestion: usize, target_block: usize, num_parts: usize) -> DetParams {
         let log = (num_parts.max(2) as f64).log2().ceil() as usize;
-        DetParams { congestion, target_block, max_iterations: log + 2 }
+        DetParams {
+            congestion,
+            target_block,
+            max_iterations: log + 2,
+        }
     }
 }
 
@@ -77,7 +81,11 @@ pub fn construct_deterministic(
     params: DetParams,
 ) -> DetConstructionResult {
     assert!(params.congestion > 0, "congestion budget must be positive");
-    assert_eq!(terminals.len(), parts.num_parts(), "one terminal set per part");
+    assert_eq!(
+        terminals.len(),
+        parts.num_parts(),
+        "one terminal set per part"
+    );
     let hpd = HeavyPathDecomposition::new(tree);
     // Precompute per-node position within its heavy path.
     let mut pos_in_path: Vec<usize> = vec![0; tree.n()];
@@ -103,8 +111,10 @@ pub fn construct_deterministic(
     }
 
     let mut shortcut = Shortcut::empty(parts.num_parts());
-    let mut active: Vec<usize> =
-        parts.part_ids().filter(|&p| !terminals[p].is_empty()).collect();
+    let mut active: Vec<usize> = parts
+        .part_ids()
+        .filter(|&p| !terminals[p].is_empty())
+        .collect();
     // Heavy-path decomposition itself: O(depth) rounds, O(n) messages
     // (subtree sizes by convergecast, then a downward labeling).
     let mut cost = CostReport::new(2 * tree.depth() + 2, 2 * tree.n() as u64);
@@ -135,7 +145,10 @@ pub fn construct_deterministic(
             }
             let edges: Vec<usize> = nodes[..nodes.len() - 1]
                 .iter()
-                .map(|&v| tree.parent_edge_of(v).expect("non-top path node has parent edge"))
+                .map(|&v| {
+                    tree.parent_edge_of(v)
+                        .expect("non-top path node has parent edge")
+                })
                 .collect();
             let res = construct_on_path(nodes, &edges, &entry[p], params.congestion);
             let lr = level_rounds.entry(level[p]).or_insert(0);
@@ -169,12 +182,18 @@ pub fn construct_deterministic(
             shortcut.extend_part(part, es.iter().copied());
         }
         active.retain(|&part| {
-            let blocks =
-                shortcut.blocks_for_terminals(g, tree, part, &terminals[part]).len();
+            let blocks = shortcut
+                .blocks_for_terminals(g, tree, part, &terminals[part])
+                .len();
             blocks > 3 * params.target_block
         });
     }
-    DetConstructionResult { shortcut, unsatisfied: active, iterations, cost }
+    DetConstructionResult {
+        shortcut,
+        unsatisfied: active,
+        iterations,
+        cost,
+    }
 }
 
 #[cfg(test)]
@@ -210,9 +229,15 @@ mod tests {
             &terminals,
             DetParams::new(8, 2, parts.num_parts()),
         );
-        assert!(res.unsatisfied.is_empty(), "unsatisfied: {:?}", res.unsatisfied);
+        assert!(
+            res.unsatisfied.is_empty(),
+            "unsatisfied: {:?}",
+            res.unsatisfied
+        );
         for p in parts.part_ids() {
-            let blocks = res.shortcut.blocks_for_terminals(&g, &tree, p, &terminals[p]);
+            let blocks = res
+                .shortcut
+                .blocks_for_terminals(&g, &tree, p, &terminals[p]);
             assert!(blocks.len() <= 6, "part {p}: {} blocks", blocks.len());
         }
     }
@@ -247,7 +272,12 @@ mod tests {
         let q = measure(&g, &tree, &parts, &res.shortcut);
         let log_d = ((tree.depth().max(2)) as f64).log2().ceil() as usize;
         let bound = 2 * c * log_d * res.iterations + res.iterations;
-        assert!(q.congestion <= bound, "congestion {} > bound {}", q.congestion, bound);
+        assert!(
+            q.congestion <= bound,
+            "congestion {} > bound {}",
+            q.congestion,
+            bound
+        );
     }
 
     #[test]
@@ -273,8 +303,7 @@ mod tests {
         let parts = Partition::new(&g, gen::path_blocks(9, 3)).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let terminals = vec![vec![0], vec![], vec![6]];
-        let res =
-            construct_deterministic(&g, &tree, &parts, &terminals, DetParams::new(4, 1, 3));
+        let res = construct_deterministic(&g, &tree, &parts, &terminals, DetParams::new(4, 1, 3));
         assert!(res.shortcut.is_direct(1));
     }
 
@@ -291,6 +320,10 @@ mod tests {
             &terminals,
             DetParams::new(8, 3, parts.num_parts()),
         );
-        assert!(res.unsatisfied.is_empty(), "unsatisfied: {:?}", res.unsatisfied);
+        assert!(
+            res.unsatisfied.is_empty(),
+            "unsatisfied: {:?}",
+            res.unsatisfied
+        );
     }
 }

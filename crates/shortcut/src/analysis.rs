@@ -55,10 +55,15 @@ impl ShortcutProfile {
 pub fn profile(g: &Graph, tree: &RootedTree, parts: &Partition, sc: &Shortcut) -> ShortcutProfile {
     let blocks_per_part: Vec<usize> = parts
         .part_ids()
-        .map(|p| if sc.is_direct(p) { 0 } else { sc.block_count_of(g, tree, parts, p) })
+        .map(|p| {
+            if sc.is_direct(p) {
+                0
+            } else {
+                sc.block_count_of(g, tree, parts, p)
+            }
+        })
         .collect();
-    let edges_per_part: Vec<usize> =
-        parts.part_ids().map(|p| sc.edges_of(p).len()).collect();
+    let edges_per_part: Vec<usize> = parts.part_ids().map(|p| sc.edges_of(p).len()).collect();
     let cong = sc.congestion_map(g);
     let tree_edges = tree.tree_edge_ids();
     let max_c = tree_edges.iter().map(|&e| cong[e]).max().unwrap_or(0);

@@ -26,7 +26,7 @@
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use rmo_congest::CostReport;
 use rmo_graph::{Graph, NodeId, Partition, RootedTree};
@@ -51,7 +51,12 @@ impl RandParams {
     /// Sensible defaults for `num_parts` parts.
     pub fn new(congestion: usize, target_block: usize, num_parts: usize, seed: u64) -> RandParams {
         let log = (num_parts.max(2) as f64).log2().ceil() as usize;
-        RandParams { congestion, target_block, max_iterations: 2 * log + 4, seed }
+        RandParams {
+            congestion,
+            target_block,
+            max_iterations: 2 * log + 4,
+            seed,
+        }
     }
 }
 
@@ -86,21 +91,26 @@ pub fn construct_randomized(
     params: RandParams,
 ) -> RandConstructionResult {
     assert!(params.congestion > 0, "congestion budget must be positive");
-    assert_eq!(terminals.len(), parts.num_parts(), "one terminal set per part");
+    assert_eq!(
+        terminals.len(),
+        parts.num_parts(),
+        "one terminal set per part"
+    );
     let mut rng = StdRng::seed_from_u64(params.seed);
     let n = tree.n();
     let admit = 2 * params.congestion;
     let mut shortcut = Shortcut::empty(parts.num_parts());
-    let mut active: Vec<usize> =
-        parts.part_ids().filter(|&p| !terminals[p].is_empty()).collect();
+    let mut active: Vec<usize> = parts
+        .part_ids()
+        .filter(|&p| !terminals[p].is_empty())
+        .collect();
     let mut cost = CostReport::zero();
     let mut iterations = 0usize;
 
     while !active.is_empty() && iterations < params.max_iterations {
         iterations += 1;
         // Fresh random ranks decide who wins contended edges this sweep.
-        let rank: HashMap<usize, u64> =
-            active.iter().map(|&p| (p, rng.random::<u64>())).collect();
+        let rank: HashMap<usize, u64> = active.iter().map(|&p| (p, rng.random::<u64>())).collect();
         // climbing[v] = parts whose claim front currently sits at node v.
         let mut climbing: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &p in &active {
@@ -153,7 +163,12 @@ pub fn construct_randomized(
         }
         active = still_active;
     }
-    RandConstructionResult { shortcut, unsatisfied: active, iterations, cost }
+    RandConstructionResult {
+        shortcut,
+        unsatisfied: active,
+        iterations,
+        cost,
+    }
 }
 
 #[cfg(test)]
@@ -163,7 +178,10 @@ mod tests {
     use rmo_graph::{bfs_tree, gen};
 
     fn reps_all_members(parts: &Partition) -> Vec<Vec<NodeId>> {
-        parts.part_ids().map(|p| parts.members(p).to_vec()).collect()
+        parts
+            .part_ids()
+            .map(|p| parts.members(p).to_vec())
+            .collect()
     }
 
     #[test]
@@ -188,7 +206,9 @@ mod tests {
         );
         assert!(res.unsatisfied.is_empty(), "all parts should freeze");
         for p in parts.part_ids() {
-            let blocks = res.shortcut.blocks_for_terminals(&g, &tree, p, &terminals[p]);
+            let blocks = res
+                .shortcut
+                .blocks_for_terminals(&g, &tree, p, &terminals[p]);
             assert!(blocks.len() <= 6, "part {p} has {} blocks", blocks.len());
         }
     }
@@ -221,14 +241,11 @@ mod tests {
         let parts = Partition::new(&g, gen::path_blocks(9, 3)).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
         let terminals = vec![vec![0], vec![], vec![6]];
-        let res = construct_randomized(
-            &g,
-            &tree,
-            &parts,
-            &terminals,
-            RandParams::new(2, 1, 3, 0),
+        let res = construct_randomized(&g, &tree, &parts, &terminals, RandParams::new(2, 1, 3, 0));
+        assert!(
+            res.shortcut.is_direct(1),
+            "part without terminals stays direct"
         );
-        assert!(res.shortcut.is_direct(1), "part without terminals stays direct");
     }
 
     #[test]
@@ -251,15 +268,11 @@ mod tests {
         let g = gen::path(32);
         let parts = Partition::new(&g, gen::path_blocks(32, 8)).unwrap();
         let (tree, _) = bfs_tree(&g, 0);
-        let terminals: Vec<Vec<NodeId>> =
-            parts.part_ids().map(|p| vec![parts.members(p)[0]]).collect();
-        let res = construct_randomized(
-            &g,
-            &tree,
-            &parts,
-            &terminals,
-            RandParams::new(4, 1, 4, 2),
-        );
+        let terminals: Vec<Vec<NodeId>> = parts
+            .part_ids()
+            .map(|p| vec![parts.members(p)[0]])
+            .collect();
+        let res = construct_randomized(&g, &tree, &parts, &terminals, RandParams::new(4, 1, 4, 2));
         assert!(res.cost.messages <= (res.iterations as u64) * 4 * 31);
     }
 }

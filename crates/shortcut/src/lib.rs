@@ -41,8 +41,8 @@
 
 pub mod adaptive;
 pub mod alg7;
-pub mod analysis;
 pub mod alg8;
+pub mod analysis;
 pub mod corefast;
 pub mod model;
 pub mod quality;
@@ -50,8 +50,8 @@ pub mod trivial;
 
 pub use adaptive::{estimate_parameters, ParameterEstimate};
 pub use alg7::{construct_on_path, PathConstructionResult};
-pub use analysis::{profile, ShortcutProfile};
 pub use alg8::{construct_deterministic, DetConstructionResult};
+pub use analysis::{profile, ShortcutProfile};
 pub use corefast::{construct_randomized, RandConstructionResult};
 pub use model::{Block, Shortcut, ShortcutError};
 pub use quality::{measure, Quality};

@@ -77,7 +77,9 @@ impl Shortcut {
     /// A shortcut assigning no edges to any of `num_parts` parts
     /// (every part handled directly).
     pub fn empty(num_parts: usize) -> Shortcut {
-        Shortcut { assignments: vec![Vec::new(); num_parts] }
+        Shortcut {
+            assignments: vec![Vec::new(); num_parts],
+        }
     }
 
     /// Builds a shortcut from per-part edge sets, validating that every
@@ -193,10 +195,18 @@ impl Shortcut {
                     .copied()
                     .min_by_key(|&v| (tree.depth_of(v), v))
                     .expect("blocks are non-empty");
-                let part_nodes: Vec<NodeId> =
-                    nodes.iter().copied().filter(|v| part_set.contains(v)).collect();
+                let part_nodes: Vec<NodeId> = nodes
+                    .iter()
+                    .copied()
+                    .filter(|v| part_set.contains(v))
+                    .collect();
                 let edges = by_edge.remove(&rep).unwrap_or_default();
-                Block { root, nodes, part_nodes, edges }
+                Block {
+                    root,
+                    nodes,
+                    part_nodes,
+                    edges,
+                }
             })
             .collect();
         blocks.sort_by_key(|b| b.root);
@@ -268,8 +278,7 @@ mod tests {
             .filter(|&e| !tree.tree_edge_ids().contains(&e))
             .collect();
         assert!(!non_tree.is_empty());
-        let err =
-            Shortcut::new(&parts, &tree, vec![vec![non_tree[0]], vec![]]).unwrap_err();
+        let err = Shortcut::new(&parts, &tree, vec![vec![non_tree[0]], vec![]]).unwrap_err();
         assert!(matches!(err, ShortcutError::NonTreeEdge { .. }));
     }
 
@@ -277,7 +286,13 @@ mod tests {
     fn rejects_part_count_mismatch() {
         let (_, tree, parts) = setup2();
         let err = Shortcut::new(&parts, &tree, vec![vec![]]).unwrap_err();
-        assert_eq!(err, ShortcutError::PartCountMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            ShortcutError::PartCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -289,7 +304,11 @@ mod tests {
             let blocks = sc.blocks_of(&g, &tree, &parts, p);
             assert_eq!(blocks.len(), 1);
             assert_eq!(blocks[0].root, tree.root());
-            assert_eq!(blocks[0].nodes.len(), g.n(), "spans every node via Steiner relays");
+            assert_eq!(
+                blocks[0].nodes.len(),
+                g.n(),
+                "spans every node via Steiner relays"
+            );
             assert_eq!(blocks[0].part_nodes.len(), 4);
         }
     }

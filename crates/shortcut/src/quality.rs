@@ -26,7 +26,11 @@ pub struct Quality {
 /// # Panics
 /// Panics if the shortcut's part count does not match the partition.
 pub fn measure(g: &Graph, tree: &RootedTree, parts: &Partition, sc: &Shortcut) -> Quality {
-    assert_eq!(sc.num_parts(), parts.num_parts(), "shortcut does not match partition");
+    assert_eq!(
+        sc.num_parts(),
+        parts.num_parts(),
+        "shortcut does not match partition"
+    );
     let congestion = sc.congestion_map(g).into_iter().max().unwrap_or(0);
     let block_parameter = parts
         .part_ids()
@@ -39,7 +43,11 @@ pub fn measure(g: &Graph, tree: &RootedTree, parts: &Partition, sc: &Shortcut) -
         .map(|p| part_dilation(g, parts, sc, p))
         .max()
         .unwrap_or(0);
-    Quality { congestion, block_parameter, dilation }
+    Quality {
+        congestion,
+        block_parameter,
+        dilation,
+    }
 }
 
 /// Diameter of the "augmented part" `(Pᵢ ∪ V(Hᵢ), E[Pᵢ] ∪ Hᵢ)` of part `p`.
@@ -109,7 +117,11 @@ mod tests {
         let g = gen::grid(2, 6);
         let parts = Partition::new(&g, gen::grid_row_partition(2, 6)).unwrap();
         let sc = Shortcut::empty(2);
-        assert_eq!(part_dilation(&g, &parts, &sc, 0), 5, "row of 6 has diameter 5");
+        assert_eq!(
+            part_dilation(&g, &parts, &sc, 0),
+            5,
+            "row of 6 has diameter 5"
+        );
     }
 
     #[test]

@@ -37,7 +37,13 @@ pub fn trivial_shortcut_with_threshold(
     let all = tree.tree_edge_ids();
     let assignments = parts
         .part_ids()
-        .map(|p| if parts.part_size(p) >= threshold { all.clone() } else { Vec::new() })
+        .map(|p| {
+            if parts.part_size(p) >= threshold {
+                all.clone()
+            } else {
+                Vec::new()
+            }
+        })
         .collect();
     Shortcut::new(parts, tree, assignments).expect("tree edges are tree edges")
 }

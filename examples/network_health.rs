@@ -16,7 +16,11 @@ use rmo::graph::{gen, reference};
 fn main() {
     // A datacenter-ish topology: two dense pods joined by a thin link.
     let g = gen::dumbbell(12, 2);
-    println!("topology: two 12-node pods, bridge weight 2 (n = {}, m = {})", g.n(), g.m());
+    println!(
+        "topology: two 12-node pods, bridge weight 2 (n = {}, m = {})",
+        g.n(),
+        g.m()
+    );
 
     // 1. Fragility: approximate min cut vs the exact oracle.
     let cut = approx_min_cut(&g, &MinCutConfig::default()).expect("min cut solves");

@@ -24,9 +24,18 @@ fn main() {
     println!("n = {}, m = {}\n", g.n(), g.m());
 
     for (name, config) in [
-        ("deterministic (Algorithm 8 + Algorithm 6 + det Algorithm 1)", PaConfig::default()),
-        ("randomized   (Algorithm 4 + Algorithm 3 + rand Algorithm 1)", PaConfig::randomized(42)),
-        ("trivial      (b = 1, c = sqrt(n) fallback)", PaConfig::trivial(7)),
+        (
+            "deterministic (Algorithm 8 + Algorithm 6 + det Algorithm 1)",
+            PaConfig::default(),
+        ),
+        (
+            "randomized   (Algorithm 4 + Algorithm 3 + rand Algorithm 1)",
+            PaConfig::randomized(42),
+        ),
+        (
+            "trivial      (b = 1, c = sqrt(n) fallback)",
+            PaConfig::trivial(7),
+        ),
     ] {
         let result = solve_pa(&inst, &config).expect("PA solves");
         // Every node knows its part's aggregate — check against the fold.

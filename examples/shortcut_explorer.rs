@@ -27,7 +27,12 @@ fn explore(name: &str, g: &rmo::graph::Graph, parts: &Partition) {
             }
         })
         .collect();
-    println!("\n=== {name}: n = {}, m = {}, depth(T) = {}", g.n(), g.m(), tree.depth());
+    println!(
+        "\n=== {name}: n = {}, m = {}, depth(T) = {}",
+        g.n(),
+        g.m(),
+        tree.depth()
+    );
 
     let est = estimate_parameters(g, &tree, parts, &terminals)
         .expect("doubling terminates on valid instances");

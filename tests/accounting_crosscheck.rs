@@ -51,7 +51,9 @@ fn simulate_real_pa(
         };
         prog.with_children(children_ports(v))
     });
-    let a = sim.run_until_quiescent(8 * g.n() + 8).expect("phase A terminates");
+    let a = sim
+        .run_until_quiescent(8 * g.n() + 8)
+        .expect("phase A terminates");
     messages += a.messages;
     rounds += a.rounds;
 
@@ -59,7 +61,9 @@ fn simulate_real_pa(
     let mut sim = Simulator::new(net, |v| {
         TreeConvergecast::new(values[v], fold, parent_port(v), children_ports(v).len())
     });
-    let b = sim.run_until_quiescent(8 * g.n() + 8).expect("phase B terminates");
+    let b = sim
+        .run_until_quiescent(8 * g.n() + 8)
+        .expect("phase B terminates");
     messages += b.messages;
     rounds += b.rounds;
     let aggregates: Vec<u64> = leaders
@@ -76,7 +80,9 @@ fn simulate_real_pa(
         };
         prog.with_children(children_ports(v))
     });
-    let c = sim.run_until_quiescent(8 * g.n() + 8).expect("phase C terminates");
+    let c = sim
+        .run_until_quiescent(8 * g.n() + 8)
+        .expect("phase C terminates");
     messages += c.messages;
     rounds += c.rounds;
 
@@ -112,7 +118,11 @@ fn crosscheck(g: &rmo::graph::Graph, parts: Partition, seed: u64) {
     // number must dominate the real one and stay within the boundary-
     // notification overhead (≤ 2m extra per phase).
     let real_per_phase = (g.n() - parts.num_parts()) as u64;
-    assert_eq!(sim_msgs, 3 * real_per_phase, "simulation sends one msg per tree edge per phase");
+    assert_eq!(
+        sim_msgs,
+        3 * real_per_phase,
+        "simulation sends one msg per tree edge per phase"
+    );
     assert!(
         accounted.cost.messages >= sim_msgs,
         "accounted {} must dominate simulated {}",
@@ -130,7 +140,10 @@ fn crosscheck(g: &rmo::graph::Graph, parts: Partition, seed: u64) {
         .map(|s| division.subpart_depth(s))
         .max()
         .unwrap_or(0);
-    assert!(accounted.cost.rounds >= max_depth, "phases cannot beat the tree depth");
+    assert!(
+        accounted.cost.rounds >= max_depth,
+        "phases cannot beat the tree depth"
+    );
     assert!(
         sim_rounds <= 3 * (max_depth + 3),
         "simulated rounds {} exceed 3 phases of depth {}",

@@ -74,7 +74,11 @@ fn mincut_reasonable_on_random_graphs() {
         let exact = reference::stoer_wagner(&g);
         let res = approx_min_cut(
             &g,
-            &MinCutConfig { trials: Some(10), seed, ..Default::default() },
+            &MinCutConfig {
+                trials: Some(10),
+                seed,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(res.weight >= exact.weight);
@@ -105,7 +109,10 @@ fn sssp_upper_bounds_and_bounded_stretch() {
             .filter(|&v| truth[v] > 0)
             .map(|v| res.estimates[v] as f64 / truth[v] as f64)
             .fold(1.0f64, f64::max);
-        assert!(max_stretch <= 60.0, "stretch {max_stretch} is out of control");
+        assert!(
+            max_stretch <= 60.0,
+            "stretch {max_stretch} is out of control"
+        );
     }
 }
 
@@ -122,7 +129,11 @@ fn component_labels_match_dsu() {
     }
     for u in 0..g.n() {
         for v in (u + 1)..g.n() {
-            assert_eq!(out.labels[u] == out.labels[v], dsu.same(u, v), "pair ({u},{v})");
+            assert_eq!(
+                out.labels[u] == out.labels[v],
+                dsu.same(u, v),
+                "pair ({u},{v})"
+            );
         }
     }
 }
@@ -153,13 +164,21 @@ fn kdom_guarantees_across_k() {
     for k in [6usize, 12, 36] {
         let res = k_dominating_set(&g, k);
         assert!(res.max_distance <= k, "k={k}");
-        assert!(res.set.len() <= 6 * g.n() / k + 1, "k={k}: size {}", res.set.len());
+        assert!(
+            res.set.len() <= 6 * g.n() / k + 1,
+            "k={k}: size {}",
+            res.set.len()
+        );
     }
 }
 
 #[test]
 fn cds_valid_and_modest_on_structures() {
-    let cases = vec![gen::star(25), gen::grid(5, 9), gen::gnp_connected(50, 0.1, 8)];
+    let cases = vec![
+        gen::star(25),
+        gen::grid(5, 9),
+        gen::gnp_connected(50, 0.1, 8),
+    ];
     for g in cases {
         let w: Vec<u64> = (0..g.n() as u64).map(|v| 1 + v % 5).collect();
         let res = approx_mwcds(&g, &w, &PaConfig::default()).unwrap();

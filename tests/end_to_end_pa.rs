@@ -31,7 +31,9 @@ fn all_configs() -> Vec<(&'static str, PaConfig)> {
 }
 
 fn check_all_configs(g: &rmo::graph::Graph, parts: Partition, f: Aggregate) {
-    let values: Vec<u64> = (0..g.n() as u64).map(|v| v.wrapping_mul(0x9e3779b9) % 10_000).collect();
+    let values: Vec<u64> = (0..g.n() as u64)
+        .map(|v| v.wrapping_mul(0x9e3779b9) % 10_000)
+        .collect();
     let inst = PaInstance::from_partition(g, parts, values, f).expect("valid instance");
     for (name, cfg) in all_configs() {
         let res = solve_pa(&inst, &cfg).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -43,7 +45,11 @@ fn check_all_configs(g: &rmo::graph::Graph, parts: Partition, f: Aggregate) {
             );
         }
         for v in 0..g.n() {
-            assert_eq!(res.value_at(v), inst.reference_aggregate_of(v), "{name}, node {v}");
+            assert_eq!(
+                res.value_at(v),
+                inst.reference_aggregate_of(v),
+                "{name}, node {v}"
+            );
         }
         assert!(res.cost.rounds > 0, "{name}: nonzero work");
     }

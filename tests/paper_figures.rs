@@ -13,11 +13,9 @@ use rmo::shortcut::{quality, Shortcut};
 /// Figure 1: a T-restricted shortcut with congestion 3, block parameter 2.
 #[test]
 fn figure1_example_parameters() {
-    let g = Graph::from_unweighted_edges(
-        8,
-        &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (3, 6), (5, 7)],
-    )
-    .unwrap();
+    let g =
+        Graph::from_unweighted_edges(8, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (3, 6), (5, 7)])
+            .unwrap();
     let parts = Partition::new(&g, vec![0, 1, 2, 1, 3, 2, 1, 2]).unwrap();
     let (tree, _) = bfs_tree(&g, 0);
     let e = |u: usize, v: usize| g.edge_between(u, v).unwrap();
@@ -50,8 +48,7 @@ fn figure2_separation_at_depth_32() {
     let (tree, _) = bfs_tree(&g, apex);
     let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
     let leaders: Vec<usize> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
-    let naive =
-        naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1).unwrap();
+    let naive = naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1).unwrap();
     let div = random_division(&g, &parts, &leaders, tree.depth().max(1), 7);
     let ours = solve_with_parts(
         &inst,
@@ -79,15 +76,16 @@ fn figure2_separation_at_depth_32() {
 fn figure4_three_blocks_three_iterations() {
     let g = gen::path(24);
     let parts = Partition::whole(&g).unwrap();
-    let inst =
-        PaInstance::from_partition(&g, parts.clone(), vec![1; 24], Aggregate::Sum).unwrap();
+    let inst = PaInstance::from_partition(&g, parts.clone(), vec![1; 24], Aggregate::Sum).unwrap();
     let (tree, _) = bfs_tree(&g, 0);
     let sc = Shortcut::empty(1);
     let division = SubPartDivision::new(
         &g,
         &parts,
         (0..24).map(|v| v / 8).collect(),
-        (0..24usize).map(|v| if v % 8 == 0 { None } else { Some(v - 1) }).collect(),
+        (0..24usize)
+            .map(|v| if v % 8 == 0 { None } else { Some(v - 1) })
+            .collect(),
         vec![0, 8, 16],
     )
     .unwrap();
@@ -103,7 +101,11 @@ fn figure4_three_blocks_three_iterations() {
     assert_eq!(wave.trace.len(), 3);
     assert!(wave.informed.iter().all(|&i| i));
     let informed: Vec<usize> = wave.trace.iter().map(|t| t.informed_after).collect();
-    assert_eq!(informed, vec![9, 17, 24], "one sub-part block per iteration");
+    assert_eq!(
+        informed,
+        vec![9, 17, 24],
+        "one sub-part block per iteration"
+    );
 }
 
 /// Figure 5 / Lemma 6.6: Algorithm 7's rounds and loads on a long path.

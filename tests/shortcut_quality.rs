@@ -65,7 +65,11 @@ fn constructions_satisfy_all_parts_on_grids() {
             &terminals,
             DetParams::new(r, 2, parts.num_parts()),
         );
-        assert!(det.unsatisfied.is_empty(), "{r}x{c}: det unsatisfied {:?}", det.unsatisfied);
+        assert!(
+            det.unsatisfied.is_empty(),
+            "{r}x{c}: det unsatisfied {:?}",
+            det.unsatisfied
+        );
         let rand = construct_randomized(
             &g,
             &tree,
@@ -93,18 +97,15 @@ fn better_shortcuts_reduce_wave_rounds_on_wide_grids() {
     // shortcut it must crawl the row sub-part by sub-part.
     let (depth, width) = (4usize, 240usize);
     let g = gen::grid_with_apex(depth, width);
-    let parts =
-        Partition::new(&g, gen::grid_row_partition_with_apex(depth, width)).unwrap();
+    let parts = Partition::new(&g, gen::grid_row_partition_with_apex(depth, width)).unwrap();
     let apex = depth * width;
     let (tree, _) = bfs_tree(&g, apex);
     let values: Vec<u64> = (0..g.n() as u64).collect();
-    let inst =
-        PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
+    let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
     let leaders: Vec<usize> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
     let d = tree.depth().max(1);
     let division = deterministic_division(&g, &parts, d).division;
-    let terminals: Vec<Vec<usize>> =
-        parts.part_ids().map(|p| division.reps_of_part(p)).collect();
+    let terminals: Vec<Vec<usize>> = parts.part_ids().map(|p| division.reps_of_part(p)).collect();
     let built = construct_deterministic(
         &g,
         &tree,
@@ -115,7 +116,12 @@ fn better_shortcuts_reduce_wave_rounds_on_wide_grids() {
     assert!(built.unsatisfied.is_empty());
     let budget = parts
         .part_ids()
-        .map(|p| built.shortcut.blocks_for_terminals(&g, &tree, p, &terminals[p]).len())
+        .map(|p| {
+            built
+                .shortcut
+                .blocks_for_terminals(&g, &tree, p, &terminals[p])
+                .len()
+        })
         .max()
         .unwrap();
     let with = solve_with_parts(
@@ -165,7 +171,10 @@ fn bounded_width_families_get_small_parameters() {
     );
     assert!(res.unsatisfied.is_empty());
     for p in parts.part_ids() {
-        let blocks = res.shortcut.blocks_for_terminals(&g, &tree, p, &terminals[p]).len();
+        let blocks = res
+            .shortcut
+            .blocks_for_terminals(&g, &tree, p, &terminals[p])
+            .len();
         assert!(blocks <= 6, "part {p}: {blocks} terminal blocks");
     }
 }

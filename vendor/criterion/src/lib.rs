@@ -1,0 +1,221 @@
+//! Vendored minimal `criterion` stand-in.
+//!
+//! The build container cannot reach crates.io, so this crate implements
+//! the Criterion surface the `rmo-bench` targets use — enough for
+//! `cargo bench --no-run` to compile every target and for `cargo bench`
+//! to produce honest (if unsophisticated) wall-clock numbers:
+//!
+//! * [`Criterion::benchmark_group`] → [`BenchmarkGroup`] with
+//!   `sample_size`, `bench_function`, `bench_with_input`, `finish`;
+//! * [`BenchmarkId`] (`new` / `from_parameter`);
+//! * [`Bencher::iter`] — median-of-samples timing around the closure;
+//! * [`black_box`] and the [`criterion_group!`] / [`criterion_main!`]
+//!   macros.
+//!
+//! No warm-up, statistics, plots, or saved baselines. Swap the real
+//! crate back in (same manifest name/version) when network access exists.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-exported optimizer barrier.
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`, e.g. `BenchmarkId::new("trivial", "grid")`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Parameter-only id, e.g. `BenchmarkId::from_parameter(n)`.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Times a closure; handed to bench bodies as `|b| b.iter(...)`.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration nanoseconds, filled by [`Bencher::iter`].
+    median_ns: u128,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the median sample time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut times: Vec<u128> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed().as_nanos());
+        }
+        times.sort_unstable();
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (Criterion's minimum is 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            median_ns: 0,
+        };
+        f(&mut b);
+        println!(
+            "bench {group}/{id}: median {ns} ns ({samples} samples)",
+            group = self.name,
+            ns = b.median_ns,
+            samples = self.sample_size
+        );
+    }
+
+    /// Time `f` under the name `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        self.run_one(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Time `f` with an explicit input value (passed by reference).
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        self.run_one(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API parity; reporting is per-bench).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Small default: the vendored harness measures medians, not
+        // distributions, and CI shouldn't spend minutes per target.
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Ungrouped benchmark, for API parity.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group function that runs each target with a fresh Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

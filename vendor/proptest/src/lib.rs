@@ -1,0 +1,531 @@
+//! Vendored minimal `proptest` stand-in.
+//!
+//! The build container cannot reach crates.io, so this crate implements
+//! exactly the property-testing surface the workspace uses:
+//!
+//! * [`proptest!`] — the test-harness macro (`pattern in strategy` bindings,
+//!   an optional `#![proptest_config(..)]` inner attribute);
+//! * [`Strategy`] — value generation for integer ranges, tuples of
+//!   strategies, [`Just`], [`any`] and [`prop_oneof!`] unions;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] — assertions that fail the
+//!   case with a formatted message instead of unwinding mid-generator.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case index and the
+//!   fixed master seed; cases are reproducible because generation is
+//!   fully deterministic (see below).
+//! * **No persistence.** No `proptest-regressions/` files are written
+//!   (the repo `.gitignore` still covers them for when the real crate is
+//!   swapped back in).
+//! * **Deterministic by construction.** Each test function derives every
+//!   case's RNG from a fixed master seed and the case index, so tier-1
+//!   runs are bit-for-bit reproducible — there is no ambient entropy.
+
+use std::fmt;
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Why a test case ended early: a real failure, or a `prop_assume!`
+    /// rejection (the case is skipped, not failed).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+        rejection: bool,
+    }
+
+    impl TestCaseError {
+        /// A failed property with a rendered message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+                rejection: false,
+            }
+        }
+
+        /// An input rejected by `prop_assume!` — skipped, not failed.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+                rejection: true,
+            }
+        }
+
+        /// Whether this is a `prop_assume!` rejection.
+        pub fn is_rejection(&self) -> bool {
+            self.rejection
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Run `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+pub use test_runner::TestCaseError;
+
+/// The master seed all `proptest!` tests derive their cases from.
+/// Fixed so tier-1 is deterministic; change it only deliberately.
+pub const MASTER_SEED: u64 = 0x5EED_0F_9A9E12;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The per-case random source handed to strategies.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `test_name`, derived
+        /// from the fixed master seed. Deterministic across runs and
+        /// independent across tests.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = crate::MASTER_SEED;
+            for b in test_name.bytes() {
+                h = h.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37)),
+            }
+        }
+
+        pub fn random_u64(&mut self) -> u64 {
+            self.inner.random::<u64>()
+        }
+
+        pub fn random_bool(&mut self) -> bool {
+            self.inner.random::<bool>()
+        }
+
+        pub fn random_f64(&mut self) -> f64 {
+            self.inner.random::<f64>()
+        }
+
+        pub fn random_index(&mut self, bound: usize) -> usize {
+            self.inner.random_range(0..bound)
+        }
+    }
+
+    /// A generator of values of `Value`.
+    ///
+    /// Object-safe so `prop_oneof!` can box heterogeneous arms.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Boxed strategies are strategies (lets unions nest).
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Types with a canonical "any value" strategy (only what's used).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.random_bool()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.random_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            (rng.random_u64() >> 32) as u32
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Uniform choice among boxed arms — the engine of [`prop_oneof!`].
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.random_index(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.random_u64() % span) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty range strategy");
+                    let span = (e - s) as u64;
+                    if span == u64::MAX {
+                        return s + rng.random_u64() as $t;
+                    }
+                    s + (rng.random_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub use strategy::{any, Any, Arbitrary, Just, Strategy, Union};
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy, Union};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Render a failure without running the formatter when the case passes.
+#[doc(hidden)]
+pub fn __panic_on_failure(test: &str, case: u32, err: &dyn fmt::Display) -> ! {
+    panic!(
+        "proptest {test}: case {case} failed (master seed {seed:#x}): {err}",
+        seed = MASTER_SEED
+    )
+}
+
+/// Skip the current case unless `cond` holds (input rejection, not failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case with a formatted message unless `cond`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current test case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                    stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the current test case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Uniform union of strategies: `prop_oneof![a, b, c]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let mut arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec::Vec::new();
+        $(arms.push(::std::boxed::Box::new($arm));)+
+        $crate::strategy::Union::new(arms)
+    }};
+}
+
+/// The property-test harness macro.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn holds((a, b) in (0usize..10, 0u64..5), flip in any::<bool>()) {
+///         prop_assert!(a < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Rejections (prop_assume!) don't consume the case budget;
+            // instead they burn attempts, and running out of attempts is
+            // an error — a property whose inputs are always rejected must
+            // not pass vacuously.
+            let max_attempts = config.cases.saturating_mul(16).max(1024);
+            let mut accepted: u32 = 0;
+            let mut attempt: u32 = 0;
+            while accepted < config.cases {
+                if attempt >= max_attempts {
+                    panic!(
+                        "proptest {}: too many prop_assume! rejections \
+                         ({} accepted of {} wanted after {} attempts)",
+                        stringify!($name), accepted, config.cases, attempt
+                    );
+                }
+                let mut rng =
+                    $crate::strategy::TestRng::for_case(stringify!($name), attempt);
+                attempt += 1;
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err(err) if err.is_rejection() => {}
+                    ::core::result::Result::Err(err) => {
+                        $crate::__panic_on_failure(stringify!($name), attempt - 1, &err);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_tests!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, u64)> {
+        (1usize..10, 0u64..100)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(25))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in 5u64..=9) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((5..=9).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_oneof((a, b) in pair(), pick in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!(a >= 1 && a < 10);
+            prop_assert!(b < 100);
+            prop_assert!(matches!(pick, 1 | 2 | 3));
+            prop_assert_eq!(a + 1, 1 + a, "commutativity with a={}", a);
+        }
+
+        #[test]
+        fn any_bool_generates_both(flip in any::<bool>()) {
+            prop_assert!(flip || !flip);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for pass in 0..2 {
+            let out = if pass == 0 { &mut first } else { &mut second };
+            for case in 0..10 {
+                let mut rng = crate::strategy::TestRng::for_case("det", case);
+                out.push((5usize..50).generate(&mut rng));
+            }
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many prop_assume! rejections")]
+    fn all_rejected_is_an_error_not_a_pass() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn never_satisfiable(n in 0usize..5) {
+                prop_assume!(n > 100);
+                prop_assert!(false, "unreachable: every case is rejected");
+            }
+        }
+        never_satisfiable();
+    }
+
+    #[test]
+    fn rejections_do_not_consume_the_case_budget() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static ACCEPTED: AtomicU32 = AtomicU32::new(0);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(20))]
+            fn half_rejected(n in 0usize..10) {
+                prop_assume!(n % 2 == 0);
+                ACCEPTED.fetch_add(1, Ordering::Relaxed);
+                prop_assert!(n % 2 == 0);
+            }
+        }
+        half_rejected();
+        assert_eq!(ACCEPTED.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failures_panic_with_case_index() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(n in 0usize..5) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+}
