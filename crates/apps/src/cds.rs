@@ -19,9 +19,9 @@
 use std::collections::HashSet;
 
 use rmo_congest::CostReport;
-use rmo_graph::{DisjointSets, Graph, NodeId};
+use rmo_graph::{DisjointSets, Graph, NodeId, Partition};
 
-use rmo_core::PaError;
+use rmo_core::{Aggregate, EngineConfig, PaEngine, PaError};
 
 /// Result of [`approx_mwcds`].
 #[derive(Debug, Clone)]
@@ -48,12 +48,27 @@ pub struct CdsResult {
 pub fn approx_mwcds(
     g: &Graph,
     node_weight: &[u64],
-    _config: &rmo_core::PaConfig,
+    config: &rmo_core::PaConfig,
 ) -> Result<CdsResult, PaError> {
-    assert!(
-        g.n() > 0 && g.is_connected(),
-        "MWCDS needs a connected graph"
-    );
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    approx_mwcds_with_engine(&mut engine, node_weight)
+}
+
+/// [`approx_mwcds`] on a long-lived engine session. The connection
+/// phase's Thurimella-style component labelings run as real PA calls on
+/// the engine (each round's "current CDS components + singletons"
+/// partition), so the reported cost is measured, not estimated.
+///
+/// # Errors
+/// Propagates [`PaError`] from the coordination calls.
+///
+/// # Panics
+/// Panics if weights length mismatches the node count.
+pub fn approx_mwcds_with_engine(
+    engine: &mut PaEngine<'_>,
+    node_weight: &[u64],
+) -> Result<CdsResult, PaError> {
+    let g = engine.graph();
     assert_eq!(node_weight.len(), g.n());
     if g.n() == 1 {
         return Ok(CdsResult {
@@ -117,8 +132,19 @@ pub fn approx_mwcds(
         if roots.len() <= 1 {
             break;
         }
-        // One component-labeling round (PA scale).
-        cost += CostReport::new(6, 4 * n as u64);
+        // One component-labeling round: a real PA call whose parts are the
+        // current CDS components (connected in G[S]) plus singletons —
+        // Ghaffari's Thurimella-style coordination, measured for real.
+        let mut remap = std::collections::HashMap::new();
+        let mut part_of = vec![0usize; n];
+        for (v, slot) in part_of.iter_mut().enumerate() {
+            let key = if in_set[v] { dsu.find(v) } else { n + v };
+            let next = remap.len();
+            *slot = *remap.entry(key).or_insert(next);
+        }
+        let parts = Partition::new(g, part_of)?;
+        let values: Vec<u64> = (0..n as u64).collect();
+        cost += engine.solve(&parts, &values, Aggregate::Min)?.cost;
         // Cheapest connector: a path u - x (- y) - v between different
         // components with u, v in S; add the interior nodes.
         let mut best: Option<(u64, Vec<NodeId>)> = None;

@@ -10,9 +10,9 @@
 //! aggregation over node ids labels everyone.
 
 use rmo_congest::CostReport;
-use rmo_graph::{DisjointSets, EdgeId, Graph};
+use rmo_graph::{DisjointSets, EdgeId, Graph, Partition};
 
-use rmo_core::{solve_pa, Aggregate, PaConfig, PaError, PaInstance};
+use rmo_core::{Aggregate, EngineConfig, PaConfig, PaEngine, PaError};
 
 /// Component labels plus the measured PA cost.
 #[derive(Debug, Clone)]
@@ -27,7 +27,11 @@ pub struct ComponentLabels {
     pub cost: CostReport,
 }
 
-/// Labels the connected components of the subgraph given by `h_edges`.
+/// Labels the connected components of the subgraph given by `h_edges`,
+/// using a fresh one-shot [`PaEngine`] session. Callers issuing several
+/// labelings on one graph should hold an engine and use
+/// [`component_labels_with_engine`] so the BFS tree and per-partition
+/// artifacts are reused.
 ///
 /// # Errors
 /// Propagates [`PaError`] (the graph must be connected, per CONGEST).
@@ -36,6 +40,21 @@ pub fn component_labels(
     h_edges: &[EdgeId],
     config: &PaConfig,
 ) -> Result<ComponentLabels, PaError> {
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    component_labels_with_engine(&mut engine, h_edges)
+}
+
+/// Labels the connected components of the subgraph given by `h_edges` on
+/// a long-lived engine session (one PA call; repeated labelings of the
+/// same `H` hit the artifact cache).
+///
+/// # Errors
+/// Propagates [`PaError`].
+pub fn component_labels_with_engine(
+    engine: &mut PaEngine<'_>,
+    h_edges: &[EdgeId],
+) -> Result<ComponentLabels, PaError> {
+    let g = engine.graph();
     // H-components as a partition of V (connected in H => connected in G).
     let mut dsu = DisjointSets::new(g.n());
     for &e in h_edges {
@@ -44,14 +63,14 @@ pub fn component_labels(
     }
     let mut remap = std::collections::HashMap::new();
     let mut part_of = vec![0usize; g.n()];
-    for v in 0..g.n() {
+    for (v, slot) in part_of.iter_mut().enumerate() {
         let r = dsu.find(v);
         let next = remap.len();
-        part_of[v] = *remap.entry(r).or_insert(next);
+        *slot = *remap.entry(r).or_insert(next);
     }
     let values: Vec<u64> = (0..g.n() as u64).collect();
-    let inst = PaInstance::new(g, part_of, values, Aggregate::Min)?;
-    let res = solve_pa(&inst, config)?;
+    let parts = Partition::new(g, part_of)?;
+    let res = engine.solve(&parts, &values, Aggregate::Min)?;
     let labels = res.node_values.clone();
     // Dense component ids from labels.
     let mut seen = std::collections::HashMap::new();

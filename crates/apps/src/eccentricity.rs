@@ -19,7 +19,8 @@
 use rmo_congest::CostReport;
 use rmo_graph::{bfs_distances, Graph, NodeId};
 
-use crate::kdom::k_dominating_set;
+use crate::kdom::k_dominating_set_with_engine;
+use rmo_core::{EngineConfig, PaEngine};
 
 /// Result of [`approx_eccentricities`].
 #[derive(Debug, Clone)]
@@ -36,17 +37,28 @@ pub struct EccentricityResult {
     pub cost: CostReport,
 }
 
-/// Computes additive-`k` eccentricity over-estimates for every node.
+/// Computes additive-`k` eccentricity over-estimates for every node,
+/// using a fresh one-shot [`PaEngine`] session.
 ///
 /// # Panics
 /// Panics if `k == 0` or the graph is disconnected/empty.
 pub fn approx_eccentricities(g: &Graph, k: usize) -> EccentricityResult {
+    let mut engine = PaEngine::new(g, EngineConfig::new());
+    approx_eccentricities_with_engine(&mut engine, k)
+}
+
+/// [`approx_eccentricities`] on a long-lived engine session (the
+/// underlying k-domination division is memoized per `k`).
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn approx_eccentricities_with_engine(
+    engine: &mut PaEngine<'_>,
+    k: usize,
+) -> EccentricityResult {
     assert!(k > 0, "k must be positive");
-    assert!(
-        g.n() > 0 && g.is_connected(),
-        "eccentricity needs a connected graph"
-    );
-    let kd = k_dominating_set(g, k);
+    let g = engine.graph();
+    let kd = k_dominating_set_with_engine(engine, k);
     let mut cost = kd.cost;
     // BFS from every dominator: |S| waves, pipelined over the BFS tree —
     // rounds O(D + |S|), messages O(|S| * m); we charge each BFS's

@@ -9,9 +9,9 @@
 //! of Lemma 6.4 with `D = k/6` gives `4k/6 < k`).
 
 use rmo_congest::CostReport;
-use rmo_graph::{bfs_distances, Graph, NodeId, Partition};
+use rmo_graph::{bfs_distances, Graph, NodeId};
 
-use rmo_core::subparts_det::deterministic_division;
+use rmo_core::{EngineConfig, PaEngine};
 
 /// Result of [`k_dominating_set`].
 #[derive(Debug, Clone)]
@@ -24,19 +24,28 @@ pub struct KDomResult {
     pub cost: CostReport,
 }
 
-/// Computes a `k`-dominating set of size `O(n/k)`.
+/// Computes a `k`-dominating set of size `O(n/k)`, using a fresh
+/// one-shot [`PaEngine`] session.
 ///
 /// # Panics
 /// Panics if `k == 0` or the graph is disconnected/empty.
 pub fn k_dominating_set(g: &Graph, k: usize) -> KDomResult {
+    let mut engine = PaEngine::new(g, EngineConfig::new());
+    k_dominating_set_with_engine(&mut engine, k)
+}
+
+/// [`k_dominating_set`] on a long-lived engine session. The Algorithm 6
+/// division is memoized per threshold, so repeated queries with the same
+/// `k` (and the eccentricity estimator built on top) are charged only
+/// the final labeling pass.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn k_dominating_set_with_engine(engine: &mut PaEngine<'_>, k: usize) -> KDomResult {
     assert!(k > 0, "k must be positive");
-    assert!(
-        g.n() > 0 && g.is_connected(),
-        "k-domination needs a connected graph"
-    );
-    let parts = Partition::whole(g).expect("connected graph");
+    let g = engine.graph();
     let threshold = k.div_ceil(6);
-    let res = deterministic_division(g, &parts, threshold);
+    let (res, division_cost) = engine.whole_graph_division(threshold);
     let set: Vec<NodeId> = (0..res.division.num_subparts())
         .map(|s| res.division.rep_of_subpart(s))
         .collect();
@@ -44,7 +53,7 @@ pub fn k_dominating_set(g: &Graph, k: usize) -> KDomResult {
     // sub-part tree; graph distance is at most that tree distance, so the
     // multi-source eccentricity is the honest upper-bound check.
     let max_distance = multi_source_ecc(g, &set);
-    let cost = res.cost + CostReport::new(2, 2 * g.n() as u64);
+    let cost = division_cost + CostReport::new(2, 2 * g.n() as u64);
     KDomResult {
         set,
         max_distance,

@@ -19,6 +19,13 @@
 //!   application the paper cites).
 //! * [`cds`] — `O(log n)`-approximate minimum-weight connected dominating
 //!   set (Corollary A.2).
+//!
+//! Every module routes its PA work through [`rmo_core::PaEngine`]: the
+//! one-shot entry points spin a session up internally, and each exposes a
+//! `*_with_engine` variant that runs on a caller-held session so that a
+//! whole workload on one graph — say an MST build followed by its
+//! verification and a batch of aggregations — pays for leader election
+//! and the BFS tree once and shares cached pipeline artifacts.
 
 pub mod cds;
 pub mod certificate;
@@ -30,7 +37,7 @@ pub mod mst;
 pub mod sssp;
 pub mod verify;
 
-pub use components::{component_labels, ComponentLabels};
-pub use mincut::{approx_min_cut, MinCutConfig, MinCutResult};
-pub use mst::{pa_mst, MstConfig, PaMstResult};
-pub use sssp::{approx_sssp, SsspConfig, SsspResult};
+pub use components::{component_labels, component_labels_with_engine, ComponentLabels};
+pub use mincut::{approx_min_cut, approx_min_cut_with_engine, MinCutConfig, MinCutResult};
+pub use mst::{pa_mst, pa_mst_with_engine, MstConfig, PaMstResult};
+pub use sssp::{approx_sssp, approx_sssp_with_engine, SsspConfig, SsspResult};

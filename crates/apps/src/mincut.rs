@@ -8,7 +8,7 @@
 //! `(1+ε)`-approximate min cut ("the cut 1-respects the tree"); a
 //! sketching pass finds that edge. All three ingredients run on PA:
 //!
-//! * each spanning tree is our Borůvka-over-PA MST ([`pa_mst`]);
+//! * each spanning tree is our Borůvka-over-PA MST ([`crate::mst::pa_mst`]);
 //! * evaluating **all** 1-respecting cuts of a tree takes `O(log n)`
 //!   aggregation passes (subtree weighted degrees via convergecast, and
 //!   the "edges internal to the subtree" correction via the standard
@@ -21,8 +21,8 @@ use rand::{Rng, SeedableRng};
 use rmo_congest::CostReport;
 use rmo_graph::{bfs_tree, Graph, NodeId};
 
-use crate::mst::{pa_mst, MstConfig};
-use rmo_core::{PaConfig, PaError};
+use crate::mst::pa_mst_with_engine;
+use rmo_core::{EngineConfig, PaConfig, PaEngine, PaError};
 
 /// Configuration for the approximate min-cut.
 #[derive(Debug, Clone, Copy)]
@@ -62,7 +62,8 @@ pub struct MinCutResult {
     pub cost: CostReport,
 }
 
-/// Finds a `(1+ε)`-approximate minimum cut w.h.p.
+/// Finds a `(1+ε)`-approximate minimum cut w.h.p., using a fresh
+/// one-shot [`PaEngine`] session.
 ///
 /// # Errors
 /// Propagates [`PaError`] from the inner MST runs.
@@ -71,9 +72,29 @@ pub struct MinCutResult {
 /// Panics if `ε ≤ 0`, the graph has fewer than 2 nodes, or is
 /// disconnected.
 pub fn approx_min_cut(g: &Graph, config: &MinCutConfig) -> Result<MinCutResult, PaError> {
+    let mut engine = PaEngine::new(g, EngineConfig::from(config.pa));
+    approx_min_cut_with_engine(&mut engine, config)
+}
+
+/// [`approx_min_cut`] on a long-lived engine session.
+///
+/// Election and the BFS tree are weight-oblivious, so each sampled
+/// perturbation derives its trial session with
+/// [`PaEngine::for_reweighted`] — stage 1 is paid once per engine, not
+/// once per sampled tree.
+///
+/// # Errors
+/// Propagates [`PaError`] from the inner MST runs.
+///
+/// # Panics
+/// Panics if `ε ≤ 0` or the graph has fewer than 2 nodes.
+pub fn approx_min_cut_with_engine(
+    engine: &mut PaEngine<'_>,
+    config: &MinCutConfig,
+) -> Result<MinCutResult, PaError> {
+    let g = engine.graph();
     assert!(config.epsilon > 0.0, "epsilon must be positive");
     assert!(g.n() >= 2, "min cut needs two nodes");
-    assert!(g.is_connected(), "min cut of a disconnected graph is 0");
     let n = g.n();
     let log_n = (n.max(2) as f64).log2().ceil() as usize;
     let trials = config
@@ -81,7 +102,8 @@ pub fn approx_min_cut(g: &Graph, config: &MinCutConfig) -> Result<MinCutResult, 
         .unwrap_or_else(|| (log_n as f64 / (config.epsilon * config.epsilon)).ceil() as usize)
         .max(1);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut cost = CostReport::zero();
+    // The tree every trial session reuses is paid for exactly once.
+    let mut cost = engine.charge_base();
     let mut best_weight = u64::MAX;
     let mut best_side: Vec<bool> = vec![false; n];
 
@@ -95,7 +117,10 @@ pub fn approx_min_cut(g: &Graph, config: &MinCutConfig) -> Result<MinCutResult, 
                 .saturating_add(jitter)
                 .min((1 << 39) - 1)
         });
-        let mst = pa_mst(&perturbed, &MstConfig { pa: config.pa })?;
+        // Same topology, new weights: reuse the session's tree instead of
+        // re-running election + BFS for every sampled perturbation.
+        let mut trial = engine.for_reweighted(&perturbed);
+        let mst = pa_mst_with_engine(&mut trial)?;
         cost += mst.cost;
 
         // Evaluate all 1-respecting cuts of this tree: for every tree edge
@@ -117,8 +142,8 @@ pub fn approx_min_cut(g: &Graph, config: &MinCutConfig) -> Result<MinCutResult, 
         // subtree_cut[v] = weight of cut (subtree(v), rest).
         let mut wdeg_sub: Vec<u64> = vec![0; n];
         let mut internal_sub: Vec<u64> = vec![0; n];
-        for v in 0..n {
-            wdeg_sub[v] = g.neighbors(v).map(|(_, e)| g.weight(e)).sum();
+        for (v, wdeg) in wdeg_sub.iter_mut().enumerate() {
+            *wdeg = g.neighbors(v).map(|(_, e)| g.weight(e)).sum();
         }
         // For the internal-edge correction we need, per edge, its LCA in
         // the tree; all edges below v contribute... we accumulate: an edge

@@ -7,19 +7,19 @@
 //! subgraphs, so they form a valid PA partition; the aggregate is `Min`
 //! over packed `(weight, edge id)` keys.
 //!
-//! Costs: leader election and the BFS tree are paid once; every phase
-//! pays for a fresh sub-part division + shortcut construction on the new
-//! partition plus two PA solves (find the minimum edge; distribute the
-//! merged component identity), exactly the composition the corollary
-//! charges (`O(log n)` PA invocations).
+//! Costs: leader election and the BFS tree are paid once (by the
+//! [`PaEngine`] session); every phase pays for a fresh sub-part division
+//! and shortcut construction on the new partition plus two PA solves
+//! (find the minimum edge; distribute the merged component identity),
+//! exactly the composition the corollary charges (`O(log n)` PA
+//! invocations).
 
 use rmo_congest::programs::bfs::run_bfs;
 use rmo_congest::programs::leader::run_leader_election;
 use rmo_congest::{CostReport, Network};
 use rmo_graph::{DisjointSets, EdgeId, Graph};
 
-use rmo_core::pipeline::build_pipeline_with_tree;
-use rmo_core::{solve_with_parts, Aggregate, PaConfig, PaError, PaInstance};
+use rmo_core::{Aggregate, EngineConfig, PaConfig, PaEngine, PaError, PaInstance};
 
 /// Configuration of the PA-based MST.
 #[derive(Debug, Clone, Copy, Default)]
@@ -53,7 +53,9 @@ fn unpack_edge(key: u64) -> EdgeId {
     (key & ((1 << 24) - 1)) as EdgeId
 }
 
-/// Computes the MST of `g` with Borůvka over PA.
+/// Computes the MST of `g` with Borůvka over PA, using a fresh
+/// [`PaEngine`] session. For amortizing election + BFS across several
+/// computations on one graph, use [`pa_mst_with_engine`].
 ///
 /// # Errors
 /// Propagates [`PaError`] from the PA solves.
@@ -61,16 +63,25 @@ fn unpack_edge(key: u64) -> EdgeId {
 /// # Panics
 /// Panics if `g` is disconnected or empty, or weights exceed `2^40`.
 pub fn pa_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> {
-    assert!(g.n() > 0, "MST of an empty graph");
-    assert!(g.is_connected(), "MST requires a connected graph");
-    let mut cost = CostReport::zero();
+    let mut engine = PaEngine::new(g, EngineConfig::from(config.pa));
+    pa_mst_with_engine(&mut engine)
+}
 
-    // Election + BFS once (the tree is partition-independent).
-    let net = Network::new(g, config.pa.seed);
-    let (root, _, elect_cost) = run_leader_election(g, &net).expect("election terminates");
-    cost += elect_cost;
-    let (tree, _, bfs_cost) = run_bfs(g, &net, root).expect("BFS terminates");
-    cost += bfs_cost;
+/// Computes the MST of the engine's graph with Borůvka over PA.
+///
+/// The engine's BFS tree is shared by every Borůvka phase (no per-phase
+/// clone); election + BFS are charged once per engine, so a warm engine
+/// pays only the per-phase division/shortcut/solve costs.
+///
+/// # Errors
+/// Propagates [`PaError`] from the PA solves.
+///
+/// # Panics
+/// Panics if the graph is empty, or weights exceed `2^40`.
+pub fn pa_mst_with_engine(engine: &mut PaEngine<'_>) -> Result<PaMstResult, PaError> {
+    let g = engine.graph();
+    assert!(g.n() > 0, "MST of an empty graph");
+    let mut cost = CostReport::zero();
 
     let mut dsu = DisjointSets::new(g.n());
     let mut chosen: Vec<EdgeId> = Vec::new();
@@ -103,20 +114,12 @@ pub fn pa_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> {
             })
             .collect();
         let inst = PaInstance::new(g, part_of, values, Aggregate::Min)?;
-        let pipe = build_pipeline_with_tree(&inst, &config.pa, tree.clone());
-        cost += pipe.setup_cost;
-        let res = solve_with_parts(
-            &inst,
-            &pipe.tree,
-            &pipe.shortcut,
-            &pipe.division,
-            &pipe.leaders,
-            config.pa.variant,
-            pipe.block_budget,
-        )?;
-        // Distributing the merged component identity is one more PA of the
-        // same shape (the corollary's "each part merges" step).
-        cost += res.cost + res.cost;
+        let res = engine.solve_instance(&inst)?;
+        // The engine charged setup (and, on the very first solve, election
+        // + BFS) into `res.cost`. Distributing the merged component
+        // identity is one more PA of the same shape on the now-cached
+        // partition, i.e. three more wave phases.
+        cost += res.cost + res.broadcast_cost.repeated(3);
         // Merge along each part's chosen edge.
         for p in inst.partition().part_ids() {
             let key = res.aggregates[p];

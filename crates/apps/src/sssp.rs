@@ -22,9 +22,9 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 use rmo_congest::CostReport;
-use rmo_graph::{Graph, NodeId};
+use rmo_graph::{Graph, NodeId, Partition};
 
-use rmo_core::{solve_pa, Aggregate, PaConfig, PaError, PaInstance};
+use rmo_core::{Aggregate, EngineConfig, PaConfig, PaEngine, PaError};
 
 /// Configuration for approximate SSSP.
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +61,8 @@ pub struct SsspResult {
     pub cost: CostReport,
 }
 
-/// Computes approximate SSSP distances from `source`.
+/// Computes approximate SSSP distances from `source`, using a fresh
+/// one-shot [`PaEngine`] session.
 ///
 /// # Errors
 /// Propagates [`PaError`] from the quotient relaxations.
@@ -69,6 +70,25 @@ pub struct SsspResult {
 /// # Panics
 /// Panics if `β ∉ (0, 1]` or the graph is disconnected/empty.
 pub fn approx_sssp(g: &Graph, source: NodeId, config: &SsspConfig) -> Result<SsspResult, PaError> {
+    let mut engine = PaEngine::new(g, EngineConfig::from(config.pa));
+    approx_sssp_with_engine(&mut engine, source, config)
+}
+
+/// [`approx_sssp`] on a long-lived engine session (the engine's PA
+/// configuration takes precedence over `config.pa`). Repeated queries
+/// with the same `β`/`seed` reuse the cached cluster-partition pipeline.
+///
+/// # Errors
+/// Propagates [`PaError`] from the quotient relaxations.
+///
+/// # Panics
+/// Panics if `β ∉ (0, 1]` or the graph is disconnected/empty.
+pub fn approx_sssp_with_engine(
+    engine: &mut PaEngine<'_>,
+    source: NodeId,
+    config: &SsspConfig,
+) -> Result<SsspResult, PaError> {
+    let g = engine.graph();
     assert!(
         config.beta > 0.0 && config.beta <= 1.0,
         "beta must be in (0, 1]"
@@ -164,9 +184,11 @@ pub fn approx_sssp(g: &Graph, source: NodeId, config: &SsspConfig) -> Result<Sss
     }
 
     // --- Bellman–Ford over clusters; each round is one PA call. ---
-    // Cost of one PA call on the cluster partition:
-    let inst = PaInstance::new(g, cluster.clone(), vec![0; n], Aggregate::Min)?;
-    let pa_cost = solve_pa(&inst, &config.pa)?.cost;
+    // One real PA call on the cluster partition prices the relaxations;
+    // the engine memoizes its pipeline, so every further round is
+    // charged the three wave phases only.
+    let cluster_parts = Partition::new(g, cluster.clone())?;
+    let pa_first = engine.solve(&cluster_parts, &vec![0; n], Aggregate::Min)?;
     let mut qdist = vec![u64::MAX; num_clusters];
     qdist[cluster[source]] = 0;
     let mut bf_rounds = 0usize;
@@ -189,7 +211,7 @@ pub fn approx_sssp(g: &Graph, source: NodeId, config: &SsspConfig) -> Result<Sss
             break;
         }
     }
-    cost += pa_cost.repeated(bf_rounds);
+    cost += pa_first.cost + pa_first.broadcast_cost.repeated(3 * (bf_rounds - 1));
 
     // Final estimates: quotient distance to the cluster + in-cluster tree
     // walk from the cluster center.

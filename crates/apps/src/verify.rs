@@ -6,12 +6,19 @@
 //! [`component_labels`](crate::components::component_labels()) (one PA
 //! call) plus `O(1)` tree aggregations, exactly as in the paper's
 //! Appendix A.2.
+//!
+//! Every verifier comes in two forms: a one-shot wrapper taking
+//! `(g, …, &PaConfig)` that spins up a fresh [`PaEngine`], and a
+//! `*_with_engine` form that runs on a caller-held session so that
+//! repeated queries on one network reuse the BFS tree and the cached
+//! per-partition artifacts (the intended shape for serving many
+//! verification queries).
 
 use rmo_congest::CostReport;
 use rmo_graph::{EdgeId, Graph};
 
-use crate::components::component_labels;
-use rmo_core::{PaConfig, PaError};
+use crate::components::component_labels_with_engine;
+use rmo_core::{EngineConfig, PaConfig, PaEngine, PaError};
 
 /// A verification verdict plus its measured cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,10 +38,22 @@ pub fn verify_connected_spanning(
     h_edges: &[EdgeId],
     config: &PaConfig,
 ) -> Result<Verdict, PaError> {
-    let labels = component_labels(g, h_edges, config)?;
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    verify_connected_spanning_with_engine(&mut engine, h_edges)
+}
+
+/// [`verify_connected_spanning`] on a long-lived engine session.
+///
+/// # Errors
+/// Propagates [`PaError`].
+pub fn verify_connected_spanning_with_engine(
+    engine: &mut PaEngine<'_>,
+    h_edges: &[EdgeId],
+) -> Result<Verdict, PaError> {
+    let labels = component_labels_with_engine(engine, h_edges)?;
     // One more tree aggregation (Or over "label differs from neighbor")
     // is dominated by the PA cost; charge a broadcast's worth.
-    let cost = labels.cost + CostReport::new(2, 2 * g.n() as u64);
+    let cost = labels.cost + CostReport::new(2, 2 * engine.graph().n() as u64);
     Ok(Verdict {
         holds: labels.num_components == 1,
         cost,
@@ -51,7 +70,20 @@ pub fn verify_spanning_tree(
     h_edges: &[EdgeId],
     config: &PaConfig,
 ) -> Result<Verdict, PaError> {
-    let conn = verify_connected_spanning(g, h_edges, config)?;
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    verify_spanning_tree_with_engine(&mut engine, h_edges)
+}
+
+/// [`verify_spanning_tree`] on a long-lived engine session.
+///
+/// # Errors
+/// Propagates [`PaError`].
+pub fn verify_spanning_tree_with_engine(
+    engine: &mut PaEngine<'_>,
+    h_edges: &[EdgeId],
+) -> Result<Verdict, PaError> {
+    let g = engine.graph();
+    let conn = verify_connected_spanning_with_engine(engine, h_edges)?;
     let mut set: Vec<EdgeId> = h_edges.to_vec();
     set.sort_unstable();
     set.dedup();
@@ -67,11 +99,24 @@ pub fn verify_spanning_tree(
 /// # Errors
 /// Propagates [`PaError`].
 pub fn verify_cut(g: &Graph, h_edges: &[EdgeId], config: &PaConfig) -> Result<Verdict, PaError> {
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    verify_cut_with_engine(&mut engine, h_edges)
+}
+
+/// [`verify_cut`] on a long-lived engine session.
+///
+/// # Errors
+/// Propagates [`PaError`].
+pub fn verify_cut_with_engine(
+    engine: &mut PaEngine<'_>,
+    h_edges: &[EdgeId],
+) -> Result<Verdict, PaError> {
+    let g = engine.graph();
     let keep: Vec<EdgeId> = {
         let h: std::collections::HashSet<EdgeId> = h_edges.iter().copied().collect();
         (0..g.m()).filter(|e| !h.contains(e)).collect()
     };
-    let labels = component_labels(g, &keep, config)?;
+    let labels = component_labels_with_engine(engine, &keep)?;
     Ok(Verdict {
         holds: labels.num_components > 1,
         cost: labels.cost + CostReport::new(2, 2 * g.n() as u64),
@@ -92,7 +137,20 @@ pub fn verify_bipartite(
     h_edges: &[EdgeId],
     config: &PaConfig,
 ) -> Result<Verdict, PaError> {
-    let labels = component_labels(g, h_edges, config)?;
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    verify_bipartite_with_engine(&mut engine, h_edges)
+}
+
+/// [`verify_bipartite`] on a long-lived engine session.
+///
+/// # Errors
+/// Propagates [`PaError`].
+pub fn verify_bipartite_with_engine(
+    engine: &mut PaEngine<'_>,
+    h_edges: &[EdgeId],
+) -> Result<Verdict, PaError> {
+    let g = engine.graph();
+    let labels = component_labels_with_engine(engine, h_edges)?;
     // 2-color every H-component by BFS parity (the component spanning
     // trees of footnote 4), then test all H-edges.
     let mut color = vec![u8::MAX; g.n()];
@@ -135,7 +193,20 @@ pub fn verify_bipartite(
 /// # Errors
 /// Propagates [`PaError`].
 pub fn verify_forest(g: &Graph, h_edges: &[EdgeId], config: &PaConfig) -> Result<Verdict, PaError> {
-    let labels = component_labels(g, h_edges, config)?;
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    verify_forest_with_engine(&mut engine, h_edges)
+}
+
+/// [`verify_forest`] on a long-lived engine session.
+///
+/// # Errors
+/// Propagates [`PaError`].
+pub fn verify_forest_with_engine(
+    engine: &mut PaEngine<'_>,
+    h_edges: &[EdgeId],
+) -> Result<Verdict, PaError> {
+    let g = engine.graph();
+    let labels = component_labels_with_engine(engine, h_edges)?;
     let mut nodes_per = std::collections::HashMap::new();
     let mut edges_per = std::collections::HashMap::new();
     for v in 0..g.n() {
@@ -167,10 +238,24 @@ pub fn verify_st_connectivity(
     t: usize,
     config: &PaConfig,
 ) -> Result<Verdict, PaError> {
-    let labels = component_labels(g, h_edges, config)?;
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    verify_st_connectivity_with_engine(&mut engine, h_edges, s, t)
+}
+
+/// [`verify_st_connectivity`] on a long-lived engine session.
+///
+/// # Errors
+/// Propagates [`PaError`].
+pub fn verify_st_connectivity_with_engine(
+    engine: &mut PaEngine<'_>,
+    h_edges: &[EdgeId],
+    s: usize,
+    t: usize,
+) -> Result<Verdict, PaError> {
+    let labels = component_labels_with_engine(engine, h_edges)?;
     Ok(Verdict {
         holds: labels.labels[s] == labels.labels[t],
-        cost: labels.cost + CostReport::new(2, 2 * g.n() as u64),
+        cost: labels.cost + CostReport::new(2, 2 * engine.graph().n() as u64),
     })
 }
 
@@ -189,7 +274,20 @@ pub fn verify_st_connectivity(
 /// # Errors
 /// Propagates [`PaError`].
 pub fn verify_mst(g: &Graph, h_edges: &[EdgeId], config: &PaConfig) -> Result<Verdict, PaError> {
-    let tree_check = verify_spanning_tree(g, h_edges, config)?;
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    verify_mst_with_engine(&mut engine, h_edges)
+}
+
+/// [`verify_mst`] on a long-lived engine session.
+///
+/// # Errors
+/// Propagates [`PaError`].
+pub fn verify_mst_with_engine(
+    engine: &mut PaEngine<'_>,
+    h_edges: &[EdgeId],
+) -> Result<Verdict, PaError> {
+    let g = engine.graph();
+    let tree_check = verify_spanning_tree_with_engine(engine, h_edges)?;
     if !tree_check.holds {
         return Ok(tree_check);
     }
@@ -244,9 +342,21 @@ pub fn verify_mst(g: &Graph, h_edges: &[EdgeId], config: &PaConfig) -> Result<Ve
 /// # Errors
 /// Propagates [`PaError`].
 pub fn verify_two_edge_connected(g: &Graph, config: &PaConfig) -> Result<Verdict, PaError> {
+    let mut engine = PaEngine::new(g, EngineConfig::from(*config));
+    verify_two_edge_connected_with_engine(&mut engine)
+}
+
+/// [`verify_two_edge_connected`] on a long-lived engine session.
+///
+/// # Errors
+/// Propagates [`PaError`].
+pub fn verify_two_edge_connected_with_engine(
+    engine: &mut PaEngine<'_>,
+) -> Result<Verdict, PaError> {
+    let g = engine.graph();
     // Cost: one component labeling (the sparse-certificate pass).
     let all: Vec<EdgeId> = (0..g.m()).collect();
-    let labels = component_labels(g, &all, config)?;
+    let labels = component_labels_with_engine(engine, &all)?;
     let holds = rmo_graph::is_two_edge_connected(g);
     let log_n = (g.n().max(2) as f64).log2().ceil() as u64;
     Ok(Verdict {

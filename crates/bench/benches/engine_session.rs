@@ -1,0 +1,59 @@
+//! Engine-session bench — cold one-shot pipelines vs warm cached solves.
+//!
+//! `solve_pa` rebuilds election + BFS + division + shortcut every call;
+//! a warm `PaEngine` serves the same call from its artifact cache and
+//! only runs the three wave phases. The gap is the engine's reason to
+//! exist, so it gets its own timing target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rmo_bench::fixtures;
+use rmo_core::{solve_pa, Aggregate, EngineConfig, PaConfig, PaEngine, PaInstance};
+
+fn bench_engine_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_session");
+    group.sample_size(10);
+    for fixture in fixtures(10) {
+        let g = &fixture.graph;
+        let parts = &fixture.partition;
+        let values: Vec<u64> = (0..g.n() as u64).collect();
+        let inst = PaInstance::from_partition(g, parts.clone(), values.clone(), Aggregate::Min)
+            .expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("cold_solve_pa", fixture.name),
+            &(),
+            |b, ()| b.iter(|| solve_pa(&inst, &PaConfig::default()).expect("solves")),
+        );
+        let mut engine = PaEngine::new(g, EngineConfig::new());
+        engine
+            .solve(parts, &values, Aggregate::Min)
+            .expect("warms the cache");
+        group.bench_with_input(
+            BenchmarkId::new("warm_engine", fixture.name),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    engine
+                        .solve(parts, &values, Aggregate::Min)
+                        .expect("solves")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warm_engine_batch16", fixture.name),
+            &(),
+            |b, ()| {
+                let sets = vec![values.clone(); 16];
+                b.iter(|| {
+                    engine
+                        .solve_batch(parts, &sets, Aggregate::Min)
+                        .expect("solves")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_session);
+criterion_main!(benches);

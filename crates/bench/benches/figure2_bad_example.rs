@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use rmo_core::baseline::naive_block_pa;
 use rmo_core::subparts_random::random_division;
-use rmo_core::{solve_with_parts, Aggregate, PaInstance, Variant};
+use rmo_core::{solve_on, Aggregate, PaInstance, PaSetup, Variant};
 use rmo_graph::{bfs_tree, gen, Partition};
 use rmo_shortcut::trivial::trivial_shortcut_with_threshold;
 
@@ -31,11 +31,15 @@ fn bench_figure2(c: &mut Criterion) {
                     .expect("solves")
             })
         });
+        let setup = PaSetup {
+            tree: &tree,
+            shortcut: &sc,
+            division: &div,
+            leaders: &leaders,
+            block_budget: 1,
+        };
         group.bench_with_input(BenchmarkId::new("subpart_pa", depth), &(), |b, ()| {
-            b.iter(|| {
-                solve_with_parts(&inst, &tree, &sc, &div, &leaders, Variant::Deterministic, 1)
-                    .expect("solves")
-            })
+            b.iter(|| solve_on(&inst, &setup, Variant::Deterministic).expect("solves"))
         });
     }
     group.finish();

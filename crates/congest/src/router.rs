@@ -178,12 +178,12 @@ impl<'t> TreeRouter<'t> {
             // Each node with packets picks up to `capacity` to push to its
             // parent this round, by the Lemma 4.2 priority.
             let mut moves: Vec<(NodeId, usize, u64)> = Vec::new(); // (from, subtree, value)
-            for v in 0..n {
-                if waiting[v].is_empty() {
+            for (v, pending) in waiting.iter().enumerate() {
+                if pending.is_empty() {
                     continue;
                 }
                 let mut cand: Vec<(usize, u64)> =
-                    waiting[v].iter().map(|(&s, &val)| (s, val)).collect();
+                    pending.iter().map(|(&s, &val)| (s, val)).collect();
                 cand.sort_by_key(|&(s, _)| (self.tree.depth_of(root_of[&s]), s));
                 for &(s, val) in cand.iter().take(self.capacity) {
                     moves.push((v, s, val));
@@ -302,13 +302,13 @@ impl<'t> TreeRouter<'t> {
         while active > 0 {
             rounds += 1;
             let mut deliveries: Vec<(NodeId, usize)> = Vec::new(); // (child, job)
-            for v in 0..n {
-                if queue[v].is_empty() {
+            for node_queue in queue.iter_mut().take(n) {
+                if node_queue.is_empty() {
                     continue;
                 }
-                let children: Vec<NodeId> = queue[v].keys().copied().collect();
+                let children: Vec<NodeId> = node_queue.keys().copied().collect();
                 for c in children {
-                    let pending = queue[v].get_mut(&c).expect("key just listed");
+                    let pending = node_queue.get_mut(&c).expect("key just listed");
                     // Priority: shallowest job root first, ties by subtree id.
                     pending.sort_by_key(|&j| (self.tree.depth_of(jobs[j].root), jobs[j].subtree));
                     let take = pending.len().min(self.capacity);
@@ -318,7 +318,7 @@ impl<'t> TreeRouter<'t> {
                         active -= 1;
                     }
                     if pending.is_empty() {
-                        queue[v].remove(&c);
+                        node_queue.remove(&c);
                     }
                 }
             }

@@ -227,14 +227,14 @@ impl<'n, P: NodeProgram> Simulator<'n, P> {
             delivered: inboxes.iter().map(|i| i.len() as u64).sum(),
             ..RoundStats::default()
         };
-        for v in 0..n {
+        for (v, inbox) in inboxes.iter().enumerate().take(n) {
             let degree = self.net.degree(v);
             let mut ctx = RoundCtx {
                 node: v,
                 id: self.net.id_of(v),
                 degree,
                 round: self.round,
-                inbox: &inboxes[v],
+                inbox,
                 outbox: Vec::new(),
                 sent_on_port: vec![0; degree],
                 capacity: self.capacity,

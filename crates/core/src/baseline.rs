@@ -13,7 +13,7 @@ use rmo_graph::{NodeId, RootedTree};
 use rmo_shortcut::Shortcut;
 
 use crate::instance::{PaError, PaInstance};
-use crate::solve::{solve_with_parts, PaResult, Variant};
+use crate::solve::{solve_on, PaResult, PaSetup, Variant};
 use crate::subparts::SubPartDivision;
 
 /// The singleton division: every node is its own sub-part and
@@ -38,7 +38,7 @@ pub fn singleton_division(inst: &PaInstance<'_>) -> SubPartDivision {
 /// representative).
 ///
 /// # Errors
-/// Same conditions as [`solve_with_parts`].
+/// Same conditions as [`solve_on`].
 pub fn naive_block_pa(
     inst: &PaInstance<'_>,
     tree: &RootedTree,
@@ -48,14 +48,16 @@ pub fn naive_block_pa(
     block_budget: usize,
 ) -> Result<PaResult, PaError> {
     let division = singleton_division(inst);
-    solve_with_parts(
+    solve_on(
         inst,
-        tree,
-        shortcut,
-        &division,
-        leaders,
+        &PaSetup {
+            tree,
+            shortcut,
+            division: &division,
+            leaders,
+            block_budget,
+        },
         variant,
-        block_budget,
     )
 }
 
@@ -63,7 +65,7 @@ pub fn naive_block_pa(
 /// from its leader); the wave is a plain in-part broadcast.
 ///
 /// # Errors
-/// Same conditions as [`solve_with_parts`].
+/// Same conditions as [`solve_on`].
 pub fn intra_part_pa(
     inst: &PaInstance<'_>,
     tree: &RootedTree,
@@ -72,7 +74,17 @@ pub fn intra_part_pa(
 ) -> Result<PaResult, PaError> {
     let division = SubPartDivision::one_per_part(inst.graph(), inst.partition(), leaders);
     let shortcut = Shortcut::empty(inst.partition().num_parts());
-    solve_with_parts(inst, tree, &shortcut, &division, leaders, variant, 1)
+    solve_on(
+        inst,
+        &PaSetup {
+            tree,
+            shortcut: &shortcut,
+            division: &division,
+            leaders,
+            block_budget: 1,
+        },
+        variant,
+    )
 }
 
 #[cfg(test)]

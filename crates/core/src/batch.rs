@@ -16,7 +16,7 @@ use rmo_shortcut::Shortcut;
 
 use crate::aggregate::Aggregate;
 use crate::instance::{PaError, PaInstance};
-use crate::solve::{solve_with_parts, Variant};
+use crate::solve::{solve_on, PaSetup, Variant};
 use crate::subparts::SubPartDivision;
 
 /// Result of a batched solve.
@@ -29,22 +29,18 @@ pub struct BatchResult {
 }
 
 /// Solves `k` PA instances (same graph/partition/aggregate, different
-/// value sets) with one pipelined wave.
+/// value sets) with one pipelined wave on prepared infrastructure.
 ///
 /// # Errors
 /// Propagates [`PaError`]; every value set must have length `n`.
 ///
 /// # Panics
 /// Panics if `value_sets` is empty or a set has the wrong length.
-pub fn solve_batch(
+pub fn batch_on(
     inst: &PaInstance<'_>,
     value_sets: &[Vec<u64>],
-    tree: &RootedTree,
-    shortcut: &Shortcut,
-    division: &SubPartDivision,
-    leaders: &[NodeId],
+    setup: &PaSetup<'_>,
     variant: Variant,
-    block_budget: usize,
 ) -> Result<BatchResult, PaError> {
     assert!(!value_sets.is_empty(), "batch needs at least one value set");
     let n = inst.graph().n();
@@ -52,15 +48,7 @@ pub fn solve_batch(
         assert_eq!(vs.len(), n, "every value set covers all nodes");
     }
     // One wave determines routes and the base cost.
-    let base = solve_with_parts(
-        inst,
-        tree,
-        shortcut,
-        division,
-        leaders,
-        variant,
-        block_budget,
-    )?;
+    let base = solve_on(inst, setup, variant)?;
     let k = value_sets.len();
     // Pipelining: each of the three phases streams k words behind each
     // other (+k-1 rounds each); every message now carries per-value copies.
@@ -83,6 +71,39 @@ pub fn solve_batch(
     Ok(BatchResult { aggregates, cost })
 }
 
+/// Batched PA (deprecated positional form).
+///
+/// # Errors
+/// Same as [`batch_on`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PaEngine::solve_batch` (cached pipelines) or `batch_on` with a `PaSetup`"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn solve_batch(
+    inst: &PaInstance<'_>,
+    value_sets: &[Vec<u64>],
+    tree: &RootedTree,
+    shortcut: &Shortcut,
+    division: &SubPartDivision,
+    leaders: &[NodeId],
+    variant: Variant,
+    block_budget: usize,
+) -> Result<BatchResult, PaError> {
+    batch_on(
+        inst,
+        value_sets,
+        &PaSetup {
+            tree,
+            shortcut,
+            division,
+            leaders,
+            block_budget,
+        },
+        variant,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,27 +121,29 @@ mod tests {
         (tree, sc, division, leaders)
     }
 
+    fn pa_setup<'a>(
+        parts: &'a (RootedTree, Shortcut, SubPartDivision, Vec<NodeId>),
+    ) -> PaSetup<'a> {
+        PaSetup {
+            tree: &parts.0,
+            shortcut: &parts.1,
+            division: &parts.2,
+            leaders: &parts.3,
+            block_budget: 1,
+        }
+    }
+
     #[test]
     fn batch_matches_individual_answers() {
         let g = gen::grid(6, 6);
         let parts = Partition::new(&g, gen::grid_row_partition(6, 6)).unwrap();
         let inst =
             PaInstance::from_partition(&g, parts.clone(), vec![0; 36], Aggregate::Max).unwrap();
-        let (tree, sc, division, leaders) = setup(&g, &parts);
+        let infra = setup(&g, &parts);
         let sets: Vec<Vec<u64>> = (0..5u64)
             .map(|i| (0..36u64).map(|v| (v * 7 + i * 13) % 97).collect())
             .collect();
-        let batch = solve_batch(
-            &inst,
-            &sets,
-            &tree,
-            &sc,
-            &division,
-            &leaders,
-            Variant::Deterministic,
-            1,
-        )
-        .unwrap();
+        let batch = batch_on(&inst, &sets, &pa_setup(&infra), Variant::Deterministic).unwrap();
         for (i, vs) in sets.iter().enumerate() {
             for p in parts.part_ids() {
                 let expect = Aggregate::Max.fold(parts.members(p).iter().map(|&v| vs[v]));
@@ -135,30 +158,11 @@ mod tests {
         let parts = Partition::new(&g, gen::grid_row_partition(5, 20)).unwrap();
         let inst =
             PaInstance::from_partition(&g, parts.clone(), vec![0; 100], Aggregate::Sum).unwrap();
-        let (tree, sc, division, leaders) = setup(&g, &parts);
-        let single = solve_with_parts(
-            &inst,
-            &tree,
-            &sc,
-            &division,
-            &leaders,
-            Variant::Deterministic,
-            1,
-        )
-        .unwrap();
+        let infra = setup(&g, &parts);
+        let single = solve_on(&inst, &pa_setup(&infra), Variant::Deterministic).unwrap();
         let k = 16usize;
         let sets = vec![vec![1u64; 100]; k];
-        let batch = solve_batch(
-            &inst,
-            &sets,
-            &tree,
-            &sc,
-            &division,
-            &leaders,
-            Variant::Deterministic,
-            1,
-        )
-        .unwrap();
+        let batch = batch_on(&inst, &sets, &pa_setup(&infra), Variant::Deterministic).unwrap();
         assert!(
             batch.cost.rounds < k * single.cost.rounds,
             "pipelined {} should beat sequential {}",
@@ -175,16 +179,12 @@ mod tests {
         let parts = Partition::whole(&g).unwrap();
         let inst =
             PaInstance::from_partition(&g, parts.clone(), vec![0; 4], Aggregate::Min).unwrap();
-        let (tree, sc, division, leaders) = setup(&g, &parts);
-        let _ = solve_batch(
+        let infra = setup(&g, &parts);
+        let _ = batch_on(
             &inst,
             &[vec![1, 2]],
-            &tree,
-            &sc,
-            &division,
-            &leaders,
+            &pa_setup(&infra),
             Variant::Deterministic,
-            1,
         );
     }
 }

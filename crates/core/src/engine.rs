@@ -1,0 +1,783 @@
+//! `PaEngine` — a long-lived PA session that owns the network once and
+//! caches pipeline artifacts across calls.
+//!
+//! The paper's whole point (Theorem 1.2) is that the Part-Wise
+//! Aggregation infrastructure is *reusable*: leader election and the BFS
+//! tree depend only on the graph, and the partition-specific stages
+//! (part leaders, sub-part division, tree-restricted shortcut, block
+//! budget) depend only on the partition — not on the aggregated values.
+//! Borůvka runs PA `O(log n)` times on one tree, the min-cut sketches
+//! run `polylog(n)` aggregations, and the verification suite composes
+//! several PA calls per query.
+//!
+//! [`PaEngine`] makes that reuse the API default:
+//!
+//! * constructed once per graph, it owns the [`Network`] and runs
+//!   election + BFS exactly once (lazily, at the first solve or tree
+//!   access — sessions that only need divisions never simulate it);
+//! * every solve looks its partition up in an LRU-bounded memo keyed by
+//!   a fingerprint of the part vector, rebuilding stages 2–4 only on a
+//!   miss;
+//! * costs are charged *incrementally*: election + BFS on the first
+//!   solve, stage 2–4 setup once per distinct partition, and only the
+//!   three wave phases on a cache hit;
+//! * [`EngineStats`] surfaces hit/miss/eviction counters so harness
+//!   experiments and benches can report the savings.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use rmo_graph::gen;
+//! use rmo_core::{Aggregate, EngineConfig, PaEngine};
+//!
+//! let g = gen::grid(8, 8);
+//! let parts = gen::grid_row_partition(8, 8);
+//! let parts = rmo_graph::Partition::new(&g, parts).unwrap();
+//! let values: Vec<u64> = (0..g.n() as u64).collect();
+//!
+//! let mut engine = PaEngine::new(&g, EngineConfig::new());
+//! let first = engine.solve(&parts, &values, Aggregate::Min).unwrap();
+//! let second = engine.solve(&parts, &values, Aggregate::Min).unwrap();
+//! assert_eq!(first.aggregates, second.aggregates);
+//! // The second call reuses the cached tree + shortcut + division:
+//! assert!(second.cost.rounds < first.cost.rounds);
+//! assert_eq!(engine.stats().hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use rmo_congest::programs::bfs::run_bfs;
+use rmo_congest::programs::leader::run_leader_election;
+use rmo_congest::{CostReport, Network};
+use rmo_graph::{Graph, Partition, RootedTree};
+
+use crate::aggregate::Aggregate;
+use crate::batch::{batch_on, BatchResult};
+use crate::instance::{PaError, PaInstance};
+use crate::pipeline::{build_artifacts, PaConfig, PipelineArtifacts, ShortcutStrategy};
+use crate::solve::{solve_on, PaResult, Variant};
+use crate::subparts_det::{deterministic_division, DetDivisionResult};
+
+/// Default number of distinct partitions the artifact cache retains.
+pub const DEFAULT_CACHE_CAPACITY: usize = 8;
+
+/// Which sub-part division algorithm the pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivisionStrategy {
+    /// Algorithm 6 (deterministic star joining).
+    Deterministic,
+    /// Algorithm 3 (randomized).
+    Randomized,
+}
+
+/// Builder-style configuration of a [`PaEngine`] session.
+///
+/// Subsumes the old `PaConfig` constructors: `EngineConfig::new()` is the
+/// paper's deterministic headline, [`EngineConfig::randomized`] and
+/// [`EngineConfig::trivial`] switch whole profiles, and the narrow
+/// setters ([`shortcut`](EngineConfig::shortcut),
+/// [`division`](EngineConfig::division), [`seed`](EngineConfig::seed),
+/// [`cache_capacity`](EngineConfig::cache_capacity)) tweak one axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Algorithm 1 variant.
+    pub variant: Variant,
+    /// Shortcut construction strategy.
+    pub shortcut: ShortcutStrategy,
+    /// Sub-part division algorithm.
+    pub division: DivisionStrategy,
+    /// Master seed (network IDs, divisions, delays).
+    pub seed: u64,
+    /// LRU bound on cached partitions (≥ 1).
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig::new()
+    }
+}
+
+impl EngineConfig {
+    /// The paper's deterministic headline: Algorithm 8 shortcuts,
+    /// Algorithm 6 divisions, deterministic Algorithm 1.
+    pub fn new() -> EngineConfig {
+        EngineConfig {
+            variant: Variant::Deterministic,
+            shortcut: ShortcutStrategy::Deterministic,
+            division: DivisionStrategy::Deterministic,
+            seed: 0,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+
+    /// Switches to the fully deterministic profile (the default).
+    pub fn deterministic(mut self) -> EngineConfig {
+        self.variant = Variant::Deterministic;
+        self.shortcut = ShortcutStrategy::Deterministic;
+        self.division = DivisionStrategy::Deterministic;
+        self
+    }
+
+    /// Switches to the paper's randomized headline (`Õ(bD + c)` rounds
+    /// w.h.p.) with the given seed.
+    pub fn randomized(mut self, seed: u64) -> EngineConfig {
+        self.variant = Variant::Randomized { seed };
+        self.shortcut = ShortcutStrategy::Randomized;
+        self.division = DivisionStrategy::Randomized;
+        self.seed = seed;
+        self
+    }
+
+    /// Switches to the trivial-shortcut profile (the `Õ(D + √n)`
+    /// worst-case bound).
+    pub fn trivial(mut self) -> EngineConfig {
+        self.variant = Variant::Deterministic;
+        self.shortcut = ShortcutStrategy::Trivial;
+        self.division = DivisionStrategy::Deterministic;
+        self
+    }
+
+    /// Overrides the shortcut construction strategy.
+    pub fn shortcut(mut self, strategy: ShortcutStrategy) -> EngineConfig {
+        self.shortcut = strategy;
+        self
+    }
+
+    /// Overrides the sub-part division algorithm.
+    pub fn division(mut self, strategy: DivisionStrategy) -> EngineConfig {
+        self.division = strategy;
+        self
+    }
+
+    /// Overrides the master seed. When the randomized Algorithm 1
+    /// variant is active, its per-part-delay seed follows the master
+    /// seed too, so `.randomized(0).seed(42)` behaves like
+    /// `.randomized(42)`.
+    pub fn seed(mut self, seed: u64) -> EngineConfig {
+        self.seed = seed;
+        if matches!(self.variant, Variant::Randomized { .. }) {
+            self.variant = Variant::Randomized { seed };
+        }
+        self
+    }
+
+    /// Overrides how many distinct partitions the cache retains.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn cache_capacity(mut self, capacity: usize) -> EngineConfig {
+        assert!(capacity > 0, "the artifact cache needs room for one entry");
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// The equivalent one-shot [`PaConfig`] (what the legacy pipeline
+    /// entry points consume).
+    pub fn pa(&self) -> PaConfig {
+        PaConfig {
+            variant: self.variant,
+            shortcut: self.shortcut,
+            deterministic_division: self.division == DivisionStrategy::Deterministic,
+            seed: self.seed,
+        }
+    }
+}
+
+impl From<PaConfig> for EngineConfig {
+    fn from(config: PaConfig) -> EngineConfig {
+        EngineConfig {
+            variant: config.variant,
+            shortcut: config.shortcut,
+            division: if config.deterministic_division {
+                DivisionStrategy::Deterministic
+            } else {
+                DivisionStrategy::Randomized
+            },
+            seed: config.seed,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Counters a [`PaEngine`] accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Artifact-cache hits (pipeline stages 2–4 skipped).
+    pub hits: u64,
+    /// Artifact-cache misses (stages 2–4 built).
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Hits on the whole-graph division memo
+    /// ([`PaEngine::whole_graph_division`] — a separate cache from the
+    /// pipeline artifacts).
+    pub division_hits: u64,
+    /// Misses on the whole-graph division memo (division built).
+    pub division_misses: u64,
+    /// PA solves served (including the solve inside each batch).
+    pub solves: u64,
+    /// Batched solves served.
+    pub batches: u64,
+    /// Distinct partitions currently cached.
+    pub cached_partitions: usize,
+    /// Election + BFS cost, paid once per engine — zero until stage 1
+    /// has run (it runs lazily, at the first solve or tree access).
+    pub base_cost: CostReport,
+}
+
+struct CacheEntry {
+    /// The full part vector, to rule out fingerprint collisions.
+    assignment: Vec<usize>,
+    artifacts: PipelineArtifacts,
+    last_used: u64,
+    /// Whether this entry's stage 2–4 setup cost has been charged to a
+    /// caller yet. [`PaEngine::pipeline_for`] builds without charging;
+    /// the first solve that consumes the entry picks the cost up.
+    setup_charged: bool,
+}
+
+/// A PA session bound to one graph: election + BFS run once per engine
+/// (lazily, at the first solve or tree access), pipeline artifacts are
+/// memoized per partition, and all solves charge only their incremental
+/// cost (see the module docs).
+pub struct PaEngine<'g> {
+    graph: &'g Graph,
+    config: EngineConfig,
+    pa: PaConfig,
+    net: Network,
+    /// Stage 1 (leader election + BFS tree) and its cost, built on first
+    /// use so sessions that never need the tree (k-domination's
+    /// divisions) never simulate it.
+    stage1: std::cell::OnceCell<(RootedTree, CostReport)>,
+    base_charged: bool,
+    cache: HashMap<u64, CacheEntry>,
+    division_cache: HashMap<usize, DetDivisionResult>,
+    clock: u64,
+    stats: EngineStats,
+}
+
+impl std::fmt::Debug for PaEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaEngine")
+            .field("n", &self.graph.n())
+            .field("m", &self.graph.m())
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+fn fingerprint(assignment: &[usize]) -> u64 {
+    let mut h = DefaultHasher::new();
+    assignment.hash(&mut h);
+    h.finish()
+}
+
+impl<'g> PaEngine<'g> {
+    /// Builds the session: assigns KT0 identifiers and validates the
+    /// graph. Stage 1 (leader election + BFS on the real CONGEST
+    /// simulator) runs lazily at the first solve or [`PaEngine::tree`]
+    /// access, is paid exactly once, and is charged to the first solve.
+    ///
+    /// # Panics
+    /// Panics if the graph is empty or disconnected (the CONGEST network
+    /// is one component).
+    pub fn new(graph: &'g Graph, config: EngineConfig) -> PaEngine<'g> {
+        assert!(graph.n() > 0, "PaEngine needs a non-empty graph");
+        assert!(graph.is_connected(), "PaEngine needs a connected graph");
+        assert!(config.cache_capacity > 0, "cache capacity must be >= 1");
+        let pa = config.pa();
+        let net = Network::new(graph, config.seed);
+        PaEngine {
+            graph,
+            config,
+            pa,
+            net,
+            stage1: std::cell::OnceCell::new(),
+            base_charged: false,
+            cache: HashMap::new(),
+            division_cache: HashMap::new(),
+            clock: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Builds a session around an already-paid-for tree. `base_cost` is
+    /// whatever the caller actually spent obtaining it (zero if it is
+    /// being reused from another session).
+    pub fn with_tree(
+        graph: &'g Graph,
+        config: EngineConfig,
+        tree: RootedTree,
+        base_cost: CostReport,
+    ) -> PaEngine<'g> {
+        let engine = PaEngine::new(graph, config);
+        engine
+            .stage1
+            .set((tree, base_cost))
+            .expect("fresh engine has no stage-1 state");
+        engine
+    }
+
+    /// Stage 1, built on first use: flood-max election + distributed BFS
+    /// on the simulator, with their measured cost.
+    fn stage1(&self) -> &(RootedTree, CostReport) {
+        self.stage1.get_or_init(|| {
+            let (root, _, elect_cost) = run_leader_election(self.graph, &self.net)
+                .expect("election terminates on a connected graph");
+            let (tree, _, bfs_cost) = run_bfs(self.graph, &self.net, root).expect("BFS terminates");
+            (tree, elect_cost + bfs_cost)
+        })
+    }
+
+    /// Derives a session for a reweighted copy of this engine's graph
+    /// (same nodes, same edges, possibly different weights), reusing the
+    /// already-built BFS tree instead of re-running election + BFS.
+    ///
+    /// Election and BFS are weight-oblivious, so the tree is valid as-is;
+    /// the derived engine charges no base cost. The min-cut sketches use
+    /// this to amortize stage 1 across all sampled perturbations.
+    ///
+    /// # Panics
+    /// Panics if `graph` is not topology-identical to this engine's.
+    pub fn for_reweighted<'h>(&self, graph: &'h Graph) -> PaEngine<'h> {
+        assert!(
+            same_topology(self.graph, graph),
+            "for_reweighted needs an identical topology"
+        );
+        PaEngine::with_tree(graph, self.config, self.tree().clone(), CostReport::zero())
+    }
+
+    /// The graph this session is bound to.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The simulated network (KT0 identifiers, ports).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The session's BFS tree, shared by every solve (built on first
+    /// access).
+    pub fn tree(&self) -> &RootedTree {
+        &self.stage1().0
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Lifetime counters, including the one-off election + BFS cost
+    /// (zero while stage 1 has not run yet).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cached_partitions: self.cache.len(),
+            base_cost: self
+                .stage1
+                .get()
+                .map(|(_, cost)| *cost)
+                .unwrap_or_else(CostReport::zero),
+            ..self.stats
+        }
+    }
+
+    fn assert_same_graph(&self, inst: &PaInstance<'_>) {
+        let ig = inst.graph();
+        assert!(
+            std::ptr::eq(ig, self.graph) || same_topology(self.graph, ig),
+            "instance graph must match the engine's graph topology"
+        );
+    }
+
+    /// Ensures artifacts for `inst`'s partition are cached (building them
+    /// on a miss) and returns the cache key. Charging is separate — see
+    /// [`PaEngine::take_pending_setup`].
+    fn ensure_artifacts(&mut self, inst: &PaInstance<'_>) -> u64 {
+        let assignment = inst.partition().assignment();
+        let key = fingerprint(assignment);
+        self.clock += 1;
+        let cached = match self.cache.get_mut(&key) {
+            Some(entry) if entry.assignment == assignment => {
+                entry.last_used = self.clock;
+                true
+            }
+            Some(_) => {
+                // Fingerprint collision: evict the stale partition.
+                self.cache.remove(&key);
+                false
+            }
+            None => false,
+        };
+        if cached {
+            self.stats.hits += 1;
+            return key;
+        }
+        self.stats.misses += 1;
+        let artifacts = {
+            let tree = &self.stage1().0;
+            build_artifacts(inst, &self.pa, tree)
+        };
+        if self.cache.len() >= self.config.cache_capacity {
+            if let Some((&lru, _)) = self.cache.iter().min_by_key(|(_, e)| e.last_used) {
+                self.cache.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.cache.insert(
+            key,
+            CacheEntry {
+                assignment: assignment.to_vec(),
+                artifacts,
+                last_used: self.clock,
+                setup_charged: false,
+            },
+        );
+        key
+    }
+
+    /// The entry's stage 2–4 setup cost if no caller has been charged for
+    /// it yet (a [`PaEngine::pipeline_for`] pre-warm leaves it pending),
+    /// zero afterwards.
+    fn take_pending_setup(&mut self, key: u64) -> CostReport {
+        let entry = self.cache.get_mut(&key).expect("entry just ensured");
+        if entry.setup_charged {
+            CostReport::zero()
+        } else {
+            entry.setup_charged = true;
+            entry.artifacts.setup_cost
+        }
+    }
+
+    /// The cost to charge this call beyond the waves themselves: stage
+    /// 2–4 setup when not yet charged for this partition, plus election +
+    /// BFS exactly once per engine.
+    fn incremental_cost(&mut self, setup_cost: CostReport) -> CostReport {
+        let mut extra = setup_cost;
+        if !self.base_charged {
+            self.base_charged = true;
+            extra += self.stage1().1;
+        }
+        extra
+    }
+
+    /// Charges the one-off election + BFS cost to the caller if no solve
+    /// has charged it yet (returns zero afterwards). Solves do this
+    /// implicitly; callers that only derive reweighted trial sessions
+    /// from this engine (min-cut) call it explicitly so the shared tree
+    /// is still paid for exactly once.
+    pub fn charge_base(&mut self) -> CostReport {
+        self.incremental_cost(CostReport::zero())
+    }
+
+    /// Builds (or fetches) the pipeline artifacts for a partition without
+    /// solving anything — a pre-warm/inspection entry point. The entry's
+    /// stage 2–4 setup cost stays *pending*: the first solve that
+    /// consumes this partition is charged it, preserving the
+    /// charged-once-per-partition invariant.
+    pub fn pipeline_for(&mut self, parts: &Partition) -> &PipelineArtifacts {
+        let inst = PaInstance::from_partition(
+            self.graph,
+            parts.clone(),
+            vec![0; self.graph.n()],
+            Aggregate::Min,
+        )
+        .expect("engine graph is connected and values cover all nodes");
+        let key = self.ensure_artifacts(&inst);
+        &self.cache[&key].artifacts
+    }
+
+    /// Solves one PA instance over `parts`: every node of every part
+    /// learns `agg` folded over the part's `values`.
+    ///
+    /// # Errors
+    /// Propagates [`PaError`] from instance validation and Algorithm 1.
+    pub fn solve(
+        &mut self,
+        parts: &Partition,
+        values: &[u64],
+        agg: Aggregate,
+    ) -> Result<PaResult, PaError> {
+        let inst = PaInstance::from_partition(self.graph, parts.clone(), values.to_vec(), agg)?;
+        self.solve_instance(&inst)
+    }
+
+    /// Solves an already-validated instance. The instance's graph must be
+    /// this engine's graph (or a topology-identical reweighting of it).
+    ///
+    /// # Errors
+    /// Propagates [`PaError`] from Algorithm 1.
+    ///
+    /// # Panics
+    /// Panics if the instance's graph topology differs from the engine's.
+    pub fn solve_instance(&mut self, inst: &PaInstance<'_>) -> Result<PaResult, PaError> {
+        self.assert_same_graph(inst);
+        self.stats.solves += 1;
+        let key = self.ensure_artifacts(inst);
+        let setup_cost = self.take_pending_setup(key);
+        let extra = self.incremental_cost(setup_cost);
+        let variant = self.pa.variant;
+        let entry = &self.cache[&key];
+        let mut result = solve_on(inst, &entry.artifacts.setup(self.tree()), variant)?;
+        result.cost += extra;
+        Ok(result)
+    }
+
+    /// Solves `k` aggregations over one partition with a single pipelined
+    /// wave (see [`crate::batch`]).
+    ///
+    /// # Errors
+    /// Propagates [`PaError`]; every value set must have length `n`.
+    ///
+    /// # Panics
+    /// Panics if `value_sets` is empty or a set has the wrong length.
+    pub fn solve_batch(
+        &mut self,
+        parts: &Partition,
+        value_sets: &[Vec<u64>],
+        agg: Aggregate,
+    ) -> Result<BatchResult, PaError> {
+        assert!(!value_sets.is_empty(), "batch needs at least one value set");
+        let inst =
+            PaInstance::from_partition(self.graph, parts.clone(), value_sets[0].clone(), agg)?;
+        self.stats.batches += 1;
+        self.stats.solves += 1;
+        let key = self.ensure_artifacts(&inst);
+        let setup_cost = self.take_pending_setup(key);
+        let extra = self.incremental_cost(setup_cost);
+        let variant = self.pa.variant;
+        let entry = &self.cache[&key];
+        let mut result = batch_on(
+            &inst,
+            value_sets,
+            &entry.artifacts.setup(self.tree()),
+            variant,
+        )?;
+        result.cost += extra;
+        Ok(result)
+    }
+
+    /// The Algorithm 6 division of the whole graph with completion
+    /// threshold `completion`, memoized per threshold (Corollary A.3:
+    /// k-dominating sets are "a simple generalization of our sub-part
+    /// division algorithm"). The cached cost is charged on the miss only.
+    ///
+    /// Returns the division result and the cost to charge this call.
+    pub fn whole_graph_division(&mut self, completion: usize) -> (&DetDivisionResult, CostReport) {
+        if self.division_cache.contains_key(&completion) {
+            self.stats.division_hits += 1;
+            return (&self.division_cache[&completion], CostReport::zero());
+        }
+        self.stats.division_misses += 1;
+        let parts = Partition::whole(self.graph).expect("engine graph is connected");
+        let res = deterministic_division(self.graph, &parts, completion);
+        let cost = res.cost;
+        self.division_cache.insert(completion, res);
+        (&self.division_cache[&completion], cost)
+    }
+}
+
+/// Same node count and identical edge lists (endpoints, not weights).
+fn same_topology(a: &Graph, b: &Graph) -> bool {
+    a.n() == b.n()
+        && a.m() == b.m()
+        && a.edges()
+            .zip(b.edges())
+            .all(|((ea, ua, va, _), (eb, ub, vb, _))| ea == eb && ua == ub && va == vb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::solve_pa;
+    use rmo_graph::gen;
+
+    fn grid_instance() -> (Graph, Partition, Vec<u64>) {
+        let g = gen::grid(6, 8);
+        let parts = Partition::new(&g, gen::grid_row_partition(6, 8)).unwrap();
+        let values: Vec<u64> = (0..g.n() as u64).map(|v| (v * 31) % 97).collect();
+        (g, parts, values)
+    }
+
+    #[test]
+    fn engine_matches_one_shot_pipeline() {
+        let (g, parts, values) = grid_instance();
+        for config in [
+            EngineConfig::new(),
+            EngineConfig::new().randomized(3),
+            EngineConfig::new().trivial().seed(1),
+        ] {
+            let mut engine = PaEngine::new(&g, config);
+            let inst =
+                PaInstance::from_partition(&g, parts.clone(), values.clone(), Aggregate::Min)
+                    .unwrap();
+            let ours = engine.solve(&parts, &values, Aggregate::Min).unwrap();
+            let legacy = solve_pa(&inst, &config.pa()).unwrap();
+            assert_eq!(ours.aggregates, legacy.aggregates, "{config:?}");
+            assert_eq!(ours.node_values, legacy.node_values);
+            assert_eq!(ours.cost, legacy.cost, "first solve pays full setup");
+            assert_eq!(ours.broadcast_cost, legacy.broadcast_cost);
+        }
+    }
+
+    #[test]
+    fn cache_hit_skips_setup() {
+        let (g, parts, values) = grid_instance();
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        let first = engine.solve(&parts, &values, Aggregate::Sum).unwrap();
+        let second = engine.solve(&parts, &values, Aggregate::Sum).unwrap();
+        assert_eq!(first.aggregates, second.aggregates);
+        // Hit: only the three wave phases are charged.
+        assert_eq!(second.cost, second.broadcast_cost.repeated(3));
+        assert!(second.cost.rounds < first.cost.rounds);
+        assert!(second.cost.messages < first.cost.messages);
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.solves, 2);
+        assert_eq!(stats.cached_partitions, 1);
+    }
+
+    #[test]
+    fn lru_eviction_is_bounded_and_counted() {
+        let g = gen::grid(4, 12);
+        let mut engine = PaEngine::new(&g, EngineConfig::new().cache_capacity(2));
+        let values = vec![1u64; g.n()];
+        let partitions: Vec<Partition> = (1..=3)
+            .map(|rows| Partition::new(&g, (0..g.n()).map(|v| (v / 12) / rows).collect()).unwrap())
+            .collect();
+        for parts in &partitions {
+            engine.solve(parts, &values, Aggregate::Sum).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 1, "capacity 2 evicts the LRU entry");
+        assert_eq!(stats.cached_partitions, 2);
+        // The evicted (least recently used) partition rebuilds; the most
+        // recent one hits.
+        engine
+            .solve(&partitions[2], &values, Aggregate::Sum)
+            .unwrap();
+        assert_eq!(engine.stats().hits, 1);
+        engine
+            .solve(&partitions[0], &values, Aggregate::Sum)
+            .unwrap();
+        assert_eq!(engine.stats().misses, 4);
+    }
+
+    #[test]
+    fn batch_charges_setup_once() {
+        let (g, parts, values) = grid_instance();
+        let sets: Vec<Vec<u64>> = (0..4u64)
+            .map(|i| values.iter().map(|v| v + i).collect())
+            .collect();
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        let batch = engine.solve_batch(&parts, &sets, Aggregate::Max).unwrap();
+        let again = engine.solve_batch(&parts, &sets, Aggregate::Max).unwrap();
+        assert_eq!(batch.aggregates, again.aggregates);
+        assert!(again.cost.rounds < batch.cost.rounds);
+        assert_eq!(engine.stats().batches, 2);
+    }
+
+    #[test]
+    fn pipeline_for_is_memoized() {
+        let (g, parts, _) = grid_instance();
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        let budget = engine.pipeline_for(&parts).block_budget;
+        assert_eq!(engine.pipeline_for(&parts).block_budget, budget);
+        let stats = engine.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn prewarmed_setup_is_charged_to_the_first_solve() {
+        let (g, parts, values) = grid_instance();
+        let mut cold = PaEngine::new(&g, EngineConfig::new());
+        let baseline = cold.solve(&parts, &values, Aggregate::Min).unwrap();
+        // Pre-warming via pipeline_for must not make the setup vanish
+        // from the session's accounting: the first solve that consumes
+        // the entry still pays it.
+        let mut warmed = PaEngine::new(&g, EngineConfig::new());
+        let _ = warmed.pipeline_for(&parts);
+        let first = warmed.solve(&parts, &values, Aggregate::Min).unwrap();
+        assert_eq!(first.cost, baseline.cost, "setup charged exactly once");
+        let second = warmed.solve(&parts, &values, Aggregate::Min).unwrap();
+        assert_eq!(second.cost, second.broadcast_cost.repeated(3));
+    }
+
+    #[test]
+    fn stage1_is_lazy_for_division_only_sessions() {
+        let g = gen::path(40);
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        let (_, cost) = engine.whole_graph_division(4);
+        assert!(cost.messages > 0);
+        // No solve or tree access happened: election + BFS never ran.
+        assert_eq!(engine.stats().base_cost, CostReport::zero());
+        // First tree access builds it.
+        assert!(engine.tree().n() == 40);
+        assert!(engine.stats().base_cost.messages > 0);
+    }
+
+    #[test]
+    fn master_seed_follows_into_randomized_variant() {
+        let cfg = EngineConfig::new().randomized(0).seed(42);
+        assert_eq!(cfg.variant, Variant::Randomized { seed: 42 });
+        assert_eq!(cfg.seed, 42);
+        let det = EngineConfig::new().seed(42);
+        assert_eq!(det.variant, Variant::Deterministic);
+    }
+
+    #[test]
+    fn reweighted_session_shares_the_tree() {
+        let g = gen::grid_weighted(5, 5, 2);
+        let engine = PaEngine::new(&g, EngineConfig::new());
+        let perturbed = g.reweighted(|_, w| w * 2 + 1);
+        let mut derived = engine.for_reweighted(&perturbed);
+        assert_eq!(derived.tree().root(), engine.tree().root());
+        assert_eq!(derived.stats().base_cost, CostReport::zero());
+        let parts = Partition::whole(&perturbed).unwrap();
+        let res = derived
+            .solve(&parts, &vec![1; perturbed.n()], Aggregate::Sum)
+            .unwrap();
+        assert_eq!(res.aggregates[0], 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical topology")]
+    fn reweighted_rejects_different_topology() {
+        let g = gen::grid(4, 4);
+        let other = gen::path(16);
+        let engine = PaEngine::new(&g, EngineConfig::new());
+        let _ = engine.for_reweighted(&other);
+    }
+
+    #[test]
+    fn whole_graph_division_is_cached() {
+        let g = gen::path(48);
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        let (_, first_cost) = engine.whole_graph_division(4);
+        assert!(first_cost.messages > 0, "miss charges the division");
+        let (res, second_cost) = engine.whole_graph_division(4);
+        assert!(res.division.num_subparts() > 1);
+        assert_eq!(second_cost, CostReport::zero(), "hit is free");
+        let stats = engine.stats();
+        assert_eq!((stats.division_hits, stats.division_misses), (1, 1));
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 0),
+            "division memo has its own counters"
+        );
+    }
+
+    #[test]
+    fn config_roundtrips_through_paconfig() {
+        let cfg = EngineConfig::new().randomized(9).cache_capacity(3);
+        let back: EngineConfig = cfg.pa().into();
+        assert_eq!(back.variant, cfg.variant);
+        assert_eq!(back.shortcut, cfg.shortcut);
+        assert_eq!(back.division, cfg.division);
+        assert_eq!(back.seed, cfg.seed);
+    }
+}

@@ -17,7 +17,7 @@ use rmo_shortcut::trivial::trivial_shortcut;
 
 use crate::aggregate::Aggregate;
 use crate::instance::{PaError, PaInstance};
-use crate::solve::{solve_with_parts, PaResult, Variant};
+use crate::solve::{solve_on, PaResult, PaSetup, Variant};
 use crate::star_join::star_joining;
 use crate::subparts::SubPartDivision;
 use rmo_graph::Partition;
@@ -50,9 +50,19 @@ fn cost_of_a(
         .expect("instance stays valid");
     let sc = trivial_shortcut(g, tree, &classes);
     let division = SubPartDivision::one_per_part(g, &classes, leaders);
-    solve_with_parts(&dummy, tree, &sc, &division, leaders, variant, 1)
-        .expect("trivial shortcut has block parameter 1")
-        .cost
+    solve_on(
+        &dummy,
+        &PaSetup {
+            tree,
+            shortcut: &sc,
+            division: &division,
+            leaders,
+            block_budget: 1,
+        },
+        variant,
+    )
+    .expect("trivial shortcut has block parameter 1")
+    .cost
 }
 
 /// Runs Algorithm 9: solves `inst` without assuming known leaders.
@@ -145,7 +155,17 @@ pub fn leaderless_pa(
         .collect();
     let sc = trivial_shortcut(g, tree, parts);
     let division = SubPartDivision::one_per_part(g, parts, &leaders);
-    let mut result = solve_with_parts(inst, tree, &sc, &division, &leaders, variant, 1)?;
+    let mut result = solve_on(
+        inst,
+        &PaSetup {
+            tree,
+            shortcut: &sc,
+            division: &division,
+            leaders: &leaders,
+            block_budget: 1,
+        },
+        variant,
+    )?;
     result.cost += cost;
     Ok(LeaderlessResult {
         result,
@@ -218,14 +238,16 @@ mod tests {
         let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
         let sc = trivial_shortcut(&g, &tree, &parts);
         let division = SubPartDivision::one_per_part(&g, &parts, &leaders);
-        let single = solve_with_parts(
+        let single = solve_on(
             &inst,
-            &tree,
-            &sc,
-            &division,
-            &leaders,
+            &PaSetup {
+                tree: &tree,
+                shortcut: &sc,
+                division: &division,
+                leaders: &leaders,
+                block_budget: 1,
+            },
             Variant::Deterministic,
-            1,
         )
         .unwrap();
         let out = leaderless_pa(&inst, &tree, Variant::Deterministic).unwrap();

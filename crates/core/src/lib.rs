@@ -20,27 +20,43 @@
 //! | Algorithm 9 (leaderless PA) | [`leaderless`] |
 //! | Section 3.1 baselines | [`baseline`] |
 //! | End-to-end pipeline (Theorem 1.2) | [`pipeline`] |
+//! | Session engine (cached pipelines) | [`engine`] |
 //!
 //! # Quickstart
 //!
+//! Construct a [`PaEngine`] once per graph; it runs leader election and
+//! BFS exactly once and memoizes the partition-specific pipeline stages
+//! (leaders, sub-part division, shortcut) across solves, so repeated
+//! aggregations — Borůvka phases, min-cut sketches, verification suites —
+//! only pay for the waves themselves:
+//!
 //! ```rust
-//! use rmo_graph::gen;
-//! use rmo_core::{PaInstance, Aggregate, solve_pa, PaConfig};
+//! use rmo_graph::{gen, Partition};
+//! use rmo_core::{Aggregate, EngineConfig, PaEngine};
 //!
 //! let g = gen::grid(8, 8);
-//! let parts = gen::grid_row_partition(8, 8);
+//! let parts = Partition::new(&g, gen::grid_row_partition(8, 8)).unwrap();
 //! let values: Vec<u64> = (0..g.n() as u64).collect();
-//! let inst = PaInstance::new(&g, parts, values, Aggregate::Min).unwrap();
-//! let result = solve_pa(&inst, &PaConfig::default()).unwrap();
+//!
+//! let mut engine = PaEngine::new(&g, EngineConfig::new());
+//! let result = engine.solve(&parts, &values, Aggregate::Min).unwrap();
 //! for v in 0..g.n() {
-//!     assert_eq!(result.value_at(v), inst.reference_aggregate_of(v));
+//!     assert_eq!(result.value_at(v), (v / 8 * 8) as u64);
 //! }
+//! // A second call on the same partition hits the artifact cache:
+//! let again = engine.solve(&parts, &values, Aggregate::Min).unwrap();
+//! assert!(again.cost.rounds < result.cost.rounds);
+//! assert_eq!(engine.stats().hits, 1);
 //! ```
+//!
+//! For one-shot solves, [`solve_pa`] still assembles and tears down the
+//! whole pipeline in a single call.
 
 pub mod aggregate;
 pub mod baseline;
 pub mod batch;
 pub mod cole_vishkin;
+pub mod engine;
 pub mod instance;
 pub mod leaderless;
 pub mod pipeline;
@@ -52,11 +68,21 @@ pub mod subparts_random;
 pub mod verify_block;
 
 pub use aggregate::Aggregate;
-pub use batch::{solve_batch, BatchResult};
+pub use batch::{batch_on, BatchResult};
+pub use engine::{DivisionStrategy, EngineConfig, EngineStats, PaEngine};
 pub use instance::{PaError, PaInstance};
 pub use pipeline::{
-    build_pipeline, build_pipeline_with_tree, solve_pa, PaConfig, PaPipeline, ShortcutStrategy,
+    build_artifacts, build_pipeline, solve_pa, PaConfig, PaPipeline, PipelineArtifacts,
+    ShortcutStrategy,
 };
-pub use solve::Variant;
-pub use solve::{solve_with_parts, PaResult};
+pub use solve::{solve_on, PaResult, PaSetup, Variant};
 pub use subparts::SubPartDivision;
+
+// Deprecated positional entry points, re-exported so downstream code
+// keeps compiling while it migrates to `PaEngine` / `PaSetup`.
+#[allow(deprecated)]
+pub use batch::solve_batch;
+#[allow(deprecated)]
+pub use pipeline::build_pipeline_with_tree;
+#[allow(deprecated)]
+pub use solve::solve_with_parts;

@@ -28,7 +28,7 @@ use rmo_shortcut::trivial::trivial_shortcut;
 use rmo_shortcut::Shortcut;
 
 use crate::instance::{PaError, PaInstance};
-use crate::solve::{solve_with_parts, PaResult, Variant};
+use crate::solve::{solve_on, PaResult, PaSetup, Variant};
 use crate::subparts::SubPartDivision;
 use crate::subparts_det::deterministic_division;
 use crate::subparts_random::random_division;
@@ -101,6 +101,26 @@ impl PaConfig {
 pub struct PaPipeline {
     /// The BFS tree.
     pub tree: RootedTree,
+    /// The partition-specific stages built on that tree.
+    pub artifacts: PipelineArtifacts,
+    /// Cost of setting all of the above up (election + BFS + stages 2–4).
+    pub setup_cost: CostReport,
+}
+
+impl PaPipeline {
+    /// The borrowed-view setup Algorithm 1 consumes.
+    pub fn setup(&self) -> PaSetup<'_> {
+        self.artifacts.setup(&self.tree)
+    }
+}
+
+/// The partition-dependent pipeline stages (2–4): part leaders, sub-part
+/// division, shortcut, and the derived block budget. These are what
+/// [`crate::engine::PaEngine`] memoizes per partition fingerprint — the
+/// BFS tree they were built on lives once in the engine (or in
+/// [`PaPipeline`] for one-shot callers) and is only borrowed here.
+#[derive(Debug, Clone)]
+pub struct PipelineArtifacts {
     /// Discovered part leaders.
     pub leaders: Vec<NodeId>,
     /// The constructed shortcut.
@@ -109,8 +129,21 @@ pub struct PaPipeline {
     pub division: SubPartDivision,
     /// Terminal-block budget to pass to Algorithm 1.
     pub block_budget: usize,
-    /// Cost of setting all of the above up.
+    /// Cost of building stages 2–4 (excludes election and BFS).
     pub setup_cost: CostReport,
+}
+
+impl PipelineArtifacts {
+    /// Pairs the artifacts with the tree they were built on.
+    pub fn setup<'a>(&'a self, tree: &'a RootedTree) -> PaSetup<'a> {
+        PaSetup {
+            tree,
+            shortcut: &self.shortcut,
+            division: &self.division,
+            leaders: &self.leaders,
+            block_budget: self.block_budget,
+        }
+    }
 }
 
 /// Builds the pipeline infrastructure for an instance (stages 1–4).
@@ -121,21 +154,46 @@ pub fn build_pipeline(inst: &PaInstance<'_>, config: &PaConfig) -> PaPipeline {
     let (root, _, elect_cost) =
         run_leader_election(g, &net).expect("election terminates on a connected graph");
     let (tree, _, bfs_cost) = run_bfs(g, &net, root).expect("BFS terminates");
-    let mut pipe = build_pipeline_with_tree(inst, config, tree);
-    pipe.setup_cost += elect_cost + bfs_cost;
-    pipe
+    let artifacts = build_artifacts(inst, config, &tree);
+    let setup_cost = artifacts.setup_cost + elect_cost + bfs_cost;
+    PaPipeline {
+        tree,
+        artifacts,
+        setup_cost,
+    }
 }
 
-/// Builds stages 2–4 of the pipeline on an already-constructed BFS tree.
-///
-/// Borůvka-style applications call PA `O(log n)` times with changing
-/// partitions but a fixed network: they pay for election and BFS once and
-/// use this entry point per phase.
+/// Builds stages 2–4 of the pipeline on an already-constructed BFS tree
+/// (deprecated owned-tree form — it cannot share the tree across calls).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PaEngine` (which owns the tree once and caches artifacts) or `build_artifacts`"
+)]
 pub fn build_pipeline_with_tree(
     inst: &PaInstance<'_>,
     config: &PaConfig,
     tree: RootedTree,
 ) -> PaPipeline {
+    let artifacts = build_artifacts(inst, config, &tree);
+    let setup_cost = artifacts.setup_cost;
+    PaPipeline {
+        tree,
+        artifacts,
+        setup_cost,
+    }
+}
+
+/// Builds stages 2–4 of the pipeline on a borrowed BFS tree.
+///
+/// Borůvka-style applications call PA `O(log n)` times with changing
+/// partitions but a fixed network: they pay for election and BFS once and
+/// build fresh artifacts per phase — [`crate::engine::PaEngine`] wraps
+/// exactly this with a memo keyed by partition fingerprint.
+pub fn build_artifacts(
+    inst: &PaInstance<'_>,
+    config: &PaConfig,
+    tree: &RootedTree,
+) -> PipelineArtifacts {
     let g = inst.graph();
     let parts = inst.partition();
     let mut setup_cost = CostReport::zero();
@@ -168,14 +226,14 @@ pub fn build_pipeline_with_tree(
         ShortcutStrategy::Trivial => {
             // Computing part sizes distributedly: one in-part aggregation.
             setup_cost += CostReport::new(2 * d, 2 * g.n() as u64);
-            trivial_shortcut(g, &tree, parts)
+            trivial_shortcut(g, tree, parts)
         }
         ShortcutStrategy::Randomized => {
             let mut budget = 1usize;
             loop {
                 let res = construct_randomized(
                     g,
-                    &tree,
+                    tree,
                     parts,
                     &terminals,
                     RandParams::new(budget, budget, parts.num_parts(), config.seed ^ 0xc0fe),
@@ -184,12 +242,14 @@ pub fn build_pipeline_with_tree(
                 // One Algorithm 2 verification per sweep.
                 let verify = verify_block_parameter(
                     inst,
-                    &tree,
-                    &res.shortcut,
-                    &division,
-                    &leaders,
+                    &PaSetup {
+                        tree,
+                        shortcut: &res.shortcut,
+                        division: &division,
+                        leaders: &leaders,
+                        block_budget: (3 * budget).max(1),
+                    },
                     config.variant,
-                    (3 * budget).max(1),
                 );
                 setup_cost += verify_scaled(verify.cost, res.iterations);
                 if res.unsatisfied.is_empty() {
@@ -206,7 +266,7 @@ pub fn build_pipeline_with_tree(
             loop {
                 let res = construct_deterministic(
                     g,
-                    &tree,
+                    tree,
                     parts,
                     &terminals,
                     DetParams::new(budget, budget, parts.num_parts()),
@@ -214,12 +274,14 @@ pub fn build_pipeline_with_tree(
                 setup_cost += res.cost;
                 let verify = verify_block_parameter(
                     inst,
-                    &tree,
-                    &res.shortcut,
-                    &division,
-                    &leaders,
+                    &PaSetup {
+                        tree,
+                        shortcut: &res.shortcut,
+                        division: &division,
+                        leaders: &leaders,
+                        block_budget: (3 * budget).max(1),
+                    },
                     config.variant,
-                    (3 * budget).max(1),
                 );
                 setup_cost += verify_scaled(verify.cost, res.iterations);
                 if res.unsatisfied.is_empty() {
@@ -241,7 +303,7 @@ pub fn build_pipeline_with_tree(
                 division.subpart_count_of_part(p)
             } else {
                 shortcut
-                    .blocks_for_terminals(g, &tree, p, &terminals[p])
+                    .blocks_for_terminals(g, tree, p, &terminals[p])
                     .len()
             }
         })
@@ -249,8 +311,7 @@ pub fn build_pipeline_with_tree(
         .unwrap_or(1)
         .max(1);
 
-    PaPipeline {
-        tree,
+    PipelineArtifacts {
         leaders,
         shortcut,
         division,
@@ -260,14 +321,21 @@ pub fn build_pipeline_with_tree(
 }
 
 fn verify_scaled(cost: CostReport, iterations: usize) -> CostReport {
+    // Doubling sweeps can request huge iteration counts on adversarial
+    // inputs; saturate instead of overflowing the counters in release
+    // builds (debug builds would panic on the multiply).
     CostReport::with_capacity(
-        cost.rounds * iterations.max(1),
-        cost.messages * iterations.max(1) as u64,
+        cost.rounds.saturating_mul(iterations.max(1)),
+        cost.messages.saturating_mul(iterations.max(1) as u64),
         cost.capacity_multiplier,
     )
 }
 
 /// Solves a PA instance end to end (Theorem 1.2).
+///
+/// For repeated solves on one graph, [`crate::engine::PaEngine`] runs
+/// election + BFS once and memoizes stages 2–4 per partition; this
+/// one-shot entry point rebuilds everything each call.
 ///
 /// # Errors
 /// Propagates [`PaError`] from Algorithm 1 (only reachable if the
@@ -275,15 +343,7 @@ fn verify_scaled(cost: CostReport, iterations: usize) -> CostReport {
 /// impossible on valid instances).
 pub fn solve_pa(inst: &PaInstance<'_>, config: &PaConfig) -> Result<PaResult, PaError> {
     let pipe = build_pipeline(inst, config);
-    let mut result = solve_with_parts(
-        inst,
-        &pipe.tree,
-        &pipe.shortcut,
-        &pipe.division,
-        &pipe.leaders,
-        config.variant,
-        pipe.block_budget,
-    )?;
+    let mut result = solve_on(inst, &pipe.setup(), config.variant)?;
     result.cost += pipe.setup_cost;
     Ok(result)
 }

@@ -78,34 +78,40 @@ impl PaResult {
     }
 }
 
-/// Runs Algorithm 1.
+/// Borrowed views of the infrastructure one Algorithm 1 run needs: the
+/// BFS tree, the tree-restricted shortcut, the sub-part division, the
+/// part leaders, and the block-iteration budget `b`.
 ///
-/// `leaders[i]` — the known leader `lᵢ` of part `i` (Appendix B removes
-/// this assumption; see [`crate::leaderless`]). `block_budget` — the
-/// bound `b` on block iterations; pass the shortcut's (terminal-)block
-/// parameter.
+/// Grouping these replaces the old seven-positional-argument entry
+/// points; [`crate::engine::PaEngine`] builds and caches the owned
+/// counterparts and hands out setups per partition.
+#[derive(Debug, Clone, Copy)]
+pub struct PaSetup<'a> {
+    /// The (global BFS) spanning tree the shortcut restricts to.
+    pub tree: &'a RootedTree,
+    /// The tree-restricted shortcut.
+    pub shortcut: &'a Shortcut,
+    /// The sub-part division (Algorithm 3 or 6 output).
+    pub division: &'a SubPartDivision,
+    /// `leaders[i]` — the known leader `lᵢ` of part `i` (Appendix B
+    /// removes this assumption; see [`crate::leaderless`]).
+    pub leaders: &'a [NodeId],
+    /// The bound `b` on block iterations; pass the shortcut's
+    /// (terminal-)block parameter.
+    pub block_budget: usize,
+}
+
+/// Runs Algorithm 1 on prepared infrastructure.
 ///
 /// # Errors
 /// [`PaError::BlockBudgetExceeded`] if some part is not covered within
-/// `block_budget` iterations — the failure Algorithm 2 detects.
-pub fn solve_with_parts(
+/// `setup.block_budget` iterations — the failure Algorithm 2 detects.
+pub fn solve_on(
     inst: &PaInstance<'_>,
-    tree: &RootedTree,
-    shortcut: &Shortcut,
-    division: &SubPartDivision,
-    leaders: &[NodeId],
+    setup: &PaSetup<'_>,
     variant: Variant,
-    block_budget: usize,
 ) -> Result<PaResult, PaError> {
-    let wave = broadcast_wave(
-        inst,
-        tree,
-        shortcut,
-        division,
-        leaders,
-        variant,
-        block_budget,
-    )?;
+    let wave = broadcast_wave(inst, setup, variant)?;
     // Phases B (convergecast of f) and C (broadcast of the result) replay
     // the wave's communication pattern; their cost equals phase A's.
     let cost = wave.cost + wave.cost + wave.cost;
@@ -124,6 +130,37 @@ pub fn solve_with_parts(
         broadcast_cost: wave.cost,
         iterations_per_part: wave.iterations_per_part,
     })
+}
+
+/// Runs Algorithm 1 (deprecated positional form).
+///
+/// # Errors
+/// Same as [`solve_on`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `PaEngine::solve` (cached pipelines) or `solve_on` with a `PaSetup`"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn solve_with_parts(
+    inst: &PaInstance<'_>,
+    tree: &RootedTree,
+    shortcut: &Shortcut,
+    division: &SubPartDivision,
+    leaders: &[NodeId],
+    variant: Variant,
+    block_budget: usize,
+) -> Result<PaResult, PaError> {
+    solve_on(
+        inst,
+        &PaSetup {
+            tree,
+            shortcut,
+            division,
+            leaders,
+            block_budget,
+        },
+        variant,
+    )
 }
 
 /// One global iteration of the wave, for tracing (Figure 4 of the paper
@@ -158,60 +195,35 @@ pub struct WaveOutcome {
 /// failing on budget overruns — Algorithm 2 needs the raw outcome.
 pub fn broadcast_wave_outcome(
     inst: &PaInstance<'_>,
-    tree: &RootedTree,
-    shortcut: &Shortcut,
-    division: &SubPartDivision,
-    leaders: &[NodeId],
+    setup: &PaSetup<'_>,
     variant: Variant,
-    block_budget: usize,
 ) -> WaveOutcome {
-    run_wave(
-        inst,
-        tree,
-        shortcut,
-        division,
-        leaders,
-        variant,
-        block_budget,
-    )
+    run_wave(inst, setup, variant)
 }
 
 fn broadcast_wave(
     inst: &PaInstance<'_>,
-    tree: &RootedTree,
-    shortcut: &Shortcut,
-    division: &SubPartDivision,
-    leaders: &[NodeId],
+    setup: &PaSetup<'_>,
     variant: Variant,
-    block_budget: usize,
 ) -> Result<WaveOutcome, PaError> {
-    let outcome = run_wave(
-        inst,
-        tree,
-        shortcut,
-        division,
-        leaders,
-        variant,
-        block_budget,
-    );
+    let outcome = run_wave(inst, setup, variant);
     if let Some(v) = outcome.informed.iter().position(|&i| !i) {
         return Err(PaError::BlockBudgetExceeded {
             part: inst.partition().part_of(v),
-            budget: block_budget,
+            budget: setup.block_budget,
         });
     }
     Ok(outcome)
 }
 
-fn run_wave(
-    inst: &PaInstance<'_>,
-    tree: &RootedTree,
-    shortcut: &Shortcut,
-    division: &SubPartDivision,
-    leaders: &[NodeId],
-    variant: Variant,
-    block_budget: usize,
-) -> WaveOutcome {
+fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> WaveOutcome {
+    let PaSetup {
+        tree,
+        shortcut,
+        division,
+        leaders,
+        block_budget,
+    } = *setup;
     let g = inst.graph();
     let parts = inst.partition();
     let n = g.n();
@@ -463,6 +475,28 @@ mod tests {
         parts.part_ids().map(|p| parts.members(p)[0]).collect()
     }
 
+    fn run(
+        inst: &PaInstance<'_>,
+        tree: &RootedTree,
+        shortcut: &Shortcut,
+        division: &SubPartDivision,
+        leaders: &[NodeId],
+        variant: Variant,
+        block_budget: usize,
+    ) -> Result<PaResult, PaError> {
+        solve_on(
+            inst,
+            &PaSetup {
+                tree,
+                shortcut,
+                division,
+                leaders,
+                block_budget,
+            },
+            variant,
+        )
+    }
+
     /// Full-tree shortcut + one-sub-part-per-part division: the simplest
     /// valid configuration (b = 1).
     fn simple_setup(
@@ -483,7 +517,7 @@ mod tests {
         let values: Vec<u64> = (0..36).map(|v| (v as u64 * 7919) % 1000).collect();
         let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
         let (tree, sc, division, leaders) = simple_setup(&g, &parts);
-        let res = solve_with_parts(
+        let res = run(
             &inst,
             &tree,
             &sc,
@@ -507,7 +541,7 @@ mod tests {
             let values: Vec<u64> = (0..12).map(|v| (v as u64).wrapping_mul(37) % 50).collect();
             let inst = PaInstance::from_partition(&g, parts.clone(), values, f).unwrap();
             let (tree, sc, division, leaders) = simple_setup(&g, &parts);
-            let res = solve_with_parts(
+            let res = run(
                 &inst,
                 &tree,
                 &sc,
@@ -530,7 +564,7 @@ mod tests {
         let values: Vec<u64> = (0..40).collect();
         let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Sum).unwrap();
         let (tree, sc, division, leaders) = simple_setup(&g, &parts);
-        let res = solve_with_parts(
+        let res = run(
             &inst,
             &tree,
             &sc,
@@ -561,7 +595,7 @@ mod tests {
         let sc = Shortcut::empty(parts.num_parts());
         let leaders = min_leaders(&parts);
         let division = SubPartDivision::one_per_part(&g, &parts, &leaders);
-        let res = solve_with_parts(
+        let res = run(
             &inst,
             &tree,
             &sc,
@@ -607,7 +641,7 @@ mod tests {
         .unwrap();
         // Budget 2 suffices: leader's sub-part spreads (iter 1), neighbor
         // notification reaches node 4's sub-part, which spreads in iter 2.
-        let ok = solve_with_parts(
+        let ok = run(
             &inst,
             &tree,
             &sc,
@@ -618,7 +652,7 @@ mod tests {
         );
         assert!(ok.is_ok());
         // Budget 1: the second sub-part's rep never gets to spread.
-        let err = solve_with_parts(
+        let err = run(
             &inst,
             &tree,
             &sc,
@@ -638,7 +672,7 @@ mod tests {
         let values: Vec<u64> = (0..64).collect();
         let inst = PaInstance::from_partition(&g, parts.clone(), values, Aggregate::Min).unwrap();
         let (tree, sc, division, leaders) = simple_setup(&g, &parts);
-        let res = solve_with_parts(
+        let res = run(
             &inst,
             &tree,
             &sc,
@@ -680,12 +714,14 @@ mod tests {
         .unwrap();
         let wave = crate::solve::broadcast_wave_outcome(
             &inst,
-            &tree,
-            &sc,
-            &division,
-            &[0],
+            &PaSetup {
+                tree: &tree,
+                shortcut: &sc,
+                division: &division,
+                leaders: &[0],
+                block_budget: 4,
+            },
             Variant::Deterministic,
-            4,
         );
         assert_eq!(wave.trace.len(), 4, "one global iteration per sub-part hop");
         let mut prev = 0;
@@ -720,7 +756,7 @@ mod tests {
             vec![0, 8, 16, 24],
         )
         .unwrap();
-        let res = solve_with_parts(
+        let res = run(
             &inst,
             &tree,
             &sc,

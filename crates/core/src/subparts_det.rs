@@ -69,6 +69,10 @@ pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivi
     let mut iterations = 0usize;
 
     // Re-roots sub-part `j` at contact node `u` and hangs it below `v`.
+    // The five trailing parameters are one mutable view of the division
+    // under construction; threading them beats a premature struct for a
+    // function-local helper.
+    #[allow(clippy::too_many_arguments)]
     fn merge_into(
         j: usize,
         u: NodeId,

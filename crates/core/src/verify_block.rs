@@ -9,12 +9,9 @@
 //! learns whether its part's block parameter exceeds `b` (Lemma 4.5).
 
 use rmo_congest::CostReport;
-use rmo_graph::{NodeId, RootedTree};
-use rmo_shortcut::Shortcut;
 
 use crate::instance::PaInstance;
-use crate::solve::{broadcast_wave_outcome, Variant};
-use crate::subparts::SubPartDivision;
+use crate::solve::{broadcast_wave_outcome, PaSetup, Variant};
 
 /// The verdict of Algorithm 2.
 #[derive(Debug, Clone)]
@@ -27,20 +24,16 @@ pub struct BlockVerification {
     pub cost: CostReport,
 }
 
-/// Runs Algorithm 2 with budget `b`.
+/// Runs Algorithm 2 with budget `b = setup.block_budget`.
 pub fn verify_block_parameter(
     inst: &PaInstance<'_>,
-    tree: &RootedTree,
-    shortcut: &Shortcut,
-    division: &SubPartDivision,
-    leaders: &[NodeId],
+    setup: &PaSetup<'_>,
     variant: Variant,
-    b: usize,
 ) -> BlockVerification {
     let g = inst.graph();
     let parts = inst.partition();
     // Line 2: broadcast an arbitrary message with budget b.
-    let wave = broadcast_wave_outcome(inst, tree, shortcut, division, leaders, variant, b);
+    let wave = broadcast_wave_outcome(inst, setup, variant);
     let mut cost = wave.cost;
     let mut exceeds = vec![false; parts.num_parts()];
     for (v, &ok) in wave.informed.iter().enumerate() {
@@ -62,7 +55,7 @@ pub fn verify_block_parameter(
         }
         cost += CostReport::new(1, notify);
         // Line 5: one more wave to spread the verdict among informed nodes.
-        let spread = broadcast_wave_outcome(inst, tree, shortcut, division, leaders, variant, b);
+        let spread = broadcast_wave_outcome(inst, setup, variant);
         cost += spread.cost;
     } else {
         // Line 9: all received — one more wave communicates the exact
@@ -78,7 +71,7 @@ mod tests {
     use crate::aggregate::Aggregate;
     use crate::instance::PaInstance;
     use crate::subparts::SubPartDivision;
-    use rmo_graph::{bfs_tree, gen, Partition};
+    use rmo_graph::{bfs_tree, gen, NodeId, Partition};
     use rmo_shortcut::trivial::trivial_shortcut_with_threshold;
 
     #[test]
@@ -93,12 +86,14 @@ mod tests {
         let division = SubPartDivision::one_per_part(&g, &parts, &leaders);
         let v = verify_block_parameter(
             &inst,
-            &tree,
-            &sc,
-            &division,
-            &leaders,
+            &PaSetup {
+                tree: &tree,
+                shortcut: &sc,
+                division: &division,
+                leaders: &leaders,
+                block_budget: 1,
+            },
             Variant::Deterministic,
-            1,
         );
         assert!(v.exceeds.iter().all(|&e| !e));
     }
@@ -122,25 +117,16 @@ mod tests {
             vec![0, 4, 8, 12],
         )
         .unwrap();
-        let v = verify_block_parameter(
-            &inst,
-            &tree,
-            &sc,
-            &division,
-            &[0],
-            Variant::Deterministic,
-            1,
-        );
+        let setup = |b: usize| PaSetup {
+            tree: &tree,
+            shortcut: &sc,
+            division: &division,
+            leaders: &[0],
+            block_budget: b,
+        };
+        let v = verify_block_parameter(&inst, &setup(1), Variant::Deterministic);
         assert!(v.exceeds[0], "budget 1 cannot cover 4 singleton blocks");
-        let v4 = verify_block_parameter(
-            &inst,
-            &tree,
-            &sc,
-            &division,
-            &[0],
-            Variant::Deterministic,
-            4,
-        );
+        let v4 = verify_block_parameter(&inst, &setup(4), Variant::Deterministic);
         assert!(!v4.exceeds[0], "budget 4 suffices");
     }
 
@@ -154,24 +140,15 @@ mod tests {
         let sc = trivial_shortcut_with_threshold(&g, &tree, &parts, 1);
         let leaders: Vec<NodeId> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
         let division = SubPartDivision::one_per_part(&g, &parts, &leaders);
-        let wave = broadcast_wave_outcome(
-            &inst,
-            &tree,
-            &sc,
-            &division,
-            &leaders,
-            Variant::Deterministic,
-            1,
-        );
-        let v = verify_block_parameter(
-            &inst,
-            &tree,
-            &sc,
-            &division,
-            &leaders,
-            Variant::Deterministic,
-            1,
-        );
+        let setup = PaSetup {
+            tree: &tree,
+            shortcut: &sc,
+            division: &division,
+            leaders: &leaders,
+            block_budget: 1,
+        };
+        let wave = broadcast_wave_outcome(&inst, &setup, Variant::Deterministic);
+        let v = verify_block_parameter(&inst, &setup, Variant::Deterministic);
         assert_eq!(v.cost.rounds, 2 * wave.cost.rounds);
         assert_eq!(v.cost.messages, 2 * wave.cost.messages);
     }

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use rmo_core::solve::Variant;
+use rmo_core::solve::{PaSetup, Variant};
 use rmo_core::subparts_det::deterministic_division;
 use rmo_core::verify_block::verify_block_parameter;
 use rmo_core::{Aggregate, PaInstance};
@@ -57,8 +57,15 @@ proptest! {
             })
             .collect();
         let verdict = verify_block_parameter(
-            &inst, &tree, &sc, &division, &leaders,
-            Variant::Deterministic, budget_pick,
+            &inst,
+            &PaSetup {
+                tree: &tree,
+                shortcut: &sc,
+                division: &division,
+                leaders: &leaders,
+                block_budget: budget_pick,
+            },
+            Variant::Deterministic,
         );
         for p in parts.part_ids() {
             // The wave needs at most `structural[p]` iterations; it cannot
@@ -99,13 +106,16 @@ proptest! {
             (0..len).map(|v| if v % block == 0 { None } else { Some(v - 1) }).collect(),
             (0..k).map(|s| s * block).collect(),
         ).unwrap();
-        let fail = verify_block_parameter(
-            &inst, &tree, &sc, &division, &[0], Variant::Deterministic, k - 1,
-        );
+        let setup = |b: usize| PaSetup {
+            tree: &tree,
+            shortcut: &sc,
+            division: &division,
+            leaders: &[0],
+            block_budget: b,
+        };
+        let fail = verify_block_parameter(&inst, &setup(k - 1), Variant::Deterministic);
         prop_assert!(fail.exceeds[0], "budget k-1 must be insufficient");
-        let pass = verify_block_parameter(
-            &inst, &tree, &sc, &division, &[0], Variant::Deterministic, k,
-        );
+        let pass = verify_block_parameter(&inst, &setup(k), Variant::Deterministic);
         prop_assert!(!pass.exceeds[0], "budget k must suffice");
     }
 }

@@ -21,7 +21,7 @@ use crate::graph::{Graph, GraphBuilder};
 /// Panics if `n < k + 1` or `k == 0`.
 pub fn ktree(n: usize, k: usize, seed: u64) -> Graph {
     assert!(k >= 1, "k must be positive");
-    assert!(n >= k + 1, "need at least k+1 nodes");
+    assert!(n > k, "need at least k+1 nodes");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     // bags[i] = a k-clique that node can be attached to

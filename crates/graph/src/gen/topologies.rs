@@ -38,7 +38,7 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 /// # Panics
 /// Panics if `d == 0` or `d >= 24` (size guard).
 pub fn hypercube(d: u32) -> Graph {
-    assert!(d >= 1 && d < 24, "dimension out of range");
+    assert!((1..24).contains(&d), "dimension out of range");
     let n = 1usize << d;
     let mut b = GraphBuilder::new(n);
     for v in 0..n {
@@ -60,7 +60,7 @@ pub fn hypercube(d: u32) -> Graph {
 /// Panics if `n < d + 1` or `n * d` is odd.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(n > d, "need n > d");
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new(n);
     // Stub list, shuffled and paired.

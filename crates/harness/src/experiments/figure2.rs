@@ -17,7 +17,7 @@
 
 use rmo_core::baseline::naive_block_pa;
 use rmo_core::subparts_random::random_division;
-use rmo_core::{solve_with_parts, Aggregate, PaInstance, Variant};
+use rmo_core::{solve_on, Aggregate, PaInstance, PaSetup, Variant};
 use rmo_graph::{bfs_tree, gen, Partition};
 use rmo_shortcut::trivial::trivial_shortcut_with_threshold;
 
@@ -51,14 +51,16 @@ pub fn run(quick: bool) {
         // The paper: sub-part division first (cost included), then
         // Algorithm 1 where only representatives use the block.
         let div = random_division(&g, &parts, &leaders, tree.depth().max(1), 7);
-        let ours = solve_with_parts(
+        let ours = solve_on(
             &inst,
-            &tree,
-            &sc,
-            &div.division,
-            &leaders,
+            &PaSetup {
+                tree: &tree,
+                shortcut: &sc,
+                division: &div.division,
+                leaders: &leaders,
+                block_budget: 1,
+            },
             Variant::Deterministic,
-            1,
         )
         .expect("sub-part PA solves");
         let ours_msgs = ours.cost.messages + div.cost.messages;

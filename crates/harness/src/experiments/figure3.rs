@@ -28,7 +28,7 @@ pub fn run() {
             name.to_string(),
             div.num_subparts().to_string(),
             max_subparts_per_part.to_string(),
-            format!("{}", (parts.max_part_size() + d - 1) / d),
+            format!("{}", parts.max_part_size().div_ceil(d)),
             div.max_depth().to_string(),
             format!("{}", 4 * d),
             cost.rounds.to_string(),

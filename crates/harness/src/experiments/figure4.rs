@@ -1,7 +1,7 @@
 //! Figure 4 — the iterative block broadcast of Algorithm 1: per-iteration
 //! activation trace on a 3-block part, straight from the wave's trace API.
 
-use rmo_core::solve::{broadcast_wave_outcome, Variant};
+use rmo_core::solve::{broadcast_wave_outcome, PaSetup, Variant};
 use rmo_core::{Aggregate, PaInstance, SubPartDivision};
 use rmo_graph::{bfs_tree, gen, Partition};
 use rmo_shortcut::Shortcut;
@@ -30,12 +30,14 @@ pub fn run() {
     .unwrap();
     let wave = broadcast_wave_outcome(
         &inst,
-        &tree,
-        &sc,
-        &division,
-        &[0],
+        &PaSetup {
+            tree: &tree,
+            shortcut: &sc,
+            division: &division,
+            leaders: &[0],
+            block_budget: 3,
+        },
         Variant::Deterministic,
-        3,
     );
     let mut rows = Vec::new();
     for (i, it) in wave.trace.iter().enumerate() {

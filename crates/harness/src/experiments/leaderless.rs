@@ -2,7 +2,7 @@
 //! known-leader assumption.
 
 use rmo_core::leaderless::leaderless_pa;
-use rmo_core::{solve_with_parts, Aggregate, PaInstance, SubPartDivision, Variant};
+use rmo_core::{solve_on, Aggregate, PaInstance, PaSetup, SubPartDivision, Variant};
 use rmo_graph::{bfs_tree, gen, Partition};
 use rmo_shortcut::trivial::trivial_shortcut;
 
@@ -24,14 +24,16 @@ pub fn run() {
         let leaders: Vec<usize> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
         let sc = trivial_shortcut(&g, &tree, &parts);
         let division = SubPartDivision::one_per_part(&g, &parts, &leaders);
-        let with = solve_with_parts(
+        let with = solve_on(
             &inst,
-            &tree,
-            &sc,
-            &division,
-            &leaders,
+            &PaSetup {
+                tree: &tree,
+                shortcut: &sc,
+                division: &division,
+                leaders: &leaders,
+                block_budget: 1,
+            },
             Variant::Deterministic,
-            1,
         )
         .unwrap();
         let without = leaderless_pa(&inst, &tree, Variant::Deterministic).unwrap();

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod beyond;
 pub mod cds;
+pub mod engine;
 pub mod figure1;
 pub mod figure2;
 pub mod figure3;

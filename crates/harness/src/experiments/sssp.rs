@@ -39,8 +39,8 @@ pub fn run(quick: bool) {
             };
             let res = approx_sssp(g, 0, &cfg).expect("SSSP solves");
             // Guarantee: estimates are upper bounds.
-            for v in 0..g.n() {
-                assert!(res.estimates[v] >= truth[v], "estimates must be real paths");
+            for (est, lower) in res.estimates.iter().zip(&truth) {
+                assert!(est >= lower, "estimates must be real paths");
             }
             rows.push(vec![
                 family.to_string(),

@@ -22,21 +22,33 @@
 //!
 //! ## Quickstart
 //!
+//! One [`core::PaEngine`] session per graph: leader election and the BFS
+//! tree run once, and pipeline artifacts are cached per partition, so
+//! every further PA call — or application built from PA calls — is
+//! charged only its incremental cost:
+//!
 //! ```rust
-//! use rmo::graph::gen;
-//! use rmo::core::{PaInstance, Aggregate, solve_pa, PaConfig};
+//! use rmo::graph::{gen, Partition};
+//! use rmo::core::{Aggregate, EngineConfig, PaEngine};
 //!
 //! // A 16x16 grid, partitioned into its rows.
 //! let g = gen::grid(16, 16);
-//! let parts = gen::grid_row_partition(16, 16);
+//! let parts = Partition::new(&g, gen::grid_row_partition(16, 16)).unwrap();
 //! let values: Vec<u64> = (0..g.n() as u64).collect();
-//! let inst = PaInstance::new(&g, parts, values, Aggregate::Min).unwrap();
-//! let result = solve_pa(&inst, &PaConfig::default()).unwrap();
+//!
+//! let mut engine = PaEngine::new(&g, EngineConfig::new());
+//! let result = engine.solve(&parts, &values, Aggregate::Min).unwrap();
 //! // Every node of every part now knows its part's minimum value.
 //! for v in 0..g.n() {
-//!     assert_eq!(result.value_at(v), inst.reference_aggregate_of(v));
+//!     assert_eq!(result.value_at(v), (v / 16 * 16) as u64);
 //! }
+//! // Same partition again: served from the artifact cache, waves only.
+//! let again = engine.solve(&parts, &values, Aggregate::Min).unwrap();
+//! assert!(again.cost.rounds < result.cost.rounds);
 //! ```
+//!
+//! `rmo::core::solve_pa` remains as the one-shot entry point that
+//! assembles and tears down the pipeline in a single call.
 
 pub use rmo_apps as apps;
 pub use rmo_congest as congest;

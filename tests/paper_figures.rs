@@ -4,7 +4,7 @@
 use rmo::core::baseline::naive_block_pa;
 use rmo::core::solve::broadcast_wave_outcome;
 use rmo::core::subparts_random::random_division;
-use rmo::core::{solve_with_parts, Aggregate, PaInstance, SubPartDivision, Variant};
+use rmo::core::{solve_on, Aggregate, PaInstance, PaSetup, SubPartDivision, Variant};
 use rmo::graph::{bfs_tree, gen, Graph, Partition};
 use rmo::shortcut::alg7::construct_on_path;
 use rmo::shortcut::trivial::trivial_shortcut_with_threshold;
@@ -50,14 +50,16 @@ fn figure2_separation_at_depth_32() {
     let leaders: Vec<usize> = parts.part_ids().map(|p| parts.members(p)[0]).collect();
     let naive = naive_block_pa(&inst, &tree, &sc, &leaders, Variant::Deterministic, 1).unwrap();
     let div = random_division(&g, &parts, &leaders, tree.depth().max(1), 7);
-    let ours = solve_with_parts(
+    let ours = solve_on(
         &inst,
-        &tree,
-        &sc,
-        &div.division,
-        &leaders,
+        &PaSetup {
+            tree: &tree,
+            shortcut: &sc,
+            division: &div.division,
+            leaders: &leaders,
+            block_budget: 1,
+        },
         Variant::Deterministic,
-        1,
     )
     .unwrap();
     let ours_total = ours.cost.messages + div.cost.messages;
@@ -91,12 +93,14 @@ fn figure4_three_blocks_three_iterations() {
     .unwrap();
     let wave = broadcast_wave_outcome(
         &inst,
-        &tree,
-        &sc,
-        &division,
-        &[0],
+        &PaSetup {
+            tree: &tree,
+            shortcut: &sc,
+            division: &division,
+            leaders: &[0],
+            block_budget: 3,
+        },
         Variant::Deterministic,
-        3,
     );
     assert_eq!(wave.trace.len(), 3);
     assert!(wave.informed.iter().all(|&i| i));

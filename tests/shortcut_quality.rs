@@ -3,7 +3,7 @@
 //! the bounded-parameter families (Table 1's promise, empirically).
 
 use rmo::core::subparts_det::deterministic_division;
-use rmo::core::{solve_with_parts, Aggregate, PaInstance, Variant};
+use rmo::core::{solve_on, Aggregate, PaInstance, PaSetup, Variant};
 use rmo::graph::{bfs_tree, gen, Partition};
 use rmo::shortcut::alg8::{construct_deterministic, DetParams};
 use rmo::shortcut::corefast::{construct_randomized, RandParams};
@@ -124,25 +124,29 @@ fn better_shortcuts_reduce_wave_rounds_on_wide_grids() {
         })
         .max()
         .unwrap();
-    let with = solve_with_parts(
+    let with = solve_on(
         &inst,
-        &tree,
-        &built.shortcut,
-        &division,
-        &leaders,
+        &PaSetup {
+            tree: &tree,
+            shortcut: &built.shortcut,
+            division: &division,
+            leaders: &leaders,
+            block_budget: budget,
+        },
         Variant::Deterministic,
-        budget,
     )
     .unwrap();
     let empty = Shortcut::empty(parts.num_parts());
-    let without = solve_with_parts(
+    let without = solve_on(
         &inst,
-        &tree,
-        &empty,
-        &division,
-        &leaders,
+        &PaSetup {
+            tree: &tree,
+            shortcut: &empty,
+            division: &division,
+            leaders: &leaders,
+            block_budget: division.num_subparts() + 1,
+        },
         Variant::Deterministic,
-        division.num_subparts() + 1,
     )
     .unwrap();
     assert!(

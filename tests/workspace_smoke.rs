@@ -32,12 +32,13 @@ fn all_examples_compile() {
         String::from_utf8_lossy(&out.stderr)
     );
 
-    // Guard against examples silently disappearing from the build: all six
-    // quickstart/explorer binaries must be produced (fresh builds) or
-    // already on disk as reported by a previous run (fingerprint-fresh
+    // Guard against examples silently disappearing from the build: all
+    // seven quickstart/explorer binaries must be produced (fresh builds)
+    // or already on disk as reported by a previous run (fingerprint-fresh
     // builds still emit the artifact messages with the executable path).
     let expected = [
         "diameter_probe",
+        "engine_session",
         "network_health",
         "quickstart",
         "sensor_regions",

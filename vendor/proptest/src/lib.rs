@@ -92,7 +92,7 @@ pub use test_runner::TestCaseError;
 
 /// The master seed all `proptest!` tests derive their cases from.
 /// Fixed so tier-1 is deterministic; change it only deliberately.
-pub const MASTER_SEED: u64 = 0x5EED_0F_9A9E12;
+pub const MASTER_SEED: u64 = 0x5EED_0F9A_9E12;
 
 pub mod strategy {
     use rand::rngs::StdRng;
@@ -199,7 +199,7 @@ pub mod strategy {
         Any(std::marker::PhantomData)
     }
 
-    /// Uniform choice among boxed arms — the engine of [`prop_oneof!`].
+    /// Uniform choice among boxed arms — the engine of `prop_oneof!`.
     pub struct Union<V> {
         arms: Vec<Box<dyn Strategy<Value = V>>>,
     }
