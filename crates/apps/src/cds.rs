@@ -24,7 +24,7 @@ use rmo_graph::{DisjointSets, Graph, NodeId, Partition};
 use rmo_core::{Aggregate, EngineConfig, PaEngine, PaError};
 
 /// Result of [`approx_mwcds`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CdsResult {
     /// The connected dominating set.
     pub set: Vec<NodeId>,

@@ -15,7 +15,7 @@ use rmo_graph::{DisjointSets, EdgeId, Graph, Partition};
 use rmo_core::{Aggregate, EngineConfig, PaConfig, PaEngine, PaError};
 
 /// Component labels plus the measured PA cost.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ComponentLabels {
     /// `labels[v]` — the minimum node id in `v`'s `H`-component.
     pub labels: Vec<u64>,

@@ -1,0 +1,436 @@
+//! The unified query surface over every application.
+//!
+//! Each app module exposes a `*_with_engine` entry point; serving layers
+//! want a single dispatch instead of eight ad-hoc call sites. [`Query`]
+//! names one request against one graph, [`run_query`] executes it on a
+//! caller-held [`PaEngine`] session, and [`QueryResponse`] carries the
+//! typed result (every variant reports its measured [`CostReport`]).
+//!
+//! This is the vocabulary [`crate::service::PaCluster`] routes: a shard
+//! worker pops `(graph, Query)` jobs off its queue and feeds them through
+//! [`run_query`] on the graph's warm engine. The dispatch itself is
+//! deliberately dumb — no scheduling, no caching policy — so it is also
+//! the natural entry point for one-off callers that already hold an
+//! engine.
+
+use rmo_congest::CostReport;
+use rmo_graph::{EdgeId, NodeId, Partition};
+
+use rmo_core::{partition_fingerprint, Aggregate, PaEngine, PaError};
+
+use crate::cds::{approx_mwcds_with_engine, CdsResult};
+use crate::components::{component_labels_with_engine, ComponentLabels};
+use crate::eccentricity::{approx_eccentricities_with_engine, EccentricityResult};
+use crate::kdom::{k_dominating_set_with_engine, KDomResult};
+use crate::mincut::{approx_min_cut_with_engine, MinCutConfig, MinCutResult};
+use crate::mst::{pa_mst_with_engine, PaMstResult};
+use crate::sssp::{approx_sssp_with_engine, SsspConfig, SsspResult};
+use crate::verify::{
+    verify_bipartite_with_engine, verify_connected_spanning_with_engine, verify_cut_with_engine,
+    verify_forest_with_engine, verify_mst_with_engine, verify_spanning_tree_with_engine,
+    verify_two_edge_connected_with_engine, Verdict,
+};
+
+/// Which verification predicate a [`Query::Verify`] checks (the
+/// Corollary A.1 suite; every check takes the subgraph `H` as an edge
+/// list except `TwoEdgeConnected`, which inspects the network itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyCheck {
+    /// `H` is connected and spans `V`.
+    ConnectedSpanning,
+    /// `H` is a spanning tree.
+    SpanningTree,
+    /// Removing `H` disconnects the graph.
+    Cut,
+    /// `H` is bipartite.
+    Bipartite,
+    /// `H` is acyclic.
+    Forest,
+    /// `H` is a minimum spanning tree.
+    Mst,
+    /// The network itself is 2-edge-connected (`H` is ignored).
+    TwoEdgeConnected,
+}
+
+/// One request against one graph — the vocabulary the serving layer
+/// routes and batches.
+///
+/// Queries carry *values*, not borrows, so they can cross shard-thread
+/// channels; [`run_query`] validates them against the engine's graph
+/// (e.g. a `Pa` assignment of the wrong length is a [`QueryResponse::Failed`],
+/// not a panic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// One Part-Wise Aggregation solve (Definition 1.1).
+    Pa {
+        /// Part id per node (each part connected).
+        assignment: Vec<usize>,
+        /// One value per node.
+        values: Vec<u64>,
+        /// The commutative-associative fold.
+        agg: Aggregate,
+    },
+    /// MST via Borůvka over PA (Corollary 1.3).
+    Mst,
+    /// Approximate SSSP from `source` (Corollary 1.5).
+    Sssp {
+        /// The source node.
+        source: NodeId,
+    },
+    /// `(1+ε)`-approximate min cut (Corollary 1.4) with an explicit
+    /// trial budget (the serving layer keeps this bounded; pass the
+    /// `O(log n/ε²)` default through [`MinCutConfig`] directly for the
+    /// full guarantee).
+    MinCut {
+        /// Number of sampled spanning trees.
+        trials: usize,
+    },
+    /// `k`-dominating set (Corollary A.3).
+    Kdom {
+        /// The domination radius.
+        k: usize,
+    },
+    /// Additive-`k` eccentricity estimates (Holzer–Wattenhofer on top of
+    /// k-domination).
+    Eccentricity {
+        /// The additive slack.
+        k: usize,
+    },
+    /// `O(log n)`-approximate minimum-weight CDS (Corollary A.2).
+    Cds {
+        /// Cost of including each node.
+        node_weights: Vec<u64>,
+    },
+    /// Thurimella component labels of the subgraph `H` (Appendix A.2).
+    Components {
+        /// The subgraph, as edge ids of the network graph.
+        h_edges: Vec<EdgeId>,
+    },
+    /// One Corollary A.1 verification predicate.
+    Verify {
+        /// Which predicate.
+        check: VerifyCheck,
+        /// The subgraph under test.
+        h_edges: Vec<EdgeId>,
+    },
+}
+
+impl Query {
+    /// The cache-affinity class of this query: two queries with equal
+    /// keys (on the same graph) want the engine in the same warm state —
+    /// same partition artifacts, same division memo. The shard scheduler
+    /// batches equal keys back-to-back so the second query is a cache
+    /// hit. Stable across runs and platforms (FNV-1a, like the engine's
+    /// partition fingerprint).
+    pub fn affinity(&self) -> u64 {
+        // Distinct per-variant tags keep unrelated classes from sharing
+        // a batch by accident.
+        match self {
+            Query::Pa { assignment, .. } => 0x10 ^ partition_fingerprint(assignment),
+            Query::Mst => 0x20,
+            Query::Sssp { .. } => 0x30,
+            Query::MinCut { .. } => 0x40,
+            // Kdom and Eccentricity with equal k share the division memo.
+            Query::Kdom { k } | Query::Eccentricity { k } => {
+                0x50 ^ partition_fingerprint(&[0x50, *k])
+            }
+            Query::Cds { .. } => 0x60,
+            // Components and Verify on equal H solve PA over the same
+            // H-component partition.
+            Query::Components { h_edges } | Query::Verify { h_edges, .. } => {
+                0x70 ^ partition_fingerprint(h_edges)
+            }
+        }
+    }
+}
+
+/// The typed result of one [`Query`], bit-comparable for determinism
+/// tests (threaded and sequential serving must produce equal responses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResponse {
+    /// From [`Query::Pa`].
+    Pa(rmo_core::PaResult),
+    /// From [`Query::Mst`].
+    Mst(PaMstResult),
+    /// From [`Query::Sssp`].
+    Sssp(SsspResult),
+    /// From [`Query::MinCut`].
+    MinCut(MinCutResult),
+    /// From [`Query::Kdom`].
+    Kdom(KDomResult),
+    /// From [`Query::Eccentricity`].
+    Eccentricity(EccentricityResult),
+    /// From [`Query::Cds`].
+    Cds(CdsResult),
+    /// From [`Query::Components`].
+    Components(ComponentLabels),
+    /// From [`Query::Verify`].
+    Verify(Verdict),
+    /// The query was invalid for its graph ([`PaError`] rendered).
+    Failed(String),
+}
+
+impl QueryResponse {
+    /// The measured CONGEST cost of serving this query (zero for
+    /// failures, which never reach the simulator).
+    pub fn cost(&self) -> CostReport {
+        match self {
+            QueryResponse::Pa(r) => r.cost,
+            QueryResponse::Mst(r) => r.cost,
+            QueryResponse::Sssp(r) => r.cost,
+            QueryResponse::MinCut(r) => r.cost,
+            QueryResponse::Kdom(r) => r.cost,
+            QueryResponse::Eccentricity(r) => r.cost,
+            QueryResponse::Cds(r) => r.cost,
+            QueryResponse::Components(r) => r.cost,
+            QueryResponse::Verify(r) => r.cost,
+            QueryResponse::Failed(_) => CostReport::zero(),
+        }
+    }
+
+    /// Whether the query was served (not [`QueryResponse::Failed`]).
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, QueryResponse::Failed(_))
+    }
+}
+
+fn fail(err: PaError) -> QueryResponse {
+    QueryResponse::Failed(err.to_string())
+}
+
+/// The first out-of-range edge id in `h_edges`, as a `Failed` response.
+fn bad_edge(engine: &PaEngine<'_>, h_edges: &[rmo_graph::EdgeId]) -> Option<QueryResponse> {
+    let m = engine.graph().m();
+    h_edges.iter().find(|&&e| e >= m).map(|&e| {
+        QueryResponse::Failed(format!(
+            "subgraph edge id {e} out of range (graph has {m} edges)"
+        ))
+    })
+}
+
+/// Executes one query on a caller-held session — the single entry point
+/// over all eight application modules. Graph-relative validation (part
+/// vectors, value lengths, node and edge id ranges) surfaces as
+/// [`QueryResponse::Failed`]; graph-independent contract panics from
+/// the apps themselves (`k == 0`, `trials` overflow) are not caught.
+pub fn run_query(engine: &mut PaEngine<'_>, query: &Query) -> QueryResponse {
+    match query {
+        Query::Pa {
+            assignment,
+            values,
+            agg,
+        } => {
+            let parts = match Partition::new(engine.graph(), assignment.clone()) {
+                Ok(p) => p,
+                Err(e) => return fail(PaError::Partition(e)),
+            };
+            match engine.solve(&parts, values, *agg) {
+                Ok(r) => QueryResponse::Pa(r),
+                Err(e) => fail(e),
+            }
+        }
+        Query::Mst => match pa_mst_with_engine(engine) {
+            Ok(r) => QueryResponse::Mst(r),
+            Err(e) => fail(e),
+        },
+        Query::Sssp { source } => {
+            if *source >= engine.graph().n() {
+                return QueryResponse::Failed(format!(
+                    "sssp source {source} out of range (graph has {} nodes)",
+                    engine.graph().n()
+                ));
+            }
+            let config = SsspConfig {
+                pa: engine.config().pa(),
+                seed: engine.config().seed,
+                ..SsspConfig::default()
+            };
+            match approx_sssp_with_engine(engine, *source, &config) {
+                Ok(r) => QueryResponse::Sssp(r),
+                Err(e) => fail(e),
+            }
+        }
+        Query::MinCut { trials } => {
+            let config = MinCutConfig {
+                pa: engine.config().pa(),
+                seed: engine.config().seed,
+                trials: Some(*trials),
+                ..MinCutConfig::default()
+            };
+            match approx_min_cut_with_engine(engine, &config) {
+                Ok(r) => QueryResponse::MinCut(r),
+                Err(e) => fail(e),
+            }
+        }
+        Query::Kdom { k } => QueryResponse::Kdom(k_dominating_set_with_engine(engine, *k)),
+        Query::Eccentricity { k } => {
+            QueryResponse::Eccentricity(approx_eccentricities_with_engine(engine, *k))
+        }
+        Query::Cds { node_weights } => {
+            if node_weights.len() != engine.graph().n() {
+                return fail(PaError::ValueCountMismatch {
+                    expected: engine.graph().n(),
+                    got: node_weights.len(),
+                });
+            }
+            match approx_mwcds_with_engine(engine, node_weights) {
+                Ok(r) => QueryResponse::Cds(r),
+                Err(e) => fail(e),
+            }
+        }
+        Query::Components { h_edges } => {
+            if let Some(failed) = bad_edge(engine, h_edges) {
+                return failed;
+            }
+            match component_labels_with_engine(engine, h_edges) {
+                Ok(r) => QueryResponse::Components(r),
+                Err(e) => fail(e),
+            }
+        }
+        Query::Verify { check, h_edges } => {
+            if let Some(failed) = bad_edge(engine, h_edges) {
+                return failed;
+            }
+            let verdict = match check {
+                VerifyCheck::ConnectedSpanning => {
+                    verify_connected_spanning_with_engine(engine, h_edges)
+                }
+                VerifyCheck::SpanningTree => verify_spanning_tree_with_engine(engine, h_edges),
+                VerifyCheck::Cut => verify_cut_with_engine(engine, h_edges),
+                VerifyCheck::Bipartite => verify_bipartite_with_engine(engine, h_edges),
+                VerifyCheck::Forest => verify_forest_with_engine(engine, h_edges),
+                VerifyCheck::Mst => verify_mst_with_engine(engine, h_edges),
+                VerifyCheck::TwoEdgeConnected => verify_two_edge_connected_with_engine(engine),
+            };
+            match verdict {
+                Ok(r) => QueryResponse::Verify(r),
+                Err(e) => fail(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmo_core::EngineConfig;
+    use rmo_graph::gen;
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let g = gen::grid(6, 6);
+        let rows = gen::grid_row_partition(6, 6);
+        let values: Vec<u64> = (0..36u64).collect();
+
+        // Pa through dispatch == engine.solve directly.
+        let mut a = PaEngine::new(&g, EngineConfig::new());
+        let via_dispatch = run_query(
+            &mut a,
+            &Query::Pa {
+                assignment: rows.clone(),
+                values: values.clone(),
+                agg: Aggregate::Min,
+            },
+        );
+        let mut b = PaEngine::new(&g, EngineConfig::new());
+        let parts = Partition::new(&g, rows).unwrap();
+        let direct = b.solve(&parts, &values, Aggregate::Min).unwrap();
+        assert_eq!(via_dispatch, QueryResponse::Pa(direct));
+
+        // Mst through dispatch == pa_mst_with_engine on an equal session.
+        let mut c = PaEngine::new(&g, EngineConfig::new());
+        let mst = run_query(&mut c, &Query::Mst);
+        let mut d = PaEngine::new(&g, EngineConfig::new());
+        assert_eq!(mst, QueryResponse::Mst(pa_mst_with_engine(&mut d).unwrap()));
+    }
+
+    #[test]
+    fn invalid_queries_fail_without_panicking() {
+        let g = gen::path(8);
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        // Wrong-length assignment.
+        let bad = run_query(
+            &mut engine,
+            &Query::Pa {
+                assignment: vec![0; 3],
+                values: vec![0; 8],
+                agg: Aggregate::Sum,
+            },
+        );
+        assert!(!bad.is_ok());
+        assert_eq!(bad.cost(), CostReport::zero());
+        // Wrong-length CDS weights.
+        let bad = run_query(
+            &mut engine,
+            &Query::Cds {
+                node_weights: vec![1; 2],
+            },
+        );
+        assert!(matches!(bad, QueryResponse::Failed(_)));
+        // Out-of-range node and edge ids fail instead of panicking in a
+        // shard worker.
+        let bad = run_query(&mut engine, &Query::Sssp { source: 8 });
+        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("out of range")));
+        let bad = run_query(
+            &mut engine,
+            &Query::Components {
+                h_edges: vec![0, 7],
+            },
+        );
+        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("edge id 7")));
+        let bad = run_query(
+            &mut engine,
+            &Query::Verify {
+                check: VerifyCheck::Forest,
+                h_edges: vec![99],
+            },
+        );
+        assert!(!bad.is_ok());
+        // The engine is still usable afterwards.
+        let ok = run_query(&mut engine, &Query::Kdom { k: 4 });
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn affinity_groups_cache_friends() {
+        let pa1 = Query::Pa {
+            assignment: vec![0, 0, 1, 1],
+            values: vec![1; 4],
+            agg: Aggregate::Min,
+        };
+        let pa2 = Query::Pa {
+            assignment: vec![0, 0, 1, 1],
+            values: vec![9; 4],
+            agg: Aggregate::Sum,
+        };
+        let pa3 = Query::Pa {
+            assignment: vec![0, 1, 1, 1],
+            values: vec![1; 4],
+            agg: Aggregate::Min,
+        };
+        // Same partition => same class, regardless of values/aggregate.
+        assert_eq!(pa1.affinity(), pa2.affinity());
+        assert_ne!(pa1.affinity(), pa3.affinity());
+        // Kdom and Eccentricity share the division memo per k.
+        assert_eq!(
+            Query::Kdom { k: 6 }.affinity(),
+            Query::Eccentricity { k: 6 }.affinity()
+        );
+        assert_ne!(
+            Query::Kdom { k: 6 }.affinity(),
+            Query::Kdom { k: 8 }.affinity()
+        );
+        // Components and Verify share the H-component partition per H.
+        assert_eq!(
+            Query::Components {
+                h_edges: vec![1, 2]
+            }
+            .affinity(),
+            Query::Verify {
+                check: VerifyCheck::Forest,
+                h_edges: vec![1, 2],
+            }
+            .affinity()
+        );
+    }
+}

@@ -23,7 +23,7 @@ use crate::kdom::k_dominating_set_with_engine;
 use rmo_core::{EngineConfig, PaEngine};
 
 /// Result of [`approx_eccentricities`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EccentricityResult {
     /// Per-node eccentricity estimates, each within `[ecc(v), ecc(v)+k]`.
     pub estimates: Vec<usize>,

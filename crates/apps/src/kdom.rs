@@ -14,7 +14,7 @@ use rmo_graph::{bfs_distances, Graph, NodeId};
 use rmo_core::{EngineConfig, PaEngine};
 
 /// Result of [`k_dominating_set`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KDomResult {
     /// The dominating set (sub-part representatives).
     pub set: Vec<NodeId>,

@@ -26,18 +26,31 @@
 //! whole workload on one graph — say an MST build followed by its
 //! verification and a batch of aggregations — pays for leader election
 //! and the BFS tree once and shares cached pipeline artifacts.
+//!
+//! Two further modules turn the eight applications into a service:
+//!
+//! * [`dispatch`] — the unified [`Query`] / [`QueryResponse`]
+//!   vocabulary and the single [`run_query`] entry point over every
+//!   `*_with_engine` app.
+//! * [`service`] — [`PaCluster`]: a sharded worker pool serving mixed
+//!   query traffic over many graphs concurrently, with warm per-graph
+//!   engines and a deterministic scheduler.
 
 pub mod cds;
 pub mod certificate;
 pub mod components;
+pub mod dispatch;
 pub mod eccentricity;
 pub mod kdom;
 pub mod mincut;
 pub mod mst;
+pub mod service;
 pub mod sssp;
 pub mod verify;
 
 pub use components::{component_labels, component_labels_with_engine, ComponentLabels};
+pub use dispatch::{run_query, Query, QueryResponse, VerifyCheck};
 pub use mincut::{approx_min_cut, approx_min_cut_with_engine, MinCutConfig, MinCutResult};
 pub use mst::{pa_mst, pa_mst_with_engine, MstConfig, PaMstResult};
+pub use service::{mixed_workload, ClusterStats, GraphId, PaCluster, ServeReport, ShardStats};
 pub use sssp::{approx_sssp, approx_sssp_with_engine, SsspConfig, SsspResult};

@@ -50,7 +50,7 @@ impl Default for MinCutConfig {
 }
 
 /// Result of [`approx_min_cut`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MinCutResult {
     /// Weight of the cut found.
     pub weight: u64,

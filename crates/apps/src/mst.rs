@@ -29,7 +29,7 @@ pub struct MstConfig {
 }
 
 /// Result of [`pa_mst`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PaMstResult {
     /// MST edge ids, sorted.
     pub edges: Vec<EdgeId>,

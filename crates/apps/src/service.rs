@@ -1,0 +1,743 @@
+//! `PaCluster` — a sharded, concurrent multi-graph serving layer.
+//!
+//! The paper's Theorem 1.2 infrastructure is reusable *per graph*; a
+//! [`rmo_core::PaEngine`] captures that for one session. A service under
+//! mixed traffic holds **many** graphs at once, so the cluster:
+//!
+//! * owns a fleet of registered graphs, each pinned to one **shard** by
+//!   a stable hash of its [`GraphId`] — all queries for a graph are
+//!   served by the same worker, so its engine (tree, artifact cache,
+//!   division memo) never migrates and never needs locking;
+//! * routes a batch of [`Query`]s through a deterministic **scheduler**
+//!   that reorders each shard's queue to put same-graph and then
+//!   same-affinity queries back-to-back (see [`Query::affinity`]),
+//!   maximizing warm-cache hits without changing any answer;
+//! * serves the shards on `std::thread::scope` workers that stream
+//!   responses back over an `mpsc` channel ([`PaCluster::serve`]), or
+//!   replays the identical per-shard schedules on the calling thread
+//!   ([`PaCluster::serve_sequential`]);
+//! * parks each engine's warm state ([`rmo_core::EngineCore`]) between
+//!   batches, so a follow-up batch on the same fleet starts hot.
+//!
+//! # Determinism contract
+//!
+//! Threaded and sequential serving produce **bit-identical** responses
+//! and engine counters: shards own disjoint graph sets, engines are
+//! per-graph, and each shard executes its schedule in a fixed order, so
+//! thread interleaving can affect only wall-clock timing, never results
+//! or per-query [`rmo_congest::CostReport`]s. The
+//! `tests/cluster_serve.rs` suite pins this.
+//!
+//! ```rust
+//! use rmo_apps::service::{GraphId, PaCluster};
+//! use rmo_apps::dispatch::Query;
+//! use rmo_core::Aggregate;
+//! use rmo_graph::gen;
+//!
+//! let mut cluster = PaCluster::new(2);
+//! cluster.add_graph(GraphId(7), gen::grid(4, 4));
+//! cluster.add_graph(GraphId(8), gen::path(12));
+//! let rows = gen::grid_row_partition(4, 4);
+//! let report = cluster.serve(&[
+//!     (GraphId(7), Query::Pa {
+//!         assignment: rows.clone(),
+//!         values: (0..16).collect(),
+//!         agg: Aggregate::Min,
+//!     }),
+//!     (GraphId(8), Query::Mst),
+//!     (GraphId(7), Query::Pa {
+//!         assignment: rows,
+//!         values: (16..32).collect(),
+//!         agg: Aggregate::Min,
+//!     }),
+//! ]);
+//! assert!(report.responses.iter().all(|r| r.is_ok()));
+//! // The two same-partition Pa queries were batched back-to-back:
+//! assert_eq!(report.stats.engine.hits, 1);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rmo_graph::{gen, Graph};
+
+use rmo_core::{Aggregate, EngineConfig, EngineCore, EngineStats, PaEngine};
+
+use crate::dispatch::{run_query, Query, QueryResponse, VerifyCheck};
+
+/// The cluster-wide name of a registered graph. Routing hashes the id
+/// (stable FNV-1a), so ids chosen by the caller — database keys,
+/// tenant ids — spread over shards without coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GraphId(pub u64);
+
+impl fmt::Display for GraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A registered graph: the topology plus the engine profile its
+/// sessions run with.
+struct GraphSlot {
+    graph: Graph,
+    config: EngineConfig,
+    shard: usize,
+}
+
+/// Per-shard serving counters for one batch.
+///
+/// Deliberately not `PartialEq`: `busy` is wall-clock and never
+/// reproducible, so equality on this type would be timing-flaky.
+/// Determinism assertions compare [`ClusterStats::engine`] (and the
+/// responses themselves) instead.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Queries this shard served.
+    pub queries: u64,
+    /// Graphs this shard touched, in schedule order.
+    pub graph_ids: Vec<GraphId>,
+    /// Time the worker spent serving (from first job to last).
+    pub busy: Duration,
+}
+
+/// Aggregated cluster counters: the whole fleet's engine economics plus
+/// per-shard utilization. (Not `PartialEq` — see [`ShardStats`]; the
+/// deterministic slice is [`ClusterStats::engine`].)
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Queries served over the cluster lifetime.
+    pub queries: u64,
+    /// Queries that returned [`QueryResponse::Failed`].
+    pub failed: u64,
+    /// The cluster's shard count.
+    pub shards: usize,
+    /// Graphs with a live (warm) engine.
+    pub warm_graphs: usize,
+    /// Every engine's counters, merged ([`EngineStats::merge`]).
+    pub engine: EngineStats,
+    /// Per-shard counters for the most recent batch (empty until the
+    /// first batch).
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl fmt::Display for ClusterStats {
+    /// One-line fleet summary, e.g.
+    /// `42 queries (0 failed) on 6 warm graphs over 4 shards | hits/misses/evictions 18/12/0 (60.0% hit), …`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queries ({} failed) on {} warm graphs over {} shards | {}",
+            self.queries, self.failed, self.warm_graphs, self.shards, self.engine,
+        )
+    }
+}
+
+/// The outcome of one [`PaCluster::serve`] batch.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// One response per submitted query, in submission order.
+    pub responses: Vec<QueryResponse>,
+    /// Cluster counters after this batch (lifetime engine stats,
+    /// per-shard numbers for this batch).
+    pub stats: ClusterStats,
+    /// Wall-clock time of the batch.
+    pub wall: Duration,
+}
+
+impl ServeReport {
+    /// Mean shard utilization in `[0, 1]`: serving time summed over
+    /// shards, divided by `shards × wall`. 1.0 means every worker was
+    /// busy the whole batch.
+    pub fn utilization(&self) -> f64 {
+        let shards = self.stats.per_shard.len().max(1);
+        let busy: f64 = self
+            .stats
+            .per_shard
+            .iter()
+            .map(|s| s.busy.as_secs_f64())
+            .sum();
+        let denom = shards as f64 * self.wall.as_secs_f64();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (busy / denom).min(1.0)
+        }
+    }
+}
+
+/// One shard's schedule: query indices into the submitted batch, in
+/// execution order.
+type ShardSchedule = Vec<usize>;
+
+/// What `std::thread::JoinHandle::join` / `catch_unwind` hand back from
+/// a panicking shard.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// What a shard worker hands back besides the streamed responses.
+struct ShardOutcome {
+    cores: Vec<(GraphId, EngineCore)>,
+    stats: ShardStats,
+}
+
+/// A sharded worker pool owning one [`PaEngine`] session per registered
+/// graph (see the module docs for the full serving story).
+pub struct PaCluster {
+    shards: usize,
+    /// `BTreeMap` so every iteration order is deterministic.
+    slots: BTreeMap<GraphId, GraphSlot>,
+    /// Parked warm engine state, keyed like `slots`. Engines are built
+    /// lazily: a graph that never sees a query never pays election+BFS.
+    cores: HashMap<GraphId, EngineCore>,
+    /// Lifetime query counters (engine stats live in `cores`).
+    served: u64,
+    failed: u64,
+    last_shard_stats: Vec<ShardStats>,
+}
+
+impl PaCluster {
+    /// A cluster with `shards` worker threads and no graphs yet.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> PaCluster {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        PaCluster {
+            shards,
+            slots: BTreeMap::new(),
+            cores: HashMap::new(),
+            served: 0,
+            failed: 0,
+            last_shard_stats: Vec::new(),
+        }
+    }
+
+    /// Registers `graph` under `id` with the default (deterministic)
+    /// engine profile. See [`PaCluster::add_graph_with_config`].
+    pub fn add_graph(&mut self, id: GraphId, graph: Graph) {
+        self.add_graph_with_config(id, graph, EngineConfig::new());
+    }
+
+    /// Registers `graph` under `id`; its session will run with `config`.
+    /// The graph is pinned to shard [`PaCluster::shard_of`]`(id)` for the
+    /// cluster's lifetime.
+    ///
+    /// # Panics
+    /// Panics if `id` is already registered, or the graph is empty or
+    /// disconnected (the CONGEST network is one component).
+    pub fn add_graph_with_config(&mut self, id: GraphId, graph: Graph, config: EngineConfig) {
+        assert!(graph.n() > 0, "cluster graphs must be non-empty");
+        assert!(graph.is_connected(), "cluster graphs must be connected");
+        let shard = self.shard_of(id);
+        let prev = self.slots.insert(
+            id,
+            GraphSlot {
+                graph,
+                config,
+                shard,
+            },
+        );
+        assert!(prev.is_none(), "graph {id} registered twice");
+    }
+
+    /// The shard that owns `id`: a stable hash of the id, so the mapping
+    /// survives restarts and is identical on every platform (the hash
+    /// consumes the full `u64` id — no `usize` round trip). Every query
+    /// for `id` is served by this shard's worker.
+    pub fn shard_of(&self, id: GraphId) -> usize {
+        (rmo_core::word_fingerprint([id.0]) % self.shards as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The registered graph ids, in sorted order.
+    pub fn graph_ids(&self) -> Vec<GraphId> {
+        self.slots.keys().copied().collect()
+    }
+
+    /// The registered graph under `id`, if any.
+    pub fn graph(&self, id: GraphId) -> Option<&Graph> {
+        self.slots.get(&id).map(|s| &s.graph)
+    }
+
+    /// Current cluster counters (lifetime queries + all warm engines,
+    /// per-shard numbers from the most recent batch).
+    pub fn stats(&self) -> ClusterStats {
+        let mut engine = EngineStats::default();
+        // BTreeMap-ordered graph walk: deterministic merge order.
+        for id in self.slots.keys() {
+            if let Some(core) = self.cores.get(id) {
+                engine.merge(&core.stats());
+            }
+        }
+        ClusterStats {
+            queries: self.served,
+            failed: self.failed,
+            shards: self.shards,
+            warm_graphs: self.cores.len(),
+            engine,
+            per_shard: self.last_shard_stats.clone(),
+        }
+    }
+
+    /// Builds each shard's schedule: queries are pinned to their graph's
+    /// shard, then reordered *within the shard* to group same-graph
+    /// queries back-to-back (graphs in first-appearance order) and,
+    /// within a graph, same-affinity queries back-to-back (classes in
+    /// first-appearance order, submission order inside a class). The
+    /// grouping changes only engine temperature, never answers.
+    ///
+    /// # Panics
+    /// Panics if a query names an unregistered graph.
+    fn schedule(&self, queries: &[(GraphId, Query)]) -> Vec<ShardSchedule> {
+        // First-appearance ranks make the sort stable and deterministic.
+        let mut graph_rank: HashMap<GraphId, usize> = HashMap::new();
+        let mut class_rank: HashMap<(GraphId, u64), usize> = HashMap::new();
+        let mut keyed: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(queries.len());
+        for (idx, (id, query)) in queries.iter().enumerate() {
+            let slot = self
+                .slots
+                .get(id)
+                .unwrap_or_else(|| panic!("query {idx} names unregistered graph {id}"));
+            let next = graph_rank.len();
+            let grank = *graph_rank.entry(*id).or_insert(next);
+            let next = class_rank.len();
+            let crank = *class_rank.entry((*id, query.affinity())).or_insert(next);
+            keyed.push((slot.shard, grank, crank, idx));
+        }
+        let mut schedules: Vec<ShardSchedule> = vec![Vec::new(); self.shards];
+        keyed.sort_unstable();
+        for (shard, _, _, idx) in keyed {
+            schedules[shard].push(idx);
+        }
+        schedules
+    }
+
+    /// Runs one shard's schedule on the current thread: rehydrate or
+    /// build the engine per graph, dispatch every query in order, park
+    /// the engines again. `emit` receives `(query index, response)` as
+    /// each query completes — the threaded mode hands it an `mpsc`
+    /// sender, the sequential mode a vector push.
+    fn run_shard(
+        slots: &BTreeMap<GraphId, GraphSlot>,
+        schedule: &[usize],
+        queries: &[(GraphId, Query)],
+        mut cores: HashMap<GraphId, EngineCore>,
+        emit: &mut dyn FnMut(usize, QueryResponse),
+    ) -> ShardOutcome {
+        let start = Instant::now();
+        let mut engines: HashMap<GraphId, PaEngine<'_>> = HashMap::new();
+        let mut stats = ShardStats::default();
+        for &idx in schedule {
+            let (id, query) = &queries[idx];
+            let engine = engines.entry(*id).or_insert_with(|| {
+                let slot = &slots[id];
+                match cores.remove(id) {
+                    Some(core) => PaEngine::from_core(&slot.graph, core),
+                    None => PaEngine::new(&slot.graph, slot.config),
+                }
+            });
+            if stats.graph_ids.last() != Some(id) {
+                stats.graph_ids.push(*id);
+            }
+            emit(idx, run_query(engine, query));
+            stats.queries += 1;
+        }
+        let cores = {
+            // Park in sorted order so downstream aggregation (and any
+            // future persistence) sees a deterministic sequence.
+            let mut parked: Vec<(GraphId, PaEngine<'_>)> = engines.into_iter().collect();
+            parked.sort_by_key(|(id, _)| *id);
+            parked
+                .into_iter()
+                .map(|(id, engine)| (id, engine.into_core()))
+                .collect()
+        };
+        stats.busy = start.elapsed();
+        ShardOutcome { cores, stats }
+    }
+
+    /// Takes the parked cores a schedule will need, grouped per shard.
+    fn checkout_cores(
+        &mut self,
+        schedules: &[ShardSchedule],
+        queries: &[(GraphId, Query)],
+    ) -> Vec<HashMap<GraphId, EngineCore>> {
+        let mut out: Vec<HashMap<GraphId, EngineCore>> =
+            (0..self.shards).map(|_| HashMap::new()).collect();
+        for (shard, schedule) in schedules.iter().enumerate() {
+            for &idx in schedule {
+                let id = queries[idx].0;
+                if let Some(core) = self.cores.remove(&id) {
+                    out[shard].insert(id, core);
+                }
+            }
+        }
+        out
+    }
+
+    /// Banks a batch's outcomes back into the cluster. `responses` may
+    /// contain `None` holes when a shard panicked mid-batch; only the
+    /// queries actually answered count.
+    fn absorb(&mut self, outcomes: Vec<ShardOutcome>, responses: &[Option<QueryResponse>]) {
+        let mut per_shard = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            for (id, core) in outcome.cores {
+                self.cores.insert(id, core);
+            }
+            per_shard.push(outcome.stats);
+        }
+        self.last_shard_stats = per_shard;
+        let answered = responses.iter().flatten();
+        self.served += answered.clone().count() as u64;
+        self.failed += answered.filter(|r| !r.is_ok()).count() as u64;
+    }
+
+    /// Executes all shard schedules concurrently: one scoped worker per
+    /// shard, streaming `(index, response)` pairs back over an `mpsc`
+    /// channel while the calling thread collects. A panicking worker
+    /// yields `Err(payload)` in its slot instead of poisoning the batch.
+    fn run_threaded(
+        slots: &BTreeMap<GraphId, GraphSlot>,
+        schedules: &[ShardSchedule],
+        mut shard_cores: Vec<HashMap<GraphId, EngineCore>>,
+        queries: &[(GraphId, Query)],
+        responses: &mut [Option<QueryResponse>],
+    ) -> Vec<Result<ShardOutcome, PanicPayload>> {
+        let mut outcomes = Vec::new();
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, QueryResponse)>();
+            let handles: Vec<_> = schedules
+                .iter()
+                .zip(shard_cores.drain(..))
+                .map(|(schedule, cores)| {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        let mut emit = |idx: usize, resp: QueryResponse| {
+                            tx.send((idx, resp)).expect("collector outlives workers")
+                        };
+                        Self::run_shard(slots, schedule, queries, cores, &mut emit)
+                    })
+                })
+                .collect();
+            drop(tx);
+            // Workers that panic drop their sender mid-unwind, so the
+            // drain terminates once every worker finished either way.
+            for (idx, resp) in rx {
+                responses[idx] = Some(resp);
+            }
+            outcomes = handles.into_iter().map(|h| h.join()).collect();
+        });
+        outcomes
+    }
+
+    /// Executes all shard schedules on the calling thread, in shard
+    /// order — the deterministic reference for [`Self::run_threaded`],
+    /// with the same per-shard panic containment.
+    fn run_all_sequential(
+        slots: &BTreeMap<GraphId, GraphSlot>,
+        schedules: &[ShardSchedule],
+        mut shard_cores: Vec<HashMap<GraphId, EngineCore>>,
+        queries: &[(GraphId, Query)],
+        responses: &mut [Option<QueryResponse>],
+    ) -> Vec<Result<ShardOutcome, PanicPayload>> {
+        schedules
+            .iter()
+            .zip(shard_cores.drain(..))
+            .map(|(schedule, cores)| {
+                // Mirrors the thread boundary of the concurrent mode:
+                // responses written before a panic are kept, the rest of
+                // the shard unwinds. The slice-write emit closure is
+                // unwind-safe (each slot is set at most once, atomically).
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut emit = |idx: usize, resp: QueryResponse| responses[idx] = Some(resp);
+                    Self::run_shard(slots, schedule, queries, cores, &mut emit)
+                }))
+            })
+            .collect()
+    }
+
+    /// The shared batch lifecycle both serving modes run: schedule,
+    /// check out parked cores, execute (the one step that differs),
+    /// collect, absorb. Keeping this in one place is part of the
+    /// determinism story — the sequential replay cannot drift from the
+    /// threaded mode's bookkeeping.
+    ///
+    /// Panic safety: outcomes from healthy shards are absorbed (warm
+    /// cores re-parked, counters banked) *before* any worker panic is
+    /// resumed, so one poisoned query costs its own shard's in-flight
+    /// engines, never the fleet's.
+    fn run_batch(&mut self, queries: &[(GraphId, Query)], threaded: bool) -> ServeReport {
+        let start = Instant::now();
+        let schedules = self.schedule(queries);
+        let shard_cores = self.checkout_cores(&schedules, queries);
+
+        let mut responses: Vec<Option<QueryResponse>> = vec![None; queries.len()];
+        let executor = if threaded {
+            Self::run_threaded
+        } else {
+            Self::run_all_sequential
+        };
+        let results = executor(
+            &self.slots,
+            &schedules,
+            shard_cores,
+            queries,
+            &mut responses,
+        );
+
+        let mut first_panic: Option<PanicPayload> = None;
+        let outcomes: Vec<ShardOutcome> = results
+            .into_iter()
+            .filter_map(|r| match r {
+                Ok(outcome) => Some(outcome),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                    None
+                }
+            })
+            .collect();
+        self.absorb(outcomes, &responses);
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        let responses: Vec<QueryResponse> = responses
+            .into_iter()
+            .map(|r| r.expect("every scheduled query responds"))
+            .collect();
+        ServeReport {
+            stats: self.stats(),
+            responses,
+            wall: start.elapsed(),
+        }
+    }
+
+    /// Serves a batch concurrently: one worker thread per shard, each
+    /// executing its schedule on the engines it owns and streaming
+    /// `(index, response)` pairs back over an `mpsc` channel.
+    ///
+    /// Responses come back in submission order; results and per-query
+    /// costs are bit-identical to [`PaCluster::serve_sequential`] (see
+    /// the determinism contract in the module docs).
+    ///
+    /// # Panics
+    /// Panics if a query names an unregistered graph, or a worker
+    /// panics (the first worker panic is re-raised — after healthy
+    /// shards' warm engines and counters have been banked).
+    pub fn serve(&mut self, queries: &[(GraphId, Query)]) -> ServeReport {
+        self.run_batch(queries, true)
+    }
+
+    /// Serves a batch on the calling thread: the *same* per-shard
+    /// schedules as [`PaCluster::serve`], executed shard by shard. The
+    /// deterministic reference mode — responses and engine counters
+    /// bit-match the threaded mode; only wall-clock timing differs.
+    ///
+    /// # Panics
+    /// Panics if a query names an unregistered graph, or a shard
+    /// panics (contained and re-raised like [`PaCluster::serve`]).
+    pub fn serve_sequential(&mut self, queries: &[(GraphId, Query)]) -> ServeReport {
+        self.run_batch(queries, false)
+    }
+}
+
+/// A seeded mixed workload over a cluster's registered graphs: the
+/// query mix a PA service sees in the harness `serve` experiment, the
+/// `service_throughput` bench, and the determinism tests — mostly PA
+/// solves and verification traffic with a tail of heavier analytics
+/// (MST, SSSP, eccentricity, small min-cut and CDS runs).
+///
+/// Partitions and subgraphs are drawn from a small per-graph pool
+/// (three connected partitions, three edge subsets, two `k` values), so
+/// a realistic fraction of queries re-hits warm artifacts. Fully
+/// deterministic in `(cluster graphs, count, seed)`.
+pub fn mixed_workload(cluster: &PaCluster, count: usize, seed: u64) -> Vec<(GraphId, Query)> {
+    let ids = cluster.graph_ids();
+    assert!(!ids.is_empty(), "workload needs at least one graph");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e21_ed5e);
+    // Per-graph pools of cache-affine inputs.
+    struct Pool {
+        partitions: Vec<Vec<usize>>,
+        subgraphs: Vec<Vec<usize>>,
+        ks: Vec<usize>,
+    }
+    let pools: Vec<Pool> = ids
+        .iter()
+        .map(|&id| {
+            let g = cluster.graph(id).expect("registered");
+            let partitions = (0..3)
+                .map(|i| {
+                    let target = (g.n() / 8).clamp(2, 24);
+                    gen::random_connected_partition(g, target, seed ^ (id.0 << 3) ^ i)
+                        .assignment()
+                        .to_vec()
+                })
+                .collect();
+            let subgraphs = (0..3)
+                .map(|i| {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (id.0 << 5) ^ i);
+                    (0..g.m()).filter(|_| rng.random::<f64>() < 0.6).collect()
+                })
+                .collect();
+            Pool {
+                partitions,
+                subgraphs,
+                ks: vec![6, 10],
+            }
+        })
+        .collect();
+    let checks = [
+        VerifyCheck::ConnectedSpanning,
+        VerifyCheck::SpanningTree,
+        VerifyCheck::Cut,
+        VerifyCheck::Bipartite,
+        VerifyCheck::Forest,
+    ];
+    (0..count)
+        .map(|_| {
+            let which = rng.random_range(0..ids.len());
+            let (id, pool) = (ids[which], &pools[which]);
+            let g = cluster.graph(id).expect("registered");
+            let n = g.n();
+            let query = match rng.random_range(0..100u32) {
+                // Half the traffic: PA solves over pooled partitions.
+                0..=49 => Query::Pa {
+                    assignment: pool.partitions[rng.random_range(0..pool.partitions.len())].clone(),
+                    values: (0..n as u64)
+                        .map(|v| v.wrapping_mul(rng.random_range(1..64)))
+                        .collect(),
+                    agg: [Aggregate::Min, Aggregate::Max, Aggregate::Sum]
+                        [rng.random_range(0..3usize)],
+                },
+                // Verification-suite traffic over pooled subgraphs.
+                50..=64 => Query::Components {
+                    h_edges: pool.subgraphs[rng.random_range(0..pool.subgraphs.len())].clone(),
+                },
+                65..=77 => Query::Verify {
+                    check: checks[rng.random_range(0..checks.len())],
+                    h_edges: pool.subgraphs[rng.random_range(0..pool.subgraphs.len())].clone(),
+                },
+                // Analytics tail.
+                78..=84 => Query::Kdom {
+                    k: pool.ks[rng.random_range(0..pool.ks.len())],
+                },
+                85..=89 => Query::Eccentricity {
+                    k: pool.ks[rng.random_range(0..pool.ks.len())],
+                },
+                90..=94 => Query::Mst,
+                95..=97 => Query::Sssp {
+                    source: rng.random_range(0..n),
+                },
+                98 => Query::MinCut { trials: 1 },
+                _ => Query::Cds {
+                    node_weights: (0..n as u64).map(|v| 1 + (v * 7) % 13).collect(),
+                },
+            };
+            (id, query)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster(shards: usize) -> PaCluster {
+        let mut cluster = PaCluster::new(shards);
+        cluster.add_graph(GraphId(1), gen::grid(4, 5));
+        cluster.add_graph(GraphId(2), gen::path(18));
+        cluster.add_graph(GraphId(3), gen::gnp_connected(20, 0.2, 5));
+        cluster
+    }
+
+    #[test]
+    fn scheduler_groups_by_graph_then_affinity() {
+        let cluster = small_cluster(1);
+        let rows_a = vec![
+            0usize, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3,
+        ];
+        let pa = |assignment: &Vec<usize>, v: u64| Query::Pa {
+            assignment: assignment.clone(),
+            values: vec![v; 20],
+            agg: Aggregate::Min,
+        };
+        let whole = vec![0usize; 20];
+        // Interleaved graphs and partitions on one shard.
+        let queries = vec![
+            (GraphId(1), pa(&rows_a, 1)),
+            (GraphId(2), Query::Mst),
+            (GraphId(1), pa(&whole, 2)),
+            (GraphId(1), pa(&rows_a, 3)),
+            (GraphId(2), Query::Mst),
+        ];
+        let schedules = cluster.schedule(&queries);
+        // One shard; graph 1 first (first appearance), its rows_a class
+        // batched (indices 0 then 3), then whole (2); then graph 2.
+        assert_eq!(schedules.len(), 1);
+        assert_eq!(schedules[0], vec![0, 3, 2, 1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered graph")]
+    fn unknown_graph_panics() {
+        let cluster = small_cluster(2);
+        let _ = cluster.schedule(&[(GraphId(99), Query::Mst)]);
+    }
+
+    #[test]
+    fn batching_turns_repeat_partitions_into_hits() {
+        let mut cluster = small_cluster(2);
+        let rows: Vec<usize> = (0..20).map(|v| v / 5).collect();
+        let pa = |v: u64| Query::Pa {
+            assignment: rows.clone(),
+            values: vec![v; 20],
+            agg: Aggregate::Sum,
+        };
+        // Same partition three times, interleaved with another graph.
+        let queries = vec![
+            (GraphId(1), pa(1)),
+            (GraphId(2), Query::Kdom { k: 6 }),
+            (GraphId(1), pa(2)),
+            (GraphId(2), Query::Kdom { k: 6 }),
+            (GraphId(1), pa(3)),
+        ];
+        let report = cluster.serve(&queries);
+        assert!(report.responses.iter().all(|r| r.is_ok()));
+        assert_eq!(report.stats.engine.hits, 2, "2nd and 3rd Pa are warm");
+        assert_eq!(report.stats.engine.division_hits, 1, "2nd kdom memoized");
+        // Warm state survives into the next batch.
+        let report = cluster.serve(&[(GraphId(1), pa(9))]);
+        assert_eq!(report.stats.engine.hits, 3);
+    }
+
+    #[test]
+    fn stats_display_mentions_the_fleet() {
+        let mut cluster = small_cluster(4);
+        let report = cluster.serve(&[(GraphId(2), Query::Mst)]);
+        let line = report.stats.to_string();
+        assert!(line.contains("1 queries (0 failed)"), "{line}");
+        assert!(line.contains("over 4 shards"), "{line}");
+        assert!(line.contains("hits/misses"), "{line}");
+    }
+
+    #[test]
+    fn mixed_workload_is_deterministic_and_covers_graphs() {
+        let cluster = small_cluster(2);
+        let a = mixed_workload(&cluster, 40, 9);
+        let b = mixed_workload(&cluster, 40, 9);
+        assert_eq!(a, b, "same seed, same workload");
+        let c = mixed_workload(&cluster, 40, 10);
+        assert_ne!(a, c, "different seed, different workload");
+        for id in cluster.graph_ids() {
+            assert!(a.iter().any(|(g, _)| *g == id), "graph {id} unused");
+        }
+    }
+}

@@ -49,7 +49,7 @@ impl Default for SsspConfig {
 }
 
 /// Result of [`approx_sssp`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SsspResult {
     /// Distance estimates: `d(s,v) ≤ estimate[v]`.
     pub estimates: Vec<u64>,

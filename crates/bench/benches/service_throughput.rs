@@ -1,0 +1,68 @@
+//! Service throughput — `PaCluster` serving a mixed multi-graph
+//! workload at increasing shard counts.
+//!
+//! Measures the end-to-end serving layer: scheduling, shard fan-out over
+//! worker threads, warm-engine dispatch, and response collection. Three
+//! axes:
+//!
+//! * `threaded/{1,2,4}shard` — the same seeded workload on 1, 2, and 4
+//!   shards (scales with the machine's core count; on a single core the
+//!   spread is thread overhead, which this also measures);
+//! * `sequential/1shard` — the deterministic replay mode, as the
+//!   no-threads baseline;
+//! * `warm vs cold` — a cold cluster pays election+BFS and stage 2–4
+//!   setup inside the batch; a warm one serves from parked engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rmo_apps::service::{mixed_workload, GraphId, PaCluster};
+use rmo_graph::gen;
+
+fn fleet_cluster(shards: usize) -> PaCluster {
+    let mut cluster = PaCluster::new(shards);
+    cluster.add_graph(GraphId(1), gen::grid(8, 8));
+    cluster.add_graph(GraphId(2), gen::grid(6, 12));
+    cluster.add_graph(GraphId(3), gen::path(64));
+    cluster.add_graph(GraphId(4), gen::torus(7, 7));
+    cluster.add_graph(GraphId(5), gen::gnp_connected(60, 0.06, 7));
+    cluster.add_graph(GraphId(6), gen::random_connected(72, 150, 11));
+    cluster
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+
+    let workload = mixed_workload(&fleet_cluster(1), 32, 42);
+
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("threaded", format!("{shards}shard")),
+            &shards,
+            |b, &shards| {
+                // Warm the fleet once; iterations measure steady-state
+                // serving on parked engines.
+                let mut cluster = fleet_cluster(shards);
+                let _ = cluster.serve(&workload);
+                b.iter(|| cluster.serve(&workload))
+            },
+        );
+    }
+
+    group.bench_with_input(BenchmarkId::new("sequential", "1shard"), &(), |b, ()| {
+        let mut cluster = fleet_cluster(1);
+        let _ = cluster.serve_sequential(&workload);
+        b.iter(|| cluster.serve_sequential(&workload))
+    });
+
+    group.bench_with_input(BenchmarkId::new("cold", "2shard"), &(), |b, ()| {
+        // Fresh cluster per iteration: every engine rebuilds its tree
+        // and artifacts inside the measured batch.
+        b.iter(|| fleet_cluster(2).serve(&workload))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

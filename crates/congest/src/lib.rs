@@ -54,3 +54,25 @@ pub use network::{Network, PortId};
 pub use payload::Payload;
 pub use router::{DowncastJob, TreeRouter, UpcastJob};
 pub use sim::{NodeProgram, RoundCtx, RoundStats, SimError, Simulator};
+
+// Thread-safety audit: the simulation layer is plain owned data (no
+// `Rc`/`RefCell`, no raw pointers, no thread-locals), so engines built
+// on top can move across shard worker threads. Sharded serving layers
+// (`rmo_apps::service::PaCluster`) rely on these bounds; assert them at
+// compile time so a regression fails here, next to the types, rather
+// than deep inside a cluster build error.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Network>();
+    assert_send_sync::<Payload>();
+    assert_send_sync::<CostReport>();
+    assert_send_sync::<RoundStats>();
+    assert_send_sync::<SimError>();
+    // The simulator itself is Send/Sync whenever the node programs are:
+    // it holds `&Network` plus owned per-node state.
+    struct InertProgram;
+    impl NodeProgram for InertProgram {
+        fn on_round(&mut self, _ctx: &mut RoundCtx<'_>) {}
+    }
+    assert_send_sync::<Simulator<'static, InertProgram>>();
+};

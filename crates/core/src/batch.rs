@@ -11,16 +11,13 @@
 //! `wave + O(k)`, messages `k ×` the wave's.
 
 use rmo_congest::CostReport;
-use rmo_graph::{NodeId, RootedTree};
-use rmo_shortcut::Shortcut;
 
 use crate::aggregate::Aggregate;
 use crate::instance::{PaError, PaInstance};
 use crate::solve::{solve_on, PaSetup, Variant};
-use crate::subparts::SubPartDivision;
 
 /// Result of a batched solve.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchResult {
     /// `aggregates[i][p]` — aggregate of value-set `i` on part `p`.
     pub aggregates: Vec<Vec<u64>>,
@@ -71,44 +68,13 @@ pub fn batch_on(
     Ok(BatchResult { aggregates, cost })
 }
 
-/// Batched PA (deprecated positional form).
-///
-/// # Errors
-/// Same as [`batch_on`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `PaEngine::solve_batch` (cached pipelines) or `batch_on` with a `PaSetup`"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn solve_batch(
-    inst: &PaInstance<'_>,
-    value_sets: &[Vec<u64>],
-    tree: &RootedTree,
-    shortcut: &Shortcut,
-    division: &SubPartDivision,
-    leaders: &[NodeId],
-    variant: Variant,
-    block_budget: usize,
-) -> Result<BatchResult, PaError> {
-    batch_on(
-        inst,
-        value_sets,
-        &PaSetup {
-            tree,
-            shortcut,
-            division,
-            leaders,
-            block_budget,
-        },
-        variant,
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmo_graph::{bfs_tree, gen, Partition};
+    use crate::subparts::SubPartDivision;
+    use rmo_graph::{bfs_tree, gen, NodeId, Partition, RootedTree};
     use rmo_shortcut::trivial::trivial_shortcut_with_threshold;
+    use rmo_shortcut::Shortcut;
 
     fn setup(
         g: &rmo_graph::Graph,

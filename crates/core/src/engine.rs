@@ -45,7 +45,7 @@
 //! ```
 
 use std::collections::HashMap;
-use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::OnceLock;
 
 use rmo_congest::programs::bfs::run_bfs;
 use rmo_congest::programs::leader::run_leader_election;
@@ -202,6 +202,10 @@ impl From<PaConfig> for EngineConfig {
 }
 
 /// Counters a [`PaEngine`] accumulates across its lifetime.
+///
+/// Stats from several engines (a sharded cluster) combine with
+/// [`EngineStats::merge`]; the [`std::fmt::Display`] form is the
+/// one-line hit/miss/eviction summary the harness tables print.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Artifact-cache hits (pipeline stages 2–4 skipped).
@@ -227,6 +231,57 @@ pub struct EngineStats {
     pub base_cost: CostReport,
 }
 
+impl EngineStats {
+    /// Folds another engine's counters into this one (counters add,
+    /// base costs compose sequentially). Serving layers use this to
+    /// aggregate a whole fleet of sessions into one report.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.division_hits += other.division_hits;
+        self.division_misses += other.division_misses;
+        self.solves += other.solves;
+        self.batches += other.batches;
+        self.cached_partitions += other.cached_partitions;
+        self.base_cost += other.base_cost;
+    }
+
+    /// Artifact-cache hit rate in `[0, 1]` (zero when nothing was looked
+    /// up yet).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    /// One-line cache economics summary, e.g.
+    /// `hits/misses/evictions 8/4/1 (66.7% hit), divisions 2/1, 12 solves (2 batched), 3 live, base 42r/1234m`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits/misses/evictions {}/{}/{} ({:.1}% hit), divisions {}/{}, \
+             {} solves ({} batched), {} live, base {}r/{}m",
+            self.hits,
+            self.misses,
+            self.evictions,
+            100.0 * self.hit_rate(),
+            self.division_hits,
+            self.division_misses,
+            self.solves,
+            self.batches,
+            self.cached_partitions,
+            self.base_cost.rounds,
+            self.base_cost.messages,
+        )
+    }
+}
+
 struct CacheEntry {
     /// The full part vector, to rule out fingerprint collisions.
     assignment: Vec<usize>,
@@ -238,24 +293,83 @@ struct CacheEntry {
     setup_charged: bool,
 }
 
-/// A PA session bound to one graph: election + BFS run once per engine
-/// (lazily, at the first solve or tree access), pipeline artifacts are
-/// memoized per partition, and all solves charge only their incremental
-/// cost (see the module docs).
-pub struct PaEngine<'g> {
-    graph: &'g Graph,
+/// Everything a [`PaEngine`] owns besides the graph borrow: the
+/// simulated network, the lazily-built stage 1 (election + BFS), the
+/// per-partition artifact cache, the division memo, and the counters.
+///
+/// The split exists for serving layers: an `EngineCore` is `'static`,
+/// [`Send`], and survives independently of any graph reference, so a
+/// multi-graph cluster can park the warm state of a session between
+/// requests (or ship it to a worker thread) and rehydrate a live
+/// [`PaEngine`] with [`PaEngine::from_core`] when the next query for
+/// that graph arrives. A core remembers a stable fingerprint of the
+/// graph it was built against and refuses rehydration onto any other.
+pub struct EngineCore {
     config: EngineConfig,
     pa: PaConfig,
     net: Network,
     /// Stage 1 (leader election + BFS tree) and its cost, built on first
     /// use so sessions that never need the tree (k-domination's
-    /// divisions) never simulate it.
-    stage1: std::cell::OnceCell<(RootedTree, CostReport)>,
+    /// divisions) never simulate it. `OnceLock` rather than `OnceCell`
+    /// so the core stays `Send + Sync` and can cross shard threads.
+    stage1: OnceLock<(RootedTree, CostReport)>,
     base_charged: bool,
     cache: HashMap<u64, CacheEntry>,
     division_cache: HashMap<usize, DetDivisionResult>,
     clock: u64,
     stats: EngineStats,
+    /// [`graph_fingerprint`] of the graph this core was built against.
+    graph_fp: u64,
+}
+
+impl EngineCore {
+    /// Lifetime counters of the session this core belongs to (see
+    /// [`PaEngine::stats`]).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cached_partitions: self.cache.len(),
+            base_cost: self
+                .stage1
+                .get()
+                .map(|(_, cost)| *cost)
+                .unwrap_or_else(CostReport::zero),
+            ..self.stats
+        }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Stable fingerprint of the graph this core is bound to (what
+    /// [`PaEngine::from_core`] checks).
+    pub fn graph_fingerprint(&self) -> u64 {
+        self.graph_fp
+    }
+}
+
+impl std::fmt::Debug for EngineCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCore")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A PA session bound to one graph: election + BFS run once per engine
+/// (lazily, at the first solve or tree access), pipeline artifacts are
+/// memoized per partition, and all solves charge only their incremental
+/// cost (see the module docs).
+///
+/// A `PaEngine` is a borrowed view: the graph reference plus an owned
+/// [`EngineCore`] holding all mutable session state. [`PaEngine::into_core`]
+/// and [`PaEngine::from_core`] split and rejoin the two, which is how
+/// sharded serving layers persist warm sessions across requests.
+pub struct PaEngine<'g> {
+    graph: &'g Graph,
+    core: EngineCore,
 }
 
 impl std::fmt::Debug for PaEngine<'_> {
@@ -263,16 +377,57 @@ impl std::fmt::Debug for PaEngine<'_> {
         f.debug_struct("PaEngine")
             .field("n", &self.graph.n())
             .field("m", &self.graph.m())
-            .field("config", &self.config)
+            .field("config", &self.core.config)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
 
-fn fingerprint(assignment: &[usize]) -> u64 {
-    let mut h = DefaultHasher::new();
-    assignment.hash(&mut h);
-    h.finish()
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a word stream, one byte at a time (little-endian).
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Stable FNV-1a fingerprint of a `u64` word stream — the
+/// width-independent sibling of [`partition_fingerprint`] (which takes
+/// part vectors as `usize`s, hashing each as a `u64`). Serving layers
+/// hash `u64` graph ids with this so shard routing is identical on
+/// 32- and 64-bit targets.
+pub fn word_fingerprint(words: impl IntoIterator<Item = u64>) -> u64 {
+    fnv1a(words)
+}
+
+/// Stable FNV-1a fingerprint of a partition's part vector.
+///
+/// This keys the artifact cache (with a full-vector equality check on
+/// hit, so collisions cost a rebuild, never a wrong answer) and is the
+/// natural affinity key for schedulers that batch same-partition
+/// queries. Unlike `DefaultHasher`, the value is specified and identical
+/// across Rust versions and platforms, so cache accounting is
+/// reproducible everywhere.
+pub fn partition_fingerprint(assignment: &[usize]) -> u64 {
+    fnv1a(assignment.iter().map(|&p| p as u64))
+}
+
+/// Stable FNV-1a fingerprint of a graph: node count, then every edge as
+/// `(u, v, weight)` in edge-id order. Two graphs fingerprint equal iff
+/// they have identical topology *and* weights, which is exactly the
+/// "same session state applies" condition [`PaEngine::from_core`] needs.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    fnv1a(
+        std::iter::once(g.n() as u64)
+            .chain(g.edges().flat_map(|(_, u, v, w)| [u as u64, v as u64, w])),
+    )
 }
 
 impl<'g> PaEngine<'g> {
@@ -292,16 +447,42 @@ impl<'g> PaEngine<'g> {
         let net = Network::new(graph, config.seed);
         PaEngine {
             graph,
-            config,
-            pa,
-            net,
-            stage1: std::cell::OnceCell::new(),
-            base_charged: false,
-            cache: HashMap::new(),
-            division_cache: HashMap::new(),
-            clock: 0,
-            stats: EngineStats::default(),
+            core: EngineCore {
+                config,
+                pa,
+                net,
+                stage1: OnceLock::new(),
+                base_charged: false,
+                cache: HashMap::new(),
+                division_cache: HashMap::new(),
+                clock: 0,
+                stats: EngineStats::default(),
+                graph_fp: graph_fingerprint(graph),
+            },
         }
+    }
+
+    /// Rehydrates a session from a parked [`EngineCore`]: the warm
+    /// caches, tree, and counters pick up exactly where
+    /// [`PaEngine::into_core`] left off.
+    ///
+    /// # Panics
+    /// Panics if `core` was built against a different graph (by stable
+    /// fingerprint — node count, edges, and weights must all match).
+    pub fn from_core(graph: &'g Graph, core: EngineCore) -> PaEngine<'g> {
+        assert_eq!(
+            core.graph_fp,
+            graph_fingerprint(graph),
+            "EngineCore rehydrated onto a different graph"
+        );
+        PaEngine { graph, core }
+    }
+
+    /// Releases the graph borrow and hands back the owned session state
+    /// (tree, artifact cache, counters) for parking or for shipping to
+    /// another thread. The inverse of [`PaEngine::from_core`].
+    pub fn into_core(self) -> EngineCore {
+        self.core
     }
 
     /// Builds a session around an already-paid-for tree. `base_cost` is
@@ -315,6 +496,7 @@ impl<'g> PaEngine<'g> {
     ) -> PaEngine<'g> {
         let engine = PaEngine::new(graph, config);
         engine
+            .core
             .stage1
             .set((tree, base_cost))
             .expect("fresh engine has no stage-1 state");
@@ -324,10 +506,11 @@ impl<'g> PaEngine<'g> {
     /// Stage 1, built on first use: flood-max election + distributed BFS
     /// on the simulator, with their measured cost.
     fn stage1(&self) -> &(RootedTree, CostReport) {
-        self.stage1.get_or_init(|| {
-            let (root, _, elect_cost) = run_leader_election(self.graph, &self.net)
+        self.core.stage1.get_or_init(|| {
+            let (root, _, elect_cost) = run_leader_election(self.graph, &self.core.net)
                 .expect("election terminates on a connected graph");
-            let (tree, _, bfs_cost) = run_bfs(self.graph, &self.net, root).expect("BFS terminates");
+            let (tree, _, bfs_cost) =
+                run_bfs(self.graph, &self.core.net, root).expect("BFS terminates");
             (tree, elect_cost + bfs_cost)
         })
     }
@@ -347,7 +530,12 @@ impl<'g> PaEngine<'g> {
             same_topology(self.graph, graph),
             "for_reweighted needs an identical topology"
         );
-        PaEngine::with_tree(graph, self.config, self.tree().clone(), CostReport::zero())
+        PaEngine::with_tree(
+            graph,
+            self.core.config,
+            self.tree().clone(),
+            CostReport::zero(),
+        )
     }
 
     /// The graph this session is bound to.
@@ -357,7 +545,7 @@ impl<'g> PaEngine<'g> {
 
     /// The simulated network (KT0 identifiers, ports).
     pub fn network(&self) -> &Network {
-        &self.net
+        &self.core.net
     }
 
     /// The session's BFS tree, shared by every solve (built on first
@@ -368,21 +556,13 @@ impl<'g> PaEngine<'g> {
 
     /// The session configuration.
     pub fn config(&self) -> EngineConfig {
-        self.config
+        self.core.config
     }
 
     /// Lifetime counters, including the one-off election + BFS cost
     /// (zero while stage 1 has not run yet).
     pub fn stats(&self) -> EngineStats {
-        EngineStats {
-            cached_partitions: self.cache.len(),
-            base_cost: self
-                .stage1
-                .get()
-                .map(|(_, cost)| *cost)
-                .unwrap_or_else(CostReport::zero),
-            ..self.stats
-        }
+        self.core.stats()
     }
 
     fn assert_same_graph(&self, inst: &PaInstance<'_>) {
@@ -398,41 +578,42 @@ impl<'g> PaEngine<'g> {
     /// [`PaEngine::take_pending_setup`].
     fn ensure_artifacts(&mut self, inst: &PaInstance<'_>) -> u64 {
         let assignment = inst.partition().assignment();
-        let key = fingerprint(assignment);
-        self.clock += 1;
-        let cached = match self.cache.get_mut(&key) {
+        let key = partition_fingerprint(assignment);
+        self.core.clock += 1;
+        let clock = self.core.clock;
+        let cached = match self.core.cache.get_mut(&key) {
             Some(entry) if entry.assignment == assignment => {
-                entry.last_used = self.clock;
+                entry.last_used = clock;
                 true
             }
             Some(_) => {
                 // Fingerprint collision: evict the stale partition.
-                self.cache.remove(&key);
+                self.core.cache.remove(&key);
                 false
             }
             None => false,
         };
         if cached {
-            self.stats.hits += 1;
+            self.core.stats.hits += 1;
             return key;
         }
-        self.stats.misses += 1;
+        self.core.stats.misses += 1;
         let artifacts = {
             let tree = &self.stage1().0;
-            build_artifacts(inst, &self.pa, tree)
+            build_artifacts(inst, &self.core.pa, tree)
         };
-        if self.cache.len() >= self.config.cache_capacity {
-            if let Some((&lru, _)) = self.cache.iter().min_by_key(|(_, e)| e.last_used) {
-                self.cache.remove(&lru);
-                self.stats.evictions += 1;
+        if self.core.cache.len() >= self.core.config.cache_capacity {
+            if let Some((&lru, _)) = self.core.cache.iter().min_by_key(|(_, e)| e.last_used) {
+                self.core.cache.remove(&lru);
+                self.core.stats.evictions += 1;
             }
         }
-        self.cache.insert(
+        self.core.cache.insert(
             key,
             CacheEntry {
                 assignment: assignment.to_vec(),
                 artifacts,
-                last_used: self.clock,
+                last_used: clock,
                 setup_charged: false,
             },
         );
@@ -443,7 +624,7 @@ impl<'g> PaEngine<'g> {
     /// it yet (a [`PaEngine::pipeline_for`] pre-warm leaves it pending),
     /// zero afterwards.
     fn take_pending_setup(&mut self, key: u64) -> CostReport {
-        let entry = self.cache.get_mut(&key).expect("entry just ensured");
+        let entry = self.core.cache.get_mut(&key).expect("entry just ensured");
         if entry.setup_charged {
             CostReport::zero()
         } else {
@@ -457,8 +638,8 @@ impl<'g> PaEngine<'g> {
     /// BFS exactly once per engine.
     fn incremental_cost(&mut self, setup_cost: CostReport) -> CostReport {
         let mut extra = setup_cost;
-        if !self.base_charged {
-            self.base_charged = true;
+        if !self.core.base_charged {
+            self.core.base_charged = true;
             extra += self.stage1().1;
         }
         extra
@@ -487,7 +668,7 @@ impl<'g> PaEngine<'g> {
         )
         .expect("engine graph is connected and values cover all nodes");
         let key = self.ensure_artifacts(&inst);
-        &self.cache[&key].artifacts
+        &self.core.cache[&key].artifacts
     }
 
     /// Solves one PA instance over `parts`: every node of every part
@@ -515,12 +696,12 @@ impl<'g> PaEngine<'g> {
     /// Panics if the instance's graph topology differs from the engine's.
     pub fn solve_instance(&mut self, inst: &PaInstance<'_>) -> Result<PaResult, PaError> {
         self.assert_same_graph(inst);
-        self.stats.solves += 1;
+        self.core.stats.solves += 1;
         let key = self.ensure_artifacts(inst);
         let setup_cost = self.take_pending_setup(key);
         let extra = self.incremental_cost(setup_cost);
-        let variant = self.pa.variant;
-        let entry = &self.cache[&key];
+        let variant = self.core.pa.variant;
+        let entry = &self.core.cache[&key];
         let mut result = solve_on(inst, &entry.artifacts.setup(self.tree()), variant)?;
         result.cost += extra;
         Ok(result)
@@ -543,13 +724,13 @@ impl<'g> PaEngine<'g> {
         assert!(!value_sets.is_empty(), "batch needs at least one value set");
         let inst =
             PaInstance::from_partition(self.graph, parts.clone(), value_sets[0].clone(), agg)?;
-        self.stats.batches += 1;
-        self.stats.solves += 1;
+        self.core.stats.batches += 1;
+        self.core.stats.solves += 1;
         let key = self.ensure_artifacts(&inst);
         let setup_cost = self.take_pending_setup(key);
         let extra = self.incremental_cost(setup_cost);
-        let variant = self.pa.variant;
-        let entry = &self.cache[&key];
+        let variant = self.core.pa.variant;
+        let entry = &self.core.cache[&key];
         let mut result = batch_on(
             &inst,
             value_sets,
@@ -567,16 +748,16 @@ impl<'g> PaEngine<'g> {
     ///
     /// Returns the division result and the cost to charge this call.
     pub fn whole_graph_division(&mut self, completion: usize) -> (&DetDivisionResult, CostReport) {
-        if self.division_cache.contains_key(&completion) {
-            self.stats.division_hits += 1;
-            return (&self.division_cache[&completion], CostReport::zero());
+        if self.core.division_cache.contains_key(&completion) {
+            self.core.stats.division_hits += 1;
+            return (&self.core.division_cache[&completion], CostReport::zero());
         }
-        self.stats.division_misses += 1;
+        self.core.stats.division_misses += 1;
         let parts = Partition::whole(self.graph).expect("engine graph is connected");
         let res = deterministic_division(self.graph, &parts, completion);
         let cost = res.cost;
-        self.division_cache.insert(completion, res);
-        (&self.division_cache[&completion], cost)
+        self.core.division_cache.insert(completion, res);
+        (&self.core.division_cache[&completion], cost)
     }
 }
 
@@ -769,6 +950,68 @@ mod tests {
             (0, 0),
             "division memo has its own counters"
         );
+    }
+
+    #[test]
+    fn partition_fingerprint_is_the_specified_fnv1a() {
+        // FNV-1a is fully specified: pin a value so any accidental change
+        // to the hash (or to byte order) fails loudly. A stable cache key
+        // is what makes cluster cost accounting reproducible across
+        // toolchains.
+        let fp = partition_fingerprint(&[0, 1, 1]);
+        assert_eq!(fp, partition_fingerprint(&[0, 1, 1]));
+        assert_ne!(fp, partition_fingerprint(&[0, 1, 2]));
+        assert_eq!(partition_fingerprint(&[]), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(partition_fingerprint(&[0]), 0xa8c7_f832_281a_39c5);
+    }
+
+    #[test]
+    fn core_roundtrip_preserves_warm_state() {
+        let (g, parts, values) = grid_instance();
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        let first = engine.solve(&parts, &values, Aggregate::Min).unwrap();
+        // Park the session, rehydrate it, and keep solving: the cache,
+        // tree, and counters all survive the trip through EngineCore.
+        let core = engine.into_core();
+        assert_eq!(core.stats().misses, 1);
+        let mut engine = PaEngine::from_core(&g, core);
+        let second = engine.solve(&parts, &values, Aggregate::Min).unwrap();
+        assert_eq!(first.aggregates, second.aggregates);
+        assert_eq!(second.cost, second.broadcast_cost.repeated(3), "warm hit");
+        assert_eq!(engine.stats().hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn core_rejects_rehydration_onto_another_graph() {
+        let g = gen::grid(4, 4);
+        let other = gen::path(16);
+        let core = PaEngine::new(&g, EngineConfig::new()).into_core();
+        let _ = PaEngine::from_core(&other, core);
+    }
+
+    // PaEngine/EngineCore Send-ness is pinned where it is relied on:
+    // tests/cluster_serve.rs (the shard workers' contract) and the
+    // congest-level const audit cover it.
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let (g, parts, values) = grid_instance();
+        let mut a = PaEngine::new(&g, EngineConfig::new());
+        let mut b = PaEngine::new(&g, EngineConfig::new().seed(1));
+        a.solve(&parts, &values, Aggregate::Min).unwrap();
+        a.solve(&parts, &values, Aggregate::Min).unwrap();
+        b.solve(&parts, &values, Aggregate::Max).unwrap();
+        let mut merged = a.stats();
+        merged.merge(&b.stats());
+        assert_eq!(merged.solves, 3);
+        assert_eq!((merged.hits, merged.misses), (1, 2));
+        assert_eq!(merged.cached_partitions, 2);
+        assert_eq!(merged.base_cost, a.stats().base_cost + b.stats().base_cost);
+        // The Display form carries the headline counters.
+        let line = merged.to_string();
+        assert!(line.contains("hits/misses/evictions 1/2/0"), "{line}");
+        assert!(line.contains("3 solves"), "{line}");
     }
 
     #[test]

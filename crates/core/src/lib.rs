@@ -69,7 +69,10 @@ pub mod verify_block;
 
 pub use aggregate::Aggregate;
 pub use batch::{batch_on, BatchResult};
-pub use engine::{DivisionStrategy, EngineConfig, EngineStats, PaEngine};
+pub use engine::{
+    graph_fingerprint, partition_fingerprint, word_fingerprint, DivisionStrategy, EngineConfig,
+    EngineCore, EngineStats, PaEngine,
+};
 pub use instance::{PaError, PaInstance};
 pub use pipeline::{
     build_artifacts, build_pipeline, solve_pa, PaConfig, PaPipeline, PipelineArtifacts,
@@ -77,12 +80,3 @@ pub use pipeline::{
 };
 pub use solve::{solve_on, PaResult, PaSetup, Variant};
 pub use subparts::SubPartDivision;
-
-// Deprecated positional entry points, re-exported so downstream code
-// keeps compiling while it migrates to `PaEngine` / `PaSetup`.
-#[allow(deprecated)]
-pub use batch::solve_batch;
-#[allow(deprecated)]
-pub use pipeline::build_pipeline_with_tree;
-#[allow(deprecated)]
-pub use solve::solve_with_parts;

@@ -163,26 +163,6 @@ pub fn build_pipeline(inst: &PaInstance<'_>, config: &PaConfig) -> PaPipeline {
     }
 }
 
-/// Builds stages 2–4 of the pipeline on an already-constructed BFS tree
-/// (deprecated owned-tree form — it cannot share the tree across calls).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `PaEngine` (which owns the tree once and caches artifacts) or `build_artifacts`"
-)]
-pub fn build_pipeline_with_tree(
-    inst: &PaInstance<'_>,
-    config: &PaConfig,
-    tree: RootedTree,
-) -> PaPipeline {
-    let artifacts = build_artifacts(inst, config, &tree);
-    let setup_cost = artifacts.setup_cost;
-    PaPipeline {
-        tree,
-        artifacts,
-        setup_cost,
-    }
-}
-
 /// Builds stages 2–4 of the pipeline on a borrowed BFS tree.
 ///
 /// Borůvka-style applications call PA `O(log n)` times with changing

@@ -56,7 +56,7 @@ pub enum Variant {
 }
 
 /// The outcome of a PA run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PaResult {
     /// Aggregate per part.
     pub aggregates: Vec<u64>,
@@ -130,37 +130,6 @@ pub fn solve_on(
         broadcast_cost: wave.cost,
         iterations_per_part: wave.iterations_per_part,
     })
-}
-
-/// Runs Algorithm 1 (deprecated positional form).
-///
-/// # Errors
-/// Same as [`solve_on`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `PaEngine::solve` (cached pipelines) or `solve_on` with a `PaSetup`"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn solve_with_parts(
-    inst: &PaInstance<'_>,
-    tree: &RootedTree,
-    shortcut: &Shortcut,
-    division: &SubPartDivision,
-    leaders: &[NodeId],
-    variant: Variant,
-    block_budget: usize,
-) -> Result<PaResult, PaError> {
-    solve_on(
-        inst,
-        &PaSetup {
-            tree,
-            shortcut,
-            division,
-            leaders,
-            block_budget,
-        },
-        variant,
-    )
 }
 
 /// One global iteration of the wave, for tracing (Figure 4 of the paper

@@ -14,6 +14,7 @@ use crate::util::{print_table, ratio};
 pub fn run(quick: bool) {
     let scale = if quick { 8 } else { 14 };
     let mut rows = Vec::new();
+    let mut fleet = rmo_core::EngineStats::default();
     for workload in super::families(scale) {
         let g = &workload.graph;
         let parts = &workload.partition;
@@ -35,6 +36,7 @@ pub fn run(quick: bool) {
             .solve_batch(parts, &sets, Aggregate::Min)
             .expect("batch solves");
         let stats = engine.stats();
+        fleet.merge(&stats);
         rows.push(vec![
             workload.family.to_string(),
             g.n().to_string(),
@@ -43,7 +45,8 @@ pub fn run(quick: bool) {
             warm.cost.rounds.to_string(),
             ratio(cold.cost.rounds as f64, warm.cost.rounds.max(1) as f64),
             batch.cost.rounds.to_string(),
-            format!("{}/{}", stats.hits, stats.misses),
+            format!("{:.0}%", 100.0 * stats.hit_rate()),
+            stats.evictions.to_string(),
             stats.base_cost.rounds.to_string(),
         ]);
     }
@@ -57,11 +60,13 @@ pub fn run(quick: bool) {
             "warm rounds",
             "cold/warm",
             "batch(16) rounds",
-            "hits/misses",
+            "hit rate",
+            "evict",
             "elect+BFS rounds",
         ],
         &rows,
     );
+    println!("\nAll sessions merged: {fleet}");
     println!(
         "\nShape check: warm calls drop election, BFS and the stage 2-4 \
          setup, so cold/warm grows with the setup share; the 16-wide batch \

@@ -6,8 +6,8 @@
 //!
 //! Experiments: `table1`, `table2`, `figure1`, `figure2`, `figure3`,
 //! `figure4`, `figure5`, `mst`, `mincut`, `sssp`, `verification`,
-//! `kdom`, `cds`, `leaderless`, `ablation`, `beyond`, `engine`, or
-//! `all`.
+//! `kdom`, `cds`, `leaderless`, `ablation`, `beyond`, `engine`,
+//! `serve`, or `all`.
 //!
 //! Output is a set of markdown tables whose rows mirror what the paper
 //! reports; `EXPERIMENTS.md` records a captured run next to the paper's
@@ -44,6 +44,7 @@ fn main() {
         "ablation",
         "beyond",
         "engine",
+        "serve",
     ];
     let run = |name: &str| match name {
         "table1" => experiments::table1::run(quick),
@@ -63,6 +64,7 @@ fn main() {
         "ablation" => experiments::ablation::run(quick),
         "beyond" => experiments::beyond::run(),
         "engine" => experiments::engine::run(quick),
+        "serve" => experiments::serve::run(quick),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!("available: {} all", all.join(" "));

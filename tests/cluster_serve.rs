@@ -1,0 +1,199 @@
+//! The `PaCluster` determinism and routing contract.
+//!
+//! * Threaded serving bit-matches the sequential replay — responses
+//!   *and* per-query cost accounting — on a seeded mixed workload over
+//!   grid/path/gnp graphs, at several shard counts.
+//! * `PaEngine`/`EngineCore` are statically `Send` (what lets engines
+//!   live on shard worker threads at all).
+//! * Shard routing pins every graph to exactly one shard, stably.
+
+use rmo_apps::dispatch::{Query, QueryResponse};
+use rmo_apps::service::{mixed_workload, GraphId, PaCluster};
+use rmo_core::{Aggregate, EngineCore, PaEngine};
+use rmo_graph::gen;
+
+fn fleet_cluster(shards: usize) -> PaCluster {
+    let mut cluster = PaCluster::new(shards);
+    cluster.add_graph(GraphId(10), gen::grid(5, 6));
+    cluster.add_graph(GraphId(11), gen::grid(4, 4));
+    cluster.add_graph(GraphId(12), gen::path(40));
+    cluster.add_graph(GraphId(13), gen::path(17));
+    cluster.add_graph(GraphId(14), gen::gnp_connected(30, 0.12, 3));
+    cluster.add_graph(GraphId(15), gen::gnp_connected(24, 0.15, 8));
+    cluster
+}
+
+#[test]
+fn threaded_serving_bit_matches_sequential_replay() {
+    let workload = mixed_workload(&fleet_cluster(1), 60, 2026);
+    let baseline = fleet_cluster(1).serve_sequential(&workload);
+    assert!(
+        baseline.responses.iter().all(|r| r.is_ok()),
+        "the generated workload is always servable"
+    );
+    for shards in [1usize, 2, 4, 7] {
+        let mut cluster = fleet_cluster(shards);
+        let threaded = cluster.serve(&workload);
+        // Answers and per-query CostReports are inside the responses:
+        // equality is the full determinism contract, including cost
+        // accounting (who paid election+BFS, setup, waves).
+        assert_eq!(
+            threaded.responses, baseline.responses,
+            "threaded responses diverged at {shards} shards"
+        );
+        // Engine counters (hits/misses/evictions/base costs) match too.
+        let replay = fleet_cluster(shards).serve_sequential(&workload);
+        assert_eq!(
+            threaded.stats.engine, replay.stats.engine,
+            "engine counters diverged at {shards} shards"
+        );
+        assert_eq!(threaded.stats.queries, workload.len() as u64);
+        assert_eq!(threaded.stats.failed, 0);
+    }
+}
+
+#[test]
+fn warm_clusters_stay_deterministic_across_batches() {
+    // Two batches back-to-back: the second starts on parked warm
+    // engines, and threaded/sequential must still agree bit-for-bit.
+    let first = mixed_workload(&fleet_cluster(1), 24, 5);
+    let second = mixed_workload(&fleet_cluster(1), 24, 6);
+    let mut threaded = fleet_cluster(3);
+    let mut sequential = fleet_cluster(3);
+    let _ = (threaded.serve(&first), sequential.serve_sequential(&first));
+    let t = threaded.serve(&second);
+    let s = sequential.serve_sequential(&second);
+    assert_eq!(t.responses, s.responses);
+    assert_eq!(t.stats.engine, s.stats.engine);
+    assert_eq!(t.stats.queries, 48, "lifetime counter spans both batches");
+}
+
+#[test]
+fn engine_and_core_are_send() {
+    fn assert_send<T: Send>() {}
+    // The static contract the shard workers rely on: an engine (and its
+    // parked core) can move to a worker thread.
+    assert_send::<PaEngine<'static>>();
+    assert_send::<EngineCore>();
+    assert_send::<Query>();
+    assert_send::<QueryResponse>();
+}
+
+#[test]
+fn every_graph_is_pinned_to_one_shard() {
+    let cluster = fleet_cluster(4);
+    let pinned: Vec<usize> = cluster
+        .graph_ids()
+        .iter()
+        .map(|&id| cluster.shard_of(id))
+        .collect();
+    // Stable: the same mapping on every call and every rebuild.
+    let rebuilt = fleet_cluster(4);
+    for (i, &id) in cluster.graph_ids().iter().enumerate() {
+        assert!(pinned[i] < 4, "shard out of range");
+        assert_eq!(rebuilt.shard_of(id), pinned[i], "routing must be stable");
+    }
+
+    // Serving confirms the pin: across several batches, each graph only
+    // ever appears in its own shard's served set.
+    let mut cluster = fleet_cluster(4);
+    for seed in [1u64, 2, 3] {
+        let workload = mixed_workload(&cluster, 30, seed);
+        let report = cluster.serve(&workload);
+        for (shard, stats) in report.stats.per_shard.iter().enumerate() {
+            for &id in &stats.graph_ids {
+                assert_eq!(
+                    cluster.shard_of(id),
+                    shard,
+                    "graph {id} served off its pinned shard"
+                );
+            }
+        }
+        // Every submitted graph was served by exactly one shard.
+        for (id, _) in &workload {
+            let serving: Vec<usize> = report
+                .stats
+                .per_shard
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.graph_ids.contains(id))
+                .map(|(shard, _)| shard)
+                .collect();
+            assert_eq!(serving.len(), 1, "graph {id} spread over {serving:?}");
+        }
+    }
+}
+
+#[test]
+fn worker_panic_spares_other_shards_warm_state() {
+    for threaded in [true, false] {
+        let mut cluster = fleet_cluster(2);
+        let ids = cluster.graph_ids();
+        let healthy = ids[0];
+        let poisoned = *ids
+            .iter()
+            .find(|&&id| cluster.shard_of(id) != cluster.shard_of(healthy))
+            .expect("the fleet spans both shards");
+        let n = cluster.graph(healthy).unwrap().n();
+        let pa = Query::Pa {
+            assignment: vec![0; n],
+            values: vec![7; n],
+            agg: Aggregate::Sum,
+        };
+        // Warm the healthy graph, then serve a batch where the other
+        // shard hits a contract panic (k == 0 is documented to panic).
+        let _ = cluster.serve(&[(healthy, pa.clone())]);
+        let batch = vec![(healthy, pa.clone()), (poisoned, Query::Kdom { k: 0 })];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if threaded {
+                cluster.serve(&batch)
+            } else {
+                cluster.serve_sequential(&batch)
+            }
+        }));
+        assert!(result.is_err(), "the contract panic must propagate");
+        // The healthy shard's work and warm state survived the panic:
+        // its query was answered (served counter) and its parked engine
+        // still serves cache hits.
+        let after = cluster.serve(&[(healthy, pa.clone())]);
+        let stats = after.stats;
+        assert_eq!(stats.engine.misses, 1, "healthy engine never rebuilt");
+        assert_eq!(stats.engine.hits, 2, "both repeat solves were warm");
+        assert_eq!(stats.queries, 3, "all three healthy queries counted");
+    }
+}
+
+#[test]
+fn scheduler_batching_yields_cross_query_cache_hits() {
+    // A stream of same-partition Pa queries interleaved across graphs:
+    // the scheduler's affinity batching must turn the repeats into
+    // artifact-cache hits even though the submissions alternate graphs.
+    let mut cluster = fleet_cluster(2);
+    let rows30: Vec<usize> = (0..30).map(|v| v / 6).collect();
+    let rows40: Vec<usize> = (0..40).map(|v| v / 8).collect();
+    let mut queries = Vec::new();
+    for i in 0..4u64 {
+        queries.push((
+            GraphId(10),
+            Query::Pa {
+                assignment: rows30.clone(),
+                values: vec![i; 30],
+                agg: Aggregate::Max,
+            },
+        ));
+        queries.push((
+            GraphId(12),
+            Query::Pa {
+                assignment: rows40.clone(),
+                values: vec![i; 40],
+                agg: Aggregate::Max,
+            },
+        ));
+    }
+    let report = cluster.serve(&queries);
+    assert!(report.responses.iter().all(|r| r.is_ok()));
+    // 2 distinct (graph, partition) classes, 4 queries each: 2 misses,
+    // 6 hits.
+    assert_eq!(report.stats.engine.misses, 2);
+    assert_eq!(report.stats.engine.hits, 6);
+}

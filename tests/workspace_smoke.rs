@@ -3,7 +3,11 @@
 //!
 //! * every example under `examples/` compiles (`cargo build --examples`);
 //! * the `rmo-harness` binary runs a quick Table 1 regeneration without
-//!   panicking and prints a markdown table.
+//!   panicking and prints a markdown table;
+//! * the `serve` experiment runs, which exercises the threaded
+//!   `PaCluster` path (scoped shard workers + mpsc collection) and its
+//!   internal threaded-vs-sequential bit-match assertions on every CI
+//!   push.
 //!
 //! These shell out to the same `cargo` that is running the test suite
 //! (Cargo releases the build-directory lock before executing test
@@ -89,5 +93,40 @@ fn harness_quick_table1_runs() {
     assert!(
         stdout.contains("Table 1") && stdout.contains("| family"),
         "harness did not print the Table 1 markdown table; got:\n{stdout}"
+    );
+}
+
+#[test]
+fn harness_quick_serve_runs_threaded_cluster() {
+    let out = cargo()
+        .args([
+            "run",
+            "--quiet",
+            "-p",
+            "rmo-harness",
+            "--bin",
+            "rmo-harness",
+            "--",
+            "serve",
+            "--quick",
+        ])
+        .output()
+        .expect("failed to spawn rmo-harness");
+    // The experiment itself asserts that threaded serving bit-matches
+    // the sequential replay; a failed assertion is a non-zero exit here.
+    assert!(
+        out.status.success(),
+        "rmo-harness serve --quick exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Serve") && stdout.contains("| shards"),
+        "harness did not print the serve table; got:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("hit rate"),
+        "serve table must report cache hit rates; got:\n{stdout}"
     );
 }
