@@ -142,6 +142,36 @@ impl Query {
             }
         }
     }
+
+    /// A cheap a-priori cost estimate for this query on a graph with `n`
+    /// nodes and `m` edges, in abstract *work units* comparable to
+    /// `CostReport::rounds + messages` (what one simulated phase bills).
+    ///
+    /// The serving scheduler uses this to size *graph groups* before any
+    /// query has run; once a graph has demand history (observed response
+    /// costs, or [`rmo_core::EngineStats::mean_solve_work`] on its parked
+    /// engine), the history supersedes the estimate. The estimate only
+    /// has to rank workloads correctly — a wave over the graph costs
+    /// `Θ(n + m)` messages, and each application runs a known number of
+    /// wave-like phases (Borůvka runs `O(log n)` PA calls, min-cut one
+    /// sketch per trial, CDS the heaviest composition).
+    pub fn weight(&self, n: usize, m: usize) -> u64 {
+        let n = n as u64;
+        let m = m as u64;
+        // One broadcast/convergecast wave's bill over the whole graph.
+        let wave = n + 2 * m + 1;
+        let log_n = u64::from(64 - n.leading_zeros()).max(1);
+        let waves = match self {
+            Query::Pa { .. } => 6,
+            Query::Components { .. } | Query::Verify { .. } => 10,
+            Query::Kdom { .. } | Query::Eccentricity { .. } => 12,
+            Query::Mst => 6 * log_n,
+            Query::Sssp { .. } => 20,
+            Query::MinCut { trials } => 10 * (*trials as u64).max(1),
+            Query::Cds { .. } => 24,
+        };
+        waves * wave
+    }
 }
 
 /// The typed result of one [`Query`], bit-comparable for determinism
@@ -389,6 +419,24 @@ mod tests {
         // The engine is still usable afterwards.
         let ok = run_query(&mut engine, &Query::Kdom { k: 4 });
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn weight_ranks_heavier_queries_above_lighter() {
+        let (n, m) = (64usize, 128usize);
+        let pa = Query::Pa {
+            assignment: vec![0; n],
+            values: vec![0; n],
+            agg: Aggregate::Min,
+        };
+        // A Borůvka MST (log n PA phases) outweighs one PA solve; more
+        // min-cut trials cost more; bigger graphs cost more.
+        assert!(Query::Mst.weight(n, m) > pa.weight(n, m));
+        assert!(
+            Query::MinCut { trials: 8 }.weight(n, m) > Query::MinCut { trials: 1 }.weight(n, m)
+        );
+        assert!(pa.weight(4 * n, 4 * m) > pa.weight(n, m));
+        assert!(pa.weight(1, 0) > 0, "weights are never zero");
     }
 
     #[test]

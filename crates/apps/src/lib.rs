@@ -34,7 +34,8 @@
 //!   `*_with_engine` app.
 //! * [`service`] — [`PaCluster`]: a sharded worker pool serving mixed
 //!   query traffic over many graphs concurrently, with warm per-graph
-//!   engines and a deterministic scheduler.
+//!   engines and a deterministic load-balancing scheduler (LPT
+//!   placement by estimated work, plus replayable work stealing).
 
 pub mod cds;
 pub mod certificate;
@@ -52,5 +53,8 @@ pub use components::{component_labels, component_labels_with_engine, ComponentLa
 pub use dispatch::{run_query, Query, QueryResponse, VerifyCheck};
 pub use mincut::{approx_min_cut, approx_min_cut_with_engine, MinCutConfig, MinCutResult};
 pub use mst::{pa_mst, pa_mst_with_engine, MstConfig, PaMstResult};
-pub use service::{mixed_workload, ClusterStats, GraphId, PaCluster, ServeReport, ShardStats};
+pub use service::{
+    colliding_graph_ids, mixed_workload, zipf_workload, ClusterStats, GraphId, PaCluster,
+    SchedulePolicy, ServeLog, ServeReport, ShardStats, StealEvent,
+};
 pub use sssp::{approx_sssp, approx_sssp_with_engine, SsspConfig, SsspResult};

@@ -4,29 +4,40 @@
 //! [`rmo_core::PaEngine`] captures that for one session. A service under
 //! mixed traffic holds **many** graphs at once, so the cluster:
 //!
-//! * owns a fleet of registered graphs, each pinned to one **shard** by
-//!   a stable hash of its [`GraphId`] — all queries for a graph are
-//!   served by the same worker, so its engine (tree, artifact cache,
-//!   division memo) never migrates and never needs locking;
-//! * routes a batch of [`Query`]s through a deterministic **scheduler**
-//!   that reorders each shard's queue to put same-graph and then
-//!   same-affinity queries back-to-back (see [`Query::affinity`]),
-//!   maximizing warm-cache hits without changing any answer;
+//! * owns a fleet of registered graphs and batches each graph's queries
+//!   into one **graph group** per batch (same-graph, then same-affinity
+//!   queries back-to-back — see [`Query::affinity`] — maximizing warm
+//!   cache hits without changing any answer);
+//! * **places** groups on shards by policy ([`SchedulePolicy`]): the
+//!   default `Balanced` mode estimates each group's work
+//!   ([`Query::weight`], superseded by observed demand history once a
+//!   graph has served traffic) and runs an LPT assignment — heaviest
+//!   group first, onto the least-loaded shard — while the legacy
+//!   `Pinned` mode hashes each [`GraphId`] to a fixed shard;
 //! * serves the shards on `std::thread::scope` workers that stream
-//!   responses back over an `mpsc` channel ([`PaCluster::serve`]), or
-//!   replays the identical per-shard schedules on the calling thread
-//!   ([`PaCluster::serve_sequential`]);
+//!   responses back over an `mpsc` channel ([`PaCluster::serve`]); in
+//!   `Balanced` mode an **idle worker steals** whole parked graph
+//!   groups from the most loaded shard's tail (legal because a group's
+//!   [`rmo_core::EngineCore`] is `Send` and parked between groups),
+//!   and every steal is recorded in an epoch log ([`ServeLog`]);
+//! * replays any recorded final assignment deterministically on the
+//!   calling thread ([`PaCluster::serve_replay`]), with
+//!   [`PaCluster::serve_sequential`] as the no-steal reference replay;
 //! * parks each engine's warm state ([`rmo_core::EngineCore`]) between
 //!   batches, so a follow-up batch on the same fleet starts hot.
 //!
 //! # Determinism contract
 //!
 //! Threaded and sequential serving produce **bit-identical** responses
-//! and engine counters: shards own disjoint graph sets, engines are
-//! per-graph, and each shard executes its schedule in a fixed order, so
-//! thread interleaving can affect only wall-clock timing, never results
-//! or per-query [`rmo_congest::CostReport`]s. The
-//! `tests/cluster_serve.rs` suite pins this.
+//! and engine counters *regardless of placement or stealing*: a batch
+//! has exactly one group per graph, the group's internal order is fixed
+//! by the scheduler, and the group's engine travels with it — so which
+//! shard executes a group can affect only wall-clock timing, never
+//! results or per-query [`rmo_congest::CostReport`]s. On top of that,
+//! [`PaCluster::serve_replay`] fed a threaded run's [`ServeLog`]
+//! reproduces the identical *final assignment* (steals included), so
+//! even the per-shard placement bookkeeping bit-matches. The
+//! `tests/cluster_serve.rs` suite pins both levels.
 //!
 //! ```rust
 //! use rmo_apps::service::{GraphId, PaCluster};
@@ -54,11 +65,32 @@
 //! assert!(report.responses.iter().all(|r| r.is_ok()));
 //! // The two same-partition Pa queries were batched back-to-back:
 //! assert_eq!(report.stats.engine.hits, 1);
+//! // The log records where every group ran; replaying it on an equal
+//! // cluster reproduces the batch bit-for-bit.
+//! let replay = {
+//!     let mut fresh = PaCluster::new(2);
+//!     fresh.add_graph(GraphId(7), gen::grid(4, 4));
+//!     fresh.add_graph(GraphId(8), gen::path(12));
+//!     fresh.serve_replay(&[
+//!         (GraphId(7), Query::Pa {
+//!             assignment: gen::grid_row_partition(4, 4),
+//!             values: (0..16).collect(),
+//!             agg: Aggregate::Min,
+//!         }),
+//!         (GraphId(8), Query::Mst),
+//!         (GraphId(7), Query::Pa {
+//!             assignment: gen::grid_row_partition(4, 4),
+//!             values: (16..32).collect(),
+//!             agg: Aggregate::Min,
+//!         }),
+//!     ], &report.log)
+//! };
+//! assert_eq!(replay.responses, report.responses);
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -66,13 +98,16 @@ use rand::{Rng, SeedableRng};
 
 use rmo_graph::{gen, Graph};
 
-use rmo_core::{Aggregate, EngineConfig, EngineCore, EngineStats, PaEngine};
+use rmo_core::{
+    word_fingerprint, Aggregate, EngineConfig, EngineCore, EngineStats, PaEngine, PaError,
+};
 
 use crate::dispatch::{run_query, Query, QueryResponse, VerifyCheck};
 
-/// The cluster-wide name of a registered graph. Routing hashes the id
-/// (stable FNV-1a), so ids chosen by the caller — database keys,
-/// tenant ids — spread over shards without coordination.
+/// The cluster-wide name of a registered graph. The `Pinned` policy
+/// hashes the id (stable FNV-1a), so ids chosen by the caller —
+/// database keys, tenant ids — spread over shards without coordination;
+/// the `Balanced` policy places by estimated work instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GraphId(pub u64);
 
@@ -82,26 +117,74 @@ impl fmt::Display for GraphId {
     }
 }
 
+/// How the batch scheduler places graph groups on shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Every graph is pinned to `stable_hash(id) % shards` for the
+    /// cluster's lifetime, and workers never steal. Placement is
+    /// workload-oblivious: a hot graph (or several graphs hashing to
+    /// one shard) serializes on one worker while the rest idle.
+    Pinned,
+    /// The default: an LPT (longest-processing-time-first) assignment
+    /// of graph groups by estimated work — [`Query::weight`] a priori,
+    /// observed demand history once a graph has served traffic — plus
+    /// run-time work stealing between the threaded workers. Every steal
+    /// lands in the batch's [`ServeLog`] so the placement is replayable.
+    #[default]
+    Balanced,
+}
+
 /// A registered graph: the topology plus the engine profile its
 /// sessions run with.
 struct GraphSlot {
     graph: Graph,
     config: EngineConfig,
-    shard: usize,
+}
+
+/// One recorded steal: during a threaded `Balanced` batch, the idle
+/// worker `to` took graph `graph`'s whole group from shard `from`'s
+/// queue tail. `epoch` is the global steal sequence number within the
+/// batch (steals are totally ordered by the scheduler lock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealEvent {
+    /// Position in the batch's global steal order (0-based).
+    pub epoch: u64,
+    /// The stolen graph group.
+    pub graph: GraphId,
+    /// The shard it was queued on.
+    pub from: usize,
+    /// The worker that took and executed it.
+    pub to: usize,
+}
+
+/// The placement record of one batch: where every graph group actually
+/// executed, plus the steal events that moved groups off their initial
+/// LPT shard. Feeding a log back through [`PaCluster::serve_replay`]
+/// reproduces the identical final assignment — the cluster's
+/// determinism contract extended over stealing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServeLog {
+    /// Per shard, the graph groups it executed, in execution order.
+    pub assignments: Vec<Vec<GraphId>>,
+    /// Every steal, in epoch order (empty for sequential/pinned runs).
+    pub steals: Vec<StealEvent>,
 }
 
 /// Per-shard serving counters for one batch.
 ///
 /// Deliberately not `PartialEq`: `busy` is wall-clock and never
 /// reproducible, so equality on this type would be timing-flaky.
-/// Determinism assertions compare [`ClusterStats::engine`] (and the
-/// responses themselves) instead.
+/// Determinism assertions compare [`ClusterStats::engine`], the
+/// responses, and the [`ServeLog`] instead.
 #[derive(Debug, Clone, Default)]
 pub struct ShardStats {
     /// Queries this shard served.
     pub queries: u64,
-    /// Graphs this shard touched, in schedule order.
+    /// Graphs this shard executed, in execution order (mirrors the
+    /// batch's [`ServeLog::assignments`] entry).
     pub graph_ids: Vec<GraphId>,
+    /// Graph groups this shard stole from other shards' queues.
+    pub stolen: u64,
     /// Time the worker spent serving (from first job to last).
     pub busy: Duration,
 }
@@ -117,6 +200,9 @@ pub struct ClusterStats {
     pub failed: u64,
     /// The cluster's shard count.
     pub shards: usize,
+    /// Graph groups stolen across shards over the cluster lifetime
+    /// (nonzero only for threaded `Balanced` serving).
+    pub steals: u64,
     /// Graphs with a live (warm) engine.
     pub warm_graphs: usize,
     /// Every engine's counters, merged ([`EngineStats::merge`]).
@@ -128,12 +214,12 @@ pub struct ClusterStats {
 
 impl fmt::Display for ClusterStats {
     /// One-line fleet summary, e.g.
-    /// `42 queries (0 failed) on 6 warm graphs over 4 shards | hits/misses/evictions 18/12/0 (60.0% hit), …`.
+    /// `42 queries (0 failed) on 6 warm graphs over 4 shards, 2 stolen | hits/misses/evictions 18/12/0 (60.0% hit), …`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} queries ({} failed) on {} warm graphs over {} shards | {}",
-            self.queries, self.failed, self.warm_graphs, self.shards, self.engine,
+            "{} queries ({} failed) on {} warm graphs over {} shards, {} stolen | {}",
+            self.queries, self.failed, self.warm_graphs, self.shards, self.steals, self.engine,
         )
     }
 }
@@ -146,6 +232,9 @@ pub struct ServeReport {
     /// Cluster counters after this batch (lifetime engine stats,
     /// per-shard numbers for this batch).
     pub stats: ClusterStats,
+    /// Where every graph group executed (feed back through
+    /// [`PaCluster::serve_replay`] to reproduce the placement).
+    pub log: ServeLog,
     /// Wall-clock time of the batch.
     pub wall: Duration,
 }
@@ -171,50 +260,218 @@ impl ServeReport {
     }
 }
 
-/// One shard's schedule: query indices into the submitted batch, in
-/// execution order.
-type ShardSchedule = Vec<usize>;
-
 /// What `std::thread::JoinHandle::join` / `catch_unwind` hand back from
 /// a panicking shard.
 type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
-/// What a shard worker hands back besides the streamed responses.
-struct ShardOutcome {
-    cores: Vec<(GraphId, EngineCore)>,
-    stats: ShardStats,
+/// One graph's whole slice of a batch: every query index for the graph
+/// (affinity-batched, execution order), the group's estimated work, and
+/// the graph's parked warm engine if it has one. Groups are the unit of
+/// placement *and* of stealing — an `EngineCore` is `Send` and parked
+/// between groups, so a group can hop shards without any engine state
+/// being shared across threads.
+struct Group {
+    id: GraphId,
+    indices: Vec<usize>,
+    weight: u64,
+    core: Option<EngineCore>,
+}
+
+/// The shared scheduler state of one running batch, behind one mutex:
+/// per-shard group queues, their remaining (stealable) work, the epoch
+/// log, and everything workers bank as groups finish. Lock hold times
+/// are queue operations only — all serving happens outside the lock.
+struct SchedState {
+    queues: Vec<VecDeque<Group>>,
+    /// Queued (not yet in-flight) weight per shard — what victim
+    /// selection compares.
+    loads: Vec<u64>,
+    steals: Vec<StealEvent>,
+    /// Execution order per shard: the final assignment the log records.
+    assignments: Vec<Vec<GraphId>>,
+    /// Warm cores banked as each group finishes (survives worker
+    /// panics in *other* groups).
+    finished: Vec<(GraphId, EngineCore)>,
+    stats: Vec<ShardStats>,
+}
+
+impl SchedState {
+    fn new(shard_groups: Vec<Vec<Group>>) -> SchedState {
+        let shards = shard_groups.len();
+        let loads = shard_groups
+            .iter()
+            .map(|groups| groups.iter().map(|g| g.weight).sum())
+            .collect();
+        SchedState {
+            queues: shard_groups.into_iter().map(VecDeque::from).collect(),
+            loads,
+            steals: Vec::new(),
+            assignments: vec![Vec::new(); shards],
+            finished: Vec::new(),
+            stats: vec![ShardStats::default(); shards],
+        }
+    }
+
+    /// The next group `worker` should execute: its own queue's front,
+    /// or — when `steal` and its queue is drained — the tail of the
+    /// most loaded shard's queue (ties to the lowest shard index; the
+    /// tail is the lightest end under LPT ordering, minimizing
+    /// disturbance). Steals are recorded in epoch order. `None` means
+    /// the worker is done.
+    fn next_group(&mut self, worker: usize, steal: bool) -> Option<Group> {
+        if let Some(group) = self.queues[worker].pop_front() {
+            self.loads[worker] -= group.weight;
+            self.assignments[worker].push(group.id);
+            return Some(group);
+        }
+        if !steal {
+            return None;
+        }
+        let victim = (0..self.queues.len())
+            .filter(|&s| s != worker && !self.queues[s].is_empty())
+            .max_by_key(|&s| (self.loads[s], std::cmp::Reverse(s)))?;
+        let group = self.queues[victim]
+            .pop_back()
+            .expect("victim queue is non-empty");
+        self.loads[victim] -= group.weight;
+        self.steals.push(StealEvent {
+            epoch: self.steals.len() as u64,
+            graph: group.id,
+            from: victim,
+            to: worker,
+        });
+        self.stats[worker].stolen += 1;
+        self.assignments[worker].push(group.id);
+        Some(group)
+    }
+}
+
+/// Locks `state`, shrugging off poison: workers only panic *outside*
+/// lock sections (while serving queries), so the state is consistent
+/// even after a poisoned flag.
+fn lock(state: &Mutex<SchedState>) -> std::sync::MutexGuard<'_, SchedState> {
+    state.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Rearranges a batch's groups into a previously recorded final
+/// assignment (cores travel with their groups).
+///
+/// # Panics
+/// Panics if the log's shard count differs from the cluster's, or its
+/// assignments do not cover this batch's graph groups exactly.
+fn apply_log(shard_groups: Vec<Vec<Group>>, log: &ServeLog) -> Vec<Vec<Group>> {
+    assert_eq!(
+        log.assignments.len(),
+        shard_groups.len(),
+        "replay log was recorded on {} shards, this cluster has {}",
+        log.assignments.len(),
+        shard_groups.len()
+    );
+    let mut pool: HashMap<GraphId, Group> = shard_groups
+        .into_iter()
+        .flatten()
+        .map(|group| (group.id, group))
+        .collect();
+    let out: Vec<Vec<Group>> = log
+        .assignments
+        .iter()
+        .map(|ids| {
+            ids.iter()
+                .map(|id| {
+                    pool.remove(id).unwrap_or_else(|| {
+                        panic!("replay log names graph {id}, which has no group in this batch")
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    assert!(
+        pool.is_empty(),
+        "replay log does not place every graph group of this batch (missing {:?})",
+        pool.keys().collect::<Vec<_>>()
+    );
+    out
+}
+
+/// Deterministic per-graph demand history: observed serving work
+/// (rounds + messages of every response), which supersedes the a-priori
+/// [`Query::weight`] estimate once a graph has traffic. Responses are
+/// deterministic, so both serving modes accumulate identical history.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupHistory {
+    queries: u64,
+    work: u64,
+}
+
+/// Which execution engine a batch runs on.
+enum ExecMode<'a> {
+    /// One scoped worker per shard, stealing enabled under `Balanced`.
+    Threaded,
+    /// Shard by shard on the calling thread, no steals.
+    Sequential,
+    /// Shard by shard on the calling thread, groups pre-placed by a
+    /// recorded [`ServeLog`].
+    Replay(&'a ServeLog),
 }
 
 /// A sharded worker pool owning one [`PaEngine`] session per registered
 /// graph (see the module docs for the full serving story).
 pub struct PaCluster {
     shards: usize,
+    policy: SchedulePolicy,
     /// `BTreeMap` so every iteration order is deterministic.
     slots: BTreeMap<GraphId, GraphSlot>,
     /// Parked warm engine state, keyed like `slots`. Engines are built
     /// lazily: a graph that never sees a query never pays election+BFS.
     cores: HashMap<GraphId, EngineCore>,
+    /// Observed per-graph demand (drives `Balanced` group weights).
+    history: HashMap<GraphId, GroupHistory>,
     /// Lifetime query counters (engine stats live in `cores`).
     served: u64,
     failed: u64,
+    stolen_total: u64,
     last_shard_stats: Vec<ShardStats>,
 }
 
 impl PaCluster {
-    /// A cluster with `shards` worker threads and no graphs yet.
+    /// A cluster with `shards` worker threads, no graphs yet, and the
+    /// default [`SchedulePolicy::Balanced`] scheduler.
     ///
     /// # Panics
     /// Panics if `shards` is zero.
     pub fn new(shards: usize) -> PaCluster {
+        PaCluster::with_policy(shards, SchedulePolicy::default())
+    }
+
+    /// A cluster with an explicit scheduling policy.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn with_policy(shards: usize, policy: SchedulePolicy) -> PaCluster {
         assert!(shards > 0, "a cluster needs at least one shard");
         PaCluster {
             shards,
+            policy,
             slots: BTreeMap::new(),
             cores: HashMap::new(),
+            history: HashMap::new(),
             served: 0,
             failed: 0,
+            stolen_total: 0,
             last_shard_stats: Vec::new(),
         }
+    }
+
+    /// The active scheduling policy.
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Switches the scheduling policy for subsequent batches (warm
+    /// engines and demand history are kept — placement does not affect
+    /// responses, so this is always safe).
+    pub fn set_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
     }
 
     /// Registers `graph` under `id` with the default (deterministic)
@@ -224,33 +481,49 @@ impl PaCluster {
     }
 
     /// Registers `graph` under `id`; its session will run with `config`.
-    /// The graph is pinned to shard [`PaCluster::shard_of`]`(id)` for the
-    /// cluster's lifetime.
+    /// The panicking convenience over [`PaCluster::register`].
     ///
     /// # Panics
     /// Panics if `id` is already registered, or the graph is empty or
     /// disconnected (the CONGEST network is one component).
     pub fn add_graph_with_config(&mut self, id: GraphId, graph: Graph, config: EngineConfig) {
-        assert!(graph.n() > 0, "cluster graphs must be non-empty");
-        assert!(graph.is_connected(), "cluster graphs must be connected");
-        let shard = self.shard_of(id);
-        let prev = self.slots.insert(
-            id,
-            GraphSlot {
-                graph,
-                config,
-                shard,
-            },
-        );
-        assert!(prev.is_none(), "graph {id} registered twice");
+        self.register(id, graph, config)
+            .unwrap_or_else(|e| panic!("graph {id} rejected: {e}"));
     }
 
-    /// The shard that owns `id`: a stable hash of the id, so the mapping
-    /// survives restarts and is identical on every platform (the hash
-    /// consumes the full `u64` id — no `usize` round trip). Every query
-    /// for `id` is served by this shard's worker.
+    /// Registers `graph` under `id`, validating it **once** for the
+    /// session's whole lifetime: the graph must be non-empty and
+    /// connected (the CONGEST network is one component). Downstream
+    /// engine construction and [`PaEngine::pipeline_for`] then never
+    /// trip over a disconnected fleet graph mid-batch.
+    ///
+    /// # Errors
+    /// [`PaError::Disconnected`] for an empty or disconnected graph.
+    ///
+    /// # Panics
+    /// Panics if `id` is already registered (a programmer error, unlike
+    /// a bad graph, which may come from data).
+    pub fn register(
+        &mut self,
+        id: GraphId,
+        graph: Graph,
+        config: EngineConfig,
+    ) -> Result<(), PaError> {
+        if graph.n() == 0 || !graph.is_connected() {
+            return Err(PaError::Disconnected);
+        }
+        let prev = self.slots.insert(id, GraphSlot { graph, config });
+        assert!(prev.is_none(), "graph {id} registered twice");
+        Ok(())
+    }
+
+    /// The shard the `Pinned` policy routes `id` to: a stable hash of
+    /// the id, so the mapping survives restarts and is identical on
+    /// every platform (the hash consumes the full `u64` id — no `usize`
+    /// round trip). Under `Balanced` this is only the hash, not the
+    /// placement.
     pub fn shard_of(&self, id: GraphId) -> usize {
-        (rmo_core::word_fingerprint([id.0]) % self.shards as u64) as usize
+        (word_fingerprint([id.0]) % self.shards as u64) as usize
     }
 
     /// Number of shards.
@@ -282,231 +555,300 @@ impl PaCluster {
             queries: self.served,
             failed: self.failed,
             shards: self.shards,
+            steals: self.stolen_total,
             warm_graphs: self.cores.len(),
             engine,
             per_shard: self.last_shard_stats.clone(),
         }
     }
 
-    /// Builds each shard's schedule: queries are pinned to their graph's
-    /// shard, then reordered *within the shard* to group same-graph
-    /// queries back-to-back (graphs in first-appearance order) and,
-    /// within a graph, same-affinity queries back-to-back (classes in
-    /// first-appearance order, submission order inside a class). The
-    /// grouping changes only engine temperature, never answers.
-    ///
-    /// # Panics
-    /// Panics if a query names an unregistered graph.
-    fn schedule(&self, queries: &[(GraphId, Query)]) -> Vec<ShardSchedule> {
-        // First-appearance ranks make the sort stable and deterministic.
-        let mut graph_rank: HashMap<GraphId, usize> = HashMap::new();
-        let mut class_rank: HashMap<(GraphId, u64), usize> = HashMap::new();
-        let mut keyed: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(queries.len());
-        for (idx, (id, query)) in queries.iter().enumerate() {
-            let slot = self
-                .slots
-                .get(id)
-                .unwrap_or_else(|| panic!("query {idx} names unregistered graph {id}"));
-            let next = graph_rank.len();
-            let grank = *graph_rank.entry(*id).or_insert(next);
-            let next = class_rank.len();
-            let crank = *class_rank.entry((*id, query.affinity())).or_insert(next);
-            keyed.push((slot.shard, grank, crank, idx));
+    /// A group's work estimate: observed demand history when the graph
+    /// has served traffic (mean work × query count), otherwise the
+    /// a-priori [`Query::weight`] sum. Never zero, so LPT ties stay
+    /// well-defined.
+    fn group_weight(&self, id: GraphId, indices: &[usize], queries: &[(GraphId, Query)]) -> u64 {
+        let graph = &self.slots[&id].graph;
+        match self.history.get(&id) {
+            Some(h) if h.queries > 0 => (h.work / h.queries).max(1) * indices.len() as u64,
+            _ => indices
+                .iter()
+                .map(|&idx| queries[idx].1.weight(graph.n(), graph.m()))
+                .sum::<u64>()
+                .max(1),
         }
-        let mut schedules: Vec<ShardSchedule> = vec![Vec::new(); self.shards];
-        keyed.sort_unstable();
-        for (shard, _, _, idx) in keyed {
-            schedules[shard].push(idx);
-        }
-        schedules
     }
 
-    /// Runs one shard's schedule on the current thread: rehydrate or
-    /// build the engine per graph, dispatch every query in order, park
-    /// the engines again. `emit` receives `(query index, response)` as
-    /// each query completes — the threaded mode hands it an `mpsc`
-    /// sender, the sequential mode a vector push.
-    fn run_shard(
+    /// Builds the batch plan: one [`Group`] per referenced graph
+    /// (first-appearance order; affinity classes batched inside, in
+    /// first-appearance order with submission order inside a class),
+    /// placed per the active policy. Queries naming unregistered graphs
+    /// are answered immediately with [`QueryResponse::Failed`] instead
+    /// of scheduling (or panicking) — one bad query never kills a batch.
+    fn plan(&self, queries: &[(GraphId, Query)]) -> (Vec<Vec<Group>>, Vec<Option<QueryResponse>>) {
+        let mut responses: Vec<Option<QueryResponse>> = vec![None; queries.len()];
+        let mut order: Vec<GraphId> = Vec::new();
+        let mut by_graph: HashMap<GraphId, Vec<usize>> = HashMap::new();
+        for (idx, (id, _)) in queries.iter().enumerate() {
+            if !self.slots.contains_key(id) {
+                responses[idx] = Some(QueryResponse::Failed(format!(
+                    "graph {id} is not registered with this cluster"
+                )));
+                continue;
+            }
+            by_graph
+                .entry(*id)
+                .or_insert_with(|| {
+                    order.push(*id);
+                    Vec::new()
+                })
+                .push(idx);
+        }
+        let mut groups: Vec<Group> = order
+            .into_iter()
+            .map(|id| {
+                let mut indices = by_graph.remove(&id).expect("grouped above");
+                let mut class_rank: HashMap<u64, usize> = HashMap::new();
+                for &idx in &indices {
+                    let next = class_rank.len();
+                    class_rank.entry(queries[idx].1.affinity()).or_insert(next);
+                }
+                // Stable sort: submission order survives within a class.
+                indices.sort_by_key(|&idx| class_rank[&queries[idx].1.affinity()]);
+                let weight = self.group_weight(id, &indices, queries);
+                Group {
+                    id,
+                    indices,
+                    weight,
+                    core: None,
+                }
+            })
+            .collect();
+        let mut shard_groups: Vec<Vec<Group>> = (0..self.shards).map(|_| Vec::new()).collect();
+        match self.policy {
+            SchedulePolicy::Pinned => {
+                for group in groups {
+                    let shard = self.shard_of(group.id);
+                    shard_groups[shard].push(group);
+                }
+            }
+            SchedulePolicy::Balanced => {
+                // LPT: heaviest first (stable sort keeps first-appearance
+                // order among equal weights), each onto the least-loaded
+                // shard, ties to the lowest index. Deterministic in the
+                // (workload, history) pair.
+                groups.sort_by_key(|group| std::cmp::Reverse(group.weight));
+                let mut loads = vec![0u64; self.shards];
+                for group in groups {
+                    let shard = (0..self.shards)
+                        .min_by_key(|&s| (loads[s], s))
+                        .expect("at least one shard");
+                    loads[shard] += group.weight;
+                    shard_groups[shard].push(group);
+                }
+            }
+        }
+        (shard_groups, responses)
+    }
+
+    /// One worker's serving loop: pull groups off the shared scheduler
+    /// (stealing when allowed and idle), rehydrate or build each
+    /// group's engine, dispatch its queries in order, and bank the warm
+    /// core back as soon as the group finishes.
+    ///
+    /// Panics are contained **per group**: a poisoned query costs its
+    /// own group's in-flight engine and the group's remaining queries,
+    /// and the worker keeps serving. This keeps the set of served
+    /// groups — and therefore every engine counter and the demand
+    /// history — independent of placement and steal timing even when a
+    /// batch panics; the first payload is returned for re-raising.
+    fn run_worker(
+        shard: usize,
+        steal: bool,
+        state: &Mutex<SchedState>,
         slots: &BTreeMap<GraphId, GraphSlot>,
-        schedule: &[usize],
         queries: &[(GraphId, Query)],
-        mut cores: HashMap<GraphId, EngineCore>,
         emit: &mut dyn FnMut(usize, QueryResponse),
-    ) -> ShardOutcome {
+    ) -> Option<PanicPayload> {
         let start = Instant::now();
-        let mut engines: HashMap<GraphId, PaEngine<'_>> = HashMap::new();
-        let mut stats = ShardStats::default();
-        for &idx in schedule {
-            let (id, query) = &queries[idx];
-            let engine = engines.entry(*id).or_insert_with(|| {
-                let slot = &slots[id];
-                match cores.remove(id) {
+        let mut first_panic: Option<PanicPayload> = None;
+        loop {
+            let next = lock(state).next_group(shard, steal);
+            let Some(mut group) = next else { break };
+            // Responses written before a panic are kept (each response
+            // slot is set at most once), so the emit closure is
+            // unwind-safe in both serving modes.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let slot = &slots[&group.id];
+                let mut engine = match group.core.take() {
                     Some(core) => PaEngine::from_core(&slot.graph, core),
                     None => PaEngine::new(&slot.graph, slot.config),
+                };
+                for &idx in &group.indices {
+                    emit(idx, run_query(&mut engine, &queries[idx].1));
                 }
-            });
-            if stats.graph_ids.last() != Some(id) {
-                stats.graph_ids.push(*id);
-            }
-            emit(idx, run_query(engine, query));
-            stats.queries += 1;
-        }
-        let cores = {
-            // Park in sorted order so downstream aggregation (and any
-            // future persistence) sees a deterministic sequence.
-            let mut parked: Vec<(GraphId, PaEngine<'_>)> = engines.into_iter().collect();
-            parked.sort_by_key(|(id, _)| *id);
-            parked
-                .into_iter()
-                .map(|(id, engine)| (id, engine.into_core()))
-                .collect()
-        };
-        stats.busy = start.elapsed();
-        ShardOutcome { cores, stats }
-    }
-
-    /// Takes the parked cores a schedule will need, grouped per shard.
-    fn checkout_cores(
-        &mut self,
-        schedules: &[ShardSchedule],
-        queries: &[(GraphId, Query)],
-    ) -> Vec<HashMap<GraphId, EngineCore>> {
-        let mut out: Vec<HashMap<GraphId, EngineCore>> =
-            (0..self.shards).map(|_| HashMap::new()).collect();
-        for (shard, schedule) in schedules.iter().enumerate() {
-            for &idx in schedule {
-                let id = queries[idx].0;
-                if let Some(core) = self.cores.remove(&id) {
-                    out[shard].insert(id, core);
+                engine.into_core()
+            }));
+            match result {
+                Ok(core) => {
+                    let mut st = lock(state);
+                    st.finished.push((group.id, core));
+                    st.stats[shard].queries += group.indices.len() as u64;
+                }
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
                 }
             }
         }
-        out
+        let busy = start.elapsed();
+        lock(state).stats[shard].busy = busy;
+        first_panic
     }
 
-    /// Banks a batch's outcomes back into the cluster. `responses` may
-    /// contain `None` holes when a shard panicked mid-batch; only the
-    /// queries actually answered count.
-    fn absorb(&mut self, outcomes: Vec<ShardOutcome>, responses: &[Option<QueryResponse>]) {
-        let mut per_shard = Vec::with_capacity(outcomes.len());
-        for outcome in outcomes {
-            for (id, core) in outcome.cores {
-                self.cores.insert(id, core);
-            }
-            per_shard.push(outcome.stats);
-        }
-        self.last_shard_stats = per_shard;
-        let answered = responses.iter().flatten();
-        self.served += answered.clone().count() as u64;
-        self.failed += answered.filter(|r| !r.is_ok()).count() as u64;
-    }
-
-    /// Executes all shard schedules concurrently: one scoped worker per
-    /// shard, streaming `(index, response)` pairs back over an `mpsc`
-    /// channel while the calling thread collects. A panicking worker
-    /// yields `Err(payload)` in its slot instead of poisoning the batch.
+    /// Runs every worker concurrently (one scoped thread per shard),
+    /// streaming `(index, response)` pairs back over an `mpsc` channel
+    /// while the calling thread collects. Panics contained by the
+    /// workers come back as payloads instead of poisoning the batch.
     fn run_threaded(
         slots: &BTreeMap<GraphId, GraphSlot>,
-        schedules: &[ShardSchedule],
-        mut shard_cores: Vec<HashMap<GraphId, EngineCore>>,
+        state: &Mutex<SchedState>,
+        shards: usize,
+        steal: bool,
         queries: &[(GraphId, Query)],
         responses: &mut [Option<QueryResponse>],
-    ) -> Vec<Result<ShardOutcome, PanicPayload>> {
-        let mut outcomes = Vec::new();
+    ) -> Vec<PanicPayload> {
+        let mut panics = Vec::new();
         std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<(usize, QueryResponse)>();
-            let handles: Vec<_> = schedules
-                .iter()
-                .zip(shard_cores.drain(..))
-                .map(|(schedule, cores)| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
                     let tx = tx.clone();
                     scope.spawn(move || {
                         let mut emit = |idx: usize, resp: QueryResponse| {
                             tx.send((idx, resp)).expect("collector outlives workers")
                         };
-                        Self::run_shard(slots, schedule, queries, cores, &mut emit)
+                        Self::run_worker(shard, steal, state, slots, queries, &mut emit)
                     })
                 })
                 .collect();
             drop(tx);
-            // Workers that panic drop their sender mid-unwind, so the
-            // drain terminates once every worker finished either way.
+            // Every worker eventually drops its sender (group panics are
+            // contained inside run_worker), so the drain terminates.
             for (idx, resp) in rx {
                 responses[idx] = Some(resp);
             }
-            outcomes = handles.into_iter().map(|h| h.join()).collect();
+            panics = handles
+                .into_iter()
+                .filter_map(|h| match h.join() {
+                    Ok(contained) => contained,
+                    Err(payload) => Some(payload),
+                })
+                .collect();
         });
-        outcomes
+        panics
     }
 
-    /// Executes all shard schedules on the calling thread, in shard
-    /// order — the deterministic reference for [`Self::run_threaded`],
-    /// with the same per-shard panic containment.
-    fn run_all_sequential(
+    /// Runs every worker on the calling thread, in shard order, no
+    /// stealing — the deterministic reference executor, with the same
+    /// per-group panic containment as the threaded mode.
+    fn run_on_caller(
         slots: &BTreeMap<GraphId, GraphSlot>,
-        schedules: &[ShardSchedule],
-        mut shard_cores: Vec<HashMap<GraphId, EngineCore>>,
+        state: &Mutex<SchedState>,
+        shards: usize,
         queries: &[(GraphId, Query)],
         responses: &mut [Option<QueryResponse>],
-    ) -> Vec<Result<ShardOutcome, PanicPayload>> {
-        schedules
-            .iter()
-            .zip(shard_cores.drain(..))
-            .map(|(schedule, cores)| {
-                // Mirrors the thread boundary of the concurrent mode:
-                // responses written before a panic are kept, the rest of
-                // the shard unwinds. The slice-write emit closure is
-                // unwind-safe (each slot is set at most once, atomically).
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let mut emit = |idx: usize, resp: QueryResponse| responses[idx] = Some(resp);
-                    Self::run_shard(slots, schedule, queries, cores, &mut emit)
-                }))
-            })
-            .collect()
+    ) -> Vec<PanicPayload> {
+        let mut panics = Vec::new();
+        for shard in 0..shards {
+            let mut emit = |idx: usize, resp: QueryResponse| responses[idx] = Some(resp);
+            if let Some(payload) = Self::run_worker(shard, false, state, slots, queries, &mut emit)
+            {
+                panics.push(payload);
+            }
+        }
+        panics
     }
 
-    /// The shared batch lifecycle both serving modes run: schedule,
-    /// check out parked cores, execute (the one step that differs),
-    /// collect, absorb. Keeping this in one place is part of the
-    /// determinism story — the sequential replay cannot drift from the
-    /// threaded mode's bookkeeping.
+    /// The shared batch lifecycle every serving mode runs: plan, check
+    /// out parked cores into their groups, execute (the one step that
+    /// differs), bank everything back, update demand history. Keeping
+    /// this in one place is part of the determinism story — no mode can
+    /// drift from another's bookkeeping.
     ///
-    /// Panic safety: outcomes from healthy shards are absorbed (warm
-    /// cores re-parked, counters banked) *before* any worker panic is
-    /// resumed, so one poisoned query costs its own shard's in-flight
-    /// engines, never the fleet's.
-    fn run_batch(&mut self, queries: &[(GraphId, Query)], threaded: bool) -> ServeReport {
+    /// Panic safety: panics are contained per *group* (see
+    /// [`PaCluster::run_worker`]) — every healthy group still serves,
+    /// finished groups' warm cores are banked as they complete, and
+    /// queued groups keep their cores, so one poisoned query costs
+    /// exactly its own group's in-flight engine and remaining queries,
+    /// never the fleet's; counters and cores are absorbed before the
+    /// first panic is resumed. Because healthy groups serve regardless
+    /// of where the panic happened, the post-panic cluster state is
+    /// still identical across serving modes and steal timings.
+    fn run_batch(&mut self, queries: &[(GraphId, Query)], mode: ExecMode<'_>) -> ServeReport {
         let start = Instant::now();
-        let schedules = self.schedule(queries);
-        let shard_cores = self.checkout_cores(&schedules, queries);
-
-        let mut responses: Vec<Option<QueryResponse>> = vec![None; queries.len()];
-        let executor = if threaded {
-            Self::run_threaded
-        } else {
-            Self::run_all_sequential
+        let (mut shard_groups, mut responses) = self.plan(queries);
+        for groups in &mut shard_groups {
+            for group in groups.iter_mut() {
+                group.core = self.cores.remove(&group.id);
+            }
+        }
+        if let ExecMode::Replay(log) = mode {
+            shard_groups = apply_log(shard_groups, log);
+        }
+        let steal = matches!(mode, ExecMode::Threaded) && self.policy == SchedulePolicy::Balanced;
+        let state = Mutex::new(SchedState::new(shard_groups));
+        let panics = match mode {
+            ExecMode::Threaded => Self::run_threaded(
+                &self.slots,
+                &state,
+                self.shards,
+                steal,
+                queries,
+                &mut responses,
+            ),
+            ExecMode::Sequential | ExecMode::Replay(_) => {
+                Self::run_on_caller(&self.slots, &state, self.shards, queries, &mut responses)
+            }
         };
-        let results = executor(
-            &self.slots,
-            &schedules,
-            shard_cores,
-            queries,
-            &mut responses,
-        );
+        let mut state = state.into_inner().unwrap_or_else(|p| p.into_inner());
 
-        let mut first_panic: Option<PanicPayload> = None;
-        let outcomes: Vec<ShardOutcome> = results
-            .into_iter()
-            .filter_map(|r| match r {
-                Ok(outcome) => Some(outcome),
-                Err(payload) => {
-                    first_panic.get_or_insert(payload);
-                    None
+        // Bank warm cores: finished groups, plus groups a panic left
+        // queued (their engines never ran this batch).
+        for (id, core) in state.finished.drain(..) {
+            self.cores.insert(id, core);
+        }
+        for queue in &mut state.queues {
+            for group in queue.drain(..) {
+                if let Some(core) = group.core {
+                    self.cores.insert(group.id, core);
                 }
-            })
-            .collect();
-        self.absorb(outcomes, &responses);
-        if let Some(payload) = first_panic {
+            }
+        }
+        let log = ServeLog {
+            assignments: state.assignments,
+            steals: state.steals,
+        };
+        let mut per_shard = state.stats;
+        for (shard, stats) in per_shard.iter_mut().enumerate() {
+            stats.graph_ids = log.assignments[shard].clone();
+        }
+        self.last_shard_stats = per_shard;
+        self.stolen_total += log.steals.len() as u64;
+        let answered = responses.iter().flatten();
+        self.served += answered.clone().count() as u64;
+        self.failed += answered.filter(|r| !r.is_ok()).count() as u64;
+        // Demand history for future LPT placement: identical in every
+        // mode because responses (and their costs) are deterministic.
+        for ((id, _), resp) in queries.iter().zip(&responses) {
+            if let Some(resp) = resp {
+                if self.slots.contains_key(id) {
+                    let h = self.history.entry(*id).or_default();
+                    h.queries += 1;
+                    h.work += resp.cost().rounds as u64 + resp.cost().messages;
+                }
+            }
+        }
+
+        if let Some(payload) = panics.into_iter().next() {
             std::panic::resume_unwind(payload);
         }
         let responses: Vec<QueryResponse> = responses
@@ -516,54 +858,77 @@ impl PaCluster {
         ServeReport {
             stats: self.stats(),
             responses,
+            log,
             wall: start.elapsed(),
         }
     }
 
     /// Serves a batch concurrently: one worker thread per shard, each
-    /// executing its schedule on the engines it owns and streaming
-    /// `(index, response)` pairs back over an `mpsc` channel.
+    /// pulling graph groups off the shared scheduler — stealing from
+    /// loaded shards when idle under [`SchedulePolicy::Balanced`] — and
+    /// streaming `(index, response)` pairs back over an `mpsc` channel.
     ///
     /// Responses come back in submission order; results and per-query
-    /// costs are bit-identical to [`PaCluster::serve_sequential`] (see
-    /// the determinism contract in the module docs).
+    /// costs are bit-identical to [`PaCluster::serve_sequential`]
+    /// *regardless of stealing* (see the determinism contract in the
+    /// module docs), and [`ServeReport::log`] records the placement for
+    /// an exact [`PaCluster::serve_replay`].
     ///
     /// # Panics
-    /// Panics if a query names an unregistered graph, or a worker
-    /// panics (the first worker panic is re-raised — after healthy
-    /// shards' warm engines and counters have been banked).
+    /// Panics if a query hits a contract violation in its application
+    /// (the first group panic is re-raised — after every *other* group
+    /// has served and banked its warm engine and counters, so the
+    /// post-panic cluster state is deterministic). Unregistered graphs
+    /// do *not* panic; they answer [`QueryResponse::Failed`] per query.
     pub fn serve(&mut self, queries: &[(GraphId, Query)]) -> ServeReport {
-        self.run_batch(queries, true)
+        self.run_batch(queries, ExecMode::Threaded)
     }
 
-    /// Serves a batch on the calling thread: the *same* per-shard
-    /// schedules as [`PaCluster::serve`], executed shard by shard. The
+    /// Serves a batch on the calling thread: the *same* plan as
+    /// [`PaCluster::serve`], executed shard by shard with no steals. The
     /// deterministic reference mode — responses and engine counters
-    /// bit-match the threaded mode; only wall-clock timing differs.
+    /// bit-match the threaded mode; only wall-clock timing and (when
+    /// steals happened) the per-shard placement differ.
     ///
     /// # Panics
-    /// Panics if a query names an unregistered graph, or a shard
-    /// panics (contained and re-raised like [`PaCluster::serve`]).
+    /// Panics if a group panics (contained and re-raised like
+    /// [`PaCluster::serve`]).
     pub fn serve_sequential(&mut self, queries: &[(GraphId, Query)]) -> ServeReport {
-        self.run_batch(queries, false)
+        self.run_batch(queries, ExecMode::Sequential)
+    }
+
+    /// Serves a batch on the calling thread with the groups pre-placed
+    /// by `log` — typically a prior [`PaCluster::serve`]'s
+    /// [`ServeReport::log`] on an identically prepared cluster. The
+    /// replay reproduces the recorded run bit-for-bit: responses,
+    /// engine counters, *and* per-shard placement (queries served,
+    /// graphs executed, execution order), steals included.
+    ///
+    /// # Panics
+    /// Panics if the log does not match this batch's graph groups or
+    /// shard count, or if a group panics.
+    pub fn serve_replay(&mut self, queries: &[(GraphId, Query)], log: &ServeLog) -> ServeReport {
+        self.run_batch(queries, ExecMode::Replay(log))
     }
 }
 
-/// A seeded mixed workload over a cluster's registered graphs: the
-/// query mix a PA service sees in the harness `serve` experiment, the
-/// `service_throughput` bench, and the determinism tests — mostly PA
-/// solves and verification traffic with a tail of heavier analytics
-/// (MST, SSSP, eccentricity, small min-cut and CDS runs).
-///
-/// Partitions and subgraphs are drawn from a small per-graph pool
-/// (three connected partitions, three edge subsets, two `k` values), so
-/// a realistic fraction of queries re-hits warm artifacts. Fully
-/// deterministic in `(cluster graphs, count, seed)`.
-pub fn mixed_workload(cluster: &PaCluster, count: usize, seed: u64) -> Vec<(GraphId, Query)> {
+/// The shared generator behind [`mixed_workload`] and [`zipf_workload`]:
+/// `pick_graph` chooses which registered graph (by index into the sorted
+/// id list) each query targets.
+fn pooled_workload(
+    cluster: &PaCluster,
+    count: usize,
+    seed: u64,
+    mut pick_graph: impl FnMut(&mut StdRng) -> usize,
+) -> Vec<(GraphId, Query)> {
     let ids = cluster.graph_ids();
     assert!(!ids.is_empty(), "workload needs at least one graph");
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5e21_ed5e);
-    // Per-graph pools of cache-affine inputs.
+    // Per-graph pools of cache-affine inputs. Pool seeds mix (seed, id,
+    // stream tag, index) through the stable FNV fingerprint so no two
+    // streams collapse onto each other (plain `seed ^ (id << k) ^ i`
+    // degenerates to `seed ^ i` for id 0, correlating the partition and
+    // subgraph draws).
     struct Pool {
         partitions: Vec<Vec<usize>>,
         subgraphs: Vec<Vec<usize>>,
@@ -573,17 +938,21 @@ pub fn mixed_workload(cluster: &PaCluster, count: usize, seed: u64) -> Vec<(Grap
         .iter()
         .map(|&id| {
             let g = cluster.graph(id).expect("registered");
-            let partitions = (0..3)
+            let partitions = (0u64..3)
                 .map(|i| {
                     let target = (g.n() / 8).clamp(2, 24);
-                    gen::random_connected_partition(g, target, seed ^ (id.0 << 3) ^ i)
-                        .assignment()
-                        .to_vec()
+                    gen::random_connected_partition(
+                        g,
+                        target,
+                        word_fingerprint([seed, id.0, 0xA, i]),
+                    )
+                    .assignment()
+                    .to_vec()
                 })
                 .collect();
-            let subgraphs = (0..3)
+            let subgraphs = (0u64..3)
                 .map(|i| {
-                    let mut rng = StdRng::seed_from_u64(seed ^ (id.0 << 5) ^ i);
+                    let mut rng = StdRng::seed_from_u64(word_fingerprint([seed, id.0, 0xB, i]));
                     (0..g.m()).filter(|_| rng.random::<f64>() < 0.6).collect()
                 })
                 .collect();
@@ -603,7 +972,7 @@ pub fn mixed_workload(cluster: &PaCluster, count: usize, seed: u64) -> Vec<(Grap
     ];
     (0..count)
         .map(|_| {
-            let which = rng.random_range(0..ids.len());
+            let which = pick_graph(&mut rng);
             let (id, pool) = (ids[which], &pools[which]);
             let g = cluster.graph(id).expect("registered");
             let n = g.n();
@@ -646,6 +1015,72 @@ pub fn mixed_workload(cluster: &PaCluster, count: usize, seed: u64) -> Vec<(Grap
         .collect()
 }
 
+/// A seeded mixed workload over a cluster's registered graphs: the
+/// query mix a PA service sees in the harness `serve` experiment, the
+/// `service_throughput` bench, and the determinism tests — mostly PA
+/// solves and verification traffic with a tail of heavier analytics
+/// (MST, SSSP, eccentricity, small min-cut and CDS runs). Graphs are
+/// drawn uniformly; see [`zipf_workload`] for skewed popularity.
+///
+/// Partitions and subgraphs are drawn from a small per-graph pool
+/// (three connected partitions, three edge subsets, two `k` values), so
+/// a realistic fraction of queries re-hits warm artifacts. Fully
+/// deterministic in `(cluster graphs, count, seed)`.
+pub fn mixed_workload(cluster: &PaCluster, count: usize, seed: u64) -> Vec<(GraphId, Query)> {
+    let graphs = cluster.graph_ids().len();
+    pooled_workload(cluster, count, seed, move |rng| {
+        rng.random_range(0..graphs.max(1))
+    })
+}
+
+/// Like [`mixed_workload`], but graph popularity follows a Zipf law:
+/// the `r`-th registered graph (in sorted id order, 0-based) is drawn
+/// with probability proportional to `1/(r+1)^exponent`. `exponent = 0`
+/// is uniform; realistic serving skew is `0.8–1.5`; large exponents
+/// send almost all traffic to the first graph — the hot-graph scenario
+/// that starves a hash-pinned scheduler. Fully deterministic in
+/// `(cluster graphs, count, seed, exponent)`.
+pub fn zipf_workload(
+    cluster: &PaCluster,
+    count: usize,
+    seed: u64,
+    exponent: f64,
+) -> Vec<(GraphId, Query)> {
+    let graphs = cluster.graph_ids().len();
+    let weights: Vec<f64> = (0..graphs)
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(exponent))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    pooled_workload(cluster, count, seed, move |rng| {
+        let mut x = rng.random::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len().saturating_sub(1)
+    })
+}
+
+/// The first `count` graph ids that [`SchedulePolicy::Pinned`] would
+/// all route to shard `shard` of a `shards`-wide cluster — the
+/// adversarial fleet that serializes hash-pinned serving on one worker.
+/// Shared by the skew tests, the harness `serve --skew` experiment, and
+/// the `service_throughput` bench so all three exercise the same
+/// collision structure.
+///
+/// # Panics
+/// Panics if `shard >= shards`.
+pub fn colliding_graph_ids(shards: usize, shard: usize, count: usize) -> Vec<GraphId> {
+    assert!(shard < shards, "target shard {shard} out of range");
+    (0u64..)
+        .filter(|&i| word_fingerprint([i]) % shards as u64 == shard as u64)
+        .take(count)
+        .map(GraphId)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,8 +1094,10 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_groups_by_graph_then_affinity() {
-        let cluster = small_cluster(1);
+    fn plan_groups_by_graph_then_affinity() {
+        let mut cluster = PaCluster::with_policy(1, SchedulePolicy::Pinned);
+        cluster.add_graph(GraphId(1), gen::grid(4, 5));
+        cluster.add_graph(GraphId(2), gen::path(18));
         let rows_a = vec![
             0usize, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3,
         ];
@@ -678,18 +1115,124 @@ mod tests {
             (GraphId(1), pa(&rows_a, 3)),
             (GraphId(2), Query::Mst),
         ];
-        let schedules = cluster.schedule(&queries);
-        // One shard; graph 1 first (first appearance), its rows_a class
-        // batched (indices 0 then 3), then whole (2); then graph 2.
-        assert_eq!(schedules.len(), 1);
-        assert_eq!(schedules[0], vec![0, 3, 2, 1, 4]);
+        let (shard_groups, prefailed) = cluster.plan(&queries);
+        assert!(prefailed.iter().all(|r| r.is_none()));
+        assert_eq!(shard_groups.len(), 1);
+        // Graph 1 first (first appearance), its rows_a class batched
+        // (indices 0 then 3), then whole (2); then graph 2's group.
+        let ids: Vec<GraphId> = shard_groups[0].iter().map(|g| g.id).collect();
+        assert_eq!(ids, vec![GraphId(1), GraphId(2)]);
+        assert_eq!(shard_groups[0][0].indices, vec![0, 3, 2]);
+        assert_eq!(shard_groups[0][1].indices, vec![1, 4]);
+        assert!(shard_groups[0].iter().all(|g| g.weight > 0));
+        // Serving it agrees with the plan.
+        let report = cluster.serve(&queries);
+        assert!(report.responses.iter().all(|r| r.is_ok()));
     }
 
     #[test]
-    #[should_panic(expected = "unregistered graph")]
-    fn unknown_graph_panics() {
-        let cluster = small_cluster(2);
-        let _ = cluster.schedule(&[(GraphId(99), Query::Mst)]);
+    fn lpt_spreads_groups_by_weight() {
+        let mut cluster = PaCluster::with_policy(2, SchedulePolicy::Balanced);
+        cluster.add_graph(GraphId(1), gen::grid(8, 8));
+        cluster.add_graph(GraphId(2), gen::path(10));
+        cluster.add_graph(GraphId(3), gen::path(11));
+        cluster.add_graph(GraphId(4), gen::path(12));
+        let pa = |n: usize| Query::Pa {
+            assignment: vec![0; n],
+            values: vec![1; n],
+            agg: Aggregate::Sum,
+        };
+        // One heavy MST group on the big grid, three light Pa groups.
+        let queries = vec![
+            (GraphId(2), pa(10)),
+            (GraphId(1), Query::Mst),
+            (GraphId(3), pa(11)),
+            (GraphId(4), pa(12)),
+        ];
+        let (shard_groups, _) = cluster.plan(&queries);
+        // LPT: the heavy group goes first, alone on shard 0; the light
+        // groups pile onto shard 1 until it catches up.
+        assert_eq!(shard_groups[0].len(), 1);
+        assert_eq!(shard_groups[0][0].id, GraphId(1));
+        assert_eq!(shard_groups[1].len(), 3);
+        // And a hot graph with *all* the traffic forms one unsplittable
+        // group (stealing granularity is the whole graph).
+        let hot: Vec<_> = (0..6).map(|_| (GraphId(2), pa(10))).collect();
+        let (shard_groups, _) = cluster.plan(&hot);
+        let non_empty: Vec<usize> = shard_groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(non_empty.len(), 1, "one graph, one group, one shard");
+        assert_eq!(shard_groups[non_empty[0]][0].indices.len(), 6);
+    }
+
+    #[test]
+    fn steal_takes_the_most_loaded_tail() {
+        let group = |id: u64, weight: u64| Group {
+            id: GraphId(id),
+            indices: Vec::new(),
+            weight,
+            core: None,
+        };
+        let mut state = SchedState::new(vec![
+            vec![group(1, 10), group(2, 5)],
+            vec![group(3, 2)],
+            Vec::new(),
+        ]);
+        assert_eq!(state.loads, vec![15, 2, 0]);
+        // Worker 2 is idle: it steals from shard 0 (most loaded), from
+        // the *tail* (the lighter group 2), then keeps draining.
+        let stolen: Vec<GraphId> =
+            std::iter::from_fn(|| state.next_group(2, true).map(|g| g.id)).collect();
+        assert_eq!(stolen, vec![GraphId(2), GraphId(1), GraphId(3)]);
+        assert_eq!(state.loads, vec![0, 0, 0]);
+        assert_eq!(state.assignments[2], stolen);
+        assert_eq!(state.stats[2].stolen, 3);
+        // The epoch log is totally ordered and names every move.
+        let moves: Vec<(u64, GraphId, usize, usize)> = state
+            .steals
+            .iter()
+            .map(|s| (s.epoch, s.graph, s.from, s.to))
+            .collect();
+        assert_eq!(
+            moves,
+            vec![
+                (0, GraphId(2), 0, 2),
+                (1, GraphId(1), 0, 2),
+                (2, GraphId(3), 1, 2),
+            ]
+        );
+        // With stealing off, an idle worker just stops.
+        assert!(state.next_group(0, false).is_none());
+    }
+
+    #[test]
+    fn unknown_graph_fails_per_query_without_killing_the_batch() {
+        for threaded in [true, false] {
+            let mut cluster = small_cluster(2);
+            let queries = vec![
+                (GraphId(99), Query::Mst),
+                (GraphId(1), Query::Kdom { k: 6 }),
+                (GraphId(98), Query::Mst),
+            ];
+            let report = if threaded {
+                cluster.serve(&queries)
+            } else {
+                cluster.serve_sequential(&queries)
+            };
+            assert!(
+                matches!(&report.responses[0], QueryResponse::Failed(m) if m.contains("not registered")),
+                "unregistered graph answers Failed, got {:?}",
+                report.responses[0]
+            );
+            assert!(report.responses[1].is_ok(), "healthy query still served");
+            assert!(!report.responses[2].is_ok());
+            assert_eq!(report.stats.failed, 2);
+            assert_eq!(report.stats.queries, 3, "failures still count as served");
+        }
     }
 
     #[test]
@@ -719,12 +1262,33 @@ mod tests {
     }
 
     #[test]
+    fn register_rejects_disconnected_graphs_without_panicking() {
+        let mut cluster = small_cluster(2);
+        // Two disjoint edges: connected() is false.
+        let disconnected = Graph::from_edges(4, &[(0, 1, 1), (2, 3, 1)]).unwrap();
+        let err = cluster
+            .register(GraphId(9), disconnected, EngineConfig::new())
+            .unwrap_err();
+        assert!(matches!(err, PaError::Disconnected), "{err:?}");
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert!(cluster
+            .register(GraphId(9), empty, EngineConfig::new())
+            .is_err());
+        // The rejected id stays free for a valid registration.
+        cluster
+            .register(GraphId(9), gen::path(5), EngineConfig::new())
+            .unwrap();
+        assert!(cluster.graph(GraphId(9)).is_some());
+    }
+
+    #[test]
     fn stats_display_mentions_the_fleet() {
         let mut cluster = small_cluster(4);
         let report = cluster.serve(&[(GraphId(2), Query::Mst)]);
         let line = report.stats.to_string();
         assert!(line.contains("1 queries (0 failed)"), "{line}");
         assert!(line.contains("over 4 shards"), "{line}");
+        assert!(line.contains("stolen"), "{line}");
         assert!(line.contains("hits/misses"), "{line}");
     }
 
@@ -739,5 +1303,23 @@ mod tests {
         for id in cluster.graph_ids() {
             assert!(a.iter().any(|(g, _)| *g == id), "graph {id} unused");
         }
+    }
+
+    #[test]
+    fn zipf_workload_concentrates_on_the_hot_graph() {
+        let cluster = small_cluster(2);
+        let w = zipf_workload(&cluster, 60, 7, 2.5);
+        assert_eq!(w, zipf_workload(&cluster, 60, 7, 2.5), "deterministic");
+        let hot = cluster.graph_ids()[0];
+        let hot_count = w.iter().filter(|(id, _)| *id == hot).count();
+        assert!(
+            hot_count * 2 > w.len(),
+            "exponent 2.5 concentrates most traffic on the first graph, got {hot_count}/{}",
+            w.len()
+        );
+        // The skewed stream still serves clean.
+        let mut cluster = small_cluster(3);
+        let report = cluster.serve(&w);
+        assert!(report.responses.iter().all(|r| r.is_ok()));
     }
 }

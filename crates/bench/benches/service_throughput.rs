@@ -15,7 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use rmo_apps::service::{mixed_workload, GraphId, PaCluster};
+use rmo_apps::service::{colliding_graph_ids, mixed_workload, GraphId, PaCluster, SchedulePolicy};
 use rmo_graph::gen;
 
 fn fleet_cluster(shards: usize) -> PaCluster {
@@ -60,6 +60,33 @@ fn bench_service_throughput(c: &mut Criterion) {
         // and artifacts inside the measured batch.
         b.iter(|| fleet_cluster(2).serve(&workload))
     });
+
+    // Adversarial skew: six graphs whose ids all hash to shard 0 of 4.
+    // Pinned serializes the batch on one worker; Balanced spreads the
+    // groups by LPT and steals at run time — same responses, shorter
+    // critical path (visible wherever cores > 1).
+    let skew_cluster = |policy: SchedulePolicy| {
+        let mut cluster = PaCluster::with_policy(4, policy);
+        for (rank, id) in colliding_graph_ids(4, 0, 6).into_iter().enumerate() {
+            cluster.add_graph(id, gen::grid(6, 6 + rank));
+        }
+        cluster
+    };
+    let skewed = mixed_workload(&skew_cluster(SchedulePolicy::Balanced), 32, 7);
+    for (name, policy) in [
+        ("pinned", SchedulePolicy::Pinned),
+        ("balanced", SchedulePolicy::Balanced),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("skewed_4shard", name),
+            &policy,
+            |b, &policy| {
+                let mut cluster = skew_cluster(policy);
+                let _ = cluster.serve(&skewed);
+                b.iter(|| cluster.serve(&skewed))
+            },
+        );
+    }
 
     group.finish();
 }

@@ -224,6 +224,12 @@ pub struct EngineStats {
     pub solves: u64,
     /// Batched solves served.
     pub batches: u64,
+    /// Total cost charged to this session's callers across all solves,
+    /// batches, and division misses (setup shares included). Serving
+    /// schedulers use this as *demand history*: `charged / solves` is a
+    /// cheap per-call work estimate for load balancing
+    /// ([`EngineStats::mean_solve_work`]).
+    pub charged: CostReport,
     /// Distinct partitions currently cached.
     pub cached_partitions: usize,
     /// Election + BFS cost, paid once per engine — zero until stage 1
@@ -243,8 +249,18 @@ impl EngineStats {
         self.division_misses += other.division_misses;
         self.solves += other.solves;
         self.batches += other.batches;
+        self.charged += other.charged;
         self.cached_partitions += other.cached_partitions;
         self.base_cost += other.base_cost;
+    }
+
+    /// Mean work (rounds + messages) charged per solve — the engine-side
+    /// cost estimate a serving scheduler can consult when sizing this
+    /// session's future load (zero before the first solve).
+    pub fn mean_solve_work(&self) -> u64 {
+        (self.charged.rounds as u64 + self.charged.messages)
+            .checked_div(self.solves)
+            .unwrap_or(0)
     }
 
     /// Artifact-cache hit rate in `[0, 1]` (zero when nothing was looked
@@ -659,16 +675,21 @@ impl<'g> PaEngine<'g> {
     /// stage 2–4 setup cost stays *pending*: the first solve that
     /// consumes this partition is charged it, preserving the
     /// charged-once-per-partition invariant.
-    pub fn pipeline_for(&mut self, parts: &Partition) -> &PipelineArtifacts {
+    ///
+    /// # Errors
+    /// Propagates [`PaError`] from instance validation (e.g. a partition
+    /// with a disconnected part, or one that does not match this graph)
+    /// instead of aborting — serving layers turn this into a per-query
+    /// failure rather than killing a worker.
+    pub fn pipeline_for(&mut self, parts: &Partition) -> Result<&PipelineArtifacts, PaError> {
         let inst = PaInstance::from_partition(
             self.graph,
             parts.clone(),
             vec![0; self.graph.n()],
             Aggregate::Min,
-        )
-        .expect("engine graph is connected and values cover all nodes");
+        )?;
         let key = self.ensure_artifacts(&inst);
-        &self.core.cache[&key].artifacts
+        Ok(&self.core.cache[&key].artifacts)
     }
 
     /// Solves one PA instance over `parts`: every node of every part
@@ -704,6 +725,7 @@ impl<'g> PaEngine<'g> {
         let entry = &self.core.cache[&key];
         let mut result = solve_on(inst, &entry.artifacts.setup(self.tree()), variant)?;
         result.cost += extra;
+        self.core.stats.charged += result.cost;
         Ok(result)
     }
 
@@ -738,6 +760,7 @@ impl<'g> PaEngine<'g> {
             variant,
         )?;
         result.cost += extra;
+        self.core.stats.charged += result.cost;
         Ok(result)
     }
 
@@ -756,6 +779,7 @@ impl<'g> PaEngine<'g> {
         let parts = Partition::whole(self.graph).expect("engine graph is connected");
         let res = deterministic_division(self.graph, &parts, completion);
         let cost = res.cost;
+        self.core.stats.charged += cost;
         self.core.division_cache.insert(completion, res);
         (&self.core.division_cache[&completion], cost)
     }
@@ -866,10 +890,42 @@ mod tests {
     fn pipeline_for_is_memoized() {
         let (g, parts, _) = grid_instance();
         let mut engine = PaEngine::new(&g, EngineConfig::new());
-        let budget = engine.pipeline_for(&parts).block_budget;
-        assert_eq!(engine.pipeline_for(&parts).block_budget, budget);
+        let budget = engine.pipeline_for(&parts).unwrap().block_budget;
+        assert_eq!(engine.pipeline_for(&parts).unwrap().block_budget, budget);
         let stats = engine.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn pipeline_for_propagates_invalid_partitions() {
+        let (g, _, _) = grid_instance();
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        // A part vector of the wrong length is a PaError, not an abort —
+        // the engine (and any shard worker holding it) stays usable.
+        let bad = Partition::new(&g, vec![0; 3]);
+        assert!(bad.is_err(), "wrong-length partition never validates");
+        let parts = Partition::new(&g, vec![0; g.n()]).unwrap();
+        assert!(engine.pipeline_for(&parts).is_ok());
+    }
+
+    #[test]
+    fn charged_work_accumulates_per_solve() {
+        let (g, parts, values) = grid_instance();
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        assert_eq!(engine.stats().mean_solve_work(), 0, "no history yet");
+        let first = engine.solve(&parts, &values, Aggregate::Min).unwrap();
+        assert_eq!(engine.stats().charged, first.cost);
+        let second = engine.solve(&parts, &values, Aggregate::Min).unwrap();
+        assert_eq!(engine.stats().charged, first.cost + second.cost);
+        let mean = engine.stats().mean_solve_work();
+        assert!(mean > 0, "two solves give a nonzero demand estimate");
+        // merge folds charged work like every other counter.
+        let mut merged = engine.stats();
+        merged.merge(&engine.stats());
+        assert_eq!(
+            merged.charged,
+            engine.stats().charged + engine.stats().charged
+        );
     }
 
     #[test]
@@ -881,7 +937,7 @@ mod tests {
         // from the session's accounting: the first solve that consumes
         // the entry still pays it.
         let mut warmed = PaEngine::new(&g, EngineConfig::new());
-        let _ = warmed.pipeline_for(&parts);
+        let _ = warmed.pipeline_for(&parts).unwrap();
         let first = warmed.solve(&parts, &values, Aggregate::Min).unwrap();
         assert_eq!(first.cost, baseline.cost, "setup charged exactly once");
         let second = warmed.solve(&parts, &values, Aggregate::Min).unwrap();

@@ -1,8 +1,11 @@
 //! `rmo-harness` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! rmo-harness <experiment> [--quick]
+//! rmo-harness <experiment> [--quick] [--skew]
 //! ```
+//!
+//! `--skew` adds the scheduler-balance scenarios (zipf popularity,
+//! adversarial one-shard hashing) to the `serve` experiment.
 //!
 //! Experiments: `table1`, `table2`, `figure1`, `figure2`, `figure3`,
 //! `figure4`, `figure5`, `mst`, `mincut`, `sssp`, `verification`,
@@ -21,6 +24,7 @@ use std::env;
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let skew = args.iter().any(|a| a == "--skew");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -64,7 +68,7 @@ fn main() {
         "ablation" => experiments::ablation::run(quick),
         "beyond" => experiments::beyond::run(),
         "engine" => experiments::engine::run(quick),
-        "serve" => experiments::serve::run(quick),
+        "serve" => experiments::serve::run(quick, skew),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!("available: {} all", all.join(" "));

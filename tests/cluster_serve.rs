@@ -1,26 +1,57 @@
-//! The `PaCluster` determinism and routing contract.
+//! The `PaCluster` determinism, routing, and work-stealing contract.
 //!
 //! * Threaded serving bit-matches the sequential replay — responses
 //!   *and* per-query cost accounting — on a seeded mixed workload over
-//!   grid/path/gnp graphs, at several shard counts.
+//!   grid/path/gnp graphs, at several shard counts, under both
+//!   scheduling policies.
+//! * A threaded run's [`ServeLog`] (LPT placement + recorded steals)
+//!   replayed through `serve_replay` reproduces the run bit-for-bit,
+//!   per-shard placement included — at shards 1/2/4/7.
+//! * Skewed workloads (all traffic on one graph; every graph hashing
+//!   to one shard) stay deterministic, and the `Balanced` scheduler
+//!   spreads the adversarial fleet that starves hash-pinning.
 //! * `PaEngine`/`EngineCore` are statically `Send` (what lets engines
-//!   live on shard worker threads at all).
-//! * Shard routing pins every graph to exactly one shard, stably.
+//!   live on shard worker threads — and hop between them when stolen).
+//! * The `Pinned` policy pins every graph to exactly one shard, stably.
 
 use rmo_apps::dispatch::{Query, QueryResponse};
-use rmo_apps::service::{mixed_workload, GraphId, PaCluster};
+use rmo_apps::service::{
+    colliding_graph_ids, mixed_workload, zipf_workload, GraphId, PaCluster, SchedulePolicy,
+    ServeLog,
+};
 use rmo_core::{Aggregate, EngineCore, PaEngine};
 use rmo_graph::gen;
 
-fn fleet_cluster(shards: usize) -> PaCluster {
-    let mut cluster = PaCluster::new(shards);
-    cluster.add_graph(GraphId(10), gen::grid(5, 6));
-    cluster.add_graph(GraphId(11), gen::grid(4, 4));
-    cluster.add_graph(GraphId(12), gen::path(40));
-    cluster.add_graph(GraphId(13), gen::path(17));
-    cluster.add_graph(GraphId(14), gen::gnp_connected(30, 0.12, 3));
-    cluster.add_graph(GraphId(15), gen::gnp_connected(24, 0.15, 8));
+fn fleet() -> Vec<(GraphId, rmo_graph::Graph)> {
+    vec![
+        (GraphId(10), gen::grid(5, 6)),
+        (GraphId(11), gen::grid(4, 4)),
+        (GraphId(12), gen::path(40)),
+        (GraphId(13), gen::path(17)),
+        (GraphId(14), gen::gnp_connected(30, 0.12, 3)),
+        (GraphId(15), gen::gnp_connected(24, 0.15, 8)),
+    ]
+}
+
+fn fleet_with_policy(shards: usize, policy: SchedulePolicy) -> PaCluster {
+    let mut cluster = PaCluster::with_policy(shards, policy);
+    for (id, g) in fleet() {
+        cluster.add_graph(id, g);
+    }
     cluster
+}
+
+fn fleet_cluster(shards: usize) -> PaCluster {
+    fleet_with_policy(shards, SchedulePolicy::default())
+}
+
+fn one_shard_cluster(shards: usize, policy: SchedulePolicy) -> (PaCluster, Vec<GraphId>) {
+    let ids = colliding_graph_ids(shards, 0, 5);
+    let mut cluster = PaCluster::with_policy(shards, policy);
+    for (rank, &id) in ids.iter().enumerate() {
+        cluster.add_graph(id, gen::grid(4, 4 + rank));
+    }
+    (cluster, ids)
 }
 
 #[test]
@@ -32,30 +63,160 @@ fn threaded_serving_bit_matches_sequential_replay() {
         "the generated workload is always servable"
     );
     for shards in [1usize, 2, 4, 7] {
-        let mut cluster = fleet_cluster(shards);
-        let threaded = cluster.serve(&workload);
-        // Answers and per-query CostReports are inside the responses:
-        // equality is the full determinism contract, including cost
-        // accounting (who paid election+BFS, setup, waves).
-        assert_eq!(
-            threaded.responses, baseline.responses,
-            "threaded responses diverged at {shards} shards"
-        );
-        // Engine counters (hits/misses/evictions/base costs) match too.
-        let replay = fleet_cluster(shards).serve_sequential(&workload);
-        assert_eq!(
-            threaded.stats.engine, replay.stats.engine,
-            "engine counters diverged at {shards} shards"
-        );
-        assert_eq!(threaded.stats.queries, workload.len() as u64);
-        assert_eq!(threaded.stats.failed, 0);
+        for policy in [SchedulePolicy::Balanced, SchedulePolicy::Pinned] {
+            let mut cluster = fleet_with_policy(shards, policy);
+            let threaded = cluster.serve(&workload);
+            // Answers and per-query CostReports are inside the responses:
+            // equality is the full determinism contract, including cost
+            // accounting (who paid election+BFS, setup, waves) — and it
+            // holds regardless of placement policy or stealing.
+            assert_eq!(
+                threaded.responses, baseline.responses,
+                "threaded responses diverged at {shards} shards under {policy:?}"
+            );
+            // Engine counters (hits/misses/evictions/base/charged) too.
+            let replay = fleet_with_policy(shards, policy).serve_sequential(&workload);
+            assert_eq!(
+                threaded.stats.engine, replay.stats.engine,
+                "engine counters diverged at {shards} shards under {policy:?}"
+            );
+            assert_eq!(threaded.stats.queries, workload.len() as u64);
+            assert_eq!(threaded.stats.failed, 0);
+        }
     }
+}
+
+#[test]
+fn steal_log_replay_reproduces_placement_at_every_shard_count() {
+    let workload = mixed_workload(&fleet_cluster(1), 48, 77);
+    for shards in [1usize, 2, 4, 7] {
+        let mut threaded = fleet_cluster(shards);
+        let report = threaded.serve(&workload);
+        // Feed the recorded final assignment (steals included) back into
+        // an identically prepared cluster: everything must bit-match —
+        // responses, engine counters, and the per-shard placement.
+        let mut fresh = fleet_cluster(shards);
+        let replay = fresh.serve_replay(&workload, &report.log);
+        assert_eq!(replay.responses, report.responses, "{shards} shards");
+        assert_eq!(replay.stats.engine, report.stats.engine);
+        assert_eq!(
+            replay.log.assignments, report.log.assignments,
+            "replay must land every group on the recorded shard"
+        );
+        assert!(replay.log.steals.is_empty(), "replays never steal");
+        for (t, r) in report
+            .stats
+            .per_shard
+            .iter()
+            .zip(replay.stats.per_shard.iter())
+        {
+            assert_eq!(t.queries, r.queries);
+            assert_eq!(t.graph_ids, r.graph_ids);
+        }
+        // The log itself is sane: every steal lands where the
+        // assignment says, epochs are sequential.
+        for (i, steal) in report.log.steals.iter().enumerate() {
+            assert_eq!(steal.epoch, i as u64);
+            assert!(steal.from != steal.to);
+            assert!(
+                report.log.assignments[steal.to].contains(&steal.graph),
+                "stolen group must appear in the thief's assignment"
+            );
+        }
+    }
+}
+
+#[test]
+fn handcrafted_replay_moves_a_group_deterministically() {
+    // Placement independence, exercised without racing threads: take the
+    // sequential run's log, move one whole graph group to another shard
+    // by hand, and replay — responses and engine counters must not move.
+    let workload = mixed_workload(&fleet_cluster(1), 36, 31);
+    let baseline = fleet_cluster(4).serve_sequential(&workload);
+    let mut log = baseline.log.clone();
+    let from = (0..4)
+        .find(|&s| !log.assignments[s].is_empty())
+        .expect("some shard serves");
+    let moved = log.assignments[from].pop().unwrap();
+    let to = (from + 1) % 4;
+    log.assignments[to].insert(0, moved);
+    let mut fresh = fleet_cluster(4);
+    let replay = fresh.serve_replay(&workload, &log);
+    assert_eq!(replay.responses, baseline.responses);
+    assert_eq!(replay.stats.engine, baseline.stats.engine);
+    assert!(
+        replay.stats.per_shard[to].graph_ids.contains(&moved),
+        "the moved group executed on its new shard"
+    );
+}
+
+#[test]
+fn hot_graph_skew_stays_deterministic() {
+    // All traffic on one graph: a single unsplittable group. Threaded
+    // and sequential still bit-match, and exactly one shard serves.
+    let workload = zipf_workload(&fleet_cluster(1), 40, 9, 50.0);
+    let hot = fleet_cluster(1).graph_ids()[0];
+    assert!(
+        workload.iter().all(|(id, _)| *id == hot),
+        "exponent 50 sends every query to the first graph"
+    );
+    let mut threaded = fleet_cluster(4);
+    let t = threaded.serve(&workload);
+    let s = fleet_cluster(4).serve_sequential(&workload);
+    assert_eq!(t.responses, s.responses);
+    assert_eq!(t.stats.engine, s.stats.engine);
+    let serving: Vec<usize> = t
+        .stats
+        .per_shard
+        .iter()
+        .enumerate()
+        .filter(|(_, st)| st.queries > 0)
+        .map(|(shard, _)| shard)
+        .collect();
+    assert_eq!(serving.len(), 1, "one graph group, one shard: {serving:?}");
+}
+
+#[test]
+fn balanced_policy_spreads_an_adversarially_hashed_fleet() {
+    // Five graphs whose ids all hash to shard 0 of 4. Pinned serving
+    // serializes the whole batch on that shard; Balanced (LPT) spreads
+    // the groups — and both produce identical responses.
+    let shards = 4;
+    let (pinned_cluster, ids) = one_shard_cluster(shards, SchedulePolicy::Pinned);
+    for &id in &ids {
+        assert_eq!(pinned_cluster.shard_of(id), 0, "ids hash to shard 0");
+    }
+    let workload = mixed_workload(&pinned_cluster, 40, 5);
+
+    let (mut pinned, _) = one_shard_cluster(shards, SchedulePolicy::Pinned);
+    let p = pinned.serve(&workload);
+    let busy_shards = |report: &rmo_apps::ServeReport| {
+        report
+            .stats
+            .per_shard
+            .iter()
+            .filter(|s| s.queries > 0)
+            .count()
+    };
+    assert_eq!(busy_shards(&p), 1, "hash-pinning starves three shards");
+    assert_eq!(p.stats.per_shard[0].queries, 40);
+
+    let (mut balanced, _) = one_shard_cluster(shards, SchedulePolicy::Balanced);
+    let b = balanced.serve_sequential(&workload);
+    assert!(
+        busy_shards(&b) >= 3,
+        "LPT spreads 5 groups over the fleet, got {} busy shards",
+        busy_shards(&b)
+    );
+    assert_eq!(b.responses, p.responses, "placement never changes answers");
+    assert_eq!(b.stats.engine, p.stats.engine);
 }
 
 #[test]
 fn warm_clusters_stay_deterministic_across_batches() {
     // Two batches back-to-back: the second starts on parked warm
-    // engines, and threaded/sequential must still agree bit-for-bit.
+    // engines *and* a demand history that reshapes the LPT placement —
+    // threaded/sequential must still agree bit-for-bit.
     let first = mixed_workload(&fleet_cluster(1), 24, 5);
     let second = mixed_workload(&fleet_cluster(1), 24, 6);
     let mut threaded = fleet_cluster(3);
@@ -72,23 +233,25 @@ fn warm_clusters_stay_deterministic_across_batches() {
 fn engine_and_core_are_send() {
     fn assert_send<T: Send>() {}
     // The static contract the shard workers rely on: an engine (and its
-    // parked core) can move to a worker thread.
+    // parked core, and a steal log) can move to a worker thread.
     assert_send::<PaEngine<'static>>();
     assert_send::<EngineCore>();
     assert_send::<Query>();
     assert_send::<QueryResponse>();
+    assert_send::<ServeLog>();
 }
 
 #[test]
-fn every_graph_is_pinned_to_one_shard() {
-    let cluster = fleet_cluster(4);
+fn every_graph_is_pinned_to_one_shard_under_pinned_policy() {
+    let pinned_fleet = |shards: usize| fleet_with_policy(shards, SchedulePolicy::Pinned);
+    let cluster = pinned_fleet(4);
     let pinned: Vec<usize> = cluster
         .graph_ids()
         .iter()
         .map(|&id| cluster.shard_of(id))
         .collect();
     // Stable: the same mapping on every call and every rebuild.
-    let rebuilt = fleet_cluster(4);
+    let rebuilt = pinned_fleet(4);
     for (i, &id) in cluster.graph_ids().iter().enumerate() {
         assert!(pinned[i] < 4, "shard out of range");
         assert_eq!(rebuilt.shard_of(id), pinned[i], "routing must be stable");
@@ -96,7 +259,7 @@ fn every_graph_is_pinned_to_one_shard() {
 
     // Serving confirms the pin: across several batches, each graph only
     // ever appears in its own shard's served set.
-    let mut cluster = fleet_cluster(4);
+    let mut cluster = pinned_fleet(4);
     for seed in [1u64, 2, 3] {
         let workload = mixed_workload(&cluster, 30, seed);
         let report = cluster.serve(&workload);
@@ -125,25 +288,29 @@ fn every_graph_is_pinned_to_one_shard() {
 }
 
 #[test]
-fn worker_panic_spares_other_shards_warm_state() {
+fn group_panic_spares_other_groups_and_stays_deterministic() {
+    // Panics are contained per *group*: every healthy group still
+    // serves (wherever it was placed, stolen or not), so the post-panic
+    // cluster state is identical across serving modes.
+    let mut post_panic_engine = Vec::new();
     for threaded in [true, false] {
         let mut cluster = fleet_cluster(2);
         let ids = cluster.graph_ids();
-        let healthy = ids[0];
-        let poisoned = *ids
-            .iter()
-            .find(|&&id| cluster.shard_of(id) != cluster.shard_of(healthy))
-            .expect("the fleet spans both shards");
+        let (healthy, poisoned, third) = (ids[0], ids[1], ids[2]);
         let n = cluster.graph(healthy).unwrap().n();
         let pa = Query::Pa {
             assignment: vec![0; n],
             values: vec![7; n],
             agg: Aggregate::Sum,
         };
-        // Warm the healthy graph, then serve a batch where the other
-        // shard hits a contract panic (k == 0 is documented to panic).
+        // Warm the healthy graph, then serve a batch where one group
+        // hits a contract panic (k == 0 is documented to panic).
         let _ = cluster.serve(&[(healthy, pa.clone())]);
-        let batch = vec![(healthy, pa.clone()), (poisoned, Query::Kdom { k: 0 })];
+        let batch = vec![
+            (healthy, pa.clone()),
+            (poisoned, Query::Kdom { k: 0 }),
+            (third, Query::Mst),
+        ];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if threaded {
                 cluster.serve(&batch)
@@ -152,15 +319,20 @@ fn worker_panic_spares_other_shards_warm_state() {
             }
         }));
         assert!(result.is_err(), "the contract panic must propagate");
-        // The healthy shard's work and warm state survived the panic:
-        // its query was answered (served counter) and its parked engine
-        // still serves cache hits.
+        // The healthy groups' work and warm state survived the panic:
+        // their queries were answered (served counter) and the parked
+        // engines still serve cache hits.
         let after = cluster.serve(&[(healthy, pa.clone())]);
         let stats = after.stats;
-        assert_eq!(stats.engine.misses, 1, "healthy engine never rebuilt");
+        assert_eq!(stats.engine.misses, 2, "healthy engines never rebuilt");
         assert_eq!(stats.engine.hits, 2, "both repeat solves were warm");
-        assert_eq!(stats.queries, 3, "all three healthy queries counted");
+        assert_eq!(stats.queries, 4, "all four healthy queries counted");
+        post_panic_engine.push(stats.engine);
     }
+    assert_eq!(
+        post_panic_engine[0], post_panic_engine[1],
+        "post-panic cluster state must not depend on the serving mode"
+    );
 }
 
 #[test]

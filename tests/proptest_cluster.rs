@@ -1,0 +1,51 @@
+//! Property-based determinism of the serving layer: for arbitrary shard
+//! counts, seeds, skew exponents, and scheduling policies, threaded
+//! serving (LPT placement + work stealing) bit-matches the sequential
+//! replay — responses, per-query costs, and engine counters — and the
+//! recorded steal log reproduces the exact placement.
+
+use proptest::prelude::*;
+
+use rmo::apps::service::{zipf_workload, GraphId, PaCluster, SchedulePolicy};
+use rmo::graph::gen;
+
+fn skew_cluster(shards: usize, policy: SchedulePolicy) -> PaCluster {
+    let mut cluster = PaCluster::with_policy(shards, policy);
+    cluster.add_graph(GraphId(0), gen::grid(4, 5));
+    cluster.add_graph(GraphId(1), gen::path(16));
+    cluster.add_graph(GraphId(2), gen::gnp_connected(18, 0.2, 5));
+    cluster.add_graph(GraphId(3), gen::grid(3, 6));
+    cluster
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn threaded_equals_sequential_under_random_skew(
+        shards in 1usize..6,
+        seed in 0u64..1000,
+        // 0 = uniform traffic; large = almost everything on one graph.
+        exponent in 0u32..30,
+        pinned in any::<bool>(),
+    ) {
+        let policy = if pinned { SchedulePolicy::Pinned } else { SchedulePolicy::Balanced };
+        let workload = zipf_workload(
+            &skew_cluster(1, policy),
+            20,
+            seed,
+            f64::from(exponent) / 10.0,
+        );
+        let mut threaded = skew_cluster(shards, policy);
+        let t = threaded.serve(&workload);
+        let s = skew_cluster(shards, policy).serve_sequential(&workload);
+        prop_assert_eq!(&t.responses, &s.responses);
+        prop_assert_eq!(t.stats.engine, s.stats.engine);
+        prop_assert_eq!(t.stats.queries, workload.len() as u64);
+        // The steal log replays to the identical placement.
+        let r = skew_cluster(shards, policy).serve_replay(&workload, &t.log);
+        prop_assert_eq!(&r.responses, &t.responses);
+        prop_assert_eq!(&r.log.assignments, &t.log.assignments);
+        prop_assert!(r.log.steals.is_empty());
+    }
+}

@@ -4,9 +4,11 @@
 //! * every example under `examples/` compiles (`cargo build --examples`);
 //! * the `rmo-harness` binary runs a quick Table 1 regeneration without
 //!   panicking and prints a markdown table;
-//! * the `serve` experiment runs, which exercises the threaded
-//!   `PaCluster` path (scoped shard workers + mpsc collection) and its
-//!   internal threaded-vs-sequential bit-match assertions on every CI
+//! * the `serve --skew` experiment runs, which exercises the threaded
+//!   `PaCluster` path (scoped shard workers + mpsc collection, LPT
+//!   placement, work stealing on the skewed scenarios) and its internal
+//!   threaded-vs-sequential/steal-log-replay bit-match assertions — plus
+//!   the ≥1.5× balanced-vs-pinned critical-path bound — on every CI
 //!   push.
 //!
 //! These shell out to the same `cargo` that is running the test suite
@@ -97,7 +99,7 @@ fn harness_quick_table1_runs() {
 }
 
 #[test]
-fn harness_quick_serve_runs_threaded_cluster() {
+fn harness_quick_serve_runs_threaded_cluster_with_skew() {
     let out = cargo()
         .args([
             "run",
@@ -109,14 +111,17 @@ fn harness_quick_serve_runs_threaded_cluster() {
             "--",
             "serve",
             "--quick",
+            "--skew",
         ])
         .output()
         .expect("failed to spawn rmo-harness");
     // The experiment itself asserts that threaded serving bit-matches
-    // the sequential replay; a failed assertion is a non-zero exit here.
+    // the sequential replay and the steal-log replay, and that the
+    // Balanced scheduler beats hash-pinning >= 1.5x on the adversarial
+    // one-shard fleet; a failed assertion is a non-zero exit here.
     assert!(
         out.status.success(),
-        "rmo-harness serve --quick exited with {:?}:\n{}",
+        "rmo-harness serve --quick --skew exited with {:?}:\n{}",
         out.status.code(),
         String::from_utf8_lossy(&out.stderr)
     );
@@ -128,5 +133,9 @@ fn harness_quick_serve_runs_threaded_cluster() {
     assert!(
         stdout.contains("hit rate"),
         "serve table must report cache hit rates; got:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("one-shard hash") && stdout.contains("steals"),
+        "the skew run must print the scheduler-balance table; got:\n{stdout}"
     );
 }
