@@ -393,14 +393,55 @@ fn apply_log(shard_groups: Vec<Vec<Group>>, log: &ServeLog) -> Vec<Vec<Group>> {
     out
 }
 
+/// Numerator/denominator of the per-batch demand decay: every batch,
+/// each graph's history keeps 3/4 of its mass before absorbing the new
+/// observations at full weight, making the weight estimate an EWMA with
+/// an effective window of ~4 batches. Integer math, so the decay is
+/// bit-identical on every platform and serving mode.
+const DEMAND_DECAY_NUM: u64 = 3;
+const DEMAND_DECAY_DEN: u64 = 4;
+
 /// Deterministic per-graph demand history: observed serving work
 /// (rounds + messages of every response), which supersedes the a-priori
 /// [`Query::weight`] estimate once a graph has traffic. Responses are
 /// deterministic, so both serving modes accumulate identical history.
+///
+/// The window **decays**: each batch ages every graph's accumulators by
+/// [`DEMAND_DECAY_NUM`]`/`[`DEMAND_DECAY_DEN`] before new observations
+/// land, so a drifting workload (a graph whose queries got cheaper, or
+/// a graph that went cold) stops steering LPT placement with stale
+/// weights — a graph with no recent traffic decays back to the a-priori
+/// estimate entirely.
 #[derive(Debug, Clone, Copy, Default)]
 struct GroupHistory {
     queries: u64,
     work: u64,
+}
+
+impl GroupHistory {
+    /// Ages the window by one batch. Both accumulators shrink by the
+    /// same factor, so the mean work per query is preserved; only the
+    /// window's *mass* (its resistance to new evidence) fades.
+    fn decay(&mut self) {
+        self.queries = self.queries * DEMAND_DECAY_NUM / DEMAND_DECAY_DEN;
+        self.work = self.work * DEMAND_DECAY_NUM / DEMAND_DECAY_DEN;
+    }
+
+    /// Records one served query's deterministic cost.
+    fn observe(&mut self, work: u64) {
+        self.queries += 1;
+        self.work += work;
+    }
+
+    /// Mean observed work per query, if the window still holds traffic.
+    fn mean_work(&self) -> Option<u64> {
+        (self.queries > 0).then(|| (self.work / self.queries).max(1))
+    }
+
+    /// Whether the window has fully decayed (entry should be dropped).
+    fn is_spent(&self) -> bool {
+        self.queries == 0
+    }
 }
 
 /// Which execution engine a batch runs on.
@@ -425,6 +466,8 @@ pub struct PaCluster {
     /// lazily: a graph that never sees a query never pays election+BFS.
     cores: HashMap<GraphId, EngineCore>,
     /// Observed per-graph demand (drives `Balanced` group weights).
+    /// Decays every batch (see [`GroupHistory`]), so drifting workloads
+    /// don't steer LPT placement with stale weights.
     history: HashMap<GraphId, GroupHistory>,
     /// Lifetime query counters (engine stats live in `cores`).
     served: u64,
@@ -568,9 +611,9 @@ impl PaCluster {
     /// well-defined.
     fn group_weight(&self, id: GraphId, indices: &[usize], queries: &[(GraphId, Query)]) -> u64 {
         let graph = &self.slots[&id].graph;
-        match self.history.get(&id) {
-            Some(h) if h.queries > 0 => (h.work / h.queries).max(1) * indices.len() as u64,
-            _ => indices
+        match self.history.get(&id).and_then(GroupHistory::mean_work) {
+            Some(mean) => mean * indices.len() as u64,
+            None => indices
                 .iter()
                 .map(|&idx| queries[idx].1.weight(graph.n(), graph.m()))
                 .sum::<u64>()
@@ -838,12 +881,20 @@ impl PaCluster {
         self.failed += answered.filter(|r| !r.is_ok()).count() as u64;
         // Demand history for future LPT placement: identical in every
         // mode because responses (and their costs) are deterministic.
+        // Age the whole window first (graphs with no traffic this batch
+        // decay too — that is the point), then absorb this batch's
+        // observations at full weight.
+        self.history.retain(|_, h| {
+            h.decay();
+            !h.is_spent()
+        });
         for ((id, _), resp) in queries.iter().zip(&responses) {
             if let Some(resp) = resp {
                 if self.slots.contains_key(id) {
-                    let h = self.history.entry(*id).or_default();
-                    h.queries += 1;
-                    h.work += resp.cost().rounds as u64 + resp.cost().messages;
+                    self.history
+                        .entry(*id)
+                        .or_default()
+                        .observe(resp.cost().rounds as u64 + resp.cost().messages);
                 }
             }
         }
@@ -1207,6 +1258,74 @@ mod tests {
         );
         // With stealing off, an idle worker just stops.
         assert!(state.next_group(0, false).is_none());
+    }
+
+    #[test]
+    fn demand_history_decays_toward_recent_traffic() {
+        let mut h = GroupHistory::default();
+        // An established heavy window: mean 1000 per query.
+        for _ in 0..20 {
+            h.observe(1000);
+        }
+        assert_eq!(h.mean_work(), Some(1000));
+        // The workload drifts: six batches of cheap queries. The EWMA
+        // (decay then absorb) must converge toward the recent mean
+        // instead of anchoring on the stale heavy window.
+        for _ in 0..6 {
+            h.decay();
+            for _ in 0..20 {
+                h.observe(10);
+            }
+        }
+        let mean = h.mean_work().expect("window still has traffic");
+        assert!(
+            (10..100).contains(&mean),
+            "EWMA must track the recent cheap traffic, got {mean}"
+        );
+        // Decay preserves the mean while traffic continues...
+        let mut steady = GroupHistory::default();
+        for _ in 0..4 {
+            steady.decay();
+            for _ in 0..10 {
+                steady.observe(500);
+            }
+        }
+        let steady_mean = steady.mean_work().expect("live window");
+        assert!(
+            (450..=560).contains(&steady_mean),
+            "equal scaling keeps the mean near 500 (integer truncation \
+             aside), got {steady_mean}"
+        );
+        // ...and an un-driven window decays to nothing, restoring the
+        // a-priori estimate.
+        let mut idle = h;
+        while !idle.is_spent() {
+            idle.decay();
+        }
+        assert_eq!(idle.mean_work(), None);
+    }
+
+    #[test]
+    fn stale_history_is_dropped_by_batches_elsewhere() {
+        let mut cluster = small_cluster(2);
+        cluster.serve(&[(GraphId(1), Query::Mst)]);
+        assert!(
+            cluster.history.contains_key(&GraphId(1)),
+            "served graph gains a demand window"
+        );
+        // Batches that never touch graph 1 age its window away; the
+        // graph then falls back to the a-priori Query::weight estimate.
+        for _ in 0..20 {
+            cluster.serve(&[(GraphId(2), Query::Kdom { k: 6 })]);
+        }
+        assert!(
+            !cluster.history.contains_key(&GraphId(1)),
+            "a cold graph's window fully decays"
+        );
+        assert!(
+            cluster.history.contains_key(&GraphId(2)),
+            "the live graph keeps its window"
+        );
     }
 
     #[test]

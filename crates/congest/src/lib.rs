@@ -13,7 +13,11 @@
 //!   machines run in lockstep rounds; the simulator enforces the one
 //!   message per directed edge per round CONGEST constraint (relaxable by
 //!   an explicit, reported multiplier — the paper's own randomized PA uses
-//!   an `O(log n)` blow-up of meta-rounds, Section 4.2).
+//!   an `O(log n)` blow-up of meta-rounds, Section 4.2). The engine is
+//!   frontier-driven and allocation-free in steady state (flat
+//!   double-buffered message arenas, active-set scheduling); the dense
+//!   pre-optimization loop survives as [`mod@reference`], the semantic
+//!   oracle the fast engine is differentially tested against.
 //! * [`CostReport`] — rounds and messages, composable across phases.
 //! * [`programs`] — genuinely distributed building blocks: BFS-tree
 //!   construction, tree broadcast/convergecast and flooding leader
@@ -46,6 +50,7 @@ pub mod metrics;
 pub mod network;
 pub mod payload;
 pub mod programs;
+pub mod reference;
 pub mod router;
 pub mod sim;
 

@@ -6,6 +6,11 @@
 //! be learned by exchanging messages. [`Network`] wires ports of adjacent
 //! nodes together so the simulator can deliver messages, while keeping
 //! that knowledge away from the programs.
+//!
+//! The port table is stored in CSR form — one offset per node into a
+//! single flat `(edge, neighbor, neighbor_port)` array — so the
+//! simulator's hot loop reads each node's ports as one contiguous slice
+//! and the whole topology costs two allocations, not `n + 1`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,8 +30,11 @@ pub type PortId = usize;
 pub struct Network {
     n: usize,
     ids: Vec<u64>,
-    /// `ports[v][p] = (edge, neighbor, neighbor's port for this edge)`.
-    ports: Vec<Vec<(EdgeId, NodeId, PortId)>>,
+    /// CSR offsets: node `v`'s ports live at
+    /// `port_data[port_off[v]..port_off[v + 1]]`.
+    port_off: Vec<usize>,
+    /// `port_data[port_off[v] + p] = (edge, neighbor, neighbor's port)`.
+    port_data: Vec<(EdgeId, NodeId, PortId)>,
     /// `edge_ports[e] = ((u, port at u), (v, port at v))`.
     edge_ports: Vec<((NodeId, PortId), (NodeId, PortId))>,
 }
@@ -45,19 +53,33 @@ impl Network {
                 }
             })
             .collect();
-        let mut ports: Vec<Vec<(EdgeId, NodeId, PortId)>> = vec![Vec::new(); g.n()];
+        // Two passes: degree counts -> prefix sums -> stable fill in edge
+        // order, so port numbering is identical to pushing per-node vecs.
+        let mut port_off = vec![0usize; g.n() + 1];
+        for (_, u, v, _) in g.edges() {
+            port_off[u + 1] += 1;
+            port_off[v + 1] += 1;
+        }
+        for i in 0..g.n() {
+            port_off[i + 1] += port_off[i];
+        }
+        let mut cursor: Vec<usize> = port_off[..g.n()].to_vec();
+        let mut port_data = vec![(0, 0, 0); 2 * g.m()];
         let mut edge_ports = Vec::with_capacity(g.m());
         for (e, u, v, _) in g.edges() {
-            let pu = ports[u].len();
-            let pv = ports[v].len();
-            ports[u].push((e, v, pv));
-            ports[v].push((e, u, pu));
+            let pu = cursor[u] - port_off[u];
+            let pv = cursor[v] - port_off[v];
+            port_data[cursor[u]] = (e, v, pv);
+            port_data[cursor[v]] = (e, u, pu);
+            cursor[u] += 1;
+            cursor[v] += 1;
             edge_ports.push(((u, pu), (v, pv)));
         }
         Network {
             n: g.n(),
             ids,
-            ports,
+            port_off,
+            port_data,
             edge_ports,
         }
     }
@@ -85,7 +107,25 @@ impl Network {
 
     /// Degree of `v`.
     pub fn degree(&self, v: NodeId) -> usize {
-        self.ports[v].len()
+        self.port_off[v + 1] - self.port_off[v]
+    }
+
+    /// All of `v`'s ports as one contiguous slice:
+    /// `port_targets(v)[p] = (edge, neighbor, neighbor_port)`.
+    pub fn port_targets(&self, v: NodeId) -> &[(EdgeId, NodeId, PortId)] {
+        &self.port_data[self.port_off[v]..self.port_off[v + 1]]
+    }
+
+    /// Start of `v`'s slice in the flat port array (`0..total_ports`);
+    /// the simulator's per-port scratch is indexed by `port_base(v) + p`.
+    pub fn port_base(&self, v: NodeId) -> usize {
+        self.port_off[v]
+    }
+
+    /// Total directed port count (`2m`) — the length of the flat port
+    /// array that [`Network::port_base`] indexes into.
+    pub fn total_ports(&self) -> usize {
+        self.port_data.len()
     }
 
     /// `(edge, neighbor, neighbor_port)` behind port `p` of node `v`.
@@ -93,7 +133,7 @@ impl Network {
     /// # Panics
     /// Panics if the port does not exist.
     pub fn port_target(&self, v: NodeId, p: PortId) -> (EdgeId, NodeId, PortId) {
-        self.ports[v][p]
+        self.port_targets(v)[p]
     }
 
     /// The port of `v` that leads over edge `e`.
@@ -179,5 +219,23 @@ mod tests {
             assert_eq!(net.node_with_id(net.id_of(v)), Some(v));
         }
         assert_eq!(net.node_with_id(0), None);
+    }
+
+    #[test]
+    fn csr_slices_match_per_port_lookups() {
+        let g = gen::random_connected(25, 60, 4);
+        let net = Network::new(&g, 4);
+        let mut total = 0;
+        for v in 0..net.n() {
+            let slice = net.port_targets(v);
+            assert_eq!(slice.len(), net.degree(v));
+            for (p, &entry) in slice.iter().enumerate() {
+                assert_eq!(entry, net.port_target(v, p));
+            }
+            assert_eq!(net.port_base(v), total);
+            total += slice.len();
+        }
+        assert_eq!(total, net.total_ports());
+        assert_eq!(net.total_ports(), 2 * g.m());
     }
 }

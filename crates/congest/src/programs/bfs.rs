@@ -7,6 +7,11 @@
 //!
 //! After quiescence the caller extracts parent ports and assembles a
 //! [`RootedTree`] via [`extract_tree`].
+//!
+//! Active-set contract audit: with an empty inbox and `wants_round()
+//! == false` (non-root before any announcement arrives, or any node
+//! after announcing), `on_round` neither mutates state nor sends — the
+//! root drives rounds only until it has announced.
 
 use rmo_graph::{Graph, NodeId, RootedTree};
 

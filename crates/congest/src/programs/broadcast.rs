@@ -9,6 +9,11 @@
 //! knowing, so the classic flooding broadcast uses `O(m)`; the
 //! [`TreeBroadcast::with_children`] variant restricts to known child
 //! ports, the `O(n)`-message regime the paper's tree primitives assume).
+//!
+//! Active-set contract audit: receive and forward happen in the same
+//! `on_round` call, so after it a node is either untouched (no value
+//! yet, `wants_round` false unless it is the injecting root) or fully
+//! forwarded — an empty-inbox, no-wants call is a no-op.
 
 use rmo_graph::{Graph, NodeId, RootedTree};
 

@@ -8,6 +8,11 @@
 //!
 //! The fold is a *word-sized commutative associative* operation passed as
 //! a plain function pointer, mirroring the paper's `f` (Definition 1.1).
+//!
+//! Active-set contract audit: a node sends in the same `on_round` that
+//! completes its child count (leaves via `wants_round` in round 0), so
+//! an empty-inbox call with `wants_round` false means children are
+//! still missing — the call is a no-op.
 
 use rmo_graph::{Graph, NodeId, RootedTree};
 

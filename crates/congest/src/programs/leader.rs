@@ -12,6 +12,11 @@
 //! bounds in this workspace absorb polylog factors, flood-max with random
 //! IDs is within the accounting budget, and we report its exact measured
 //! cost rather than an analytical bound.
+//!
+//! Active-set contract audit: `wants_round` is true only before the
+//! node learns its own ID (round 0); afterwards `best ==
+//! announced_best` holds whenever the inbox is empty, so the call
+//! neither mutates nor sends.
 
 use rmo_graph::{Graph, NodeId};
 

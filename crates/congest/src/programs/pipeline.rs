@@ -6,6 +6,10 @@
 //! Each node forwards tokens down its tree children in FIFO order, one
 //! per child edge per round; `k` tokens stream behind each other instead
 //! of taking `k·depth` rounds.
+//!
+//! Active-set contract audit: `wants_round` is true exactly while
+//! tokens remain to inject or forward; with an empty inbox and both
+//! queues drained, `on_round` pops nothing and sends nothing.
 
 use std::collections::VecDeque;
 

@@ -189,9 +189,18 @@ impl<'t> TreeRouter<'t> {
                     moves.push((v, s, val));
                 }
             }
-            for (v, s, val) in moves {
+            // Two-phase application: all moved packets leave their
+            // holders *before* any is delivered. Interleaving removal
+            // with delivery would let a packet arriving at `p` merge
+            // into a packet `p` is itself forwarding this round (whose
+            // value was already captured in `moves`) — the merged
+            // contribution would then be silently dropped whenever the
+            // child's move happened to be applied first.
+            for &(v, s, _) in &moves {
                 waiting[v].remove(&s);
                 in_flight -= 1;
+            }
+            for (v, s, val) in moves {
                 messages += 1;
                 edge_users.entry((v, s)).or_insert(());
                 let p = self
@@ -556,6 +565,29 @@ mod tests {
         assert_eq!(res.cost.capacity_multiplier, 4);
         // With capacity 4, eight contending subtrees need ~D + c/4 rounds.
         assert!(res.cost.rounds <= 9 + 2);
+    }
+
+    #[test]
+    fn chain_merge_keeps_every_contribution() {
+        // Regression: on a path rooted at the *high* end, children have
+        // smaller ids than their parents, so the old interleaved move
+        // application merged node 0's packet into node 1's pending entry
+        // and then dropped it when node 1's (stale-valued) move applied.
+        // Every contribution must reach the root.
+        let g = gen::path(3);
+        let (t, _) = bfs_tree(&g, 2);
+        let r = TreeRouter::new(&t);
+        let jobs = vec![UpcastJob {
+            subtree: 0,
+            root: 2,
+            sources: vec![(0, 100), (1, 10)],
+        }];
+        let res = r.upcast(&jobs, |a, b| a + b);
+        assert_eq!(res.aggregates[0], Some(110), "no packet may be dropped");
+        // Node 1's packet reaches the root in round 1; node 0's packet
+        // steps to node 1, then to the root: 3 messages, 2 rounds.
+        assert_eq!(res.cost.messages, 3);
+        assert_eq!(res.cost.rounds, 2);
     }
 
     #[test]

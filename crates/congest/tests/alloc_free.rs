@@ -1,0 +1,134 @@
+//! Regression guard: a warm [`Simulator::step`] performs **zero** heap
+//! allocation. The flat message arenas, the per-port counters and the
+//! active-set scratch are all recycled; once their capacities have
+//! grown to the workload's high-water mark, the round loop must never
+//! touch the allocator again.
+//!
+//! Pinned with a counting global allocator. This file holds a single
+//! `#[test]` (integration tests each get their own binary), so no
+//! concurrent test can pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rmo_congest::{Network, NodeProgram, Payload, RoundCtx, Simulator};
+use rmo_graph::gen;
+
+/// System allocator wrapper counting every allocation/reallocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Circulates one token around a cycle forever: on receipt, forward it
+/// out the other port. A 1-node frontier that never quiesces — the
+/// steady-state shape (sends, deliveries, want-list churn) with no
+/// program-side allocation.
+struct TokenRing {
+    start: bool,
+}
+
+impl NodeProgram for TokenRing {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        if self.start {
+            self.start = false;
+            ctx.send(0, Payload::tag_only(1));
+            return;
+        }
+        if let Some(&(p, msg)) = ctx.inbox().first() {
+            // Degree 2 on a cycle: the other port is 1 - p.
+            ctx.send(1 - p, msg);
+        }
+    }
+    fn wants_round(&self) -> bool {
+        self.start
+    }
+}
+
+/// All nodes flood every round (dense frontier, heavy traffic) — the
+/// other extreme: full arenas, full active set, every port counted.
+struct Chatterbox;
+
+impl NodeProgram for Chatterbox {
+    fn on_round(&mut self, ctx: &mut RoundCtx<'_>) {
+        ctx.send_all(Payload::one(2, ctx.round() as u64));
+    }
+    fn wants_round(&self) -> bool {
+        true
+    }
+}
+
+fn allocs_during_steps<P: NodeProgram>(sim: &mut Simulator<'_, P>, steps: usize) -> usize {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..steps {
+        assert!(sim.step().expect("step succeeds"), "workload never idles");
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Minimum allocation count over several measurement windows. The
+/// simulator is deterministic — if *it* allocated on warm steps, every
+/// window would show it — so the minimum filters out the libtest
+/// harness thread's own incidental allocations landing in a window.
+fn min_allocs_over_windows<P: NodeProgram>(
+    sim: &mut Simulator<'_, P>,
+    windows: usize,
+    steps: usize,
+) -> usize {
+    (0..windows)
+        .map(|_| allocs_during_steps(sim, steps))
+        .min()
+        .expect("at least one window")
+}
+
+#[test]
+fn warm_steps_do_not_allocate() {
+    // Sparse frontier: one token orbiting a 64-cycle.
+    let g = gen::cycle(64);
+    let net = Network::new(&g, 3);
+    let mut sim = Simulator::new(&net, |v| TokenRing { start: v == 0 });
+    // Warm-up: let every recycled buffer reach its high-water capacity.
+    let warmup = allocs_during_steps(&mut sim, 8);
+    let warm = min_allocs_over_windows(&mut sim, 4, 50);
+    assert_eq!(
+        warm, 0,
+        "sparse-frontier steady state must be allocation-free \
+         (warm-up allocated {warmup}, warm rounds allocated {warm})"
+    );
+
+    // Dense frontier: everyone floods every round on a 12x12 grid.
+    let g = gen::grid(12, 12);
+    let net = Network::new(&g, 3);
+    let mut sim = Simulator::new(&net, |_| Chatterbox);
+    let warmup = allocs_during_steps(&mut sim, 8);
+    let warm = min_allocs_over_windows(&mut sim, 4, 25);
+    assert_eq!(
+        warm, 0,
+        "dense-frontier steady state must be allocation-free \
+         (warm-up allocated {warmup}, warm rounds allocated {warm})"
+    );
+
+    // With tracing enabled the history vector grows (amortized
+    // doubling), which is exactly why RoundStats collection is opt-in —
+    // the default path above stays silent.
+}

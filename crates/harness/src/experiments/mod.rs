@@ -13,6 +13,7 @@ pub mod kdom;
 pub mod leaderless;
 pub mod mincut;
 pub mod mst;
+pub mod perf;
 pub mod serve;
 pub mod sssp;
 pub mod table1;

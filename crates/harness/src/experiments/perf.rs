@@ -1,0 +1,361 @@
+//! `perf` — the machine-readable simulator perf baseline.
+//!
+//! Runs a fixed, named workload suite over the three simulator-bound
+//! layers — CONGEST primitives (BFS, tree casts, pipelining, election),
+//! the Table 2 PA pipeline end-to-end, and the `PaCluster` serving
+//! path — and reports wall time plus exact round/message counts per
+//! entry. Wall time is the best of [`ITERATIONS`] runs (the counts are
+//! identical across runs; only the clock varies).
+//!
+//! With `--json` the suite prints a single JSON object (schema
+//! `rmo-perf/1`) to stdout instead of the markdown table, so CI and the
+//! perf trajectory can consume it; `BENCH_simulator.json` at the repo
+//! root records a captured before/after pair of these runs. Primitive
+//! entries also time the dense reference simulator
+//! ([`rmo_congest::reference`]) on the identical workload, so the
+//! fast-vs-dense speedup is remeasured — not just quoted — on every run.
+
+use std::time::Instant;
+
+use rmo_apps::service::{mixed_workload, GraphId, PaCluster};
+use rmo_congest::programs::bfs::run_bfs;
+use rmo_congest::programs::broadcast::run_tree_broadcast;
+use rmo_congest::programs::convergecast::run_tree_convergecast;
+use rmo_congest::programs::leader::run_leader_election;
+use rmo_congest::programs::pipeline::run_pipeline_broadcast;
+use rmo_congest::{CostReport, Network};
+use rmo_core::{solve_pa, Aggregate, PaConfig, PaInstance};
+use rmo_graph::gen;
+
+use super::families;
+use crate::util::print_table;
+
+/// Wall time is the minimum over this many runs of each entry.
+const ITERATIONS: usize = 3;
+
+/// One measured suite entry.
+struct Entry {
+    name: &'static str,
+    wall_ms: f64,
+    rounds: usize,
+    messages: u64,
+    /// Dense reference simulator on the identical workload (primitive
+    /// entries only).
+    reference_wall_ms: Option<f64>,
+}
+
+impl Entry {
+    fn speedup(&self) -> Option<f64> {
+        self.reference_wall_ms.map(|r| r / self.wall_ms.max(1e-9))
+    }
+}
+
+/// Times `work` [`ITERATIONS`] times; returns (best wall ms, last cost).
+fn time_it(mut work: impl FnMut() -> CostReport) -> (f64, CostReport) {
+    let mut best = f64::INFINITY;
+    let mut cost = CostReport::zero();
+    for _ in 0..ITERATIONS {
+        let start = Instant::now();
+        cost = work();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, cost)
+}
+
+fn entry(
+    name: &'static str,
+    work: impl FnMut() -> CostReport,
+    reference: Option<&mut dyn FnMut() -> CostReport>,
+) -> Entry {
+    let (wall_ms, cost) = time_it(work);
+    let reference_wall_ms = reference.map(|r| {
+        let (ms, ref_cost) = time_it(r);
+        // A speedup is only meaningful over the *identical* workload:
+        // the dense run must reproduce the fast engine's exact counts.
+        assert_eq!(
+            (ref_cost.rounds, ref_cost.messages),
+            (cost.rounds, cost.messages),
+            "{name}: dense reference workload diverged from the fast engine"
+        );
+        ms
+    });
+    Entry {
+        name,
+        wall_ms,
+        rounds: cost.rounds,
+        messages: cost.messages,
+        reference_wall_ms,
+    }
+}
+
+/// The fixed suite. `quick` halves the input scale, not the shape.
+fn run_suite(quick: bool) -> Vec<Entry> {
+    let mut out = Vec::new();
+
+    // --- Primitives: the synchronous round loop, frontier-shaped. ---
+    // A long path is the dense sweep's worst case (frontier 1, Θ(n)
+    // rounds); the grid exercises a wide wave.
+    let path_n = if quick { 4000 } else { 12000 };
+    let grid_s = if quick { 60 } else { 100 };
+    let g_path = gen::path(path_n);
+    let net_path = Network::new(&g_path, 7);
+    let g_grid = gen::grid(grid_s, grid_s);
+    let net_grid = Network::new(&g_grid, 7);
+
+    out.push(entry(
+        "primitives/bfs_path",
+        || run_bfs(&g_path, &net_path, 0).expect("terminates").2,
+        Some(&mut || reference_impls::bfs(&g_path, &net_path, 0)),
+    ));
+    out.push(entry(
+        "primitives/bfs_grid",
+        || run_bfs(&g_grid, &net_grid, 0).expect("terminates").2,
+        Some(&mut || reference_impls::bfs(&g_grid, &net_grid, 0)),
+    ));
+
+    let (tree_grid, _, _) = run_bfs(&g_grid, &net_grid, 0).expect("terminates");
+    let (tree_path, _, _) = run_bfs(&g_path, &net_path, 0).expect("terminates");
+    out.push(entry(
+        "primitives/broadcast_grid",
+        || {
+            run_tree_broadcast(&g_grid, &net_grid, &tree_grid, 99)
+                .expect("terminates")
+                .1
+        },
+        Some(&mut || reference_impls::broadcast(&g_grid, &net_grid, &tree_grid, 99)),
+    ));
+    out.push(entry(
+        "primitives/broadcast_path",
+        || {
+            run_tree_broadcast(&g_path, &net_path, &tree_path, 99)
+                .expect("terminates")
+                .1
+        },
+        Some(&mut || reference_impls::broadcast(&g_path, &net_path, &tree_path, 99)),
+    ));
+    let values: Vec<u64> = (0..g_grid.n() as u64).collect();
+    out.push(entry(
+        "primitives/convergecast_grid",
+        || {
+            run_tree_convergecast(&g_grid, &net_grid, &tree_grid, &values, u64::wrapping_add)
+                .expect("terminates")
+                .1
+        },
+        Some(&mut || reference_impls::convergecast(&g_grid, &net_grid, &tree_grid, &values)),
+    ));
+    let k = if quick { 400 } else { 1200 };
+    let tokens: Vec<u64> = (0..k as u64).collect();
+    out.push(entry(
+        "primitives/pipeline_path",
+        || {
+            run_pipeline_broadcast(&g_path, &net_path, &tree_path, &tokens)
+                .expect("terminates")
+                .1
+        },
+        Some(&mut || reference_impls::pipeline(&g_path, &net_path, &tree_path, &tokens)),
+    ));
+    let elect_s = if quick { 40 } else { 64 };
+    let g_elect = gen::grid(elect_s, elect_s);
+    let net_elect = Network::new(&g_elect, 7);
+    out.push(entry(
+        "primitives/election_grid",
+        || {
+            run_leader_election(&g_elect, &net_elect)
+                .expect("terminates")
+                .2
+        },
+        Some(&mut || reference_impls::election(&g_elect, &net_elect)),
+    ));
+
+    // --- Table 2 PA, end-to-end (largest quick-mode scale). ---
+    let scale = if quick { 12 } else { 20 };
+    for w in families(scale) {
+        let name: &'static str = match w.family {
+            "general" => "table2_pa/general",
+            "planar(grid)" => "table2_pa/planar_grid",
+            "treewidth-3" => "table2_pa/treewidth3",
+            "pathwidth-3" => "table2_pa/pathwidth3",
+            other => panic!("family `{other}` has no perf-suite entry name — add one"),
+        };
+        let n = w.graph.n();
+        let pa_values: Vec<u64> = (0..n as u64).map(|v| v.wrapping_mul(2654435761)).collect();
+        let inst =
+            PaInstance::from_partition(&w.graph, w.partition.clone(), pa_values, Aggregate::Min)
+                .expect("valid instance");
+        out.push(entry(
+            name,
+            || {
+                solve_pa(&inst, &PaConfig::default())
+                    .expect("PA solves")
+                    .cost
+            },
+            None,
+        ));
+    }
+
+    // --- Serving path: a mixed batch on a fresh fleet, sequential mode
+    // (single-threaded, so the clock measures work, not contention). ---
+    let serve_scale = if quick { 6 } else { 10 };
+    let serve_count = if quick { 48 } else { 160 };
+    out.push(entry(
+        "serve/mixed_sequential",
+        || {
+            let mut cluster = PaCluster::new(4);
+            let s = serve_scale.max(4);
+            cluster.add_graph(GraphId(1), gen::grid(s, s));
+            cluster.add_graph(GraphId(2), gen::grid(s, 2 * s));
+            cluster.add_graph(GraphId(3), gen::path(s * s));
+            cluster.add_graph(GraphId(4), gen::torus(s, s));
+            let workload = mixed_workload(&cluster, serve_count, 42);
+            let report = cluster.serve_sequential(&workload);
+            report
+                .responses
+                .iter()
+                .map(|r| r.cost())
+                .sum::<CostReport>()
+        },
+        None,
+    ));
+    out
+}
+
+/// JSON string escaping for the few fixed names we emit.
+fn emit_json(mode: &str, entries: &[Entry]) -> String {
+    let mut body = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"rounds\": {}, \"messages\": {}",
+            e.name, e.wall_ms, e.rounds, e.messages
+        ));
+        if let (Some(r), Some(s)) = (e.reference_wall_ms, e.speedup()) {
+            body.push_str(&format!(
+                ", \"reference_wall_ms\": {r:.3}, \"speedup\": {s:.2}"
+            ));
+        }
+        body.push('}');
+    }
+    format!(
+        "{{\n  \"schema\": \"rmo-perf/1\",\n  \"mode\": \"{mode}\",\n  \"entries\": [\n{body}\n  ]\n}}"
+    )
+}
+
+pub fn run(quick: bool, json: bool) {
+    let entries = run_suite(quick);
+    let mode = if quick { "quick" } else { "full" };
+    if json {
+        println!("{}", emit_json(mode, &entries));
+        return;
+    }
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.to_string(),
+                format!("{:.2}", e.wall_ms),
+                e.rounds.to_string(),
+                e.messages.to_string(),
+                e.reference_wall_ms
+                    .map(|r| format!("{r:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                e.speedup()
+                    .map(|s| format!("{s:.2}x"))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Perf — simulator-bound workload suite ({mode} mode, best of {ITERATIONS})"),
+        &[
+            "entry",
+            "wall ms",
+            "rounds",
+            "messages",
+            "dense ref ms",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: `dense ref ms` re-times the kept dense-sweep \
+         reference simulator on the identical workload; `speedup` is \
+         what the flat-arena/active-set engine buys. Round and message \
+         counts are bit-identical between the two (asserted in the \
+         differential proptests). JSON for the perf trajectory: \
+         `rmo-harness perf [--quick] --json`; the checked-in \
+         BENCH_simulator.json records a captured before/after pair."
+    );
+}
+
+/// Dense-reference drivers for the primitive workloads: the same node
+/// programs on [`rmo_congest::reference::ReferenceSimulator`], asserted
+/// cost-identical to the fast engine here (the differential proptests
+/// cover responses too).
+mod reference_impls {
+    use rmo_congest::programs::bfs::BfsProgram;
+    use rmo_congest::programs::broadcast::TreeBroadcast;
+    use rmo_congest::programs::convergecast::TreeConvergecast;
+    use rmo_congest::programs::leader::LeaderElect;
+    use rmo_congest::programs::pipeline::PipelineBroadcast;
+    use rmo_congest::reference::ReferenceSimulator;
+    use rmo_congest::{CostReport, Network, PortId};
+    use rmo_graph::{Graph, NodeId, RootedTree};
+
+    pub fn bfs(g: &Graph, net: &Network, root: NodeId) -> CostReport {
+        let mut sim = ReferenceSimulator::new(net, |v| BfsProgram::new(v == root));
+        sim.run_until_quiescent(4 * g.n() + 4).expect("terminates")
+    }
+
+    fn child_ports(net: &Network, tree: &RootedTree, v: NodeId) -> Vec<PortId> {
+        tree.children_of(v)
+            .iter()
+            .map(|&c| net.port_for_edge(v, tree.parent_edge_of(c).expect("child edge")))
+            .collect()
+    }
+
+    pub fn broadcast(g: &Graph, net: &Network, tree: &RootedTree, value: u64) -> CostReport {
+        let mut sim = ReferenceSimulator::new(net, |v: NodeId| {
+            let prog = if v == tree.root() {
+                TreeBroadcast::root(value)
+            } else {
+                let pe = tree.parent_edge_of(v).expect("non-root");
+                TreeBroadcast::node(net.port_for_edge(v, pe))
+            };
+            prog.with_children(child_ports(net, tree, v))
+        });
+        sim.run_until_quiescent(4 * g.n() + 4).expect("terminates")
+    }
+
+    pub fn convergecast(g: &Graph, net: &Network, tree: &RootedTree, values: &[u64]) -> CostReport {
+        let mut sim = ReferenceSimulator::new(net, |v: NodeId| {
+            let parent_port = tree.parent_edge_of(v).map(|e| net.port_for_edge(v, e));
+            TreeConvergecast::new(
+                values[v],
+                u64::wrapping_add,
+                parent_port,
+                tree.children_of(v).len(),
+            )
+        });
+        sim.run_until_quiescent(4 * g.n() + 4).expect("terminates")
+    }
+
+    pub fn pipeline(g: &Graph, net: &Network, tree: &RootedTree, tokens: &[u64]) -> CostReport {
+        let mut sim = ReferenceSimulator::new(net, |v: NodeId| {
+            if v == tree.root() {
+                PipelineBroadcast::root(tokens.to_vec(), child_ports(net, tree, v))
+            } else {
+                let pe = tree.parent_edge_of(v).expect("non-root");
+                PipelineBroadcast::node(net.port_for_edge(v, pe), child_ports(net, tree, v))
+            }
+        });
+        sim.run_until_quiescent(4 * (g.n() + tokens.len()) + 8)
+            .expect("terminates")
+    }
+
+    pub fn election(g: &Graph, net: &Network) -> CostReport {
+        let mut sim = ReferenceSimulator::new(net, |_| LeaderElect::new());
+        sim.run_until_quiescent(4 * g.n() + 4).expect("terminates")
+    }
+}

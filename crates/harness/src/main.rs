@@ -1,16 +1,18 @@
 //! `rmo-harness` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! rmo-harness <experiment> [--quick] [--skew]
+//! rmo-harness <experiment> [--quick] [--skew] [--json]
 //! ```
 //!
 //! `--skew` adds the scheduler-balance scenarios (zipf popularity,
-//! adversarial one-shard hashing) to the `serve` experiment.
+//! adversarial one-shard hashing) to the `serve` experiment. `--json`
+//! switches the `perf` experiment to its machine-readable output
+//! (schema `rmo-perf/1`; see `BENCH_simulator.json`).
 //!
 //! Experiments: `table1`, `table2`, `figure1`, `figure2`, `figure3`,
 //! `figure4`, `figure5`, `mst`, `mincut`, `sssp`, `verification`,
 //! `kdom`, `cds`, `leaderless`, `ablation`, `beyond`, `engine`,
-//! `serve`, or `all`.
+//! `serve`, `perf`, or `all`.
 //!
 //! Output is a set of markdown tables whose rows mirror what the paper
 //! reports; `EXPERIMENTS.md` records a captured run next to the paper's
@@ -25,6 +27,7 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let skew = args.iter().any(|a| a == "--skew");
+    let json = args.iter().any(|a| a == "--json");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -49,6 +52,7 @@ fn main() {
         "beyond",
         "engine",
         "serve",
+        "perf",
     ];
     let run = |name: &str| match name {
         "table1" => experiments::table1::run(quick),
@@ -69,6 +73,7 @@ fn main() {
         "beyond" => experiments::beyond::run(),
         "engine" => experiments::engine::run(quick),
         "serve" => experiments::serve::run(quick, skew),
+        "perf" => experiments::perf::run(quick, json),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!("available: {} all", all.join(" "));

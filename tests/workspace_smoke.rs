@@ -9,7 +9,11 @@
 //!   placement, work stealing on the skewed scenarios) and its internal
 //!   threaded-vs-sequential/steal-log-replay bit-match assertions — plus
 //!   the ≥1.5× balanced-vs-pinned critical-path bound — on every CI
-//!   push.
+//!   push;
+//! * `rmo-harness perf --quick --json` emits a well-formed `rmo-perf/1`
+//!   JSON document covering the whole workload suite (primitives with
+//!   their dense-reference speedups, table2 PA, serve), so the perf
+//!   trajectory's machine-readable format can't silently rot.
 //!
 //! These shell out to the same `cargo` that is running the test suite
 //! (Cargo releases the build-directory lock before executing test
@@ -96,6 +100,88 @@ fn harness_quick_table1_runs() {
         stdout.contains("Table 1") && stdout.contains("| family"),
         "harness did not print the Table 1 markdown table; got:\n{stdout}"
     );
+}
+
+#[test]
+fn harness_quick_perf_emits_valid_json() {
+    let out = cargo()
+        .args([
+            "run",
+            "--quiet",
+            "-p",
+            "rmo-harness",
+            "--bin",
+            "rmo-harness",
+            "--",
+            "perf",
+            "--quick",
+            "--json",
+        ])
+        .output()
+        .expect("failed to spawn rmo-harness");
+    assert!(
+        out.status.success(),
+        "rmo-harness perf --quick --json exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json = stdout.trim();
+
+    // Schema shape (no serde in-tree, so validate structurally).
+    assert!(
+        json.starts_with('{') && json.ends_with('}'),
+        "perf --json must print exactly one JSON object; got:\n{json}"
+    );
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        let opens = json.matches(open).count();
+        let closes = json.matches(close).count();
+        assert_eq!(opens, closes, "unbalanced {open}{close} in:\n{json}");
+    }
+    assert!(
+        json.contains("\"schema\": \"rmo-perf/1\""),
+        "schema marker missing:\n{json}"
+    );
+    assert!(
+        json.contains("\"mode\": \"quick\""),
+        "mode marker missing:\n{json}"
+    );
+
+    // The fixed workload suite: every named entry must be present with
+    // the full field set, and the simulator-bound primitives must carry
+    // their dense-reference comparison.
+    for name in [
+        "primitives/bfs_path",
+        "primitives/bfs_grid",
+        "primitives/broadcast_grid",
+        "primitives/broadcast_path",
+        "primitives/convergecast_grid",
+        "primitives/pipeline_path",
+        "primitives/election_grid",
+        "table2_pa/general",
+        "table2_pa/planar_grid",
+        "table2_pa/treewidth3",
+        "table2_pa/pathwidth3",
+        "serve/mixed_sequential",
+    ] {
+        assert!(
+            json.contains(&format!("\"name\": \"{name}\"")),
+            "suite entry `{name}` missing from:\n{json}"
+        );
+    }
+    for line in json.lines().filter(|l| l.contains("\"name\":")) {
+        for field in ["\"wall_ms\":", "\"rounds\":", "\"messages\":"] {
+            assert!(line.contains(field), "entry missing {field}: {line}");
+        }
+        if line.contains("primitives/") {
+            for field in ["\"reference_wall_ms\":", "\"speedup\":"] {
+                assert!(
+                    line.contains(field),
+                    "primitive entry missing {field}: {line}"
+                );
+            }
+        }
+    }
 }
 
 #[test]
