@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rmo_congest::CostReport;
-use rmo_graph::{bfs_tree, Graph, NodeId};
+use rmo_graph::{bfs_tree, num::ceil_log2, Graph, NodeId};
 
 use crate::mst::pa_mst_with_engine;
 use rmo_core::{EngineConfig, PaConfig, PaEngine, PaError};
@@ -96,7 +96,10 @@ pub fn approx_min_cut_with_engine(
     assert!(config.epsilon > 0.0, "epsilon must be positive");
     assert!(g.n() >= 2, "min cut needs two nodes");
     let n = g.n();
-    let log_n = (n.max(2) as f64).log2().ceil() as usize;
+    let log_n = ceil_log2(n.max(2));
+    // The default trial count ≈ log n / ε² is tiny; the cast cannot
+    // truncate for any ε a caller would survive.
+    #[allow(clippy::cast_possible_truncation)]
     let trials = config
         .trials
         .unwrap_or_else(|| (log_n as f64 / (config.epsilon * config.epsilon)).ceil() as usize)

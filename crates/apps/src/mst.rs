@@ -17,7 +17,7 @@
 use rmo_congest::programs::bfs::run_bfs;
 use rmo_congest::programs::leader::run_leader_election;
 use rmo_congest::{CostReport, Network};
-use rmo_graph::{DisjointSets, EdgeId, Graph};
+use rmo_graph::{num::ceil_log2, DisjointSets, EdgeId, Graph};
 
 use rmo_core::{Aggregate, EngineConfig, PaConfig, PaEngine, PaError, PaInstance};
 
@@ -86,7 +86,7 @@ pub fn pa_mst_with_engine(engine: &mut PaEngine<'_>) -> Result<PaMstResult, PaEr
     let mut dsu = DisjointSets::new(g.n());
     let mut chosen: Vec<EdgeId> = Vec::new();
     let mut phases = 0usize;
-    let max_phases = 2 * ((g.n().max(2) as f64).log2().ceil() as usize) + 2;
+    let max_phases = 2 * ceil_log2(g.n().max(2)) + 2;
 
     while dsu.set_count() > 1 {
         phases += 1;
@@ -170,7 +170,7 @@ pub fn naive_mst(g: &Graph, config: &MstConfig) -> Result<PaMstResult, PaError> 
     let mut dsu = DisjointSets::new(g.n());
     let mut chosen: Vec<EdgeId> = Vec::new();
     let mut phases = 0usize;
-    let max_phases = 2 * ((g.n().max(2) as f64).log2().ceil() as usize) + 2;
+    let max_phases = 2 * ceil_log2(g.n().max(2)) + 2;
     while dsu.set_count() > 1 {
         phases += 1;
         assert!(

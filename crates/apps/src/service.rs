@@ -88,7 +88,7 @@
 //! assert_eq!(replay.responses, report.responses);
 //! ```
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
@@ -330,9 +330,7 @@ impl SchedState {
         let victim = (0..self.queues.len())
             .filter(|&s| s != worker && !self.queues[s].is_empty())
             .max_by_key(|&s| (self.loads[s], std::cmp::Reverse(s)))?;
-        let group = self.queues[victim]
-            .pop_back()
-            .expect("victim queue is non-empty");
+        let group = self.queues[victim].pop_back()?;
         self.loads[victim] -= group.weight;
         self.steals.push(StealEvent {
             epoch: self.steals.len() as u64,
@@ -367,7 +365,7 @@ fn apply_log(shard_groups: Vec<Vec<Group>>, log: &ServeLog) -> Vec<Vec<Group>> {
         log.assignments.len(),
         shard_groups.len()
     );
-    let mut pool: HashMap<GraphId, Group> = shard_groups
+    let mut pool: BTreeMap<GraphId, Group> = shard_groups
         .into_iter()
         .flatten()
         .map(|group| (group.id, group))
@@ -464,11 +462,11 @@ pub struct PaCluster {
     slots: BTreeMap<GraphId, GraphSlot>,
     /// Parked warm engine state, keyed like `slots`. Engines are built
     /// lazily: a graph that never sees a query never pays election+BFS.
-    cores: HashMap<GraphId, EngineCore>,
+    cores: BTreeMap<GraphId, EngineCore>,
     /// Observed per-graph demand (drives `Balanced` group weights).
     /// Decays every batch (see [`GroupHistory`]), so drifting workloads
     /// don't steer LPT placement with stale weights.
-    history: HashMap<GraphId, GroupHistory>,
+    history: BTreeMap<GraphId, GroupHistory>,
     /// Lifetime query counters (engine stats live in `cores`).
     served: u64,
     failed: u64,
@@ -496,8 +494,8 @@ impl PaCluster {
             shards,
             policy,
             slots: BTreeMap::new(),
-            cores: HashMap::new(),
-            history: HashMap::new(),
+            cores: BTreeMap::new(),
+            history: BTreeMap::new(),
             served: 0,
             failed: 0,
             stolen_total: 0,
@@ -565,6 +563,8 @@ impl PaCluster {
     /// every platform (the hash consumes the full `u64` id — no `usize`
     /// round trip). Under `Balanced` this is only the hash, not the
     /// placement.
+    // `x % shards` is < shards, which is a `usize`: no truncation.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn shard_of(&self, id: GraphId) -> usize {
         (word_fingerprint([id.0]) % self.shards as u64) as usize
     }
@@ -630,7 +630,7 @@ impl PaCluster {
     fn plan(&self, queries: &[(GraphId, Query)]) -> (Vec<Vec<Group>>, Vec<Option<QueryResponse>>) {
         let mut responses: Vec<Option<QueryResponse>> = vec![None; queries.len()];
         let mut order: Vec<GraphId> = Vec::new();
-        let mut by_graph: HashMap<GraphId, Vec<usize>> = HashMap::new();
+        let mut by_graph: BTreeMap<GraphId, Vec<usize>> = BTreeMap::new();
         for (idx, (id, _)) in queries.iter().enumerate() {
             if !self.slots.contains_key(id) {
                 responses[idx] = Some(QueryResponse::Failed(format!(
@@ -649,8 +649,11 @@ impl PaCluster {
         let mut groups: Vec<Group> = order
             .into_iter()
             .map(|id| {
-                let mut indices = by_graph.remove(&id).expect("grouped above");
-                let mut class_rank: HashMap<u64, usize> = HashMap::new();
+                // `order` records exactly the first appearance of every
+                // `by_graph` key, so the entry is always present; an empty
+                // group (no indices) would simply serve no queries.
+                let mut indices = by_graph.remove(&id).unwrap_or_default();
+                let mut class_rank: BTreeMap<u64, usize> = BTreeMap::new();
                 for &idx in &indices {
                     let next = class_rank.len();
                     class_rank.entry(queries[idx].1.affinity()).or_insert(next);
@@ -682,9 +685,15 @@ impl PaCluster {
                 groups.sort_by_key(|group| std::cmp::Reverse(group.weight));
                 let mut loads = vec![0u64; self.shards];
                 for group in groups {
-                    let shard = (0..self.shards)
-                        .min_by_key(|&s| (loads[s], s))
-                        .expect("at least one shard");
+                    // Least-loaded shard, ties to the lowest index. The
+                    // constructor guarantees at least one shard, so the
+                    // fold over indices 1.. always has a valid start.
+                    let mut shard = 0usize;
+                    for s in 1..self.shards {
+                        if loads[s] < loads[shard] {
+                            shard = s;
+                        }
+                    }
                     loads[shard] += group.weight;
                     shard_groups[shard].push(group);
                 }
@@ -712,6 +721,7 @@ impl PaCluster {
         queries: &[(GraphId, Query)],
         emit: &mut dyn FnMut(usize, QueryResponse),
     ) -> Option<PanicPayload> {
+        // rmo-lint: allow(D3) — wall-clock feeds per-shard busy-time stats only, never a scheduling decision.
         let start = Instant::now();
         let mut first_panic: Option<PanicPayload> = None;
         loop {
@@ -767,7 +777,11 @@ impl PaCluster {
                     let tx = tx.clone();
                     scope.spawn(move || {
                         let mut emit = |idx: usize, resp: QueryResponse| {
-                            tx.send((idx, resp)).expect("collector outlives workers")
+                            // The collector drains until every sender
+                            // drops, so a send only fails if the batch is
+                            // already unwinding — dropping the response
+                            // then degrades that query to `Failed`.
+                            let _ = tx.send((idx, resp));
                         };
                         Self::run_worker(shard, steal, state, slots, queries, &mut emit)
                     })
@@ -827,6 +841,7 @@ impl PaCluster {
     /// of where the panic happened, the post-panic cluster state is
     /// still identical across serving modes and steal timings.
     fn run_batch(&mut self, queries: &[(GraphId, Query)], mode: ExecMode<'_>) -> ServeReport {
+        // rmo-lint: allow(D3) — wall-clock measures the batch for ServeReport::wall only; no control flow reads it.
         let start = Instant::now();
         let (mut shard_groups, mut responses) = self.plan(queries);
         for groups in &mut shard_groups {
@@ -904,7 +919,11 @@ impl PaCluster {
         }
         let responses: Vec<QueryResponse> = responses
             .into_iter()
-            .map(|r| r.expect("every scheduled query responds"))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    QueryResponse::Failed("internal: query was never scheduled".to_string())
+                })
+            })
             .collect();
         ServeReport {
             stats: self.stats(),
@@ -981,14 +1000,17 @@ fn pooled_workload(
     // degenerates to `seed ^ i` for id 0, correlating the partition and
     // subgraph draws).
     struct Pool {
+        n: usize,
         partitions: Vec<Vec<usize>>,
         subgraphs: Vec<Vec<usize>>,
         ks: Vec<usize>,
     }
+    // `graph_ids()` lists exactly the registered graphs, so the lookup
+    // never drops an id and `pools` stays index-aligned with `ids`.
     let pools: Vec<Pool> = ids
         .iter()
-        .map(|&id| {
-            let g = cluster.graph(id).expect("registered");
+        .filter_map(|&id| {
+            let g = cluster.graph(id)?;
             let partitions = (0u64..3)
                 .map(|i| {
                     let target = (g.n() / 8).clamp(2, 24);
@@ -1007,11 +1029,12 @@ fn pooled_workload(
                     (0..g.m()).filter(|_| rng.random::<f64>() < 0.6).collect()
                 })
                 .collect();
-            Pool {
+            Some(Pool {
+                n: g.n(),
                 partitions,
                 subgraphs,
                 ks: vec![6, 10],
-            }
+            })
         })
         .collect();
     let checks = [
@@ -1025,8 +1048,7 @@ fn pooled_workload(
         .map(|_| {
             let which = pick_graph(&mut rng);
             let (id, pool) = (ids[which], &pools[which]);
-            let g = cluster.graph(id).expect("registered");
-            let n = g.n();
+            let n = pool.n;
             let query = match rng.random_range(0..100u32) {
                 // Half the traffic: PA solves over pooled partitions.
                 0..=49 => Query::Pa {

@@ -102,6 +102,8 @@ pub fn approx_sssp_with_engine(
     let mut cost = CostReport::zero();
 
     // --- LDD via shifted multi-source BFS (Miller–Peng–Xu). ---
+    // ln(n)/β is a few dozen for any sane β; the cast cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     let radius_cap = ((n.max(2) as f64).ln() / config.beta).ceil() as usize + 1;
     // Geometric start shifts, truncated to the cap.
     let shift: Vec<usize> = (0..n)

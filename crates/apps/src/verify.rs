@@ -15,7 +15,7 @@
 //! verification queries).
 
 use rmo_congest::CostReport;
-use rmo_graph::{EdgeId, Graph};
+use rmo_graph::{num::ceil_log2, EdgeId, Graph};
 
 use crate::components::component_labels_with_engine;
 use rmo_core::{EngineConfig, PaConfig, PaEngine, PaError};
@@ -327,7 +327,7 @@ pub fn verify_mst_with_engine(
         .filter(|&(e, _, _, _)| !keep[e])
         .all(|(_, u, v, w)| w >= path_max(u, v));
     // O(log n) labeling passes carry the path maxima distributedly.
-    let log_n = (g.n().max(2) as f64).log2().ceil() as u64;
+    let log_n = ceil_log2(g.n().max(2)) as u64;
     let cost = tree_check.cost + CostReport::new(2 * tree.depth() + 2, 2 * (g.m() as u64) * log_n);
     Ok(Verdict { holds, cost })
 }
@@ -358,7 +358,7 @@ pub fn verify_two_edge_connected_with_engine(
     let all: Vec<EdgeId> = (0..g.m()).collect();
     let labels = component_labels_with_engine(engine, &all)?;
     let holds = rmo_graph::is_two_edge_connected(g);
-    let log_n = (g.n().max(2) as f64).log2().ceil() as u64;
+    let log_n = ceil_log2(g.n().max(2)) as u64;
     Ok(Verdict {
         holds,
         cost: labels.cost + CostReport::new(2, 2 * g.n() as u64 * log_n),

@@ -5,6 +5,8 @@
 //! `rmo-harness` binary. Every bench target corresponds to one table or
 //! figure; see `DESIGN.md`'s experiment index.
 
+#![forbid(unsafe_code)]
+
 use rmo_graph::{gen, Graph, Partition};
 
 /// A named (graph, partition) fixture matching one family of Tables 1–2.

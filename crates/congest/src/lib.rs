@@ -46,6 +46,8 @@
 //! assert_eq!(dist[15], 6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
 pub mod network;
 pub mod payload;

@@ -14,7 +14,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rmo_graph::{EdgeId, Graph, NodeId};
 
@@ -43,7 +43,7 @@ impl Network {
     /// Builds the network for `g`, assigning fresh IDs from `seed`.
     pub fn new(g: &Graph, seed: u64) -> Network {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut used = HashSet::new();
+        let mut used = BTreeSet::new();
         let ids: Vec<u64> = (0..g.n())
             .map(|_| loop {
                 // Non-zero distinct IDs; zero is reserved as "no ID" in programs.
@@ -175,7 +175,7 @@ mod tests {
     fn ids_distinct_and_nonzero() {
         let g = gen::complete(30);
         let net = Network::new(&g, 2);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for v in 0..30 {
             let id = net.id_of(v);
             assert_ne!(id, 0);

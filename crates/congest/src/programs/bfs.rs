@@ -69,7 +69,10 @@ impl NodeProgram for BfsProgram {
                 .min_by_key(|(p, _)| *p)
                 .copied();
             if let Some((port, msg)) = best {
-                self.distance = Some(msg.a as usize + 1);
+                // BFS distances are < n, which always fits a `usize`.
+                #[allow(clippy::cast_possible_truncation)]
+                let d = msg.a as usize + 1;
+                self.distance = Some(d);
                 self.parent_port = Some(port);
             }
         }

@@ -21,8 +21,6 @@
 //!   the subtree root and is forwarded down every tree edge of the
 //!   subtree's span toward the given destinations.
 
-use std::collections::HashMap;
-
 use rmo_graph::{NodeId, RootedTree};
 
 use crate::metrics::CostReport;
@@ -130,19 +128,53 @@ impl<'t> TreeRouter<'t> {
         mut merge: impl FnMut(u64, u64) -> u64,
     ) -> UpcastResult {
         let n = self.tree.n();
-        // Priority per subtree id: (root depth, subtree id).
-        let mut root_of: HashMap<usize, NodeId> = HashMap::new();
-        for job in jobs {
-            let prev = root_of.insert(job.subtree, job.root);
-            assert!(
-                prev.is_none_or(|r| r == job.root),
-                "conflicting roots for one subtree"
-            );
+        // Dense subtree index: sorted (subtree, root) pairs, one per
+        // distinct subtree. Everything downstream is flat vectors over
+        // the dense index, so no step depends on a hash order.
+        let mut sub_roots: Vec<(usize, NodeId)> =
+            jobs.iter().map(|j| (j.subtree, j.root)).collect();
+        sub_roots.sort_unstable();
+        sub_roots.dedup();
+        for pair in sub_roots.windows(2) {
+            assert!(pair[0].0 != pair[1].0, "conflicting roots for one subtree");
         }
-        // waiting[v]: packets currently at node v, keyed by subtree (merged).
-        let mut waiting: Vec<HashMap<usize, u64>> = vec![HashMap::new(); n];
-        let mut arrived: HashMap<usize, u64> = HashMap::new();
+        let idx_of = |subtree: usize| -> usize {
+            sub_roots
+                .binary_search_by_key(&subtree, |&(s, _)| s)
+                .expect("subtree indexed above")
+        };
+        // Forwarding priority per dense subtree (Lemma 4.2): shallowest
+        // root depth first, ties by the smaller subtree id.
+        let prio: Vec<(usize, usize)> = sub_roots
+            .iter()
+            .map(|&(s, root)| (self.tree.depth_of(root), s))
+            .collect();
+        // waiting[v]: packets currently at node v, sorted by dense
+        // subtree index (merged on insertion).
+        let mut waiting: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+        let mut arrived: Vec<Option<u64>> = vec![None; sub_roots.len()];
+        // Merges `val` into a sorted per-node packet list; true if the
+        // packet is new at this node.
+        fn put(
+            pending: &mut Vec<(usize, u64)>,
+            idx: usize,
+            val: u64,
+            merge: &mut impl FnMut(u64, u64) -> u64,
+        ) -> bool {
+            match pending.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => {
+                    pending[pos].1 = merge(pending[pos].1, val);
+                    false
+                }
+                Err(pos) => {
+                    pending.insert(pos, (idx, val));
+                    true
+                }
+            }
+        }
+        let mut in_flight = 0usize;
         for job in jobs {
+            let idx = idx_of(job.subtree);
             for &(src, val) in &job.sources {
                 debug_assert!(
                     self.tree.path_to_root(src).contains(&job.root),
@@ -150,43 +182,41 @@ impl<'t> TreeRouter<'t> {
                     job.root
                 );
                 if src == job.root {
-                    arrived
-                        .entry(job.subtree)
-                        .and_modify(|v| *v = merge(*v, val))
-                        .or_insert(val);
-                } else {
-                    match waiting[src].entry(job.subtree) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            let merged = merge(*e.get(), val);
-                            e.insert(merged);
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(val);
-                        }
-                    }
+                    arrived[idx] = Some(match arrived[idx] {
+                        Some(cur) => merge(cur, val),
+                        None => val,
+                    });
+                } else if put(&mut waiting[src], idx, val, &mut merge) {
+                    in_flight += 1;
                 }
             }
         }
-        // Packets in flight, one per (node, subtree) pair.
-        let mut in_flight: usize = waiting.iter().map(HashMap::len).sum();
 
         let mut rounds = 0usize;
         let mut messages = 0u64;
-        let mut edge_users: HashMap<(NodeId, usize), ()> = HashMap::new();
+        // Distinct subtrees that crossed each node's up-edge, sorted —
+        // the realized-congestion ledger.
+        let mut edge_subs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut moves: Vec<(NodeId, usize, u64)> = Vec::new(); // (from, dense subtree, value)
+        let mut cand: Vec<usize> = Vec::new();
         while in_flight > 0 {
             rounds += 1;
             // Each node with packets picks up to `capacity` to push to its
             // parent this round, by the Lemma 4.2 priority.
-            let mut moves: Vec<(NodeId, usize, u64)> = Vec::new(); // (from, subtree, value)
+            moves.clear();
             for (v, pending) in waiting.iter().enumerate() {
                 if pending.is_empty() {
                     continue;
                 }
-                let mut cand: Vec<(usize, u64)> =
-                    pending.iter().map(|(&s, &val)| (s, val)).collect();
-                cand.sort_by_key(|&(s, _)| (self.tree.depth_of(root_of[&s]), s));
-                for &(s, val) in cand.iter().take(self.capacity) {
-                    moves.push((v, s, val));
+                cand.clear();
+                cand.extend(pending.iter().map(|&(i, _)| i));
+                cand.sort_unstable_by_key(|&i| prio[i]);
+                cand.truncate(self.capacity);
+                for &i in &cand {
+                    let pos = pending
+                        .binary_search_by_key(&i, |&(j, _)| j)
+                        .expect("candidate is pending");
+                    moves.push((v, i, pending[pos].1));
                 }
             }
             // Two-phase application: all moved packets leave their
@@ -196,51 +226,35 @@ impl<'t> TreeRouter<'t> {
             // value was already captured in `moves`) — the merged
             // contribution would then be silently dropped whenever the
             // child's move happened to be applied first.
-            for &(v, s, _) in &moves {
-                waiting[v].remove(&s);
+            for &(v, i, _) in &moves {
+                let pos = waiting[v]
+                    .binary_search_by_key(&i, |&(j, _)| j)
+                    .expect("moved packet was pending");
+                waiting[v].remove(pos);
                 in_flight -= 1;
             }
-            for (v, s, val) in moves {
+            for &(v, i, val) in &moves {
                 messages += 1;
-                edge_users.entry((v, s)).or_insert(());
+                if let Err(pos) = edge_subs[v].binary_search(&i) {
+                    edge_subs[v].insert(pos, i);
+                }
                 let p = self
                     .tree
                     .parent_of(v)
                     .expect("non-root packet holder has a parent");
-                if p == root_of[&s] {
-                    match arrived.entry(s) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            let merged = merge(*e.get(), val);
-                            e.insert(merged);
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(val);
-                        }
-                    }
-                } else {
-                    match waiting[p].entry(s) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            let merged = merge(*e.get(), val);
-                            e.insert(merged);
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(val);
-                            in_flight += 1;
-                        }
-                    }
+                if p == sub_roots[i].1 {
+                    arrived[i] = Some(match arrived[i] {
+                        Some(cur) => merge(cur, val),
+                        None => val,
+                    });
+                } else if put(&mut waiting[p], i, val, &mut merge) {
+                    in_flight += 1;
                 }
             }
         }
         // Realized congestion: distinct subtrees per up-edge.
-        let mut per_edge: HashMap<NodeId, usize> = HashMap::new();
-        for &(v, _) in edge_users.keys() {
-            *per_edge.entry(v).or_insert(0) += 1;
-        }
-        let realized_congestion = per_edge.values().copied().max().unwrap_or(0);
-        let aggregates = jobs
-            .iter()
-            .map(|j| arrived.get(&j.subtree).copied())
-            .collect();
+        let realized_congestion = edge_subs.iter().map(Vec::len).max().unwrap_or(0);
+        let aggregates = jobs.iter().map(|j| arrived[idx_of(j.subtree)]).collect();
         UpcastResult {
             aggregates,
             cost: CostReport::with_capacity(rounds, messages, self.capacity),
@@ -257,10 +271,13 @@ impl<'t> TreeRouter<'t> {
     /// Panics if a destination is not a descendant of its job's root.
     pub fn downcast(&self, jobs: &[DowncastJob]) -> DowncastResult {
         let n = self.tree.n();
-        // For each job, mark the nodes that must forward: union of paths
-        // destination -> root. need[v] lists (job index) for which v must
-        // push to some children.
-        let mut needed_children: Vec<HashMap<usize, Vec<NodeId>>> = vec![HashMap::new(); n];
+        // Forwarding plan: sorted (node, job, child) triples — `node` must
+        // push job `job`'s value down the (node -> child) edge. Built from
+        // the union of destination -> root paths; the stamp array cuts each
+        // walk short as soon as it joins a path already recorded for the
+        // same job.
+        let mut forward: Vec<(NodeId, usize, NodeId)> = Vec::new();
+        let mut recorded: Vec<usize> = vec![usize::MAX; n];
         for (j, job) in jobs.iter().enumerate() {
             for &d in &job.destinations {
                 debug_assert!(
@@ -270,73 +287,81 @@ impl<'t> TreeRouter<'t> {
                 );
                 let mut cur = d;
                 while cur != job.root {
-                    let p = self.tree.parent_of(cur).expect("descendant has a parent");
-                    let kids = needed_children[p].entry(j).or_default();
-                    if !kids.contains(&cur) {
-                        kids.push(cur);
-                        cur = p;
-                    } else {
+                    if recorded[cur] == j {
                         break; // path above already recorded
                     }
+                    recorded[cur] = j;
+                    let p = self.tree.parent_of(cur).expect("descendant has a parent");
+                    forward.push((p, j, cur));
+                    cur = p;
                 }
             }
         }
+        forward.sort_unstable();
         let mut received: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
-        // queue[v][child] = jobs whose value sits at v and still needs to
-        // cross the edge (v -> child). Distinct children are distinct
-        // edges, so in one round a node serves up to `capacity` jobs on
-        // *each* child edge independently.
-        let mut queue: Vec<HashMap<NodeId, Vec<usize>>> = vec![HashMap::new(); n];
+        // queue[v]: (child, job) sends whose value sits at v and still
+        // needs to cross the (v -> child) edge. Distinct children are
+        // distinct edges, so in one round a node serves up to `capacity`
+        // jobs on *each* child edge independently.
+        let mut queue: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); n];
         let mut active = 0usize;
-        let enqueue = |queue: &mut Vec<HashMap<NodeId, Vec<usize>>>,
-                       active: &mut usize,
-                       v: NodeId,
-                       j: usize,
-                       needed_children: &Vec<HashMap<usize, Vec<NodeId>>>| {
-            if let Some(kids) = needed_children[v].get(&j) {
-                for &c in kids {
-                    queue[v].entry(c).or_default().push(j);
+        let enqueue =
+            |queue: &mut Vec<Vec<(NodeId, usize)>>, active: &mut usize, v: NodeId, j: usize| {
+                let lo = forward.partition_point(|&(nv, nj, _)| (nv, nj) < (v, j));
+                let hi = forward.partition_point(|&(nv, nj, _)| (nv, nj) < (v, j + 1));
+                for &(_, _, c) in &forward[lo..hi] {
+                    queue[v].push((c, j));
                     *active += 1;
                 }
-            }
-        };
+            };
         for (j, job) in jobs.iter().enumerate() {
             if job.destinations.contains(&job.root) {
                 received[job.root].push((job.subtree, job.value));
             }
-            enqueue(&mut queue, &mut active, job.root, j, &needed_children);
+            enqueue(&mut queue, &mut active, job.root, j);
         }
         let mut rounds = 0usize;
         let mut messages = 0u64;
+        let mut deliveries: Vec<(NodeId, usize)> = Vec::new(); // (child, job)
         while active > 0 {
             rounds += 1;
-            let mut deliveries: Vec<(NodeId, usize)> = Vec::new(); // (child, job)
-            for node_queue in queue.iter_mut().take(n) {
+            deliveries.clear();
+            for node_queue in queue.iter_mut() {
                 if node_queue.is_empty() {
                     continue;
                 }
-                let children: Vec<NodeId> = node_queue.keys().copied().collect();
-                for c in children {
-                    let pending = node_queue.get_mut(&c).expect("key just listed");
-                    // Priority: shallowest job root first, ties by subtree id.
-                    pending.sort_by_key(|&j| (self.tree.depth_of(jobs[j].root), jobs[j].subtree));
-                    let take = pending.len().min(self.capacity);
-                    for j in pending.drain(..take) {
-                        deliveries.push((c, j));
-                        messages += 1;
-                        active -= 1;
-                    }
-                    if pending.is_empty() {
-                        node_queue.remove(&c);
+                // Group by child edge; within an edge, forward by the
+                // Lemma 4.2 priority: shallowest job root first, ties by
+                // subtree id (the sort is stable, so equal-priority sends
+                // keep their arrival order).
+                node_queue
+                    .sort_by_key(|&(c, j)| (c, self.tree.depth_of(jobs[j].root), jobs[j].subtree));
+                let mut keep = 0usize;
+                let mut k = 0usize;
+                while k < node_queue.len() {
+                    let child = node_queue[k].0;
+                    let mut taken = 0usize;
+                    while k < node_queue.len() && node_queue[k].0 == child {
+                        if taken < self.capacity {
+                            deliveries.push((child, node_queue[k].1));
+                            messages += 1;
+                            active -= 1;
+                            taken += 1;
+                        } else {
+                            node_queue[keep] = node_queue[k];
+                            keep += 1;
+                        }
+                        k += 1;
                     }
                 }
+                node_queue.truncate(keep);
             }
-            for (child, j) in deliveries {
+            for &(child, j) in &deliveries {
                 let job = &jobs[j];
                 if job.destinations.contains(&child) {
                     received[child].push((job.subtree, job.value));
                 }
-                enqueue(&mut queue, &mut active, child, j, &needed_children);
+                enqueue(&mut queue, &mut active, child, j);
             }
         }
         DowncastResult {

@@ -88,10 +88,11 @@ pub fn three_color(succ: &[Option<usize>], initial: &[u64]) -> ThreeColoring {
             assert_ne!(colors[i], colors[t], "coloring must be proper");
         }
     }
-    ThreeColoring {
-        colors: colors.into_iter().map(|c| c as u8).collect(),
-        steps,
-    }
+    // The shift-down phase above ends with every color in 0..3, so the
+    // u64 → u8 narrowing cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
+    let colors = colors.into_iter().map(|c| c as u8).collect();
+    ThreeColoring { colors, steps }
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@
 //! assert_eq!(engine.stats().hits, 1);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 use rmo_congest::programs::bfs::run_bfs;
@@ -330,8 +330,8 @@ pub struct EngineCore {
     /// so the core stays `Send + Sync` and can cross shard threads.
     stage1: OnceLock<(RootedTree, CostReport)>,
     base_charged: bool,
-    cache: HashMap<u64, CacheEntry>,
-    division_cache: HashMap<usize, DetDivisionResult>,
+    cache: BTreeMap<u64, CacheEntry>,
+    division_cache: BTreeMap<usize, DetDivisionResult>,
     clock: u64,
     stats: EngineStats,
     /// [`graph_fingerprint`] of the graph this core was built against.
@@ -469,8 +469,8 @@ impl<'g> PaEngine<'g> {
                 net,
                 stage1: OnceLock::new(),
                 base_charged: false,
-                cache: HashMap::new(),
-                division_cache: HashMap::new(),
+                cache: BTreeMap::new(),
+                division_cache: BTreeMap::new(),
                 clock: 0,
                 stats: EngineStats::default(),
                 graph_fp: graph_fingerprint(graph),

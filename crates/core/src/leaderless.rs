@@ -9,10 +9,10 @@
 //! every part knows a leader and one final run of `A` solves the original
 //! instance. Overhead: `O(log n · log* n)` invocations of `A`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rmo_congest::CostReport;
-use rmo_graph::{NodeId, RootedTree};
+use rmo_graph::{num::ceil_log2, NodeId, RootedTree};
 use rmo_shortcut::trivial::trivial_shortcut;
 
 use crate::aggregate::Aggregate;
@@ -83,16 +83,15 @@ pub fn leaderless_pa(
     let n = g.n();
     // Lines 1-2: singleton classes, every node its own leader.
     let mut class_of: Vec<usize> = (0..n).collect();
-    let mut leader_of_class: HashMap<usize, NodeId> = (0..n).map(|v| (v, v)).collect();
+    let mut leader_of_class: BTreeMap<usize, NodeId> = (0..n).map(|v| (v, v)).collect();
     let mut cost = CostReport::zero();
-    let max_iters = 4 * ((n.max(2) as f64).log2().ceil() as usize) + 8;
+    let max_iters = 4 * ceil_log2(n.max(2)) + 8;
     let mut iterations = 0usize;
 
     loop {
         // Classes still smaller than their parts pick an exit edge.
-        let mut class_ids: Vec<usize> = leader_of_class.keys().copied().collect();
-        class_ids.sort_unstable();
-        let index: HashMap<usize, usize> =
+        let class_ids: Vec<usize> = leader_of_class.keys().copied().collect();
+        let index: BTreeMap<usize, usize> =
             class_ids.iter().enumerate().map(|(k, &c)| (c, k)).collect();
         let mut chosen: Vec<Option<(NodeId, NodeId)>> = vec![None; class_ids.len()];
         for v in 0..n {
@@ -178,7 +177,7 @@ pub fn leaderless_pa(
 /// returning the dense assignment plus, for each dense id, the original
 /// class id (so leaders can be looked up consistently).
 fn remap(class_of: &[usize]) -> (Vec<usize>, Vec<usize>) {
-    let mut map: HashMap<usize, usize> = HashMap::new();
+    let mut map: BTreeMap<usize, usize> = BTreeMap::new();
     let mut order: Vec<usize> = Vec::new();
     let dense = class_of
         .iter()

@@ -52,6 +52,8 @@
 //! For one-shot solves, [`solve_pa`] still assembles and tears down the
 //! whole pipeline in a single call.
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod baseline;
 pub mod batch;

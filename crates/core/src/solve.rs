@@ -29,14 +29,14 @@
 //! flush its `O(log n)` queued messages — `O(D log n)` rounds per block
 //! iteration plus the one-off delay, i.e. `Õ(bD + c)` in total.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rmo_congest::router::{DowncastJob, TreeRouter, UpcastJob};
 use rmo_congest::CostReport;
-use rmo_graph::{NodeId, RootedTree};
+use rmo_graph::{num::ceil_log2, NodeId, RootedTree};
 use rmo_shortcut::Shortcut;
 
 use crate::instance::{PaError, PaInstance};
@@ -205,7 +205,7 @@ fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> Wav
         terminals: Vec<NodeId>,
     }
     let mut blocks: Vec<BlockInfo> = Vec::new();
-    let mut block_of_rep: HashMap<NodeId, usize> = HashMap::new();
+    let mut block_of_rep: BTreeMap<NodeId, usize> = BTreeMap::new();
     let mut blocks_of_part: Vec<Vec<usize>> = vec![Vec::new(); parts.num_parts()];
     for p in parts.part_ids() {
         let reps = division.reps_of_part(p);
@@ -239,7 +239,7 @@ fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> Wav
     let (capacity, meta_factor, max_delay) = match variant {
         Variant::Deterministic => (1usize, 1usize, 0usize),
         Variant::Randomized { seed } => {
-            let k = ((n.max(2) as f64).log2().ceil() as usize).max(1);
+            let k = ceil_log2(n.max(2)).max(1);
             let c_est = shortcut.congestion_map(g).into_iter().max().unwrap_or(0);
             let mut rng = StdRng::seed_from_u64(seed);
             let max_delay = if c_est > 1 {
@@ -258,7 +258,7 @@ fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> Wav
     let router = TreeRouter::with_capacity(tree, capacity);
 
     let mut informed = vec![false; n];
-    let mut rep_informed: HashSet<NodeId> = HashSet::new();
+    let mut rep_informed: BTreeSet<NodeId> = BTreeSet::new();
     let mut subpart_spread: Vec<bool> = vec![false; division.num_subparts()];
     let mut block_done: Vec<bool> = vec![false; blocks.len()];
     let mut active: Vec<Vec<NodeId>> = vec![Vec::new(); parts.num_parts()]; // A per part
@@ -306,7 +306,7 @@ fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> Wav
                 continue;
             }
             iterations[p] += 1;
-            let mut sources_by_block: HashMap<usize, Vec<NodeId>> = HashMap::new();
+            let mut sources_by_block: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
             for &r in &active[p] {
                 let b = block_of_rep[&r];
                 if !block_done[b] {
@@ -387,7 +387,7 @@ fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> Wav
         }
 
         // --- Step 4 (lines 16-18): climb to representatives. ---
-        let mut climb_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut climb_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let mut step4_depth = 0usize;
         newly_touched.sort_unstable();
         newly_touched.dedup();

@@ -90,7 +90,7 @@ pub fn star_joining(out_edge: &[Option<usize>], ids: &[u64]) -> StarJoining {
     // Step 2: 3-color the remaining paths/cycles.
     let remaining: Vec<usize> = (0..n).filter(|&i| present[i]).collect();
     if !remaining.is_empty() {
-        let index: std::collections::HashMap<usize, usize> =
+        let index: std::collections::BTreeMap<usize, usize> =
             remaining.iter().enumerate().map(|(k, &i)| (i, k)).collect();
         let succ: Vec<Option<usize>> = remaining
             .iter()

@@ -5,7 +5,7 @@
 //! **representative**. Representatives are the only nodes allowed to use
 //! shortcut edges — the paper's key message-saving device (Section 3.2).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use rmo_graph::{Graph, NodeId, Partition};
@@ -171,7 +171,7 @@ impl SubPartDivision {
             }
             // BFS within the part from the leader.
             let mut q = VecDeque::from([leader]);
-            let mut seen: HashMap<NodeId, ()> = HashMap::from([(leader, ())]);
+            let mut seen: BTreeMap<NodeId, ()> = BTreeMap::from([(leader, ())]);
             while let Some(u) = q.pop_front() {
                 let mut nbrs: Vec<_> = g.neighbors(u).map(|(w, _)| w).collect();
                 nbrs.sort_unstable();

@@ -13,10 +13,10 @@
 //! the contact node hangs onto the receiver — the "star" shape is what
 //! keeps the diameter growth additive (Lemma 6.4's core argument).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rmo_congest::CostReport;
-use rmo_graph::{Graph, NodeId, Partition};
+use rmo_graph::{num::ceil_log2, Graph, NodeId, Partition};
 
 use crate::star_join::star_joining;
 use crate::subparts::SubPartDivision;
@@ -44,15 +44,15 @@ pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivi
     // Mutable sub-part state, ids from a global counter.
     let mut sub_of: Vec<usize> = (0..n).collect();
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
-    let mut members: HashMap<usize, Vec<NodeId>> = (0..n).map(|v| (v, vec![v])).collect();
-    let mut rep: HashMap<usize, NodeId> = (0..n).map(|v| (v, v)).collect();
-    let mut complete: HashMap<usize, bool> = (0..n).map(|v| (v, false)).collect();
+    let mut members: BTreeMap<usize, Vec<NodeId>> = (0..n).map(|v| (v, vec![v])).collect();
+    let mut rep: BTreeMap<usize, NodeId> = (0..n).map(|v| (v, v)).collect();
+    let mut complete: BTreeMap<usize, bool> = (0..n).map(|v| (v, false)).collect();
 
     // A sub-part spanning its entire part is complete by definition; a
     // sub-part reaching d nodes is complete by size.
     let finalize = |s: usize,
-                    members: &HashMap<usize, Vec<NodeId>>,
-                    complete: &mut HashMap<usize, bool>,
+                    members: &BTreeMap<usize, Vec<NodeId>>,
+                    complete: &mut BTreeMap<usize, bool>,
                     parts: &Partition| {
         let ms = &members[&s];
         if ms.len() >= d || ms.len() == parts.part_size(parts.part_of(ms[0])) {
@@ -65,7 +65,7 @@ pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivi
 
     let mut rounds = 0usize;
     let mut messages = 0u64;
-    let max_iters = 4 * ((n.max(2) as f64).log2().ceil() as usize) + 8;
+    let max_iters = 4 * ceil_log2(n.max(2)) + 8;
     let mut iterations = 0usize;
 
     // Re-roots sub-part `j` at contact node `u` and hangs it below `v`.
@@ -80,9 +80,9 @@ pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivi
         target: usize,
         sub_of: &mut [usize],
         parent: &mut [Option<NodeId>],
-        members: &mut HashMap<usize, Vec<NodeId>>,
-        rep: &mut HashMap<usize, NodeId>,
-        complete: &mut HashMap<usize, bool>,
+        members: &mut BTreeMap<usize, Vec<NodeId>>,
+        rep: &mut BTreeMap<usize, NodeId>,
+        complete: &mut BTreeMap<usize, bool>,
     ) {
         // Flip parents along u -> old rep.
         let mut path = vec![u];
@@ -123,10 +123,8 @@ pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivi
         );
         let max_depth = current_max_depth(&members, &parent);
         // --- Choose edges (one intra-sub-part convergecast each). ---
-        let mut chosen: HashMap<usize, (NodeId, NodeId)> = HashMap::new();
-        let mut sorted_incomplete = incomplete.clone();
-        sorted_incomplete.sort_unstable();
-        for &s in &sorted_incomplete {
+        let mut chosen: BTreeMap<usize, (NodeId, NodeId)> = BTreeMap::new();
+        for &s in &incomplete {
             let part = parts.part_of(members[&s][0]);
             let mut best: Option<(bool, NodeId, NodeId)> = None; // (target_complete, u, v)
             for &u in &members[&s] {
@@ -160,8 +158,7 @@ pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivi
         let mut changed = true;
         while changed {
             changed = false;
-            let mut current: Vec<usize> = chosen.keys().copied().collect();
-            current.sort_unstable();
+            let current: Vec<usize> = chosen.keys().copied().collect();
             for s in current {
                 if complete.get(&s).copied().unwrap_or(true) {
                     chosen.remove(&s);
@@ -190,10 +187,9 @@ pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivi
         rounds += 2 * max_depth + 1;
 
         // --- Phase B: star joining among remaining incomplete sub-parts. ---
-        let mut remaining: Vec<usize> = chosen.keys().copied().collect();
-        remaining.sort_unstable();
+        let remaining: Vec<usize> = chosen.keys().copied().collect();
         if !remaining.is_empty() {
-            let index: HashMap<usize, usize> =
+            let index: BTreeMap<usize, usize> =
                 remaining.iter().enumerate().map(|(k, &s)| (s, k)).collect();
             let out_edge: Vec<Option<usize>> = remaining
                 .iter()
@@ -241,9 +237,8 @@ pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivi
     }
 
     // Compact ids and build the validated division.
-    let mut live: Vec<usize> = members.keys().copied().collect();
-    live.sort_unstable();
-    let remap: HashMap<usize, usize> = live.iter().enumerate().map(|(k, &s)| (s, k)).collect();
+    let live: Vec<usize> = members.keys().copied().collect();
+    let remap: BTreeMap<usize, usize> = live.iter().enumerate().map(|(k, &s)| (s, k)).collect();
     let subpart_of: Vec<usize> = sub_of.iter().map(|s| remap[s]).collect();
     let reps: Vec<NodeId> = live.iter().map(|s| rep[s]).collect();
     let division = SubPartDivision::new(g, parts, subpart_of, parent, reps)
@@ -256,7 +251,7 @@ pub fn deterministic_division(g: &Graph, parts: &Partition, d: usize) -> DetDivi
 }
 
 /// Max depth of any current sub-part tree (for round accounting).
-fn current_max_depth(members: &HashMap<usize, Vec<NodeId>>, parent: &[Option<NodeId>]) -> usize {
+fn current_max_depth(members: &BTreeMap<usize, Vec<NodeId>>, parent: &[Option<NodeId>]) -> usize {
     let mut best = 0;
     for ms in members.values() {
         for &v in ms {

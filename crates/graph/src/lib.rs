@@ -31,12 +31,15 @@
 //! assert_eq!(mst.edges.len(), g.n() - 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod biconnectivity;
 pub mod dot;
 pub mod dsu;
 pub mod gen;
 pub mod graph;
+pub mod num;
 pub mod partition;
 pub mod reference;
 pub mod tree;

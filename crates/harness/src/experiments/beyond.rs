@@ -5,7 +5,7 @@
 //! constructions already achieve on them.
 
 use rmo_core::{solve_pa, Aggregate, PaConfig, PaInstance};
-use rmo_graph::{gen, two_sweep_diameter_lower_bound};
+use rmo_graph::{gen, num::isqrt, two_sweep_diameter_lower_bound};
 
 use crate::util::{print_table, ratio};
 
@@ -20,7 +20,7 @@ pub fn run() {
     for (family, g) in cases {
         let n = g.n();
         let d = two_sweep_diameter_lower_bound(&g, 0).max(1);
-        let parts = gen::random_connected_partition(&g, (n as f64).sqrt() as usize, 3);
+        let parts = gen::random_connected_partition(&g, isqrt(n), 3);
         let values: Vec<u64> = (0..n as u64).collect();
         let inst = PaInstance::from_partition(&g, parts, values, Aggregate::Min).expect("valid");
         let det = solve_pa(&inst, &PaConfig::default()).expect("solves");

@@ -14,7 +14,7 @@ pub fn run() {
         // Dense request load: one part entering at every position.
         let requests: Vec<Vec<usize>> = (0..len).map(|p| vec![p]).collect();
         let res = construct_on_path(&nodes, &edges, &requests, c);
-        let log_d = (len as f64).log2().ceil() as usize;
+        let log_d = rmo_graph::num::ceil_log2(len);
         rows.push(vec![
             len.to_string(),
             c.to_string(),

@@ -3,7 +3,7 @@
 
 use rmo_apps::mst::{naive_mst, pa_mst, MstConfig};
 use rmo_core::PaConfig;
-use rmo_graph::{gen, reference, two_sweep_diameter_lower_bound};
+use rmo_graph::{gen, num::isqrt, reference, two_sweep_diameter_lower_bound};
 
 use crate::util::{print_table, ratio};
 
@@ -15,7 +15,7 @@ pub fn run(quick: bool) {
     };
     let mut rows = Vec::new();
     for n in sizes {
-        let side = (n as f64).sqrt() as usize;
+        let side = isqrt(n);
         let cases = [
             ("grid", gen::grid_weighted(side, side, 3)),
             ("random", gen::random_connected_weighted(n, 3 * n, 3)),

@@ -18,6 +18,8 @@
 //! reports; `EXPERIMENTS.md` records a captured run next to the paper's
 //! claims.
 
+#![forbid(unsafe_code)]
+
 mod experiments;
 mod util;
 

@@ -1,0 +1,10 @@
+// Allow fixture: a directive with a reason suppresses the finding, on
+// the same line or the line above.
+use std::time::Instant;
+
+fn timed() {
+    // rmo-lint: allow(D3) — wall-clock feeds a human-facing progress line only.
+    let t0 = Instant::now();
+    let t1 = Instant::now(); // rmo-lint: allow(D3) - same-line directive, hyphen separator
+    let _ = (t0, t1);
+}

@@ -1,0 +1,9 @@
+// Allow fixture: a reason-less directive must be rejected (E1), not
+// honored.
+use std::time::Instant;
+
+fn timed() {
+    // rmo-lint: allow(D3)
+    let t0 = Instant::now();
+    let _ = t0;
+}

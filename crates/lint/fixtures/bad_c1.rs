@@ -1,0 +1,11 @@
+// C1 fixture: narrowing `as` casts in cost-accounting code can silently
+// truncate round/message counters.
+fn lossy(messages: u64, rounds: u64) -> (u32, usize) {
+    let m = messages as u32;
+    let r = rounds as usize;
+    (m, r)
+}
+
+fn widening_is_fine(rounds: usize) -> u64 {
+    rounds as u64
+}

@@ -1,0 +1,40 @@
+// D1 fixture: every order-escaping pattern the rule must catch when
+// this file poses as a deterministic module. Not compiled — the lint
+// tests feed it through the tokenizer directly.
+use std::collections::{HashMap, HashSet};
+
+struct Holder {
+    table: HashMap<u64, u64>,
+}
+
+fn let_binding_iter() {
+    let mut counts: HashMap<usize, u64> = HashMap::new();
+    counts.insert(1, 2);
+    for (k, v) in counts.iter() {
+        let _ = (k, v);
+    }
+}
+
+fn constructor_binding_keys() {
+    let seen = HashSet::from([1, 2, 3]);
+    let _sum: usize = seen.iter().sum();
+}
+
+fn for_over_reference(map: &HashMap<usize, Vec<usize>>) {
+    for (part, edges) in map {
+        let _ = (part, edges);
+    }
+}
+
+fn drain_and_retain(mut pending: HashMap<usize, u64>) {
+    pending.retain(|_, v| *v > 0);
+    for (_, v) in pending.drain() {
+        let _ = v;
+    }
+}
+
+impl Holder {
+    fn values_walk(&self) -> u64 {
+        self.table.values().sum()
+    }
+}

@@ -1,0 +1,11 @@
+// D2 fixture: process-seeded hashers are banned everywhere; the
+// fingerprint contract is FNV.
+use std::collections::hash_map::{DefaultHasher, RandomState};
+use std::hash::{BuildHasher, Hasher};
+
+fn hidden_randomness() -> u64 {
+    let state = RandomState::new();
+    let mut hasher: DefaultHasher = state.build_hasher();
+    hasher.write_u64(42);
+    hasher.finish()
+}

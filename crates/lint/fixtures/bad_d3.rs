@@ -1,0 +1,10 @@
+// D3 fixture: wall-clock and thread-identity reads outside timing code.
+use std::time::{Instant, SystemTime};
+
+fn clock_reads() -> bool {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let me = std::thread::current().id();
+    let _ = (t0, wall, me);
+    true
+}

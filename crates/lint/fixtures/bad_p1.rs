@@ -1,0 +1,14 @@
+// P1 fixture: unwrap/expect in library code, plus test code that must
+// NOT count against the ratchet.
+fn risky(v: Option<u64>, r: Result<u64, String>) -> u64 {
+    v.unwrap() + r.expect("present")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_free() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,30 @@
+// D1 fixture: patterns that must NOT fire. Ordered collections iterate
+// deterministically, and hash lookups that never escape the internal
+// order are legal.
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+fn ordered_iteration() {
+    let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
+    counts.insert(1, 2);
+    for (k, v) in counts.iter() {
+        let _ = (k, v);
+    }
+    let sorted: BTreeSet<usize> = (0..10).collect();
+    for x in &sorted {
+        let _ = x;
+    }
+}
+
+fn lookup_only(index: &HashMap<usize, usize>) -> Option<usize> {
+    // Point lookups and membership tests do not observe hash order.
+    index.get(&3).copied()
+}
+
+fn sorted_before_iterate(map: &HashMap<usize, u64>) -> Vec<usize> {
+    let mut keys: Vec<usize> = Vec::new();
+    if let Some(v) = map.get(&7) {
+        keys.push(*v as usize);
+    }
+    keys.sort_unstable();
+    keys
+}

@@ -1,0 +1,238 @@
+//! `rmo-lint` — the workspace determinism & safety static-analysis
+//! pass. See `DESIGN.md` § "Determinism contract" for the full story;
+//! in short, every serving-layer guarantee (bit-for-bit `serve_replay`,
+//! FNV-pinned fingerprints, mode-independent engine counters) relies on
+//! the absence of hidden nondeterminism, and this pass enforces that
+//! absence statically:
+//!
+//! * **D1** — no order-escaping iteration over `HashMap`/`HashSet` in
+//!   deterministic modules (`congest`, `core`, `shortcut`,
+//!   `apps::{dispatch,service}`).
+//! * **D2** — no `RandomState`/`DefaultHasher` anywhere.
+//! * **D3** — no `Instant::now`/`SystemTime`/`thread::current` outside
+//!   harness/bench timing code.
+//! * **C1** — no unchecked narrowing `as` casts in cost-accounting code.
+//! * **P1** — `unwrap()`/`expect()` in non-test library code, tracked by
+//!   the [`ratchet`] file whose budgets only decrease.
+//!
+//! Suppression requires a reason:
+//! `// rmo-lint: allow(RULE) — reason` on the offending line or the one
+//! above. A reason-less allow is itself an error (`E1`).
+
+#![forbid(unsafe_code)]
+
+pub mod ratchet;
+pub mod rules;
+pub mod tokenizer;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{FileClass, Finding};
+
+/// Derives a file's role in the pass from its workspace-relative path
+/// (forward slashes). Mirrors the layout documented in `DESIGN.md`.
+pub fn classify(path: &str) -> FileClass {
+    let is_test = path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+        || path.starts_with("tests/");
+    let library = path.starts_with("crates/") && path.contains("/src/") && !is_test;
+    let deterministic = path.starts_with("crates/congest/src/")
+        || path.starts_with("crates/core/src/")
+        || path.starts_with("crates/shortcut/src/")
+        || path == "crates/apps/src/dispatch.rs"
+        || path == "crates/apps/src/service.rs";
+    let timing_exempt = path.starts_with("crates/harness/") || path.starts_with("crates/bench/");
+    let cost_accounting = path == "crates/congest/src/metrics.rs"
+        || path == "crates/core/src/batch.rs"
+        || path == "crates/core/src/pipeline.rs";
+    FileClass {
+        is_test,
+        deterministic,
+        timing_exempt,
+        cost_accounting,
+        library,
+    }
+}
+
+/// Lints one source text as if it lived at `path`. The entry point the
+/// fixture tests drive directly.
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let tokens = tokenizer::tokenize(source);
+    let lines: Vec<&str> = source.lines().collect();
+    rules::lint_tokens(path, classify(path), &tokens, &lines)
+}
+
+/// Everything one workspace scan produces: hard findings (D1–D3, C1,
+/// E1) and the P1 sites grouped per ratchet-relevant file.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Findings that fail the build outright.
+    pub errors: Vec<Finding>,
+    /// Surviving (un-allowed) P1 findings, for ratchet accounting.
+    pub p1: Vec<Finding>,
+    /// Files scanned (workspace-relative), for reporting.
+    pub files: usize,
+}
+
+/// Walks the workspace at `root` and lints every source file: all of
+/// `crates/` (minus `crates/lint/fixtures/`, which exists to violate
+/// the rules) plus the root `src/` and `tests/` trees. `vendor/` and
+/// `target/` are never scanned — vendored stubs are not ours to fix.
+pub fn scan_workspace(root: &Path) -> Result<ScanReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "src", "tests"] {
+        collect_rs(&root.join(top), &mut files)?;
+    }
+    files.sort();
+    let mut report = ScanReport::default();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .map_err(|e| e.to_string())?
+            .to_string_lossy()
+            .replace('\\', "/");
+        if rel.starts_with("crates/lint/fixtures/") {
+            continue;
+        }
+        let source = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+        report.files += 1;
+        for finding in lint_source(&rel, &source) {
+            if finding.rule == "P1" {
+                report.p1.push(finding);
+            } else {
+                report.errors.push(finding);
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// P1 site counts per budget key, plus the P1 findings that map to no
+/// key at all (always an error: every library path needs a budget).
+pub fn p1_counts<'a>(
+    ratchet: &'a ratchet::Ratchet,
+    p1: &[Finding],
+) -> (BTreeMap<&'a str, usize>, Vec<Finding>) {
+    let mut counts: BTreeMap<&str, usize> = ratchet
+        .budgets
+        .iter()
+        .map(|(k, _)| (k.as_str(), 0))
+        .collect();
+    let mut unmapped = Vec::new();
+    for f in p1 {
+        match ratchet.key_for(&f.file) {
+            Some(key) => *counts.entry(key).or_insert(0) += 1,
+            None => unmapped.push(f.clone()),
+        }
+    }
+    (counts, unmapped)
+}
+
+/// The full `--check` pass: scan, compare against `lint-ratchet.toml`,
+/// and return every failure as a printable line. Empty = clean.
+pub fn check(root: &Path) -> Result<Vec<String>, String> {
+    let report = scan_workspace(root)?;
+    let ratchet_text = fs::read_to_string(root.join("lint-ratchet.toml"))
+        .map_err(|e| format!("lint-ratchet.toml: {e}"))?;
+    let ratchet = ratchet::Ratchet::parse(&ratchet_text)?;
+    let mut failures: Vec<String> = report.errors.iter().map(|f| f.to_string()).collect();
+    let (counts, unmapped) = p1_counts(&ratchet, &report.p1);
+    for f in unmapped {
+        failures.push(format!(
+            "{f} (no [budgets] entry in lint-ratchet.toml covers this path)"
+        ));
+    }
+    for (key, &count) in &counts {
+        match ratchet.budget(key) {
+            Some(budget) if count > budget => failures.push(format!(
+                "lint-ratchet.toml: {key}: {count} unwrap/expect sites exceed the budget of {budget} — \
+                 return a Result or add `// rmo-lint: allow(P1) — reason`"
+            )),
+            Some(budget) if count < budget => failures.push(format!(
+                "lint-ratchet.toml: {key}: budget {budget} is stale ({count} sites remain) — \
+                 run `cargo run -p rmo-lint -- --update-ratchet` to ratchet it down"
+            )),
+            _ => {}
+        }
+    }
+    Ok(failures)
+}
+
+/// The `--update-ratchet` pass: rewrite budgets to the current counts.
+/// Refuses to *raise* any budget — new unwrap/expect sites are fixed or
+/// allowed, never budgeted in. Returns the keys that changed.
+pub fn update_ratchet(root: &Path) -> Result<Vec<String>, String> {
+    let report = scan_workspace(root)?;
+    if let Some(err) = report.errors.first() {
+        return Err(format!(
+            "refusing to update the ratchet while hard findings exist, e.g. {err}"
+        ));
+    }
+    let path = root.join("lint-ratchet.toml");
+    let text = fs::read_to_string(&path).map_err(|e| format!("lint-ratchet.toml: {e}"))?;
+    let mut ratchet = ratchet::Ratchet::parse(&text)?;
+    let (counts, unmapped) = p1_counts(&ratchet, &report.p1);
+    if let Some(f) = unmapped.first() {
+        return Err(format!(
+            "{f} (no [budgets] entry covers this path — add one set to 0 first)"
+        ));
+    }
+    let mut changed = Vec::new();
+    let counts: BTreeMap<String, usize> = counts
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    for (key, budget) in &mut ratchet.budgets {
+        let count = counts.get(key.as_str()).copied().unwrap_or(0);
+        if count > *budget {
+            return Err(format!(
+                "{key}: {count} sites exceed the budget of {budget}; budgets only decrease — \
+                 fix the new sites or allow them with a reason"
+            ));
+        }
+        if count < *budget {
+            changed.push(format!("{key}: {budget} -> {count}"));
+            *budget = count;
+        }
+    }
+    fs::write(&path, ratchet.render()).map_err(|e| format!("lint-ratchet.toml: {e}"))?;
+    Ok(changed)
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` holding
+/// `lint-ratchet.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("lint-ratchet.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}

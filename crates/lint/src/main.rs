@@ -1,0 +1,77 @@
+//! CLI for the workspace determinism & safety pass.
+//!
+//! ```text
+//! rmo-lint [--check]          # scan + ratchet compare; exit 1 on any failure
+//! rmo-lint --update-ratchet   # rewrite budgets downward to match the tree
+//! rmo-lint --root <dir>       # override workspace root discovery
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut update = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--update-ratchet" => update = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: rmo-lint [--check | --update-ratchet] [--root <dir>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root
+        .or_else(|| {
+            let cwd = std::env::current_dir().ok()?;
+            rmo_lint::find_root(&cwd)
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    if update {
+        return match rmo_lint::update_ratchet(&root) {
+            Ok(changed) if changed.is_empty() => {
+                println!("rmo-lint: ratchet already matches the tree");
+                ExitCode::SUCCESS
+            }
+            Ok(changed) => {
+                for line in changed {
+                    println!("rmo-lint: ratcheted down {line}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rmo-lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match rmo_lint::check(&root) {
+        Ok(failures) if failures.is_empty() => {
+            println!("rmo-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for line in &failures {
+                eprintln!("{line}");
+            }
+            eprintln!("rmo-lint: {} failure(s)", failures.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("rmo-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The P1 unwrap/expect ratchet: `lint-ratchet.toml` at the workspace
+//! root records an exact per-path budget of `.unwrap()`/`.expect()`
+//! sites in non-test library code, plus the immutable pre-sweep
+//! baselines. Budgets only move down: `--check` fails when a count rises
+//! *or* falls (a stale budget hides the next regression — keep the file
+//! matching the tree via `--update-ratchet`), and `--update-ratchet`
+//! refuses increases outright.
+//!
+//! The format is a two-table TOML subset parsed by hand (no registry
+//! deps): `[budgets]` and `[baselines]`, entries `"path/prefix" = count`.
+//! A file is charged to the most specific (longest) prefix that matches.
+
+/// Parsed ratchet file.
+#[derive(Debug, Clone, Default)]
+pub struct Ratchet {
+    /// `(path prefix, exact allowed count)`, as listed in `[budgets]`.
+    pub budgets: Vec<(String, usize)>,
+    /// `(path prefix, pre-sweep count)`, as listed in `[baselines]`.
+    pub baselines: Vec<(String, usize)>,
+}
+
+impl Ratchet {
+    /// Parses the `lint-ratchet.toml` subset. Unknown sections and
+    /// malformed lines are errors — the file is a contract, not config.
+    pub fn parse(text: &str) -> Result<Ratchet, String> {
+        let mut ratchet = Ratchet::default();
+        let mut section: Option<&str> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[budgets]" {
+                section = Some("budgets");
+                continue;
+            }
+            if line == "[baselines]" {
+                section = Some("baselines");
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "lint-ratchet.toml:{}: unknown section {line}",
+                    lineno + 1
+                ));
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                format!(
+                    "lint-ratchet.toml:{}: expected `\"path\" = count`",
+                    lineno + 1
+                )
+            })?;
+            let key = key.trim().trim_matches('"').to_string();
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("lint-ratchet.toml:{}: bad count: {e}", lineno + 1))?;
+            match section {
+                Some("budgets") => ratchet.budgets.push((key, count)),
+                Some("baselines") => ratchet.baselines.push((key, count)),
+                _ => {
+                    return Err(format!(
+                        "lint-ratchet.toml:{}: entry outside a section",
+                        lineno + 1
+                    ))
+                }
+            }
+        }
+        ratchet.budgets.sort();
+        ratchet.baselines.sort();
+        Ok(ratchet)
+    }
+
+    /// Renders the file back out (budgets possibly updated; baselines
+    /// are copied through untouched — they are history, not state).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# lint-ratchet.toml — P1 (`unwrap`/`expect` in non-test library code) budgets.\n\
+             # Maintained by `cargo run -p rmo-lint -- --update-ratchet`; budgets may only\n\
+             # decrease. `--check` requires every count to match the tree exactly.\n\
+             # `[baselines]` records the pre-sweep counts and never changes.\n\n",
+        );
+        out.push_str("[budgets]\n");
+        for (k, v) in &self.budgets {
+            out.push_str(&format!("\"{k}\" = {v}\n"));
+        }
+        out.push_str("\n[baselines]\n");
+        for (k, v) in &self.baselines {
+            out.push_str(&format!("\"{k}\" = {v}\n"));
+        }
+        out
+    }
+
+    /// The budget key charged for `path`: the longest prefix match.
+    pub fn key_for(&self, path: &str) -> Option<&str> {
+        self.budgets
+            .iter()
+            .filter(|(k, _)| path == k || path.starts_with(&format!("{k}/")))
+            .max_by_key(|(k, _)| k.len())
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Looks up a budget by exact key.
+    pub fn budget(&self, key: &str) -> Option<usize> {
+        self.budgets.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Looks up a baseline by exact key.
+    pub fn baseline(&self, key: &str) -> Option<usize> {
+        self.baselines
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[budgets]
+"crates/apps/src/service.rs" = 0
+"crates/apps/src" = 3
+"crates/core/src" = 9
+
+[baselines]
+"crates/apps/src/service.rs" = 7
+"#;
+
+    #[test]
+    fn parse_and_lookup() {
+        let r = Ratchet::parse(SAMPLE).unwrap();
+        assert_eq!(r.budget("crates/core/src"), Some(9));
+        assert_eq!(r.baseline("crates/apps/src/service.rs"), Some(7));
+    }
+
+    #[test]
+    fn most_specific_prefix_wins() {
+        let r = Ratchet::parse(SAMPLE).unwrap();
+        assert_eq!(
+            r.key_for("crates/apps/src/service.rs"),
+            Some("crates/apps/src/service.rs")
+        );
+        assert_eq!(
+            r.key_for("crates/apps/src/dispatch.rs"),
+            Some("crates/apps/src")
+        );
+        assert_eq!(
+            r.key_for("crates/core/src/engine.rs"),
+            Some("crates/core/src")
+        );
+        assert_eq!(r.key_for("crates/graph/src/graph.rs"), None);
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let r = Ratchet::parse(SAMPLE).unwrap();
+        let again = Ratchet::parse(&r.render()).unwrap();
+        assert_eq!(r.budgets, again.budgets);
+        assert_eq!(r.baselines, again.baselines);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Ratchet::parse("[budgets]\nnot a pair\n").is_err());
+        assert!(Ratchet::parse("\"orphan\" = 3\n").is_err());
+        assert!(Ratchet::parse("[wat]\n").is_err());
+    }
+}

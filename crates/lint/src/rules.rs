@@ -1,0 +1,464 @@
+//! The determinism & safety rules, run over one file's token stream.
+//!
+//! | id   | rule |
+//! |------|------|
+//! | `D1` | no order-escaping iteration over `HashMap`/`HashSet` in deterministic modules |
+//! | `D2` | no `RandomState`/`DefaultHasher` anywhere |
+//! | `D3` | no `Instant::now`/`SystemTime`/`thread::current` outside harness/bench timing code |
+//! | `C1` | no unchecked narrowing `as` casts in cost-accounting code |
+//! | `P1` | `unwrap()`/`expect()` in non-test library code (ratcheted, see [`crate::ratchet`]) |
+//!
+//! Suppression: `// rmo-lint: allow(RULE) — reason` on the finding's
+//! line or the line above. The reason is required; an allow without one
+//! is itself reported (rule id `E1`).
+
+use crate::tokenizer::{TokKind, Token};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`D1`, `D2`, `D3`, `C1`, `P1`, or `E1` for a reason-less
+    /// allow directive).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// How a file participates in the pass — derived from its path by
+/// [`crate::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Test/bench/example code: D1, D3, C1 and the P1 count skip it
+    /// entirely (D2 still applies — hidden randomness in a test breaks
+    /// replay assertions just as hard).
+    pub is_test: bool,
+    /// Deterministic module (D1 applies): `congest`, `core`, `shortcut`,
+    /// `apps::{dispatch,service}`.
+    pub deterministic: bool,
+    /// Harness/bench timing code (D3 exempt).
+    pub timing_exempt: bool,
+    /// Cost-accounting code (C1 applies).
+    pub cost_accounting: bool,
+    /// Library source (P1 counted against the ratchet).
+    pub library: bool,
+}
+
+/// Methods whose call on a hash collection escapes its internal order.
+const ORDER_ESCAPING: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Integer types an `as` cast can silently truncate into.
+const NARROWING: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Runs every applicable rule on one file. `lines` are the raw source
+/// lines (for allow-directive lookup); `path` is workspace-relative.
+pub fn lint_tokens(path: &str, class: FileClass, tokens: &[Token], lines: &[&str]) -> Vec<Finding> {
+    let in_test = test_region_mask(tokens);
+    let mut raw = Vec::new();
+
+    // D2 — banned hashers, everywhere (test code included).
+    for t in tokens {
+        if t.is_ident("RandomState") || t.is_ident("DefaultHasher") {
+            raw.push(Finding {
+                rule: "D2",
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` introduces process-local hash randomness; fingerprints are FNV by contract",
+                    t.text
+                ),
+            });
+        }
+    }
+
+    // D3 — wall-clock / thread-identity reads.
+    if !class.timing_exempt && !class.is_test {
+        for (i, t) in tokens.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            if t.is_ident("Instant")
+                && matches(tokens, i + 1, &[":", ":"])
+                && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+            {
+                raw.push(finding("D3", path, t.line,
+                    "`Instant::now()` reads the wall clock; responses and placement must not depend on time"));
+            }
+            if t.is_ident("SystemTime") {
+                raw.push(finding("D3", path, t.line,
+                    "`SystemTime` reads the wall clock; responses and placement must not depend on time"));
+            }
+            if t.is_ident("thread")
+                && matches(tokens, i + 1, &[":", ":"])
+                && tokens.get(i + 3).is_some_and(|t| t.is_ident("current"))
+            {
+                raw.push(finding("D3", path, t.line,
+                    "`thread::current()` exposes scheduler-dependent identity; use the shard index instead"));
+            }
+        }
+    }
+
+    // D1 — order-escaping hash iteration in deterministic modules.
+    if class.deterministic && !class.is_test {
+        let hash_idents = collect_hash_idents(tokens, &in_test);
+        for (i, t) in tokens.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            // `name.iter()` and friends on a known hash-typed binding.
+            if t.kind == TokKind::Ident
+                && hash_idents.iter().any(|h| h == &t.text)
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            {
+                if let Some(m) = tokens.get(i + 2) {
+                    if ORDER_ESCAPING.iter().any(|&me| m.is_ident(me))
+                        && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+                    {
+                        raw.push(Finding {
+                            rule: "D1",
+                            file: path.to_string(),
+                            line: m.line,
+                            message: format!(
+                                "`{}.{}()` iterates a hash collection in arbitrary order; use BTreeMap/BTreeSet or sort first",
+                                t.text, m.text
+                            ),
+                        });
+                    }
+                }
+            }
+            // `for … in <expr containing a hash binding> {`.
+            if t.is_ident("for") {
+                let mut j = i + 1;
+                let mut depth = 0i32;
+                let mut seen_in = false;
+                while let Some(tok) = tokens.get(j) {
+                    if tok.is_punct('(') || tok.is_punct('[') {
+                        depth += 1;
+                    } else if tok.is_punct(')') || tok.is_punct(']') {
+                        depth -= 1;
+                    } else if depth == 0 && tok.is_punct('{') {
+                        break;
+                    } else if depth == 0 && tok.is_ident("in") {
+                        seen_in = true;
+                    } else if seen_in
+                        && tok.kind == TokKind::Ident
+                        && hash_idents.iter().any(|h| h == &tok.text)
+                    {
+                        raw.push(Finding {
+                            rule: "D1",
+                            file: path.to_string(),
+                            line: tok.line,
+                            message: format!(
+                                "`for … in` over hash collection `{}` iterates in arbitrary order; use BTreeMap/BTreeSet or sort first",
+                                tok.text
+                            ),
+                        });
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    // C1 — narrowing `as` casts in cost-accounting code.
+    if class.cost_accounting && !class.is_test {
+        for (i, t) in tokens.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            if t.is_ident("as") {
+                if let Some(ty) = tokens.get(i + 1) {
+                    if NARROWING.iter().any(|&nt| ty.is_ident(nt)) {
+                        raw.push(Finding {
+                            rule: "C1",
+                            file: path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "`as {}` can silently truncate a cost counter; use `try_from` or widen the accumulator",
+                                ty.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // P1 — unwrap/expect in non-test library code.
+    if class.library && !class.is_test {
+        for (i, t) in tokens.iter().enumerate() {
+            if in_test[i] {
+                continue;
+            }
+            if t.is_punct('.') {
+                if let (Some(m), Some(paren)) = (tokens.get(i + 1), tokens.get(i + 2)) {
+                    if (m.is_ident("unwrap") || m.is_ident("expect")) && paren.is_punct('(') {
+                        raw.push(Finding {
+                            rule: "P1",
+                            file: path.to_string(),
+                            line: m.line,
+                            message: format!(
+                                "`.{}()` in library code can kill a shard; return a Result or degrade the response",
+                                m.text
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    apply_allows(raw, lines)
+}
+
+fn finding(rule: &'static str, path: &str, line: usize, message: &str) -> Finding {
+    Finding {
+        rule,
+        file: path.to_string(),
+        line,
+        message: message.to_string(),
+    }
+}
+
+/// True if `tokens[start..]` begins with exactly the given punctuation
+/// characters.
+fn matches(tokens: &[Token], start: usize, puncts: &[&str]) -> bool {
+    puncts.iter().enumerate().all(|(k, p)| {
+        tokens
+            .get(start + k)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == *p)
+    })
+}
+
+/// Marks every token inside a `#[cfg(test)]` item or a `#[test]`
+/// function, so the in-file test code is exempt from D1/D3/C1/P1 like
+/// test files are. An attribute marks the next item: up to the matching
+/// close of the first `{` block, or the first `;` if none opens.
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut attr: Vec<&Token> = Vec::new();
+            while let Some(t) = tokens.get(j) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                attr.push(t);
+                j += 1;
+            }
+            let is_test_attr = match attr.first() {
+                Some(t) if t.is_ident("test") => true,
+                Some(t) if t.is_ident("cfg") => attr.iter().any(|t| t.is_ident("test")),
+                _ => false,
+            };
+            if is_test_attr {
+                // Mark from the attribute through the annotated item.
+                let mut k = j + 1;
+                let mut brace = 0i32;
+                let mut entered = false;
+                while let Some(t) = tokens.get(k) {
+                    if t.is_punct('{') {
+                        brace += 1;
+                        entered = true;
+                    } else if t.is_punct('}') {
+                        brace -= 1;
+                        if entered && brace == 0 {
+                            break;
+                        }
+                    } else if t.is_punct(';') && !entered {
+                        break; // e.g. `#[cfg(test)] use …;`
+                    }
+                    k += 1;
+                }
+                for m in mask.iter_mut().take((k + 1).min(tokens.len())).skip(i) {
+                    *m = true;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Pass 1 of D1: identifiers bound to a `HashMap`/`HashSet`, from type
+/// ascriptions (`name: …HashMap<…>`, including fn params and struct
+/// fields) and direct constructor bindings
+/// (`let [mut] name = HashMap::new()` / `::from`/`::with_capacity`).
+fn collect_hash_idents(tokens: &[Token], in_test: &[bool]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back across the type expression to the `name :` that owns
+        // it. Stop at tokens that end a binding context.
+        let mut j = i;
+        let mut angle = 0i32;
+        while j > 0 {
+            let p = &tokens[j - 1];
+            if p.is_punct('>') {
+                if j >= 2 && (tokens[j - 2].is_punct('-') || tokens[j - 2].is_punct('=')) {
+                    break; // `-> HashMap<…>` / `=> HashMap::…`: no binding name
+                }
+                angle += 1;
+            } else if p.is_punct('<') {
+                if angle == 0 {
+                    // Inside this binding's own generics, keep walking.
+                } else {
+                    angle -= 1;
+                }
+            } else if angle == 0
+                && (p.is_punct(';')
+                    || p.is_punct('{')
+                    || p.is_punct('}')
+                    || p.is_punct('(')
+                    || p.is_punct(',')
+                    || p.is_punct('=')
+                    || p.is_ident("let"))
+            {
+                break;
+            }
+            j -= 1;
+        }
+        // `let [mut] name = HashMap::…` — the `=` stops the walk; look
+        // back past it for the binding name.
+        if j > 0 && tokens[j - 1].is_punct('=') {
+            let mut k = j - 1;
+            while k > 0 {
+                let p = &tokens[k - 1];
+                if p.is_ident("let") {
+                    // name is the token after `let` (skipping `mut`).
+                    let mut name_idx = k;
+                    if tokens.get(name_idx).is_some_and(|t| t.is_ident("mut")) {
+                        name_idx += 1;
+                    }
+                    if let Some(name) = tokens.get(name_idx) {
+                        if name.kind == TokKind::Ident {
+                            push_unique(&mut names, &name.text);
+                        }
+                    }
+                    break;
+                }
+                if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+                    break;
+                }
+                k -= 1;
+            }
+            continue;
+        }
+        // `name : …HashMap…` — find the `:` directly after an identifier
+        // at the start of the span (fn params, struct fields, and
+        // `let name: Ty = …` all look like this).
+        if j >= 2 && tokens[j].is_punct(':') && tokens[j - 1].kind == TokKind::Ident {
+            push_unique(&mut names, &tokens[j - 1].text);
+            continue;
+        }
+        // The span may start with `name :` followed by `&`/`mut`/path
+        // segments; scan forward inside it for the first `ident :` pair.
+        let mut k = j;
+        while k + 1 < i {
+            if tokens[k].kind == TokKind::Ident && tokens[k + 1].is_punct(':') {
+                // Exclude path segments (`std::collections`): a path has
+                // a second `:` right after.
+                if !tokens.get(k + 2).is_some_and(|t| t.is_punct(':')) {
+                    push_unique(&mut names, &tokens[k].text);
+                }
+                break;
+            }
+            k += 1;
+        }
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: &str) {
+    if !names.iter().any(|n| n == name) {
+        names.push(name.to_string());
+    }
+}
+
+/// Applies `// rmo-lint: allow(RULE) — reason` directives: a finding is
+/// suppressed when its own line or the line above carries a directive
+/// naming its rule *with* a reason; a directive without a reason turns
+/// the finding into an `E1` error instead.
+fn apply_allows(raw: Vec<Finding>, lines: &[&str]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in raw {
+        let direct = directive_on(lines, f.line, f.rule);
+        let above = directive_on(lines, f.line.wrapping_sub(1), f.rule);
+        match direct.or(above) {
+            Some(true) => {} // allowed, with reason
+            Some(false) => out.push(Finding {
+                rule: "E1",
+                file: f.file,
+                line: f.line,
+                message: format!(
+                    "rmo-lint allow({}) without a reason — write `// rmo-lint: allow({}) — why it is safe`",
+                    f.rule, f.rule
+                ),
+            }),
+            None => out.push(f),
+        }
+    }
+    out
+}
+
+/// Whether 1-based `line` carries an allow directive for `rule`:
+/// `Some(true)` with a reason, `Some(false)` without, `None` if no
+/// directive for this rule is present.
+fn directive_on(lines: &[&str], line: usize, rule: &str) -> Option<bool> {
+    let text = lines.get(line.checked_sub(1)?)?;
+    let start = text.find("rmo-lint: allow(")?;
+    let rest = &text[start + "rmo-lint: allow(".len()..];
+    let close = rest.find(')')?;
+    if rest[..close].trim() != rule {
+        return None;
+    }
+    // A reason is any word characters after the closing paren, past
+    // separator punctuation (`—`, `-`, `:`).
+    let reason = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '—', '-', ':', '–'])
+        .trim();
+    Some(reason.chars().filter(|c| c.is_alphanumeric()).count() >= 3)
+}

@@ -71,8 +71,8 @@ pub fn construct_on_path(
         .collect();
     let mut broken = vec![false; edges.len()];
     let mut claimed: Vec<(usize, Vec<EdgeId>)> = Vec::new();
-    let mut claim_map: std::collections::HashMap<usize, Vec<EdgeId>> =
-        std::collections::HashMap::new();
+    let mut claim_map: std::collections::BTreeMap<usize, Vec<EdgeId>> =
+        std::collections::BTreeMap::new();
     let mut edge_load = vec![0usize; edges.len()];
     let mut rounds = 0usize;
     let mut messages = 0u64;
@@ -123,11 +123,8 @@ pub fn construct_on_path(
         .filter(|&(_, &b)| b)
         .map(|(q, _)| edges[q])
         .collect();
-    let mut keys: Vec<usize> = claim_map.keys().copied().collect();
-    keys.sort_unstable();
-    for k in keys {
-        claimed.push((k, claim_map.remove(&k).expect("key listed")));
-    }
+    claimed.extend(claim_map); // BTreeMap iterates in ascending part order
+
     PathConstructionResult {
         claimed,
         reached_top,
@@ -205,7 +202,7 @@ mod tests {
         let req: Vec<Vec<usize>> = (0..len).map(|p| vec![p]).collect();
         let c = 3;
         let r = construct_on_path(&nodes, &edges, &req, c);
-        let log_d = (len as f64).log2().ceil() as usize;
+        let log_d = rmo_graph::num::ceil_log2(len);
         assert!(
             r.max_edge_load <= 2 * c * log_d,
             "load {} exceeds 2c·logD = {}",
@@ -221,7 +218,7 @@ mod tests {
         let req: Vec<Vec<usize>> = (0..len).map(|p| vec![p]).collect();
         let c = 4;
         let r = construct_on_path(&nodes, &edges, &req, c);
-        let log_d = (len as f64).log2().ceil() as usize;
+        let log_d = rmo_graph::num::ceil_log2(len);
         // Lemma 6.6: O(c log D + D); allow the explicit constant 2.
         assert!(
             r.cost.rounds <= 2 * (c * log_d + len),

@@ -19,10 +19,10 @@
 //! `(b, c)` shortcut; we cap iterations and report stragglers so callers
 //! can double the budgets (the paper's doubling remark, Section 1.3).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rmo_congest::CostReport;
-use rmo_graph::{Graph, HeavyPathDecomposition, NodeId, Partition, RootedTree};
+use rmo_graph::{num::ceil_log2, Graph, HeavyPathDecomposition, NodeId, Partition, RootedTree};
 
 use crate::alg7::construct_on_path;
 use crate::model::Shortcut;
@@ -41,7 +41,7 @@ pub struct DetParams {
 impl DetParams {
     /// Defaults for `num_parts` parts.
     pub fn new(congestion: usize, target_block: usize, num_parts: usize) -> DetParams {
-        let log = (num_parts.max(2) as f64).log2().ceil() as usize;
+        let log = ceil_log2(num_parts.max(2));
         DetParams {
             congestion,
             target_block,
@@ -135,8 +135,8 @@ pub fn construct_deterministic(
                 }
             }
         }
-        let mut claims: HashMap<usize, Vec<usize>> = HashMap::new();
-        let mut level_rounds: HashMap<usize, usize> = HashMap::new();
+        let mut claims: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        let mut level_rounds: BTreeMap<usize, usize> = BTreeMap::new();
         let mut messages = 0u64;
         for &p in &order {
             let nodes = hpd.path_nodes(p);
@@ -270,7 +270,7 @@ mod tests {
             DetParams::new(c, 2, parts.num_parts()),
         );
         let q = measure(&g, &tree, &parts, &res.shortcut);
-        let log_d = ((tree.depth().max(2)) as f64).log2().ceil() as usize;
+        let log_d = ceil_log2(tree.depth().max(2));
         let bound = 2 * c * log_d * res.iterations + res.iterations;
         assert!(
             q.congestion <= bound,

@@ -23,13 +23,13 @@
 //! exactly like `BlockRoute`, so its round cost is `depth + max admitted
 //! load`, which we compute from the realized loads rather than assume.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rmo_congest::CostReport;
-use rmo_graph::{Graph, NodeId, Partition, RootedTree};
+use rmo_graph::{num::ceil_log2, Graph, NodeId, Partition, RootedTree};
 
 use crate::model::Shortcut;
 
@@ -50,7 +50,7 @@ pub struct RandParams {
 impl RandParams {
     /// Sensible defaults for `num_parts` parts.
     pub fn new(congestion: usize, target_block: usize, num_parts: usize, seed: u64) -> RandParams {
-        let log = (num_parts.max(2) as f64).log2().ceil() as usize;
+        let log = ceil_log2(num_parts.max(2));
         RandParams {
             congestion,
             target_block,
@@ -110,7 +110,7 @@ pub fn construct_randomized(
     while !active.is_empty() && iterations < params.max_iterations {
         iterations += 1;
         // Fresh random ranks decide who wins contended edges this sweep.
-        let rank: HashMap<usize, u64> = active.iter().map(|&p| (p, rng.random::<u64>())).collect();
+        let rank: BTreeMap<usize, u64> = active.iter().map(|&p| (p, rng.random::<u64>())).collect();
         // climbing[v] = parts whose claim front currently sits at node v.
         let mut climbing: Vec<Vec<usize>> = vec![Vec::new(); n];
         for &p in &active {
@@ -122,7 +122,7 @@ pub fn construct_randomized(
         }
         // Bottom-up sweep in reverse BFS order: children processed before
         // parents, so fronts accumulate upward.
-        let mut claims: HashMap<usize, Vec<usize>> = HashMap::new(); // part -> edges
+        let mut claims: BTreeMap<usize, Vec<usize>> = BTreeMap::new(); // part -> edges
         let mut messages = 0u64;
         let mut max_load = 0usize;
         for &v in tree.top_down_order().iter().rev() {

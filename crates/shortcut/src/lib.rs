@@ -39,6 +39,8 @@
 //! assert_eq!(q.block_parameter, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod alg7;
 pub mod alg8;

@@ -1,6 +1,6 @@
 //! The shortcut data model: per-part tree-edge sets and their blocks.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use rmo_graph::{DisjointSets, EdgeId, Graph, NodeId, Partition, RootedTree};
@@ -98,7 +98,7 @@ impl Shortcut {
                 got: assignments.len(),
             });
         }
-        let tree_edges: HashSet<EdgeId> = tree.tree_edge_ids().into_iter().collect();
+        let tree_edges: BTreeSet<EdgeId> = tree.tree_edge_ids().into_iter().collect();
         for (i, set) in assignments.iter().enumerate() {
             for &e in set {
                 if !tree_edges.contains(&e) {
@@ -170,19 +170,19 @@ impl Shortcut {
         involved.sort_unstable();
         involved.dedup();
         // Union-find over a dense relabeling of the involved nodes.
-        let index: HashMap<NodeId, usize> =
+        let index: BTreeMap<NodeId, usize> =
             involved.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         let mut dsu = DisjointSets::new(involved.len());
         for &e in hi {
             let (u, v) = g.endpoints(e);
             dsu.union(index[&u], index[&v]);
         }
-        let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        let mut groups: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
         for &v in &involved {
             groups.entry(dsu.find(index[&v])).or_default().push(v);
         }
-        let part_set: HashSet<NodeId> = terminals.iter().copied().collect();
-        let mut by_edge: HashMap<usize, Vec<EdgeId>> = HashMap::new();
+        let part_set: BTreeSet<NodeId> = terminals.iter().copied().collect();
+        let mut by_edge: BTreeMap<usize, Vec<EdgeId>> = BTreeMap::new();
         for &e in hi {
             let (u, _) = g.endpoints(e);
             by_edge.entry(dsu.find(index[&u])).or_default().push(e);

@@ -1,7 +1,7 @@
 //! Exact quality measures of a shortcut: congestion, block parameter and
 //! dilation (Definitions 2.1–2.3).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use rmo_graph::{Graph, NodeId, Partition, RootedTree};
 
@@ -61,7 +61,7 @@ pub fn part_dilation(g: &Graph, parts: &Partition, sc: &Shortcut, p: usize) -> u
     }
     nodes.sort_unstable();
     nodes.dedup();
-    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index: BTreeMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     // E[Pi]: graph edges with both endpoints in the part.
     for &v in parts.members(p) {

@@ -9,14 +9,14 @@
 //! broadcast, which costs `O(√n)` rounds because their induced diameter is
 //! below their size `< √n`.
 
-use rmo_graph::{Graph, Partition, RootedTree};
+use rmo_graph::{num::ceil_sqrt, Graph, Partition, RootedTree};
 
 use crate::model::Shortcut;
 
 /// Builds the trivial `b = 1, c ≤ √n` shortcut with the default threshold
 /// `⌈√n⌉`.
 pub fn trivial_shortcut(g: &Graph, tree: &RootedTree, parts: &Partition) -> Shortcut {
-    let threshold = (g.n() as f64).sqrt().ceil() as usize;
+    let threshold = ceil_sqrt(g.n());
     trivial_shortcut_with_threshold(g, tree, parts, threshold.max(1))
 }
 

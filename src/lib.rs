@@ -50,6 +50,8 @@
 //! `rmo::core::solve_pa` remains as the one-shot entry point that
 //! assembles and tears down the pipeline in a single call.
 
+#![forbid(unsafe_code)]
+
 pub use rmo_apps as apps;
 pub use rmo_congest as congest;
 pub use rmo_core as core;

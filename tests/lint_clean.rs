@@ -1,0 +1,90 @@
+//! The workspace determinism gate: `rmo-lint` must pass on the whole
+//! tree, and the P1 ratchet must both match the tree exactly and show
+//! the serving path strictly below its pre-sweep baseline. This runs in
+//! the default `cargo test`, so tier-1 catches a determinism regression
+//! even before the dedicated CI job does.
+
+use std::path::Path;
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn ratchet() -> rmo_lint::ratchet::Ratchet {
+    let text = std::fs::read_to_string(root().join("lint-ratchet.toml"))
+        .expect("lint-ratchet.toml exists at the workspace root");
+    rmo_lint::ratchet::Ratchet::parse(&text).expect("lint-ratchet.toml parses")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let failures = rmo_lint::check(root()).expect("workspace scan runs");
+    assert!(
+        failures.is_empty(),
+        "rmo-lint found {} violation(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn ratchet_matches_tree_exactly() {
+    // `check` already fails on drift in either direction; assert the
+    // counts directly as well so this invariant survives refactors of
+    // the failure-message plumbing.
+    let report = rmo_lint::scan_workspace(root()).expect("workspace scan runs");
+    let ratchet = ratchet();
+    let (counts, unmapped) = rmo_lint::p1_counts(&ratchet, &report.p1);
+    assert!(
+        unmapped.is_empty(),
+        "library paths without a ratchet budget: {unmapped:#?}"
+    );
+    for (key, budget) in &ratchet.budgets {
+        let count = counts.get(key.as_str()).copied().unwrap_or(0);
+        assert_eq!(
+            count, *budget,
+            "{key}: tree has {count} unwrap/expect sites but the ratchet says {budget} — \
+             run `cargo run -p rmo-lint -- --update-ratchet`"
+        );
+    }
+}
+
+#[test]
+fn serving_path_is_strictly_below_its_baseline() {
+    let ratchet = ratchet();
+    let service_budget = ratchet
+        .budget("crates/apps/src/service.rs")
+        .expect("service.rs has a budget");
+    let service_baseline = ratchet
+        .baseline("crates/apps/src/service.rs")
+        .expect("service.rs has a baseline");
+    assert!(
+        service_budget < service_baseline,
+        "the de-unwrap sweep must hold: service.rs budget {service_budget} \
+         is not strictly below its pre-sweep baseline {service_baseline}"
+    );
+    // dispatch.rs entered the sweep already clean; it must stay at zero.
+    assert_eq!(ratchet.budget("crates/apps/src/dispatch.rs"), Some(0));
+    assert_eq!(ratchet.baseline("crates/apps/src/dispatch.rs"), Some(0));
+}
+
+#[test]
+fn deterministic_modules_are_classified() {
+    // The classification table is the contract's foundation — pin it.
+    for path in [
+        "crates/congest/src/router.rs",
+        "crates/core/src/engine.rs",
+        "crates/shortcut/src/alg8.rs",
+        "crates/apps/src/dispatch.rs",
+        "crates/apps/src/service.rs",
+    ] {
+        assert!(
+            rmo_lint::classify(path).deterministic,
+            "{path} must be a deterministic module"
+        );
+    }
+    assert!(!rmo_lint::classify("crates/graph/src/graph.rs").deterministic);
+    assert!(!rmo_lint::classify("crates/apps/src/mst.rs").deterministic);
+    assert!(rmo_lint::classify("crates/harness/src/main.rs").timing_exempt);
+    assert!(rmo_lint::classify("crates/congest/tests/alloc_free.rs").is_test);
+}

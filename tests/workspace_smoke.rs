@@ -28,6 +28,31 @@ fn cargo() -> Command {
 }
 
 #[test]
+fn lint_ratchet_matches_tree() {
+    // The determinism gate's ratchet file must describe the tree
+    // exactly — a stale budget hides the next unwrap/expect regression.
+    // (tests/lint_clean.rs checks the full rule set; this smoke test
+    // pins the ratchet/tree agreement specifically.)
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = rmo_lint::scan_workspace(root).expect("workspace scan runs");
+    let text = std::fs::read_to_string(root.join("lint-ratchet.toml"))
+        .expect("lint-ratchet.toml exists at the workspace root");
+    let ratchet = rmo_lint::ratchet::Ratchet::parse(&text).expect("lint-ratchet.toml parses");
+    let (counts, unmapped) = rmo_lint::p1_counts(&ratchet, &report.p1);
+    assert!(
+        unmapped.is_empty(),
+        "unbudgeted library paths: {unmapped:#?}"
+    );
+    for (key, budget) in &ratchet.budgets {
+        let count = counts.get(key.as_str()).copied().unwrap_or(0);
+        assert_eq!(
+            count, *budget,
+            "{key}: ratchet says {budget}, tree has {count} — run --update-ratchet"
+        );
+    }
+}
+
+#[test]
 fn all_examples_compile() {
     // --message-format=json reports each produced executable, which works
     // regardless of where the target directory lives (CARGO_TARGET_DIR,
