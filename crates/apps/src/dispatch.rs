@@ -167,10 +167,12 @@ impl Query {
             Query::Kdom { .. } | Query::Eccentricity { .. } => 12,
             Query::Mst => 6 * log_n,
             Query::Sssp { .. } => 20,
-            Query::MinCut { trials } => 10 * (*trials as u64).max(1),
+            // Saturating: a hostile `trials` must mis-rank, not abort the
+            // scheduler that is sizing groups around it.
+            Query::MinCut { trials } => (*trials as u64).max(1).saturating_mul(10),
             Query::Cds { .. } => 24,
         };
-        waves * wave
+        waves.saturating_mul(wave)
     }
 }
 
@@ -239,10 +241,12 @@ fn bad_edge(engine: &PaEngine<'_>, h_edges: &[rmo_graph::EdgeId]) -> Option<Quer
 }
 
 /// Executes one query on a caller-held session — the single entry point
-/// over all eight application modules. Graph-relative validation (part
-/// vectors, value lengths, node and edge id ranges) surfaces as
-/// [`QueryResponse::Failed`]; graph-independent contract panics from
-/// the apps themselves (`k == 0`, `trials` overflow) are not caught.
+/// over all eight application modules. Validation failures surface as
+/// [`QueryResponse::Failed`], never a panic: graph-relative checks
+/// (part vectors, value lengths, node and edge id ranges) *and* the
+/// apps' own contract preconditions (`k == 0`, a degenerate min-cut
+/// instance) are caught here, so no well-formed-but-invalid query can
+/// kill a shard worker.
 pub fn run_query(engine: &mut PaEngine<'_>, query: &Query) -> QueryResponse {
     match query {
         Query::Pa {
@@ -281,6 +285,20 @@ pub fn run_query(engine: &mut PaEngine<'_>, query: &Query) -> QueryResponse {
             }
         }
         Query::MinCut { trials } => {
+            // approx_min_cut_with_engine's contract: at least one trial,
+            // at least one edge to cut. Enforce it here so the serving
+            // path degrades instead of tripping the assert.
+            if *trials == 0 {
+                return QueryResponse::Failed(
+                    "min-cut needs at least one sampling trial (got 0)".to_string(),
+                );
+            }
+            if engine.graph().n() < 2 {
+                return QueryResponse::Failed(format!(
+                    "min-cut needs at least 2 nodes (graph has {})",
+                    engine.graph().n()
+                ));
+            }
             let config = MinCutConfig {
                 pa: engine.config().pa(),
                 seed: engine.config().seed,
@@ -292,8 +310,22 @@ pub fn run_query(engine: &mut PaEngine<'_>, query: &Query) -> QueryResponse {
                 Err(e) => fail(e),
             }
         }
-        Query::Kdom { k } => QueryResponse::Kdom(k_dominating_set_with_engine(engine, *k)),
+        Query::Kdom { k } => {
+            // k_dominating_set_with_engine's contract: a positive radius.
+            if *k == 0 {
+                return QueryResponse::Failed(
+                    "k-dominating set needs a positive radius k (got 0)".to_string(),
+                );
+            }
+            QueryResponse::Kdom(k_dominating_set_with_engine(engine, *k))
+        }
         Query::Eccentricity { k } => {
+            // Same positive-k contract as Kdom, which it builds on.
+            if *k == 0 {
+                return QueryResponse::Failed(
+                    "eccentricity estimation needs a positive slack k (got 0)".to_string(),
+                );
+            }
             QueryResponse::Eccentricity(approx_eccentricities_with_engine(engine, *k))
         }
         Query::Cds { node_weights } => {
@@ -419,6 +451,37 @@ mod tests {
         // The engine is still usable afterwards.
         let ok = run_query(&mut engine, &Query::Kdom { k: 4 });
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn contract_violations_fail_gracefully_instead_of_panicking() {
+        let g = gen::path(8);
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        // k == 0 used to trip `assert!(k > 0)` inside the app and kill
+        // the shard worker; now it degrades to a Failed response.
+        let bad = run_query(&mut engine, &Query::Kdom { k: 0 });
+        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("positive radius")));
+        let bad = run_query(&mut engine, &Query::Eccentricity { k: 0 });
+        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("positive slack")));
+        // Degenerate min-cut instances likewise.
+        let bad = run_query(&mut engine, &Query::MinCut { trials: 0 });
+        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("trial")));
+        let single = gen::path(1);
+        let mut tiny = PaEngine::new(&single, EngineConfig::new());
+        let bad = run_query(&mut tiny, &Query::MinCut { trials: 2 });
+        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("at least 2 nodes")));
+        // Failures bill nothing and leave the engine serviceable.
+        assert_eq!(bad.cost(), CostReport::zero());
+        assert!(run_query(&mut engine, &Query::Mst).is_ok());
+    }
+
+    #[test]
+    fn weight_saturates_instead_of_overflowing() {
+        // A hostile trial budget must mis-rank, not abort the scheduler
+        // in debug builds.
+        let w = Query::MinCut { trials: usize::MAX }.weight(1 << 20, 1 << 22);
+        assert_eq!(w, u64::MAX);
+        assert!(w >= Query::MinCut { trials: 1 }.weight(1 << 20, 1 << 22));
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub fn approx_eccentricities_with_engine(
     engine: &mut PaEngine<'_>,
     k: usize,
 ) -> EccentricityResult {
+    // rmo-lint: allow(R1) — run_query rejects k == 0 as Failed before dispatching here; direct callers own the documented contract.
     assert!(k > 0, "k must be positive");
     let g = engine.graph();
     let kd = k_dominating_set_with_engine(engine, k);

@@ -42,6 +42,7 @@ pub fn k_dominating_set(g: &Graph, k: usize) -> KDomResult {
 /// # Panics
 /// Panics if `k == 0`.
 pub fn k_dominating_set_with_engine(engine: &mut PaEngine<'_>, k: usize) -> KDomResult {
+    // rmo-lint: allow(R1) — run_query rejects k == 0 as Failed before dispatching here; direct callers own the documented contract.
     assert!(k > 0, "k must be positive");
     let g = engine.graph();
     let threshold = k.div_ceil(6);

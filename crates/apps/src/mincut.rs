@@ -93,7 +93,9 @@ pub fn approx_min_cut_with_engine(
     config: &MinCutConfig,
 ) -> Result<MinCutResult, PaError> {
     let g = engine.graph();
+    // rmo-lint: allow(R1) — run_query builds the config itself (default ε) and rejects n < 2 as Failed before dispatching here.
     assert!(config.epsilon > 0.0, "epsilon must be positive");
+    // rmo-lint: allow(R1) — run_query rejects n < 2 as Failed before dispatching here; direct callers own the documented contract.
     assert!(g.n() >= 2, "min cut needs two nodes");
     let n = g.n();
     let log_n = ceil_log2(n.max(2));

@@ -1,0 +1,41 @@
+// L2 fire cases: linted as a `service.rs`-class file. Every violation
+// here holds a live `MutexGuard` binding across something forbidden.
+use std::sync::{mpsc::Sender, Mutex};
+
+struct SchedState {
+    finished: Vec<u64>,
+}
+
+fn lock(state: &Mutex<SchedState>) -> std::sync::MutexGuard<'_, SchedState> {
+    state.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn second_lock_while_guard_live(state: &Mutex<SchedState>, other: &Mutex<SchedState>) {
+    let mut st = lock(state);
+    st.finished.push(1);
+    let st2 = lock(other); // L2: second lock while `st` is live
+    drop(st2);
+}
+
+fn send_while_guard_held(state: &Mutex<SchedState>, tx: &Sender<u64>) {
+    let st = lock(state);
+    tx.send(st.finished.len() as u64).ok(); // L2: channel send under the guard
+}
+
+fn recv_while_guard_held(state: &Mutex<SchedState>, rx: &std::sync::mpsc::Receiver<u64>) {
+    let mut st = lock(state);
+    if let Ok(v) = rx.recv() {
+        // L2 fired on the recv above
+        st.finished.push(v);
+    }
+}
+
+fn solve_while_std_guard_held(state: &Mutex<SchedState>, engine: &mut Engine) {
+    let st = state.lock().unwrap();
+    engine.solve(st.finished.len()); // L2: engine solve under the guard
+}
+
+struct Engine;
+impl Engine {
+    fn solve(&mut self, _n: usize) {}
+}

@@ -1,0 +1,50 @@
+// L2 quiet cases: the patterns the real scheduler uses — temporary
+// guards that die at the statement, guards dropped before blocking
+// work, and guards whose scope closes first.
+use std::sync::{mpsc::Sender, Mutex};
+
+struct SchedState {
+    finished: Vec<u64>,
+    next: Option<u64>,
+}
+
+impl SchedState {
+    fn next_group(&mut self, _shard: usize) -> Option<u64> {
+        self.next.take()
+    }
+}
+
+fn lock(state: &Mutex<SchedState>) -> std::sync::MutexGuard<'_, SchedState> {
+    state.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn temporary_guard_then_send(state: &Mutex<SchedState>, tx: &Sender<u64>) {
+    // The guard is a temporary inside the statement; it is gone before
+    // the send runs.
+    let next = lock(state).next_group(0);
+    if let Some(v) = next {
+        tx.send(v).ok();
+    }
+}
+
+fn guard_dropped_before_blocking(state: &Mutex<SchedState>, tx: &Sender<u64>) {
+    let mut st = lock(state);
+    st.finished.push(7);
+    drop(st);
+    tx.send(7).ok();
+}
+
+fn guard_scope_closes_before_blocking(state: &Mutex<SchedState>, tx: &Sender<u64>) {
+    {
+        let mut st = lock(state);
+        st.finished.push(9);
+    }
+    tx.send(9).ok();
+}
+
+fn relock_after_drop_is_fine(state: &Mutex<SchedState>) {
+    let st = lock(state);
+    drop(st);
+    let mut again = lock(state);
+    again.finished.push(1);
+}

@@ -1,0 +1,33 @@
+// Q1 fire corpus: `Gamma` is wired through run_query but hidden behind
+// wildcards in weight and affinity — both must be reported.
+pub enum Query {
+    Alpha,
+    Beta,
+    Gamma,
+}
+
+pub fn run_query(q: &Query) -> u64 {
+    match q {
+        Query::Alpha => 1,
+        Query::Beta => 2,
+        Query::Gamma => 3,
+    }
+}
+
+impl Query {
+    pub fn weight(&self, n: usize) -> u64 {
+        match self {
+            Query::Alpha => n as u64,
+            Query::Beta => 2 * n as u64,
+            _ => 1, // wildcard does not count as handling Gamma
+        }
+    }
+
+    pub fn affinity(&self) -> u64 {
+        match self {
+            Query::Alpha => 0x10,
+            Query::Beta => 0x20,
+            _ => 0, // wildcard does not count as handling Gamma
+        }
+    }
+}

@@ -1,0 +1,32 @@
+// Q1 quiet corpus: every variant is named in every dispatch surface —
+// or-patterns count, and enum data is irrelevant.
+pub enum Query {
+    Alpha,
+    Beta { k: usize },
+    Gamma(u64),
+}
+
+pub fn run_query(q: &Query) -> u64 {
+    match q {
+        Query::Alpha => 1,
+        Query::Beta { k } => *k as u64,
+        Query::Gamma(v) => *v,
+    }
+}
+
+impl Query {
+    pub fn weight(&self, n: usize) -> u64 {
+        match self {
+            Query::Alpha | Query::Gamma(_) => n as u64,
+            Query::Beta { .. } => 2 * n as u64,
+        }
+    }
+
+    pub fn affinity(&self) -> u64 {
+        match self {
+            Query::Alpha => 0x10,
+            Query::Beta { k } => 0x20 ^ *k as u64,
+            Query::Gamma(_) => 0x30,
+        }
+    }
+}

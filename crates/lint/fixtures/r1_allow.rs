@@ -1,0 +1,17 @@
+// R1 allow corpus: reachable panic sites suppressed by reasoned allow
+// directives (and one reason-less directive that must become E1).
+pub struct PaCluster;
+
+impl PaCluster {
+    pub fn serve(&self, jobs: &[u64]) -> u64 {
+        // rmo-lint: allow(R1) — serve is only called with non-empty batches by construction.
+        let first = jobs[0];
+        tail(first)
+    }
+}
+
+fn tail(x: u64) -> u64 {
+    // rmo-lint: allow(R1)
+    assert!(x < 1 << 60); // E1: the directive above carries no reason
+    x
+}

@@ -1,0 +1,26 @@
+// R1 fire corpus: a serve entry whose call chain reaches panic-capable
+// sites two hops away — one of each kind the analysis recognizes.
+pub struct PaCluster;
+
+impl PaCluster {
+    pub fn serve(&self, jobs: &[u64]) -> u64 {
+        run_worker(jobs)
+    }
+}
+
+fn run_worker(jobs: &[u64]) -> u64 {
+    billing(jobs)
+}
+
+fn billing(jobs: &[u64]) -> u64 {
+    assert!(!jobs.is_empty(), "no jobs"); // R1: assert! on the serve path
+    let first = jobs[0]; // R1: slice indexing
+    let mean = first / jobs.len() as u64; // R1: non-literal divisor
+    jobs.iter().max().copied().unwrap() // R1: unwrap
+        + mean
+}
+
+pub fn off_path() -> u64 {
+    // Not reachable from serve: no finding here.
+    panic!("unreached")
+}

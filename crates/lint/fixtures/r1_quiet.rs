@@ -1,0 +1,24 @@
+// R1 quiet corpus: the same shape as r1_fire, written with checked
+// operations — nothing on the serve path can panic.
+pub struct PaCluster;
+
+impl PaCluster {
+    pub fn serve(&self, jobs: &[u64]) -> u64 {
+        run_worker(jobs)
+    }
+}
+
+fn run_worker(jobs: &[u64]) -> u64 {
+    billing(jobs)
+}
+
+fn billing(jobs: &[u64]) -> u64 {
+    let first = jobs.first().copied().unwrap_or(0);
+    let mean = first.checked_div(jobs.len() as u64).unwrap_or(0);
+    jobs.iter().max().copied().unwrap_or(0) + mean
+}
+
+pub fn off_path_panics_are_invisible() -> u64 {
+    // Panic sites exist in the file, but no serve chain reaches them.
+    panic!("unreached")
+}

@@ -1,0 +1,10 @@
+// Raw identifiers must not open raw strings: if `r#type` were lexed as
+// a raw-string opener, everything after it would vanish from the token
+// stream and the D2 violation below would go unreported.
+pub fn keywords_as_names() -> usize {
+    let r#type = 3usize;
+    let r#fn = r#type + 1;
+    let hasher = std::collections::hash_map::RandomState::new(); // D2 must still fire
+    let _ = hasher;
+    r#fn
+}

@@ -1,22 +1,46 @@
 //! CLI for the workspace determinism & safety pass.
 //!
 //! ```text
-//! rmo-lint [--check]          # scan + ratchet compare; exit 1 on any failure
-//! rmo-lint --update-ratchet   # rewrite budgets downward to match the tree
-//! rmo-lint --root <dir>       # override workspace root discovery
+//! rmo-lint [--check]            # scan + ratchet compare; exit 1 on any failure
+//! rmo-lint --update-ratchet     # rewrite budgets/[r1] pins downward to match the tree
+//! rmo-lint --format <f>         # text (default) | json | github
+//! rmo-lint --root <dir>         # override workspace root discovery
 //! ```
+//!
+//! `json` emits one machine-readable object (findings with call chains,
+//! failures, file count) on stdout regardless of outcome. `github`
+//! emits `::error` workflow-command annotations for CI.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut update = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {}
             "--update-ratchet" => update = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                other => {
+                    eprintln!(
+                        "--format needs one of text|json|github, got {}",
+                        other.unwrap_or("nothing")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -26,7 +50,9 @@ fn main() -> ExitCode {
             },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: rmo-lint [--check | --update-ratchet] [--root <dir>]");
+                eprintln!(
+                    "usage: rmo-lint [--check | --update-ratchet] [--format text|json|github] [--root <dir>]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -58,16 +84,36 @@ fn main() -> ExitCode {
     }
 
     match rmo_lint::check(&root) {
-        Ok(failures) if failures.is_empty() => {
-            println!("rmo-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(failures) => {
-            for line in &failures {
-                eprintln!("{line}");
+        Ok(report) => {
+            let clean = report.is_clean();
+            match format {
+                Format::Text => {
+                    if clean {
+                        println!("rmo-lint: clean ({} files)", report.files);
+                    } else {
+                        for line in report.lines() {
+                            eprintln!("{line}");
+                        }
+                        eprintln!("rmo-lint: {} failure(s)", report.lines().len());
+                    }
+                }
+                Format::Json => println!("{}", rmo_lint::render_json(&report)),
+                Format::Github => {
+                    for line in rmo_lint::render_github(&report) {
+                        println!("{line}");
+                    }
+                    if clean {
+                        println!("rmo-lint: clean ({} files)", report.files);
+                    } else {
+                        eprintln!("rmo-lint: {} failure(s)", report.lines().len());
+                    }
+                }
             }
-            eprintln!("rmo-lint: {} failure(s)", failures.len());
-            ExitCode::FAILURE
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("rmo-lint: {e}");

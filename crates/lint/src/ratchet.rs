@@ -6,9 +6,16 @@
 //! matching the tree via `--update-ratchet`), and `--update-ratchet`
 //! refuses increases outright.
 //!
-//! The format is a two-table TOML subset parsed by hand (no registry
-//! deps): `[budgets]` and `[baselines]`, entries `"path/prefix" = count`.
-//! A file is charged to the most specific (longest) prefix that matches.
+//! The `[r1]` section does the same for the interprocedural R1 rule
+//! (panic-capable sites reachable from the serving entry points, see
+//! `crate::reach`): an exact per-prefix pin of the residual count at the
+//! swept baseline. Like budgets, `--check` fails on drift in either
+//! direction and `--update-ratchet` only ever writes the count down.
+//!
+//! The format is a TOML subset parsed by hand (no registry deps):
+//! `[budgets]`, `[baselines]`, and `[r1]` tables, entries
+//! `"path/prefix" = count`. A file is charged to the most specific
+//! (longest) prefix that matches.
 
 /// Parsed ratchet file.
 #[derive(Debug, Clone, Default)]
@@ -17,6 +24,8 @@ pub struct Ratchet {
     pub budgets: Vec<(String, usize)>,
     /// `(path prefix, pre-sweep count)`, as listed in `[baselines]`.
     pub baselines: Vec<(String, usize)>,
+    /// `(path prefix, pinned R1 residual count)`, as listed in `[r1]`.
+    pub r1: Vec<(String, usize)>,
 }
 
 impl Ratchet {
@@ -36,6 +45,10 @@ impl Ratchet {
             }
             if line == "[baselines]" {
                 section = Some("baselines");
+                continue;
+            }
+            if line == "[r1]" {
+                section = Some("r1");
                 continue;
             }
             if line.starts_with('[') {
@@ -58,6 +71,7 @@ impl Ratchet {
             match section {
                 Some("budgets") => ratchet.budgets.push((key, count)),
                 Some("baselines") => ratchet.baselines.push((key, count)),
+                Some("r1") => ratchet.r1.push((key, count)),
                 _ => {
                     return Err(format!(
                         "lint-ratchet.toml:{}: entry outside a section",
@@ -68,6 +82,7 @@ impl Ratchet {
         }
         ratchet.budgets.sort();
         ratchet.baselines.sort();
+        ratchet.r1.sort();
         Ok(ratchet)
     }
 
@@ -89,16 +104,25 @@ impl Ratchet {
         for (k, v) in &self.baselines {
             out.push_str(&format!("\"{k}\" = {v}\n"));
         }
+        out.push_str(
+            "\n# [r1] pins the count of panic-capable sites reachable from the serving\n\
+             # entry points (rule R1) per path prefix, at the swept baseline. Exact-match\n\
+             # on `--check`; `--update-ratchet` only writes it down.\n[r1]\n",
+        );
+        for (k, v) in &self.r1 {
+            out.push_str(&format!("\"{k}\" = {v}\n"));
+        }
         out
     }
 
     /// The budget key charged for `path`: the longest prefix match.
     pub fn key_for(&self, path: &str) -> Option<&str> {
-        self.budgets
-            .iter()
-            .filter(|(k, _)| path == k || path.starts_with(&format!("{k}/")))
-            .max_by_key(|(k, _)| k.len())
-            .map(|(k, _)| k.as_str())
+        longest_prefix(&self.budgets, path)
+    }
+
+    /// The `[r1]` key charged for `path`: the longest prefix match.
+    pub fn r1_key_for(&self, path: &str) -> Option<&str> {
+        longest_prefix(&self.r1, path)
     }
 
     /// Looks up a budget by exact key.
@@ -113,6 +137,21 @@ impl Ratchet {
             .find(|(k, _)| k == key)
             .map(|&(_, v)| v)
     }
+
+    /// Looks up a pinned R1 residual count by exact key.
+    pub fn r1_pin(&self, key: &str) -> Option<usize> {
+        self.r1.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// The most specific (longest) prefix in `entries` covering `path`:
+/// an exact match or a `prefix/`-delimited ancestor.
+fn longest_prefix<'a>(entries: &'a [(String, usize)], path: &str) -> Option<&'a str> {
+    entries
+        .iter()
+        .filter(|(k, _)| path == k || path.starts_with(&format!("{k}/")))
+        .max_by_key(|(k, _)| k.len())
+        .map(|(k, _)| k.as_str())
 }
 
 #[cfg(test)]
@@ -128,6 +167,10 @@ mod tests {
 
 [baselines]
 "crates/apps/src/service.rs" = 7
+
+[r1]
+"crates/apps/src" = 4
+"crates/core/src" = 11
 "#;
 
     #[test]
@@ -135,6 +178,12 @@ mod tests {
         let r = Ratchet::parse(SAMPLE).unwrap();
         assert_eq!(r.budget("crates/core/src"), Some(9));
         assert_eq!(r.baseline("crates/apps/src/service.rs"), Some(7));
+        assert_eq!(r.r1_pin("crates/core/src"), Some(11));
+        assert_eq!(
+            r.r1_key_for("crates/apps/src/service.rs"),
+            Some("crates/apps/src")
+        );
+        assert_eq!(r.r1_key_for("crates/graph/src/graph.rs"), None);
     }
 
     #[test]
@@ -161,6 +210,7 @@ mod tests {
         let again = Ratchet::parse(&r.render()).unwrap();
         assert_eq!(r.budgets, again.budgets);
         assert_eq!(r.baselines, again.baselines);
+        assert_eq!(r.r1, again.r1);
     }
 
     #[test]

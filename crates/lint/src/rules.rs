@@ -7,6 +7,11 @@
 //! | `D3` | no `Instant::now`/`SystemTime`/`thread::current` outside harness/bench timing code |
 //! | `C1` | no unchecked narrowing `as` casts in cost-accounting code |
 //! | `P1` | `unwrap()`/`expect()` in non-test library code (ratcheted, see [`crate::ratchet`]) |
+//! | `L2` | no second `lock()` and no blocking op while a `MutexGuard` binding is live (lock-discipline modules) |
+//!
+//! The interprocedural families `R1` (panic reachability) and `Q1`
+//! (dispatch parity) live in [`crate::reach`]; they share [`Finding`]
+//! and the allow-directive machinery here.
 //!
 //! Suppression: `// rmo-lint: allow(RULE) — reason` on the finding's
 //! line or the line above. The reason is required; an allow without one
@@ -17,8 +22,8 @@ use crate::tokenizer::{TokKind, Token};
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`D1`, `D2`, `D3`, `C1`, `P1`, or `E1` for a reason-less
-    /// allow directive).
+    /// Rule id (`D1`, `D2`, `D3`, `C1`, `P1`, `L2`, `R1`, `Q1`, or `E1`
+    /// for a reason-less allow directive).
     pub rule: &'static str,
     /// Workspace-relative path.
     pub file: String,
@@ -26,6 +31,9 @@ pub struct Finding {
     pub line: usize,
     /// Human-readable description.
     pub message: String,
+    /// For interprocedural findings (R1), the entry-to-site call chain
+    /// as display quals; empty for token-local rules.
+    pub chain: Vec<String>,
 }
 
 impl std::fmt::Display for Finding {
@@ -34,7 +42,11 @@ impl std::fmt::Display for Finding {
             f,
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, " (via {})", self.chain.join(" → "))?;
+        }
+        Ok(())
     }
 }
 
@@ -55,6 +67,8 @@ pub struct FileClass {
     pub cost_accounting: bool,
     /// Library source (P1 counted against the ratchet).
     pub library: bool,
+    /// Scheduler-coordination modules (`service.rs`-class): L2 applies.
+    pub lock_discipline: bool,
 }
 
 /// Methods whose call on a hash collection escapes its internal order.
@@ -91,6 +105,7 @@ pub fn lint_tokens(path: &str, class: FileClass, tokens: &[Token], lines: &[&str
                     "`{}` introduces process-local hash randomness; fingerprints are FNV by contract",
                     t.text
                 ),
+                chain: Vec::new(),
             });
         }
     }
@@ -146,6 +161,7 @@ pub fn lint_tokens(path: &str, class: FileClass, tokens: &[Token], lines: &[&str
                                 "`{}.{}()` iterates a hash collection in arbitrary order; use BTreeMap/BTreeSet or sort first",
                                 t.text, m.text
                             ),
+                            chain: Vec::new(),
                         });
                     }
                 }
@@ -176,6 +192,7 @@ pub fn lint_tokens(path: &str, class: FileClass, tokens: &[Token], lines: &[&str
                                 "`for … in` over hash collection `{}` iterates in arbitrary order; use BTreeMap/BTreeSet or sort first",
                                 tok.text
                             ),
+                            chain: Vec::new(),
                         });
                         break;
                     }
@@ -202,6 +219,7 @@ pub fn lint_tokens(path: &str, class: FileClass, tokens: &[Token], lines: &[&str
                                 "`as {}` can silently truncate a cost counter; use `try_from` or widen the accumulator",
                                 ty.text
                             ),
+                            chain: Vec::new(),
                         });
                     }
                 }
@@ -226,6 +244,7 @@ pub fn lint_tokens(path: &str, class: FileClass, tokens: &[Token], lines: &[&str
                                 "`.{}()` in library code can kill a shard; return a Result or degrade the response",
                                 m.text
                             ),
+                            chain: Vec::new(),
                         });
                     }
                 }
@@ -233,7 +252,217 @@ pub fn lint_tokens(path: &str, class: FileClass, tokens: &[Token], lines: &[&str
         }
     }
 
+    // L2 — lock discipline in scheduler-coordination modules.
+    if class.lock_discipline && !class.is_test {
+        l2_lock_discipline(path, tokens, &in_test, &mut raw);
+    }
+
     apply_allows(raw, lines)
+}
+
+/// Ops that block (or can block) the calling thread: channel traffic,
+/// engine solves, dispatch, and thread joins. None of these may run
+/// while the scheduler guard is held — a stalled shard would wedge every
+/// other worker behind the mutex.
+const BLOCKING: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "solve",
+    "solve_on",
+    "batch_on",
+    "pipeline_for",
+    "run_query",
+    "join",
+];
+
+/// Methods that pass a `lock()` result through while still returning
+/// the guard (poison shrug-offs), for guard-binding detection.
+const GUARD_PRESERVING: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// A `MutexGuard` binding currently in scope.
+struct LiveGuard {
+    name: String,
+    /// Brace depth at the binding; the guard dies when its block closes.
+    depth: i32,
+    /// First token index at which the guard is actually held (past the
+    /// binding's own `;`), so the binding's own `lock()` never
+    /// self-reports.
+    active_from: usize,
+}
+
+/// L2: within one file, flag (a) a `lock()` call while another guard
+/// binding is live and (b) any blocking op (mpsc `send`/`recv`, engine
+/// solve, dispatch, `join`) while the guard is held.
+///
+/// A *guard binding* is `let [mut] name = …lock(…)…;` whose method chain
+/// after the lock call is only poison-handling (`unwrap`, `expect`,
+/// `unwrap_or_else`) — `let next = lock(state).next_group(…)` returns a
+/// value, not the guard, and the temporary dies at the `;`. `drop(name)`
+/// releases a guard early; leaving the binding's block releases it too.
+fn l2_lock_discipline(path: &str, tokens: &[Token], in_test: &[bool], raw: &mut Vec<Finding>) {
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut depth = 0i32;
+    for (i, t) in tokens.iter().enumerate() {
+        if in_test[i] {
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            guards.retain(|g| g.depth <= depth);
+            continue;
+        }
+        // `drop(name)` releases a guard early.
+        if t.is_ident("drop")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct(')'))
+        {
+            if let Some(name) = tokens.get(i + 2) {
+                guards.retain(|g| g.name != name.text);
+            }
+        }
+        let held: Vec<&LiveGuard> = guards.iter().filter(|g| g.active_from <= i).collect();
+        if !held.is_empty() && t.kind == TokKind::Ident {
+            let is_call = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if is_call && t.text == "lock" {
+                raw.push(Finding {
+                    rule: "L2",
+                    file: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`lock()` taken while guard `{}` is still live — release the first guard before locking again",
+                        held[0].name
+                    ),
+                    chain: Vec::new(),
+                });
+            } else if is_call && BLOCKING.iter().any(|&b| t.text == b) {
+                raw.push(Finding {
+                    rule: "L2",
+                    file: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}()` can block while scheduler guard `{}` is held — move the call outside the locked region",
+                        t.text, held[0].name
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+        }
+        // `let [mut] name …= <init>;` — detect new guard bindings.
+        if t.is_ident("let") {
+            if let Some((name, semi)) = guard_binding(tokens, i) {
+                guards.push(LiveGuard {
+                    name,
+                    depth,
+                    active_from: semi + 1,
+                });
+            }
+        }
+    }
+}
+
+/// If the `let` statement starting at `let_idx` binds a `MutexGuard`
+/// (initializer is a lock call followed only by poison-handling
+/// methods), returns the binding name and the index of the closing `;`.
+fn guard_binding(tokens: &[Token], let_idx: usize) -> Option<(String, usize)> {
+    let mut j = let_idx + 1;
+    if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = tokens
+        .get(j)
+        .filter(|t| t.kind == TokKind::Ident)?
+        .text
+        .clone();
+    j += 1;
+    // Skip an optional `: Type` ascription up to the `=` (or bail at a
+    // pattern binding / missing initializer).
+    let mut angle = 0i32;
+    loop {
+        let t = tokens.get(j)?;
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle <= 0 && t.is_punct('=') {
+            // `==` never appears between a binding and its initializer.
+            j += 1;
+            break;
+        } else if t.is_punct(';') || t.is_punct('(') || t.is_punct('{') {
+            return None;
+        }
+        j += 1;
+    }
+    // Find a lock call in the initializer: ident `lock` followed by `(`.
+    let mut lock_close: Option<usize> = None;
+    let mut k = j;
+    let mut paren = 0i32;
+    while let Some(t) = tokens.get(k) {
+        if paren == 0 && t.is_punct(';') {
+            break;
+        }
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        }
+        if paren == 0 && t.is_ident("lock") && tokens.get(k + 1).is_some_and(|n| n.is_punct('(')) {
+            // Skip the call's parens.
+            let mut depth = 0i32;
+            let mut m = k + 1;
+            while let Some(p) = tokens.get(m) {
+                if p.is_punct('(') {
+                    depth += 1;
+                } else if p.is_punct(')') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            lock_close = Some(m);
+            k = m;
+        }
+        k += 1;
+    }
+    let mut m = lock_close? + 1;
+    // Only poison-handling methods may follow if the binding is to keep
+    // the guard itself.
+    loop {
+        let t = tokens.get(m)?;
+        if t.is_punct(';') {
+            return Some((name, m));
+        }
+        if !t.is_punct('.') {
+            return None;
+        }
+        let method = tokens.get(m + 1)?;
+        if !GUARD_PRESERVING.iter().any(|&g| method.is_ident(g)) {
+            return None;
+        }
+        if !tokens.get(m + 2).is_some_and(|n| n.is_punct('(')) {
+            return None;
+        }
+        let mut depth = 0i32;
+        m += 2;
+        while let Some(p) = tokens.get(m) {
+            if p.is_punct('(') {
+                depth += 1;
+            } else if p.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            m += 1;
+        }
+        m += 1;
+    }
 }
 
 fn finding(rule: &'static str, path: &str, line: usize, message: &str) -> Finding {
@@ -242,6 +471,7 @@ fn finding(rule: &'static str, path: &str, line: usize, message: &str) -> Findin
         file: path.to_string(),
         line,
         message: message.to_string(),
+        chain: Vec::new(),
     }
 }
 
@@ -259,7 +489,7 @@ fn matches(tokens: &[Token], start: usize, puncts: &[&str]) -> bool {
 /// function, so the in-file test code is exempt from D1/D3/C1/P1 like
 /// test files are. An attribute marks the next item: up to the matching
 /// close of the first `{` block, or the first `;` if none opens.
-fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0usize;
     while i < tokens.len() {
@@ -422,7 +652,7 @@ fn push_unique(names: &mut Vec<String>, name: &str) {
 /// suppressed when its own line or the line above carries a directive
 /// naming its rule *with* a reason; a directive without a reason turns
 /// the finding into an `E1` error instead.
-fn apply_allows(raw: Vec<Finding>, lines: &[&str]) -> Vec<Finding> {
+pub(crate) fn apply_allows(raw: Vec<Finding>, lines: &[&str]) -> Vec<Finding> {
     let mut out = Vec::new();
     for f in raw {
         let direct = directive_on(lines, f.line, f.rule);
@@ -437,6 +667,7 @@ fn apply_allows(raw: Vec<Finding>, lines: &[&str]) -> Vec<Finding> {
                     "rmo-lint allow({}) without a reason — write `// rmo-lint: allow({}) — why it is safe`",
                     f.rule, f.rule
                 ),
+                chain: Vec::new(),
             }),
             None => out.push(f),
         }

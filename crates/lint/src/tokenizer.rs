@@ -140,6 +140,24 @@ pub fn tokenize(source: &str) -> Vec<Token> {
                 i = j;
                 continue;
             }
+            // `r#ident` — a raw identifier, not a raw string. Lex it as
+            // ONE Ident token (text keeps the `r#` prefix so `r#fn`
+            // never masquerades as the `fn` keyword downstream); the
+            // old fall-through produced `r`, `#`, `ident`, and the
+            // stray `#` could seed a bogus attribute region.
+            if c == 'r' && hashes == 1 && peek(j, 0).is_some_and(is_ident_start) {
+                let start = i;
+                i = j;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
             // Not actually a raw string (`r` / `b` identifier); fall
             // through to identifier lexing below.
         }
@@ -305,6 +323,39 @@ mod tests {
         let toks = tokenize("a\nb\n\nc");
         let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens_not_raw_strings() {
+        // `r#type` must not open a raw string: everything after it
+        // would vanish from the stream, hiding real findings.
+        let toks = tokenize("let r#type = HashMap::new(); r#type.iter();");
+        assert!(
+            toks.iter().any(|t| t.is_ident("HashMap")),
+            "code after a raw identifier stays visible: {toks:?}"
+        );
+        // One Ident token per occurrence, `r#` prefix preserved (so
+        // `r#fn` can never be mistaken for the `fn` keyword).
+        let raw: Vec<_> = toks.iter().filter(|t| t.is_ident("r#type")).collect();
+        assert_eq!(raw.len(), 2, "got {toks:?}");
+        // No stray `#` punctuation leaks out of a raw identifier (a
+        // stray `#` could seed a bogus attribute region).
+        assert!(!toks.iter().any(|t| t.is_punct('#')));
+        // `r#fn` stays distinct from the keyword.
+        let toks = tokenize("let r#fn = 3;");
+        assert!(!toks.iter().any(|t| t.is_ident("fn")));
+        assert!(toks.iter().any(|t| t.is_ident("r#fn")));
+    }
+
+    #[test]
+    fn raw_strings_still_vanish_next_to_raw_identifiers() {
+        let toks = tokenize(r##"let r#x = r#"RandomState"#; let y = r#x;"##);
+        assert!(!toks.iter().any(|t| t.is_ident("RandomState")));
+        assert_eq!(
+            toks.iter().filter(|t| t.is_ident("r#x")).count(),
+            2,
+            "{toks:?}"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ const COST_PATH: &str = "crates/congest/src/metrics.rs";
 const LIB_PATH: &str = "crates/apps/src/fixture.rs";
 const TEST_PATH: &str = "crates/apps/tests/fixture.rs";
 const HARNESS_PATH: &str = "crates/harness/src/fixture.rs";
+const SERVICE_PATH: &str = "crates/apps/src/service.rs";
 
 fn rules_of(findings: &[rmo_lint::Finding]) -> Vec<&'static str> {
     findings.iter().map(|f| f.rule).collect()
@@ -112,6 +113,72 @@ fn p1_counts_library_sites_but_not_test_code() {
         !rules_of(&in_tests).contains(&"P1"),
         "test files never count, got {in_tests:#?}"
     );
+}
+
+#[test]
+fn l2_fires_on_locking_and_blocking_under_a_live_guard() {
+    let findings = lint_source(SERVICE_PATH, include_str!("../fixtures/bad_l2.rs"));
+    let l2: Vec<_> = findings.iter().filter(|f| f.rule == "L2").collect();
+    assert_eq!(
+        l2.iter().map(|f| f.line).collect::<Vec<_>>(),
+        vec![16, 22, 27, 35],
+        "second lock, send, recv, and solve under a guard: {l2:#?}"
+    );
+    let messages: String = l2.iter().map(|f| f.message.as_str()).collect();
+    for pattern in [
+        "`lock()` taken while guard",
+        "`send()`",
+        "`recv()`",
+        "`solve()`",
+    ] {
+        assert!(
+            messages.contains(pattern),
+            "no L2 finding mentions {pattern}"
+        );
+    }
+}
+
+#[test]
+fn l2_stays_quiet_on_disciplined_locking() {
+    let findings = lint_source(SERVICE_PATH, include_str!("../fixtures/good_l2.rs"));
+    assert!(
+        !rules_of(&findings).contains(&"L2"),
+        "temporary guards, drop-then-send, and scoped guards are legal: {findings:#?}"
+    );
+}
+
+#[test]
+fn l2_is_scoped_to_service_modules() {
+    let findings = lint_source(LIB_PATH, include_str!("../fixtures/bad_l2.rs"));
+    assert!(
+        !rules_of(&findings).contains(&"L2"),
+        "L2 only applies to service.rs-class files, got {findings:#?}"
+    );
+}
+
+#[test]
+fn l2_allow_with_reason_suppresses_the_blocking_call() {
+    let src = "fn f(state: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {\n    let st = state.lock().unwrap();\n    // rmo-lint: allow(L2) — unbounded channel, send cannot block here.\n    tx.send(*st).ok();\n}\n";
+    let findings = lint_source(SERVICE_PATH, src);
+    assert!(
+        !rules_of(&findings).contains(&"L2"),
+        "the reasoned directive must suppress, got {findings:#?}"
+    );
+}
+
+#[test]
+fn raw_identifiers_do_not_swallow_the_rest_of_the_file() {
+    // A tokenizer that reads `r#type` as a raw-string opener would eat
+    // everything up to the next `#` — including the D2 violation below
+    // the raw identifiers. Pin the fix at the rules level too.
+    let findings = lint_source(LIB_PATH, include_str!("../fixtures/raw_idents.rs"));
+    let d2: Vec<_> = findings.iter().filter(|f| f.rule == "D2").collect();
+    assert_eq!(
+        d2.len(),
+        1,
+        "RandomState after r#type must fire: {findings:#?}"
+    );
+    assert_eq!(d2[0].line, 7);
 }
 
 #[test]

@@ -296,7 +296,15 @@ fn group_panic_spares_other_groups_and_stays_deterministic() {
     for threaded in [true, false] {
         let mut cluster = fleet_cluster(2);
         let ids = cluster.graph_ids();
-        let (healthy, poisoned, third) = (ids[0], ids[1], ids[2]);
+        let (healthy, third) = (ids[0], ids[2]);
+        // A connected graph whose edge weight overflows the Borůvka
+        // packing (`pack` requires weight < 2^40): registration accepts
+        // it, and `Query::Mst` on it is documented to panic.
+        let wide = GraphId(777);
+        cluster.add_graph(
+            wide,
+            rmo_graph::Graph::from_edges(2, &[(0, 1, 1u64 << 40)]).unwrap(),
+        );
         let n = cluster.graph(healthy).unwrap().n();
         let pa = Query::Pa {
             assignment: vec![0; n],
@@ -304,11 +312,11 @@ fn group_panic_spares_other_groups_and_stays_deterministic() {
             agg: Aggregate::Sum,
         };
         // Warm the healthy graph, then serve a batch where one group
-        // hits a contract panic (k == 0 is documented to panic).
+        // panics deep in its solver.
         let _ = cluster.serve(&[(healthy, pa.clone())]);
         let batch = vec![
             (healthy, pa.clone()),
-            (poisoned, Query::Kdom { k: 0 }),
+            (wide, Query::Mst),
             (third, Query::Mst),
         ];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -318,7 +326,7 @@ fn group_panic_spares_other_groups_and_stays_deterministic() {
                 cluster.serve_sequential(&batch)
             }
         }));
-        assert!(result.is_err(), "the contract panic must propagate");
+        assert!(result.is_err(), "the solver panic must propagate");
         // The healthy groups' work and warm state survived the panic:
         // their queries were answered (served counter) and the parked
         // engines still serve cache hits.
@@ -332,6 +340,60 @@ fn group_panic_spares_other_groups_and_stays_deterministic() {
     assert_eq!(
         post_panic_engine[0], post_panic_engine[1],
         "post-panic cluster state must not depend on the serving mode"
+    );
+}
+
+#[test]
+fn contract_violations_fail_gracefully_across_the_cluster() {
+    // Dispatch contract violations (`k == 0`, zero min-cut trials) no
+    // longer panic anywhere on the serving path: the offending query
+    // comes back as `Failed`, every other group serves normally, and
+    // the batch stays bit-identical across serving modes.
+    let mut reports = Vec::new();
+    for threaded in [true, false] {
+        let mut cluster = fleet_cluster(2);
+        let ids = cluster.graph_ids();
+        let (a, b, c) = (ids[0], ids[1], ids[2]);
+        let n = cluster.graph(a).unwrap().n();
+        let batch = vec![
+            (
+                a,
+                Query::Pa {
+                    assignment: vec![0; n],
+                    values: vec![3; n],
+                    agg: Aggregate::Sum,
+                },
+            ),
+            (b, Query::Kdom { k: 0 }),
+            (b, Query::MinCut { trials: 0 }),
+            (c, Query::Mst),
+        ];
+        let report = if threaded {
+            cluster.serve(&batch)
+        } else {
+            cluster.serve_sequential(&batch)
+        };
+        assert!(report.responses[0].is_ok(), "{:?}", report.responses[0]);
+        match &report.responses[1] {
+            QueryResponse::Failed(msg) => {
+                assert!(msg.contains("positive radius"), "{msg}")
+            }
+            other => panic!("Kdom k=0 must fail gracefully, got {other:?}"),
+        }
+        match &report.responses[2] {
+            QueryResponse::Failed(msg) => assert!(msg.contains("trial"), "{msg}"),
+            other => panic!("MinCut trials=0 must fail gracefully, got {other:?}"),
+        }
+        assert!(report.responses[3].is_ok(), "{:?}", report.responses[3]);
+        // The poisoned graph's group survived its failed queries and
+        // still serves real work afterwards.
+        let after = cluster.serve(&[(b, Query::Mst)]);
+        assert!(after.responses[0].is_ok(), "{:?}", after.responses[0]);
+        reports.push((report.responses, report.stats.engine));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "graceful failures must stay mode-independent"
     );
 }
 

@@ -1,8 +1,9 @@
 //! The workspace determinism gate: `rmo-lint` must pass on the whole
-//! tree, and the P1 ratchet must both match the tree exactly and show
-//! the serving path strictly below its pre-sweep baseline. This runs in
-//! the default `cargo test`, so tier-1 catches a determinism regression
-//! even before the dedicated CI job does.
+//! tree — token-local rules, the P1 ratchet, and the interprocedural
+//! serving-path rules (R1 panic-reachability pins, Q1 dispatch parity,
+//! L2 lock discipline). This runs in the default `cargo test`, so
+//! tier-1 catches a determinism regression even before the dedicated
+//! CI job does.
 
 use std::path::Path;
 
@@ -18,13 +19,25 @@ fn ratchet() -> rmo_lint::ratchet::Ratchet {
 
 #[test]
 fn workspace_is_lint_clean() {
-    let failures = rmo_lint::check(root()).expect("workspace scan runs");
+    let report = rmo_lint::check(root()).expect("workspace scan runs");
     assert!(
-        failures.is_empty(),
+        report.is_clean(),
         "rmo-lint found {} violation(s):\n{}",
-        failures.len(),
-        failures.join("\n")
+        report.lines().len(),
+        report.lines().join("\n")
     );
+}
+
+#[test]
+fn check_output_is_byte_identical_across_runs() {
+    // The whole point of the gate is determinism; hold the gate itself
+    // to it. Two full scans of the real workspace must render the same
+    // report, byte for byte, in every output format.
+    let a = rmo_lint::check(root()).expect("first scan runs");
+    let b = rmo_lint::check(root()).expect("second scan runs");
+    assert_eq!(a.lines(), b.lines());
+    assert_eq!(rmo_lint::render_json(&a), rmo_lint::render_json(&b));
+    assert_eq!(rmo_lint::render_github(&a), rmo_lint::render_github(&b));
 }
 
 #[test]
@@ -47,6 +60,37 @@ fn ratchet_matches_tree_exactly() {
              run `cargo run -p rmo-lint -- --update-ratchet`"
         );
     }
+}
+
+#[test]
+fn r1_pins_match_the_tree_exactly() {
+    // Same exact-match contract for the panic-reachability section: a
+    // new serve-path panic AND a silent fix both show up as drift.
+    let report = rmo_lint::scan_workspace(root()).expect("workspace scan runs");
+    let sites =
+        rmo_lint::reach::panic_reachability(&report.parsed, rmo_lint::reach::SERVING_ENTRIES)
+            .expect("every serving entry resolves");
+    assert!(
+        sites.iter().all(|f| f.rule == "R1"),
+        "reason-less allow(R1) directives present: {sites:#?}"
+    );
+    let ratchet = ratchet();
+    let (counts, unmapped) = rmo_lint::r1_counts(&ratchet, &sites);
+    assert!(
+        unmapped.is_empty(),
+        "reachable paths without an [r1] pin: {unmapped:#?}"
+    );
+    for (key, pin) in &ratchet.r1 {
+        let count = counts.get(key.as_str()).copied().unwrap_or(0);
+        assert_eq!(
+            count, *pin,
+            "[r1] {key}: tree has {count} panic-reachable sites but the pin says {pin} — \
+             fix new panics, or lock in a sweep via `cargo run -p rmo-lint -- --update-ratchet`"
+        );
+    }
+    // The dispatch surface itself stays panic-free: contract violations
+    // come back as Failed responses, never as a crash.
+    assert_eq!(ratchet.r1_pin("crates/apps/src/dispatch.rs"), Some(0));
 }
 
 #[test]
@@ -87,4 +131,8 @@ fn deterministic_modules_are_classified() {
     assert!(!rmo_lint::classify("crates/apps/src/mst.rs").deterministic);
     assert!(rmo_lint::classify("crates/harness/src/main.rs").timing_exempt);
     assert!(rmo_lint::classify("crates/congest/tests/alloc_free.rs").is_test);
+    // Lock discipline applies to the serving loop, not to test code.
+    assert!(rmo_lint::classify("crates/apps/src/service.rs").lock_discipline);
+    assert!(!rmo_lint::classify("crates/apps/src/dispatch.rs").lock_discipline);
+    assert!(!rmo_lint::classify("crates/apps/tests/service.rs").lock_discipline);
 }
