@@ -56,7 +56,7 @@ use crate::aggregate::Aggregate;
 use crate::batch::{batch_on, BatchResult};
 use crate::instance::{PaError, PaInstance};
 use crate::pipeline::{build_artifacts, PaConfig, PipelineArtifacts, ShortcutStrategy};
-use crate::solve::{solve_on, PaResult, Variant};
+use crate::solve::{solve_with, PaResult, SolveScratch, Variant};
 use crate::subparts_det::{deterministic_division, DetDivisionResult};
 
 /// Default number of distinct partitions the artifact cache retains.
@@ -332,6 +332,9 @@ pub struct EngineCore {
     base_charged: bool,
     cache: BTreeMap<u64, CacheEntry>,
     division_cache: BTreeMap<usize, DetDivisionResult>,
+    /// Recycled per-solve arenas: once warmed up to the workload size, a
+    /// cache-hit [`PaEngine::solve_on`] performs zero heap allocations.
+    scratch: SolveScratch,
     clock: u64,
     stats: EngineStats,
     /// [`graph_fingerprint`] of the graph this core was built against.
@@ -471,6 +474,7 @@ impl<'g> PaEngine<'g> {
                 base_charged: false,
                 cache: BTreeMap::new(),
                 division_cache: BTreeMap::new(),
+                scratch: SolveScratch::new(),
                 clock: 0,
                 stats: EngineStats::default(),
                 graph_fp: graph_fingerprint(graph),
@@ -716,17 +720,47 @@ impl<'g> PaEngine<'g> {
     /// # Panics
     /// Panics if the instance's graph topology differs from the engine's.
     pub fn solve_instance(&mut self, inst: &PaInstance<'_>) -> Result<PaResult, PaError> {
+        let mut out = PaResult::default();
+        self.solve_on(inst, &mut out)?;
+        Ok(out)
+    }
+
+    /// Solves an already-validated instance into a caller-owned result
+    /// buffer, recycling the session's solve arenas. This is the
+    /// allocation-free serving path: once the engine and `out` have
+    /// warmed up on a partition, a cache-hit solve performs zero heap
+    /// allocations (pinned by `tests/alloc_free.rs`).
+    ///
+    /// # Errors
+    /// Propagates [`PaError`] from Algorithm 1.
+    ///
+    /// # Panics
+    /// Panics if the instance's graph topology differs from the engine's.
+    pub fn solve_on(&mut self, inst: &PaInstance<'_>, out: &mut PaResult) -> Result<(), PaError> {
         self.assert_same_graph(inst);
         self.core.stats.solves += 1;
         let key = self.ensure_artifacts(inst);
         let setup_cost = self.take_pending_setup(key);
         let extra = self.incremental_cost(setup_cost);
         let variant = self.core.pa.variant;
-        let entry = &self.core.cache[&key];
-        let mut result = solve_on(inst, &entry.artifacts.setup(self.tree()), variant)?;
-        result.cost += extra;
-        self.core.stats.charged += result.cost;
-        Ok(result)
+        let _ = self.tree(); // force stage 1 before the split borrows below
+        let core = &mut self.core;
+        // rmo-lint: allow(P1) — ensure_artifacts inserted this key above
+        let entry = core.cache.get(&key).expect("entry just ensured");
+        // rmo-lint: allow(P1) — self.tree() initialized stage 1 above
+        let (tree, _) = core.stage1.get().expect("stage 1 built above");
+        let setup = entry.artifacts.setup(tree);
+        solve_with(
+            inst,
+            &setup,
+            &entry.artifacts.wave_plan,
+            variant,
+            &mut core.scratch,
+            out,
+        )?;
+        out.cost += extra;
+        core.stats.charged += out.cost;
+        Ok(())
     }
 
     /// Solves `k` aggregations over one partition with a single pipelined

@@ -80,5 +80,5 @@ pub use pipeline::{
     build_artifacts, build_pipeline, solve_pa, PaConfig, PaPipeline, PipelineArtifacts,
     ShortcutStrategy,
 };
-pub use solve::{solve_on, PaResult, PaSetup, Variant};
+pub use solve::{solve_on, solve_with, PaResult, PaSetup, SolveScratch, Variant, WavePlan};
 pub use subparts::SubPartDivision;

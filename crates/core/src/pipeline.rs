@@ -28,7 +28,7 @@ use rmo_shortcut::trivial::trivial_shortcut;
 use rmo_shortcut::Shortcut;
 
 use crate::instance::{PaError, PaInstance};
-use crate::solve::{solve_on, PaResult, PaSetup, Variant};
+use crate::solve::{solve_on, PaResult, PaSetup, Variant, WavePlan};
 use crate::subparts::SubPartDivision;
 use crate::subparts_det::deterministic_division;
 use crate::subparts_random::random_division;
@@ -129,6 +129,9 @@ pub struct PipelineArtifacts {
     pub division: SubPartDivision,
     /// Terminal-block budget to pass to Algorithm 1.
     pub block_budget: usize,
+    /// Precomputed wave routing plan (block structure + congestion
+    /// estimate) — lets warm solves skip all per-solve index building.
+    pub wave_plan: WavePlan,
     /// Cost of building stages 2–4 (excludes election and BFS).
     pub setup_cost: CostReport,
 }
@@ -291,11 +294,14 @@ pub fn build_artifacts(
         .unwrap_or(1)
         .max(1);
 
+    let wave_plan = WavePlan::build(g, tree, &shortcut, &division, parts);
+
     PipelineArtifacts {
         leaders,
         shortcut,
         division,
         block_budget,
+        wave_plan,
         setup_cost,
     }
 }

@@ -29,14 +29,12 @@
 //! flush its `O(log n)` queued messages — `O(D log n)` rounds per block
 //! iteration plus the one-off delay, i.e. `Õ(bD + c)` in total.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use rmo_congest::router::{DowncastJob, TreeRouter, UpcastJob};
+use rmo_congest::router::{DowncastBatch, RouterScratch, TreeRouter, UpcastBatch};
 use rmo_congest::CostReport;
-use rmo_graph::{num::ceil_log2, NodeId, RootedTree};
+use rmo_graph::{num::ceil_log2, Graph, NodeId, Partition, RootedTree};
 use rmo_shortcut::Shortcut;
 
 use crate::instance::{PaError, PaInstance};
@@ -78,6 +76,20 @@ impl PaResult {
     }
 }
 
+impl Default for PaResult {
+    /// An empty result buffer for [`solve_with`] to fill; its vectors are
+    /// recycled across solves.
+    fn default() -> PaResult {
+        PaResult {
+            aggregates: Vec::new(),
+            node_values: Vec::new(),
+            cost: CostReport::zero(),
+            broadcast_cost: CostReport::zero(),
+            iterations_per_part: Vec::new(),
+        }
+    }
+}
+
 /// Borrowed views of the infrastructure one Algorithm 1 run needs: the
 /// BFS tree, the tree-restricted shortcut, the sub-part division, the
 /// part leaders, and the block-iteration budget `b`.
@@ -103,6 +115,11 @@ pub struct PaSetup<'a> {
 
 /// Runs Algorithm 1 on prepared infrastructure.
 ///
+/// Convenience wrapper over [`solve_with`] that builds the
+/// [`WavePlan`] and a fresh [`SolveScratch`] per call; repeated solves
+/// over one partition should cache both (what
+/// [`crate::engine::PaEngine`] does).
+///
 /// # Errors
 /// [`PaError::BlockBudgetExceeded`] if some part is not covered within
 /// `setup.block_budget` iterations — the failure Algorithm 2 detects.
@@ -111,25 +128,67 @@ pub fn solve_on(
     setup: &PaSetup<'_>,
     variant: Variant,
 ) -> Result<PaResult, PaError> {
-    let wave = broadcast_wave(inst, setup, variant)?;
+    let plan = WavePlan::build(
+        inst.graph(),
+        setup.tree,
+        setup.shortcut,
+        setup.division,
+        inst.partition(),
+    );
+    let mut scratch = SolveScratch::new();
+    let mut out = PaResult::default();
+    solve_with(inst, setup, &plan, variant, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Runs Algorithm 1 into a reusable result buffer, threading recycled
+/// scratch arenas through every stage: once `scratch` and `out` have
+/// warmed up to the workload size, a solve performs no heap allocation.
+///
+/// `plan` must have been built (via [`WavePlan::build`]) for exactly the
+/// instance's partition and the setup's tree/shortcut/division.
+///
+/// # Errors
+/// [`PaError::BlockBudgetExceeded`] if some part is not covered within
+/// `setup.block_budget` iterations.
+pub fn solve_with(
+    inst: &PaInstance<'_>,
+    setup: &PaSetup<'_>,
+    plan: &WavePlan,
+    variant: Variant,
+    scratch: &mut SolveScratch,
+    out: &mut PaResult,
+) -> Result<(), PaError> {
+    let SolveScratch { wave, outcome } = scratch;
+    run_wave_with(inst, setup, plan, variant, wave, outcome);
+    if let Some(v) = outcome.informed.iter().position(|&i| !i) {
+        return Err(PaError::BlockBudgetExceeded {
+            part: inst.partition().part_of(v),
+            budget: setup.block_budget,
+        });
+    }
     // Phases B (convergecast of f) and C (broadcast of the result) replay
     // the wave's communication pattern; their cost equals phase A's.
-    let cost = wave.cost + wave.cost + wave.cost;
+    out.cost = outcome.cost + outcome.cost + outcome.cost;
+    out.broadcast_cost = outcome.cost;
+    out.iterations_per_part.clear();
+    out.iterations_per_part
+        .extend_from_slice(&outcome.iterations_per_part);
     let parts = inst.partition();
-    let aggregates: Vec<u64> = parts
-        .part_ids()
-        .map(|p| inst.reference_aggregate(p))
-        .collect();
-    let node_values: Vec<u64> = (0..inst.graph().n())
-        .map(|v| aggregates[parts.part_of(v)])
-        .collect();
-    Ok(PaResult {
+    out.aggregates.clear();
+    for p in parts.part_ids() {
+        out.aggregates.push(inst.reference_aggregate(p));
+    }
+    let PaResult {
         aggregates,
         node_values,
-        cost,
-        broadcast_cost: wave.cost,
-        iterations_per_part: wave.iterations_per_part,
-    })
+        ..
+    } = out;
+    node_values.clear();
+    for v in 0..inst.graph().n() {
+        node_values.push(aggregates.get(parts.part_of(v)).copied().unwrap_or(0));
+    }
+    Ok(())
 }
 
 /// One global iteration of the wave, for tracing (Figure 4 of the paper
@@ -160,6 +219,19 @@ pub struct WaveOutcome {
     pub trace: Vec<WaveIteration>,
 }
 
+impl Default for WaveOutcome {
+    /// An empty outcome buffer for `run_wave_with` to fill; its vectors
+    /// are recycled across solves.
+    fn default() -> WaveOutcome {
+        WaveOutcome {
+            cost: CostReport::zero(),
+            iterations_per_part: Vec::new(),
+            informed: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+}
+
 /// Runs phase A (the broadcast wave) and reports the outcome without
 /// failing on budget overruns — Algorithm 2 needs the raw outcome.
 pub fn broadcast_wave_outcome(
@@ -167,28 +239,177 @@ pub fn broadcast_wave_outcome(
     setup: &PaSetup<'_>,
     variant: Variant,
 ) -> WaveOutcome {
-    run_wave(inst, setup, variant)
+    let plan = WavePlan::build(
+        inst.graph(),
+        setup.tree,
+        setup.shortcut,
+        setup.division,
+        inst.partition(),
+    );
+    let mut scratch = WaveScratch::default();
+    let mut out = WaveOutcome::default();
+    run_wave_with(inst, setup, &plan, variant, &mut scratch, &mut out);
+    out
 }
 
-fn broadcast_wave(
+/// The partition-level routing plan of the wave: the terminal-block
+/// structure (block roots, terminals, rep→block map) plus the shortcut's
+/// congestion estimate for the randomized variant's delays.
+///
+/// This is everything `run_wave_with` needs beyond the [`PaSetup`] views
+/// that does *not* depend on the aggregated values — so
+/// [`crate::engine::PaEngine`] builds it once per partition (inside
+/// [`crate::pipeline::build_artifacts`]) and every warm solve reuses it,
+/// instead of rebuilding the old per-solve `BTreeMap` block index.
+#[derive(Debug, Clone, Default)]
+pub struct WavePlan {
+    /// Routing root per block.
+    block_root: Vec<NodeId>,
+    /// CSR offsets into `term` (length `blocks + 1`).
+    term_off: Vec<usize>,
+    /// Block terminals, concatenated.
+    term: Vec<NodeId>,
+    /// Block of each representative (`usize::MAX` for non-reps).
+    block_of_rep: Vec<usize>,
+    /// Max shortcut congestion over all edges (randomized delays).
+    c_est: usize,
+}
+
+impl WavePlan {
+    /// Builds the plan for one partition: per part, either singleton
+    /// blocks per representative (direct parts — the wave spreads via
+    /// part edges only) or the shortcut's terminal blocks.
+    pub fn build(
+        g: &Graph,
+        tree: &RootedTree,
+        shortcut: &Shortcut,
+        division: &SubPartDivision,
+        parts: &Partition,
+    ) -> WavePlan {
+        let mut plan = WavePlan {
+            block_of_rep: vec![usize::MAX; g.n()],
+            term_off: vec![0],
+            ..WavePlan::default()
+        };
+        for p in parts.part_ids() {
+            let reps = division.reps_of_part(p);
+            if shortcut.is_direct(p) {
+                for &r in &reps {
+                    let id = plan.block_root.len();
+                    plan.block_root.push(r);
+                    plan.term.push(r);
+                    plan.term_off.push(plan.term.len());
+                    if let Some(slot) = plan.block_of_rep.get_mut(r) {
+                        *slot = id;
+                    }
+                }
+            } else {
+                for b in shortcut.blocks_for_terminals(g, tree, p, &reps) {
+                    let id = plan.block_root.len();
+                    for &t in &b.part_nodes {
+                        if let Some(slot) = plan.block_of_rep.get_mut(t) {
+                            *slot = id;
+                        }
+                    }
+                    plan.block_root.push(b.root);
+                    plan.term.extend_from_slice(&b.part_nodes);
+                    plan.term_off.push(plan.term.len());
+                }
+            }
+        }
+        plan.c_est = shortcut.congestion_map(g).into_iter().max().unwrap_or(0);
+        plan
+    }
+
+    /// Number of blocks across all parts.
+    pub fn num_blocks(&self) -> usize {
+        self.block_root.len()
+    }
+
+    fn block_of(&self, r: NodeId) -> usize {
+        self.block_of_rep.get(r).copied().unwrap_or(usize::MAX)
+    }
+
+    fn root_of(&self, b: usize) -> NodeId {
+        self.block_root.get(b).copied().unwrap_or(0)
+    }
+
+    fn terminals(&self, b: usize) -> &[NodeId] {
+        let lo = self.term_off.get(b).copied().unwrap_or(self.term.len());
+        let hi = self.term_off.get(b + 1).copied().unwrap_or(self.term.len());
+        self.term.get(lo..hi).unwrap_or(&[])
+    }
+}
+
+/// Recycled wave-internal arenas (see [`SolveScratch`]).
+#[derive(Debug, Default)]
+struct WaveScratch {
+    router: RouterScratch,
+    up: UpcastBatch,
+    down: DowncastBatch,
+    /// Informed-representative set: membership bits + insertion list
+    /// (what the old per-solve `BTreeSet` held; iteration order differs
+    /// but every consumer sorts or is order-independent).
+    rep_in: Vec<bool>,
+    rep_list: Vec<NodeId>,
+    subpart_spread: Vec<bool>,
+    block_done: Vec<bool>,
+    exhausted: Vec<bool>,
+    active: Vec<Vec<NodeId>>,
+    /// `(block, seq, rep)` triples of one part's active reps; sorting
+    /// reproduces the old `BTreeMap` grouping (ascending block, reps in
+    /// active order).
+    srcs: Vec<(usize, usize, NodeId)>,
+    touched_blocks: Vec<usize>,
+    spreading: Vec<usize>,
+    newly_touched: Vec<NodeId>,
+    /// Climb dedup stamps, per node: `stamp[v] == climb_gen` means `v`'s
+    /// parent edge was already charged this global iteration. Never
+    /// cleared — the generation bump invalidates all stamps at once.
+    climb_stamp: Vec<u64>,
+    climb_gen: u64,
+}
+
+/// Marks `r` informed-as-representative; true if it was new.
+fn rep_insert(rep_in: &mut [bool], rep_list: &mut Vec<NodeId>, r: NodeId) -> bool {
+    match rep_in.get_mut(r) {
+        Some(slot) if !*slot => {
+            *slot = true;
+            rep_list.push(r);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Reusable state for allocation-free solves: the wave's arenas (router
+/// scratch and batches, informed/active sets, climb stamps) plus the
+/// wave-outcome buffer. One instance serves any number of solves over
+/// any partitions; buffers grow to the high-water mark and stay.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    wave: WaveScratch,
+    outcome: WaveOutcome,
+}
+
+impl SolveScratch {
+    /// A fresh scratch; arenas grow on first use and are recycled after.
+    pub fn new() -> SolveScratch {
+        SolveScratch::default()
+    }
+}
+
+fn run_wave_with(
     inst: &PaInstance<'_>,
     setup: &PaSetup<'_>,
+    plan: &WavePlan,
     variant: Variant,
-) -> Result<WaveOutcome, PaError> {
-    let outcome = run_wave(inst, setup, variant);
-    if let Some(v) = outcome.informed.iter().position(|&i| !i) {
-        return Err(PaError::BlockBudgetExceeded {
-            part: inst.partition().part_of(v),
-            budget: setup.block_budget,
-        });
-    }
-    Ok(outcome)
-}
-
-fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> WaveOutcome {
+    scratch: &mut WaveScratch,
+    out: &mut WaveOutcome,
+) {
     let PaSetup {
         tree,
-        shortcut,
+        shortcut: _,
         division,
         leaders,
         block_budget,
@@ -196,56 +417,21 @@ fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> Wav
     let g = inst.graph();
     let parts = inst.partition();
     let n = g.n();
-    assert_eq!(leaders.len(), parts.num_parts(), "one leader per part");
-
-    // Block structure per part, with representatives as terminals.
-    // Global block ids for the router's tie-breaking.
-    struct BlockInfo {
-        root: NodeId,
-        terminals: Vec<NodeId>,
-    }
-    let mut blocks: Vec<BlockInfo> = Vec::new();
-    let mut block_of_rep: BTreeMap<NodeId, usize> = BTreeMap::new();
-    let mut blocks_of_part: Vec<Vec<usize>> = vec![Vec::new(); parts.num_parts()];
-    for p in parts.part_ids() {
-        let reps = division.reps_of_part(p);
-        if shortcut.is_direct(p) {
-            // Singleton blocks: the wave spreads via part edges only.
-            for &r in &reps {
-                let id = blocks.len();
-                blocks.push(BlockInfo {
-                    root: r,
-                    terminals: vec![r],
-                });
-                block_of_rep.insert(r, id);
-                blocks_of_part[p].push(id);
-            }
-        } else {
-            for b in shortcut.blocks_for_terminals(g, tree, p, &reps) {
-                let id = blocks.len();
-                for &t in &b.part_nodes {
-                    block_of_rep.insert(t, id);
-                }
-                blocks_of_part[p].push(id);
-                blocks.push(BlockInfo {
-                    root: b.root,
-                    terminals: b.part_nodes,
-                });
-            }
-        }
-    }
+    let np = parts.num_parts();
+    let nb = plan.num_blocks();
+    assert_eq!(leaders.len(), np, "one leader per part");
 
     // Randomized variant setup: capacity, meta-round factor, part delays.
     let (capacity, meta_factor, max_delay) = match variant {
         Variant::Deterministic => (1usize, 1usize, 0usize),
         Variant::Randomized { seed } => {
             let k = ceil_log2(n.max(2)).max(1);
-            let c_est = shortcut.congestion_map(g).into_iter().max().unwrap_or(0);
+            let c_est = plan.c_est;
             let mut rng = StdRng::seed_from_u64(seed);
             let max_delay = if c_est > 1 {
                 // Each part delays itself uniformly in [c]; only the max
                 // delay shows up in the global round count.
-                (0..parts.num_parts())
+                (0..np)
                     .map(|_| rng.random_range(0..c_est))
                     .max()
                     .unwrap_or(0)
@@ -257,129 +443,200 @@ fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> Wav
     };
     let router = TreeRouter::with_capacity(tree, capacity);
 
-    let mut informed = vec![false; n];
-    let mut rep_informed: BTreeSet<NodeId> = BTreeSet::new();
-    let mut subpart_spread: Vec<bool> = vec![false; division.num_subparts()];
-    let mut block_done: Vec<bool> = vec![false; blocks.len()];
-    let mut active: Vec<Vec<NodeId>> = vec![Vec::new(); parts.num_parts()]; // A per part
-    let mut exhausted = vec![false; parts.num_parts()];
-    let mut iterations = vec![0usize; parts.num_parts()];
+    let WaveOutcome {
+        cost,
+        iterations_per_part: iterations,
+        informed,
+        trace,
+    } = out;
+    informed.clear();
+    informed.resize(n, false);
+    iterations.clear();
+    iterations.resize(np, 0);
+    trace.clear();
+    let WaveScratch {
+        router: rscratch,
+        up,
+        down,
+        rep_in,
+        rep_list,
+        subpart_spread,
+        block_done,
+        exhausted,
+        active,
+        srcs,
+        touched_blocks,
+        spreading,
+        newly_touched,
+        climb_stamp,
+        climb_gen,
+    } = scratch;
+    rep_in.clear();
+    rep_in.resize(n, false);
+    rep_list.clear();
+    subpart_spread.clear();
+    subpart_spread.resize(division.num_subparts(), false);
+    block_done.clear();
+    block_done.resize(nb, false);
+    exhausted.clear();
+    exhausted.resize(np, false);
+    for a in active.iter_mut() {
+        a.clear(); // stale entries past np stay empty and are harmless
+    }
+    if active.len() < np {
+        active.resize_with(np, Vec::new);
+    }
+    if climb_stamp.len() < n {
+        climb_stamp.resize(n, 0); // stale stamps never match a fresh gen
+    }
+
     let mut rounds = max_delay;
     let mut messages = 0u64;
 
     // Line 8: route m_i from l_i to r(l_i) along the sub-part tree.
     let mut init_rounds = 0usize;
     for p in parts.part_ids() {
-        let li = leaders[p];
-        informed[li] = true;
+        let Some(&li) = leaders.get(p) else { continue };
+        if let Some(i) = informed.get_mut(li) {
+            *i = true;
+        }
         let r = division.rep_of(li);
         messages += division.depth_of(li) as u64;
         init_rounds = init_rounds.max(division.depth_of(li));
-        informed[r] = true;
-        rep_informed.insert(r);
-        active[p].push(r);
+        if let Some(i) = informed.get_mut(r) {
+            *i = true;
+        }
+        rep_insert(rep_in, rep_list, r);
+        if let Some(a) = active.get_mut(p) {
+            a.push(r);
+        }
     }
     rounds += init_rounds;
 
     // The wave. Global iterations run all parts in lockstep; per-part
     // iteration counters enforce the block budget individually.
-    let mut trace: Vec<WaveIteration> = Vec::new();
-    let global_cap = block_budget.max(1) + blocks.len() + 2;
+    let global_cap = block_budget.max(1) + nb + 2;
     for _ in 0..global_cap {
         if active.iter().all(Vec::is_empty) {
             break;
         }
         // --- Step 1 (lines 11-12): BlockRoute on the active reps. ---
-        let mut up_jobs: Vec<UpcastJob> = Vec::new();
-        let mut down_jobs: Vec<DowncastJob> = Vec::new();
-        let mut touched_blocks: Vec<usize> = Vec::new();
+        up.clear();
+        down.clear();
+        touched_blocks.clear();
         for p in parts.part_ids() {
-            if active[p].is_empty() {
+            let Some(act) = active.get_mut(p) else {
+                continue;
+            };
+            if act.is_empty() {
                 continue;
             }
-            if iterations[p] >= block_budget.max(1) {
+            let Some(it) = iterations.get_mut(p) else {
+                continue;
+            };
+            if *it >= block_budget.max(1) {
                 // Budget exhausted: the part stops participating entirely
                 // (Algorithm 2 relies on this to detect oversized block
                 // parameters).
-                active[p].clear();
-                exhausted[p] = true;
+                act.clear();
+                if let Some(e) = exhausted.get_mut(p) {
+                    *e = true;
+                }
                 continue;
             }
-            iterations[p] += 1;
-            let mut sources_by_block: BTreeMap<usize, Vec<NodeId>> = BTreeMap::new();
-            for &r in &active[p] {
-                let b = block_of_rep[&r];
-                if !block_done[b] {
-                    sources_by_block.entry(b).or_default().push(r);
+            *it += 1;
+            srcs.clear();
+            for (seq, &r) in act.iter().enumerate() {
+                let b = plan.block_of(r);
+                debug_assert!(b != usize::MAX, "active rep {r} has a block");
+                if !block_done.get(b).copied().unwrap_or(true) {
+                    srcs.push((b, seq, r));
                 }
             }
-            for (b, sources) in sources_by_block {
-                block_done[b] = true;
+            srcs.sort_unstable();
+            for grp in srcs.chunk_by(|a, b| a.0 == b.0) {
+                let Some(&(b, _, _)) = grp.first() else {
+                    continue;
+                };
+                if let Some(d) = block_done.get_mut(b) {
+                    *d = true;
+                }
                 touched_blocks.push(b);
-                up_jobs.push(UpcastJob {
-                    subtree: b,
-                    root: blocks[b].root,
-                    sources: sources.into_iter().map(|s| (s, 1)).collect(),
-                });
-                down_jobs.push(DowncastJob {
-                    subtree: b,
-                    root: blocks[b].root,
-                    value: 1,
-                    destinations: blocks[b].terminals.clone(),
-                });
+                let root = plan.root_of(b);
+                up.begin_job(b, root);
+                for &(_, _, r) in grp {
+                    up.push_source(r, 1);
+                }
+                down.begin_job(b, root, 1);
+                for &t in plan.terminals(b) {
+                    down.push_destination(t);
+                }
             }
-            active[p].clear();
+            act.clear();
         }
-        if !up_jobs.is_empty() {
-            let up = router.upcast(&up_jobs, |a, _| a);
-            let down = router.downcast(&down_jobs);
-            rounds += (up.cost.rounds + down.cost.rounds) * meta_factor;
-            messages += up.cost.messages + down.cost.messages;
+        if !up.is_empty() {
+            let up_cost = router.upcast_batch(up, rscratch, |a, _| a);
+            let down_cost = router.downcast_batch(down, rscratch);
+            rounds += (up_cost.rounds + down_cost.rounds) * meta_factor;
+            messages += up_cost.messages + down_cost.messages;
         }
         // All terminals of a routed block are now informed representatives;
         // step 2 below spreads every informed rep's un-spread sub-part.
-        for &b in &touched_blocks {
-            for &t in &blocks[b].terminals {
-                informed[t] = true;
-                rep_informed.insert(t);
+        for &b in touched_blocks.iter() {
+            for &t in plan.terminals(b) {
+                if let Some(i) = informed.get_mut(t) {
+                    *i = true;
+                }
+                rep_insert(rep_in, rep_list, t);
             }
         }
 
         // --- Step 2 (lines 13-14): informed reps broadcast in their sub-parts. ---
         let mut step2_depth = 0usize;
-        let mut spreading: Vec<usize> = Vec::new();
-        for &r in rep_informed.iter() {
+        spreading.clear();
+        for &r in rep_list.iter() {
             let s = division.subpart_of(r);
-            if !subpart_spread[s] && !exhausted[division.part_of_subpart(s)] {
+            if !subpart_spread.get(s).copied().unwrap_or(true)
+                && !exhausted
+                    .get(division.part_of_subpart(s))
+                    .copied()
+                    .unwrap_or(true)
+            {
                 spreading.push(s);
             }
         }
         spreading.sort_unstable();
         spreading.dedup();
-        for &s in &spreading {
-            subpart_spread[s] = true;
+        for &s in spreading.iter() {
+            if let Some(sp) = subpart_spread.get_mut(s) {
+                *sp = true;
+            }
             step2_depth = step2_depth.max(division.subpart_depth(s));
             messages += (division.members(s).len() - 1) as u64;
             for &v in division.members(s) {
-                informed[v] = true;
+                if let Some(i) = informed.get_mut(v) {
+                    *i = true;
+                }
             }
         }
         rounds += step2_depth;
 
         // --- Step 3 (line 15): notify across sub-part boundaries. ---
-        let mut newly_touched: Vec<NodeId> = Vec::new();
+        newly_touched.clear();
         if !spreading.is_empty() {
             rounds += 1;
         }
-        for &s in &spreading {
+        for &s in spreading.iter() {
             let p = division.part_of_subpart(s);
             for &u in division.members(s) {
                 for (v, _) in g.neighbors(u) {
                     if parts.part_of(v) == p && division.subpart_of(v) != s {
                         messages += 1;
-                        if !informed[v] {
-                            informed[v] = true;
-                            newly_touched.push(v);
+                        if let Some(i) = informed.get_mut(v) {
+                            if !*i {
+                                *i = true;
+                                newly_touched.push(v);
+                            }
                         }
                     }
                 }
@@ -387,33 +644,44 @@ fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> Wav
         }
 
         // --- Step 4 (lines 16-18): climb to representatives. ---
-        let mut climb_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        *climb_gen += 1;
+        let gen = *climb_gen;
+        let mut climb_count = 0u64;
         let mut step4_depth = 0usize;
         newly_touched.sort_unstable();
         newly_touched.dedup();
-        for &v in &newly_touched {
+        for &v in newly_touched.iter() {
             let s = division.subpart_of(v);
-            if subpart_spread[s] {
+            if subpart_spread.get(s).copied().unwrap_or(false) {
                 continue;
             }
             step4_depth = step4_depth.max(division.depth_of(v));
             let mut cur = v;
             while let Some(parent) = division.parent_of(cur) {
-                if !climb_edges.insert((cur, parent)) {
-                    break; // merged with an earlier climb
+                match climb_stamp.get_mut(cur) {
+                    Some(st) if *st == gen => break, // merged with an earlier climb
+                    Some(st) => {
+                        *st = gen;
+                        climb_count += 1;
+                    }
+                    None => break,
                 }
                 cur = parent;
             }
             let r = division.rep_of(v);
-            informed[r] = true;
-            if rep_informed.insert(r) {
+            if let Some(i) = informed.get_mut(r) {
+                *i = true;
+            }
+            if rep_insert(rep_in, rep_list, r) {
                 let p = division.part_of_subpart(s);
-                if !active[p].contains(&r) {
-                    active[p].push(r);
+                if let Some(a) = active.get_mut(p) {
+                    if !a.contains(&r) {
+                        a.push(r);
+                    }
                 }
             }
         }
-        messages += climb_edges.len() as u64;
+        messages += climb_count;
         rounds += step4_depth;
         trace.push(WaveIteration {
             blocks_routed: touched_blocks.len(),
@@ -423,12 +691,7 @@ fn run_wave(inst: &PaInstance<'_>, setup: &PaSetup<'_>, variant: Variant) -> Wav
         });
     }
 
-    WaveOutcome {
-        cost: CostReport::with_capacity(rounds, messages, capacity),
-        iterations_per_part: iterations,
-        informed,
-        trace,
-    }
+    *cost = CostReport::with_capacity(rounds, messages, capacity);
 }
 
 #[cfg(test)]

@@ -1,19 +1,30 @@
-//! `perf` — the machine-readable simulator perf baseline.
+//! `perf` — the machine-readable simulator & pipeline perf baseline.
 //!
-//! Runs a fixed, named workload suite over the three simulator-bound
-//! layers — CONGEST primitives (BFS, tree casts, pipelining, election),
-//! the Table 2 PA pipeline end-to-end, and the `PaCluster` serving
-//! path — and reports wall time plus exact round/message counts per
-//! entry. Wall time is the best of [`ITERATIONS`] runs (the counts are
-//! identical across runs; only the clock varies).
+//! Runs a fixed, named workload suite over the simulator-bound layers —
+//! CONGEST primitives (BFS, tree casts, pipelining, election), the
+//! Table 2 PA pipeline end-to-end, the isolated pipeline stages
+//! (stage-1 tree, divisions, shortcuts, tree routing, warm engine
+//! solves), and the `PaCluster` serving path — and reports wall time
+//! plus exact round/message counts per entry. Wall time is the best of
+//! [`ITERATIONS`] runs (the counts are identical across runs; only the
+//! clock varies).
 //!
 //! With `--json` the suite prints a single JSON object (schema
-//! `rmo-perf/1`) to stdout instead of the markdown table, so CI and the
-//! perf trajectory can consume it; `BENCH_simulator.json` at the repo
-//! root records a captured before/after pair of these runs. Primitive
-//! entries also time the dense reference simulator
-//! ([`rmo_congest::reference`]) on the identical workload, so the
-//! fast-vs-dense speedup is remeasured — not just quoted — on every run.
+//! `rmo-perf/2`) to stdout instead of the markdown table, so CI and the
+//! perf trajectory can consume it; `BENCH_simulator.json` and
+//! `BENCH_pipeline.json` at the repo root record captured before/after
+//! pairs of these runs. Primitive entries also time the dense reference
+//! simulator ([`rmo_congest::reference`]) on the identical workload, so
+//! the fast-vs-dense speedup is remeasured — not just quoted — on every
+//! run.
+//!
+//! With `--check-baseline <path>` the suite additionally replays as a
+//! regression gate against the `"after"` block of a recorded baseline
+//! file: rounds/messages must match bit-for-bit, and no entry may be
+//! slower than [`TOLERANCE`]× the suite-median slowdown (normalizing by
+//! the median makes the gate machine-speed independent — a uniformly
+//! slower CI runner passes, a single regressed stage fails). A failed
+//! gate exits non-zero.
 
 use std::time::Instant;
 
@@ -23,9 +34,12 @@ use rmo_congest::programs::broadcast::run_tree_broadcast;
 use rmo_congest::programs::convergecast::run_tree_convergecast;
 use rmo_congest::programs::leader::run_leader_election;
 use rmo_congest::programs::pipeline::run_pipeline_broadcast;
-use rmo_congest::{CostReport, Network};
-use rmo_core::{solve_pa, Aggregate, PaConfig, PaInstance};
+use rmo_congest::{CostReport, DowncastJob, Network, TreeRouter, UpcastJob};
+use rmo_core::subparts_det::deterministic_division;
+use rmo_core::{solve_pa, Aggregate, EngineConfig, PaConfig, PaEngine, PaInstance};
 use rmo_graph::gen;
+use rmo_graph::NodeId;
+use rmo_shortcut::alg8::{construct_deterministic, DetParams};
 
 use super::families;
 use crate::util::print_table;
@@ -193,6 +207,121 @@ fn run_suite(quick: bool) -> Vec<Entry> {
         ));
     }
 
+    // --- Pipeline stages, isolated (the BENCH_pipeline.json
+    // trajectory): stage-1 tree build, stage-3 divisions, stage-4
+    // shortcut construction, Lemma 4.2 tree routing, and the warm
+    // engine solve (the serving steady state). All on the `general`
+    // family, the suite's hardest workload.
+    let wl = families(scale)
+        .into_iter()
+        .find(|w| w.family == "general")
+        .expect("general family exists"); // rmo-lint: allow(P1) — bench workload is fixed; abort on failure is intended
+    let pg = &wl.graph;
+    let pnet = Network::new(pg, 7);
+    out.push(entry(
+        "pipeline/stage1_tree",
+        || {
+            let (root, _, elect) = run_leader_election(pg, &pnet).expect("terminates"); // rmo-lint: allow(P1) — bench workload is fixed; abort on failure is intended
+            let (_, _, bfs) = run_bfs(pg, &pnet, root).expect("terminates"); // rmo-lint: allow(P1) — bench workload is fixed; abort on failure is intended
+            elect + bfs
+        },
+        None,
+    ));
+    let (proot, _, _) = run_leader_election(pg, &pnet).expect("terminates"); // rmo-lint: allow(P1) — bench workload is fixed; abort on failure is intended
+    let (ptree, _, _) = run_bfs(pg, &pnet, proot).expect("terminates"); // rmo-lint: allow(P1) — bench workload is fixed; abort on failure is intended
+    let d = ptree.depth().max(1);
+    out.push(entry(
+        "pipeline/divisions",
+        || deterministic_division(pg, &wl.partition, d).cost,
+        None,
+    ));
+    let division = deterministic_division(pg, &wl.partition, d).division;
+    let terminals: Vec<Vec<NodeId>> = wl
+        .partition
+        .part_ids()
+        .map(|p| division.reps_of_part(p))
+        .collect();
+    out.push(entry(
+        "pipeline/shortcuts",
+        || {
+            construct_deterministic(
+                pg,
+                &ptree,
+                &wl.partition,
+                &terminals,
+                DetParams::new(2, 2, wl.partition.num_parts()),
+            )
+            .cost
+        },
+        None,
+    ));
+
+    // Tree routing stress: many overlapping subtree casts on the long
+    // path — a deep tree with heavy edge contention is the Lemma 4.2
+    // scheduler's worst case. Roots are staggered along the path so the
+    // packet waves overlap.
+    let sub_count = if quick { 48 } else { 96 };
+    let per_sub = 24;
+    let stride = path_n / (sub_count + 1);
+    let up_jobs: Vec<UpcastJob> = (0..sub_count)
+        .map(|s| {
+            let root = s * stride;
+            let span = path_n - root - 1;
+            UpcastJob {
+                subtree: s,
+                root,
+                sources: (0..per_sub)
+                    .map(|k| (root + 1 + (k * 997) % span, (s * per_sub + k) as u64))
+                    .collect(),
+            }
+        })
+        .collect();
+    let down_jobs: Vec<DowncastJob> = (0..sub_count)
+        .map(|s| {
+            let root = s * stride;
+            let span = path_n - root - 1;
+            DowncastJob {
+                subtree: s,
+                root,
+                value: s as u64,
+                destinations: (0..per_sub).map(|k| root + 1 + (k * 997) % span).collect(),
+            }
+        })
+        .collect();
+    let router = TreeRouter::new(&tree_path);
+    out.push(entry(
+        "pipeline/routing",
+        || {
+            let up = router.upcast(&up_jobs, u64::wrapping_add);
+            let down = router.downcast(&down_jobs);
+            up.cost + down.cost
+        },
+        None,
+    ));
+
+    // Warm engine solve: artifacts are cached, so this times the
+    // cache-hit path plus Algorithm 1 alone — what every serve-path
+    // query pays at steady state.
+    let pa_values: Vec<u64> = (0..pg.n() as u64)
+        .map(|v| v.wrapping_mul(2654435761))
+        .collect();
+    let pinst = PaInstance::from_partition(pg, wl.partition.clone(), pa_values, Aggregate::Min)
+        .expect("valid instance"); // rmo-lint: allow(P1) — bench workload is fixed; abort on failure is intended
+    let mut engine = PaEngine::new(pg, EngineConfig::new());
+    engine.solve_instance(&pinst).expect("cold solve"); // warm cache outside the clock; rmo-lint: allow(P1) — bench abort intended
+    out.push(entry(
+        "pipeline/warm_solve",
+        || {
+            let mut total = CostReport::zero();
+            for _ in 0..8 {
+                // rmo-lint: allow(P1) — bench abort intended
+                total += engine.solve_instance(&pinst).expect("warm solve").cost;
+            }
+            total
+        },
+        None,
+    ));
+
     // --- Serving path: a mixed batch on a fresh fleet, sequential mode
     // (single-threaded, so the clock measures work, not contention). ---
     let serve_scale = if quick { 6 } else { 10 };
@@ -238,15 +367,130 @@ fn emit_json(mode: &str, entries: &[Entry]) -> String {
         body.push('}');
     }
     format!(
-        "{{\n  \"schema\": \"rmo-perf/1\",\n  \"mode\": \"{mode}\",\n  \"entries\": [\n{body}\n  ]\n}}"
+        "{{\n  \"schema\": \"rmo-perf/2\",\n  \"mode\": \"{mode}\",\n  \"entries\": [\n{body}\n  ]\n}}"
     )
 }
 
-pub fn run(quick: bool, json: bool) {
+/// Per-entry slowdown tolerance of the `--check-baseline` gate, applied
+/// to the median-normalized ratio (see [`check_baseline`]).
+const TOLERANCE: f64 = 1.25;
+
+/// Noise floor: an entry only fails the wall-time gate if it is also at
+/// least this many milliseconds over its baseline (sub-millisecond
+/// entries jitter by large *ratios* on shared CI runners).
+const NOISE_FLOOR_MS: f64 = 0.25;
+
+/// Extracts `(name, wall_ms, rounds, messages)` from every entry line of
+/// a perf JSON fragment (the emitter writes one entry per line; the
+/// checked-in baselines keep that shape).
+fn parse_entries(text: &str) -> Vec<(String, f64, usize, u64)> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let rest = line.split_once(key)?.1;
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest.get(..end)?.trim())
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.split_once("\"name\": \"").map(|(_, r)| r) else {
+            continue;
+        };
+        let Some((name, _)) = rest.split_once('"') else {
+            continue;
+        };
+        let (Some(wall), Some(rounds), Some(messages)) = (
+            field(line, "\"wall_ms\": ").and_then(|s| s.parse::<f64>().ok()),
+            field(line, "\"rounds\": ").and_then(|s| s.parse::<usize>().ok()),
+            field(line, "\"messages\": ").and_then(|s| s.parse::<u64>().ok()),
+        ) else {
+            continue;
+        };
+        out.push((name.to_string(), wall, rounds, messages));
+    }
+    out
+}
+
+/// The regression gate: compares the just-measured suite against the
+/// `"after"` block of a recorded baseline file.
+///
+/// * Every baseline entry must be present, with bit-identical
+///   rounds/messages (a count drift is a correctness bug, not a perf
+///   regression — fail loudly).
+/// * Wall time: each entry's slowdown ratio vs the baseline is
+///   normalized by the suite-median ratio, so a uniformly faster or
+///   slower machine cancels out; an entry fails only if it exceeds
+///   [`TOLERANCE`]× the median *and* clears [`NOISE_FLOOR_MS`].
+fn check_baseline(entries: &[Entry], path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline `{path}`: {e}"))?;
+    let after = text
+        .find("\"after\"")
+        .ok_or_else(|| format!("baseline `{path}` has no \"after\" block"))?;
+    let base = parse_entries(text.get(after..).unwrap_or(""));
+    if base.is_empty() {
+        return Err(format!("baseline `{path}` has no entries after \"after\""));
+    }
+    let mut ratios: Vec<(String, f64, f64, f64)> = Vec::new();
+    for (name, bwall, brounds, bmsgs) in &base {
+        let cur = entries
+            .iter()
+            .find(|e| e.name == name.as_str())
+            .ok_or_else(|| format!("baseline entry `{name}` missing from current suite"))?;
+        if cur.rounds != *brounds || cur.messages != *bmsgs {
+            return Err(format!(
+                "`{name}`: counts diverged from baseline \
+                 (baseline {brounds} rounds / {bmsgs} messages, \
+                 current {} rounds / {} messages)",
+                cur.rounds, cur.messages
+            ));
+        }
+        let ratio = cur.wall_ms / bwall.max(1e-9);
+        ratios.push((name.clone(), *bwall, cur.wall_ms, ratio));
+    }
+    let mut sorted: Vec<f64> = ratios.iter().map(|&(_, _, _, r)| r).collect();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mut worst: Option<usize> = None;
+    for (i, (_, bwall, cwall, ratio)) in ratios.iter().enumerate() {
+        if *ratio > median * TOLERANCE && *cwall > bwall + NOISE_FLOOR_MS {
+            match worst {
+                Some(w) if ratios[w].3 >= *ratio => {}
+                _ => worst = Some(i),
+            }
+        }
+    }
+    if let Some((name, bwall, cwall, ratio)) = worst.map(|i| &ratios[i]) {
+        return Err(format!(
+            "`{name}` regressed: {cwall:.3} ms vs baseline {bwall:.3} ms \
+             (ratio {ratio:.2}, suite median {median:.2}, tolerance {TOLERANCE}×median)"
+        ));
+    }
+    let max = sorted.last().copied().unwrap_or(1.0);
+    Ok(format!(
+        "{} entries vs `{path}`: counts bit-identical, slowdown ratios \
+         median {median:.2} / max {max:.2} within {TOLERANCE}×median",
+        ratios.len()
+    ))
+}
+
+pub fn run(quick: bool, json: bool, baseline: Option<&str>) {
     let entries = run_suite(quick);
     let mode = if quick { "quick" } else { "full" };
+    let gate = |entries: &[Entry]| {
+        if let Some(path) = baseline {
+            // stderr, so `--json` output on stdout stays a single clean
+            // JSON document.
+            match check_baseline(entries, path) {
+                Ok(msg) => eprintln!("perf gate: PASS — {msg}"),
+                Err(msg) => {
+                    eprintln!("perf gate: FAIL — {msg}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
     if json {
         println!("{}", emit_json(mode, &entries));
+        gate(&entries);
         return;
     }
     let rows: Vec<Vec<String>> = entries
@@ -285,8 +529,10 @@ pub fn run(quick: bool, json: bool) {
          counts are bit-identical between the two (asserted in the \
          differential proptests). JSON for the perf trajectory: \
          `rmo-harness perf [--quick] --json`; the checked-in \
-         BENCH_simulator.json records a captured before/after pair."
+         BENCH_simulator.json and BENCH_pipeline.json record captured \
+         before/after pairs."
     );
+    gate(&entries);
 }
 
 /// Dense-reference drivers for the primitive workloads: the same node

@@ -2,12 +2,17 @@
 //!
 //! ```text
 //! rmo-harness <experiment> [--quick] [--skew] [--json]
+//!             [--check-baseline <path>]
 //! ```
 //!
 //! `--skew` adds the scheduler-balance scenarios (zipf popularity,
 //! adversarial one-shard hashing) to the `serve` experiment. `--json`
 //! switches the `perf` experiment to its machine-readable output
-//! (schema `rmo-perf/1`; see `BENCH_simulator.json`).
+//! (schema `rmo-perf/2`; see `BENCH_simulator.json` and
+//! `BENCH_pipeline.json`). `--check-baseline <path>` turns the `perf`
+//! run into a regression gate against the `"after"` block of a recorded
+//! baseline file (non-zero exit on count drift or slowdown beyond
+//! tolerance).
 //!
 //! Experiments: `table1`, `table2`, `figure1`, `figure2`, `figure3`,
 //! `figure4`, `figure5`, `mst`, `mincut`, `sssp`, `verification`,
@@ -30,11 +35,32 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let skew = args.iter().any(|a| a == "--skew");
     let json = args.iter().any(|a| a == "--json");
-    let which = args
+    let baseline = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_default();
+        .position(|a| a == "--check-baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    // The experiment name is the first bare argument that is not the
+    // value of `--check-baseline`.
+    let which = {
+        let mut which = String::new();
+        let mut skip_value = false;
+        for a in &args {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            if a == "--check-baseline" {
+                skip_value = true;
+                continue;
+            }
+            if !a.starts_with("--") {
+                which = a.clone();
+                break;
+            }
+        }
+        which
+    };
     let all = [
         "table1",
         "table2",
@@ -75,7 +101,7 @@ fn main() {
         "beyond" => experiments::beyond::run(),
         "engine" => experiments::engine::run(quick),
         "serve" => experiments::serve::run(quick, skew),
-        "perf" => experiments::perf::run(quick, json),
+        "perf" => experiments::perf::run(quick, json, baseline.as_deref()),
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!("available: {} all", all.join(" "));

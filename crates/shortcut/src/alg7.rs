@@ -18,8 +18,21 @@
 //! pipelined (one id per edge per round), so it takes
 //! `max_v |Sᵢ(v)| + 2ⁱ − 1` rounds, and each id crossing each edge is one
 //! message.
-
-use std::collections::BTreeSet;
+//!
+//! # Flat-arena internals
+//!
+//! The per-position request sets live as sorted `(start, len)` ranges
+//! over one recycled id pool owned by an [`Alg7Scratch`]; a set move is a
+//! two-pointer sorted union appended to the pool (the ranges it replaces
+//! become garbage until the next run resets the pool). Claims accumulate
+//! in a flat `(part, edge)` log. [`construct_on_path_with`] is the
+//! scratch-threading core — Algorithm 8 reuses one scratch across every
+//! heavy path of every sweep, so steady-state runs don't allocate.
+//! [`construct_on_path`] is the `Vec`-of-`Vec` convenience wrapper with
+//! identical semantics (the original `BTreeSet` sets and `BTreeMap`
+//! ledger are reproduced exactly: the pools hold sorted unique ids, and
+//! the claim log groups to ascending part order with per-part
+//! chronological edges).
 
 use rmo_congest::CostReport;
 use rmo_graph::{EdgeId, NodeId};
@@ -39,6 +52,221 @@ pub struct PathConstructionResult {
     pub max_edge_load: usize,
 }
 
+/// Measured cost of one [`construct_on_path_with`] run; the routed data
+/// (claims, survivors, breaks) stays in the scratch.
+#[derive(Debug, Clone, Copy)]
+pub struct PathRunStats {
+    /// Rounds and messages of the doubling transmission.
+    pub cost: CostReport,
+    /// Max parts assigned to any single path edge.
+    pub max_edge_load: usize,
+}
+
+/// Recycled arenas for Algorithm 7. Fill requests with
+/// [`Alg7Scratch::push_request`], run [`construct_on_path_with`], read
+/// the flat results; the next fill starts clean (the core drains the
+/// request buffer) and steady-state reuse allocates nothing.
+#[derive(Debug, Default)]
+pub struct Alg7Scratch {
+    // Pending (position, part) requests for the next run.
+    reqs: Vec<(usize, usize)>,
+    // Per-position set ranges over `pool` (sorted unique part ids).
+    set_start: Vec<usize>,
+    set_len: Vec<usize>,
+    pool: Vec<usize>,
+    merge_buf: Vec<usize>,
+    broken: Vec<bool>,
+    edge_load: Vec<usize>,
+    /// Chronological `(part, edge)` claim log of the last run.
+    pub claims: Vec<(usize, EdgeId)>,
+    /// Parts whose sets reached the top node, ascending.
+    pub reached_top: Vec<usize>,
+    /// Path edges broken by overload, in path order.
+    pub broken_edges: Vec<EdgeId>,
+}
+
+impl Alg7Scratch {
+    /// A fresh scratch; arenas grow on first use and are recycled after.
+    pub fn new() -> Alg7Scratch {
+        Alg7Scratch::default()
+    }
+
+    /// Queues part `part` as entering the path at position `pos` for the
+    /// next [`construct_on_path_with`] run. Duplicates and ordering are
+    /// irrelevant (the sets are sorted unique).
+    pub fn push_request(&mut self, pos: usize, part: usize) {
+        self.reqs.push((pos, part));
+    }
+}
+
+/// Runs Algorithm 7 on recycled arenas: requests were queued with
+/// [`Alg7Scratch::push_request`] (positions index `nodes`); claims,
+/// survivors, and breaks are left in the scratch. Semantics are exactly
+/// [`construct_on_path`]'s.
+///
+/// * `nodes` — path nodes, deepest (source) first; `nodes.len() = L`.
+/// * `edges` — `edges[i]` joins `nodes[i]` to `nodes[i+1]`; length `L−1`.
+/// * `congestion` — the budget `c`; sets of size `≥ 2c` break their edge.
+///
+/// # Panics
+/// Panics if array lengths disagree or `congestion == 0`.
+pub fn construct_on_path_with(
+    nodes: &[NodeId],
+    edges: &[EdgeId],
+    congestion: usize,
+    scratch: &mut Alg7Scratch,
+) -> PathRunStats {
+    assert!(congestion > 0, "congestion budget must be positive");
+    assert_eq!(
+        edges.len() + 1,
+        nodes.len(),
+        "edges must join consecutive nodes"
+    );
+    let len = nodes.len();
+    let Alg7Scratch {
+        reqs,
+        set_start,
+        set_len,
+        pool,
+        merge_buf,
+        broken,
+        edge_load,
+        claims,
+        reached_top,
+        broken_edges,
+    } = scratch;
+
+    // Initial sets: sorted unique ids per position, as ranges of the
+    // pool (what the BTreeSet-per-position representation held).
+    reqs.sort_unstable();
+    reqs.dedup();
+    pool.clear();
+    set_start.clear();
+    set_start.resize(len, 0);
+    set_len.clear();
+    set_len.resize(len, 0);
+    for grp in reqs.chunk_by(|a, b| a.0 == b.0) {
+        let Some(&(pos, _)) = grp.first() else {
+            continue;
+        };
+        debug_assert!(pos < len, "request position {pos} out of range");
+        let start = pool.len();
+        pool.extend(grp.iter().map(|&(_, part)| part));
+        if let Some(s) = set_start.get_mut(pos) {
+            *s = start;
+        }
+        if let Some(l) = set_len.get_mut(pos) {
+            *l = pool.len() - start;
+        }
+    }
+    reqs.clear();
+    broken.clear();
+    broken.resize(edges.len(), false);
+    edge_load.clear();
+    edge_load.resize(edges.len(), 0);
+    claims.clear();
+    reached_top.clear();
+    broken_edges.clear();
+
+    let mut rounds = 0usize;
+    let mut messages = 0u64;
+    if len >= 2 {
+        let max_iter = (usize::BITS - (len - 1).leading_zeros()) as usize; // ceil(log2 D)
+        for i in 0..max_iter {
+            let step = 1usize << i;
+            let modulus = step << 1;
+            let mut round_cost_this_iter = 0usize;
+            // Positions are 1-based in the paper; 0-based position p has
+            // 1-based height p+1, so senders are p ≡ step−1 (mod 2·step).
+            for p in (step - 1..len - 1).step_by(modulus) {
+                let sl = set_len.get(p).copied().unwrap_or(0);
+                if sl == 0 {
+                    continue;
+                }
+                if sl >= 2 * congestion {
+                    // Overloaded: break the parent edge, discard the set.
+                    if let Some(b) = broken.get_mut(p) {
+                        *b = true;
+                    }
+                    if let Some(l) = set_len.get_mut(p) {
+                        *l = 0;
+                    }
+                    continue;
+                }
+                let u = (p + step).min(len - 1);
+                if broken.get(p..u).is_some_and(|s| s.contains(&true)) {
+                    continue; // stuck below a break; set rests here
+                }
+                // Pipelined transmission: |set| ids over (u - p) hops.
+                round_cost_this_iter = round_cost_this_iter.max(sl + (u - p) - 1);
+                let ss = set_start.get(p).copied().unwrap_or(0);
+                let moved = pool.get(ss..ss + sl).unwrap_or(&[]);
+                for (&e, load) in edges
+                    .get(p..u)
+                    .unwrap_or(&[])
+                    .iter()
+                    .zip(edge_load.get_mut(p..u).unwrap_or_default())
+                {
+                    *load += sl;
+                    for &part in moved {
+                        claims.push((part, e));
+                    }
+                    messages += sl as u64;
+                }
+                // Sorted union of the moved set into position u's set,
+                // appended to the pool (the replaced ranges are garbage
+                // until the next run resets the pool).
+                let us = set_start.get(u).copied().unwrap_or(0);
+                let ul = set_len.get(u).copied().unwrap_or(0);
+                merge_buf.clear();
+                let mut a = pool.get(ss..ss + sl).unwrap_or(&[]);
+                let mut b = pool.get(us..us + ul).unwrap_or(&[]);
+                while let (Some((&x, ar)), Some((&y, br))) = (a.split_first(), b.split_first()) {
+                    if x < y {
+                        merge_buf.push(x);
+                        a = ar;
+                    } else if y < x {
+                        merge_buf.push(y);
+                        b = br;
+                    } else {
+                        merge_buf.push(x);
+                        a = ar;
+                        b = br;
+                    }
+                }
+                merge_buf.extend_from_slice(a);
+                merge_buf.extend_from_slice(b);
+                let new_start = pool.len();
+                pool.extend_from_slice(merge_buf);
+                if let Some(s) = set_start.get_mut(u) {
+                    *s = new_start;
+                }
+                if let Some(l) = set_len.get_mut(u) {
+                    *l = merge_buf.len();
+                }
+                if let Some(l) = set_len.get_mut(p) {
+                    *l = 0;
+                }
+            }
+            rounds += round_cost_this_iter;
+        }
+    }
+    let ts = set_start.last().copied().unwrap_or(0);
+    let tl = set_len.last().copied().unwrap_or(0);
+    reached_top.extend_from_slice(pool.get(ts..ts + tl).unwrap_or(&[]));
+    broken_edges.extend(
+        broken
+            .iter()
+            .zip(edges.iter())
+            .filter(|&(&b, _)| b)
+            .map(|(_, &e)| e),
+    );
+    PathRunStats {
+        cost: CostReport::new(rounds, messages),
+        max_edge_load: edge_load.iter().copied().max().unwrap_or(0),
+    }
+}
+
 /// Runs Algorithm 7.
 ///
 /// * `nodes` — path nodes, deepest (source) first; `nodes.len() = L`.
@@ -46,6 +274,10 @@ pub struct PathConstructionResult {
 /// * `requests` — `requests[i]` = parts entering the path at position `i`
 ///   (i.e. wanting `nodes[i]`'s parent edge `edges[i]`).
 /// * `congestion` — the budget `c`; sets of size `≥ 2c` break their edge.
+///
+/// Convenience wrapper over [`construct_on_path_with`] with a per-call
+/// scratch; hot paths (Algorithm 8's sweeps) hold an [`Alg7Scratch`] and
+/// call the core directly.
 ///
 /// # Panics
 /// Panics if array lengths disagree or `congestion == 0`.
@@ -55,82 +287,36 @@ pub fn construct_on_path(
     requests: &[Vec<usize>],
     congestion: usize,
 ) -> PathConstructionResult {
-    assert!(congestion > 0, "congestion budget must be positive");
-    assert_eq!(
-        edges.len() + 1,
-        nodes.len(),
-        "edges must join consecutive nodes"
-    );
     assert_eq!(requests.len(), nodes.len(), "one request set per node");
-    let len = nodes.len();
-    // sets[p] = request set currently resting at position p (BTreeSet of part ids
-    // for determinism).
-    let mut sets: Vec<BTreeSet<usize>> = requests
-        .iter()
-        .map(|r| r.iter().copied().collect::<BTreeSet<usize>>())
-        .collect();
-    let mut broken = vec![false; edges.len()];
-    let mut claimed: Vec<(usize, Vec<EdgeId>)> = Vec::new();
-    let mut claim_map: std::collections::BTreeMap<usize, Vec<EdgeId>> =
-        std::collections::BTreeMap::new();
-    let mut edge_load = vec![0usize; edges.len()];
-    let mut rounds = 0usize;
-    let mut messages = 0u64;
-
-    if len >= 2 {
-        let max_iter = (usize::BITS - (len - 1).leading_zeros()) as usize; // ceil(log2 D)
-        for i in 0..max_iter {
-            let step = 1usize << i;
-            let modulus = step << 1;
-            let mut round_cost_this_iter = 0usize;
-            // Positions are 1-based in the paper; position p (0-based) has
-            // 1-based height p+1.
-            let senders: Vec<usize> = (0..len - 1).filter(|p| (p + 1) % modulus == step).collect();
-            for p in senders {
-                if sets[p].is_empty() {
-                    continue;
-                }
-                if sets[p].len() >= 2 * congestion {
-                    // Overloaded: break the parent edge, discard the set.
-                    broken[p] = true;
-                    sets[p].clear();
-                    continue;
-                }
-                let u = (p + step).min(len - 1);
-                if (p..u).any(|q| broken[q]) {
-                    continue; // stuck below a break; set rests here
-                }
-                // Pipelined transmission: |set| ids over (u - p) hops.
-                let set: Vec<usize> = sets[p].iter().copied().collect();
-                round_cost_this_iter = round_cost_this_iter.max(set.len() + (u - p) - 1);
-                for q in p..u {
-                    edge_load[q] += set.len();
-                    for &part in &set {
-                        claim_map.entry(part).or_default().push(edges[q]);
-                    }
-                    messages += set.len() as u64;
-                }
-                let moved = std::mem::take(&mut sets[p]);
-                sets[u].extend(moved);
-            }
-            rounds += round_cost_this_iter;
+    let mut scratch = Alg7Scratch::new();
+    for (pos, parts) in requests.iter().enumerate() {
+        for &part in parts {
+            scratch.push_request(pos, part);
         }
     }
-    let reached_top: Vec<usize> = sets[len - 1].iter().copied().collect();
-    let broken_edges: Vec<EdgeId> = broken
+    let stats = construct_on_path_with(nodes, edges, congestion, &mut scratch);
+    // Group the chronological claim log to (part, edges-in-claim-order),
+    // ascending by part — the shape the BTreeMap ledger produced.
+    let mut tagged: Vec<(usize, usize, EdgeId)> = scratch
+        .claims
         .iter()
         .enumerate()
-        .filter(|&(_, &b)| b)
-        .map(|(q, _)| edges[q])
+        .map(|(i, &(part, e))| (part, i, e))
         .collect();
-    claimed.extend(claim_map); // BTreeMap iterates in ascending part order
-
+    tagged.sort_unstable();
+    let mut claimed: Vec<(usize, Vec<EdgeId>)> = Vec::new();
+    for grp in tagged.chunk_by(|a, b| a.0 == b.0) {
+        let Some(&(part, _, _)) = grp.first() else {
+            continue;
+        };
+        claimed.push((part, grp.iter().map(|&(_, _, e)| e).collect()));
+    }
     PathConstructionResult {
         claimed,
-        reached_top,
-        broken: broken_edges,
-        cost: CostReport::new(rounds, messages),
-        max_edge_load: edge_load.into_iter().max().unwrap_or(0),
+        reached_top: scratch.reached_top,
+        broken: scratch.broken_edges,
+        cost: stats.cost,
+        max_edge_load: stats.max_edge_load,
     }
 }
 
@@ -255,5 +441,38 @@ mod tests {
         sorted.sort_unstable();
         let expect: Vec<EdgeId> = (104..115).collect(); // edges 4..15
         assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One scratch across runs of different lengths and request mixes
+        // must reproduce fresh-scratch results exactly — the pools are
+        // range-addressed, so leftover garbage is unreachable.
+        let mut scratch = Alg7Scratch::new();
+        for (len, c, seed) in [(9usize, 4usize, 1usize), (17, 2, 3), (5, 1, 2), (33, 3, 5)] {
+            let (nodes, edges) = mk(len);
+            let req: Vec<Vec<usize>> = (0..len)
+                .map(|p| {
+                    if p % seed == 0 {
+                        vec![p, p + 1]
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            let fresh = construct_on_path(&nodes, &edges, &req, c);
+            for (pos, parts) in req.iter().enumerate() {
+                for &part in parts {
+                    scratch.push_request(pos, part);
+                }
+            }
+            let stats = construct_on_path_with(&nodes, &edges, c, &mut scratch);
+            assert_eq!(stats.cost, fresh.cost);
+            assert_eq!(stats.max_edge_load, fresh.max_edge_load);
+            assert_eq!(scratch.reached_top, fresh.reached_top);
+            assert_eq!(scratch.broken_edges, fresh.broken);
+            let claim_count: usize = fresh.claimed.iter().map(|(_, es)| es.len()).sum();
+            assert_eq!(scratch.claims.len(), claim_count);
+        }
     }
 }

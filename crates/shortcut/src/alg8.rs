@@ -4,11 +4,11 @@
 //! Each outer iteration performs one bottom-up sweep over the heavy paths
 //! of the BFS tree: representatives of still-active parts inject requests
 //! at their positions; each heavy path runs Algorithm 7
-//! ([`construct_on_path`]); the parts whose requests survive to a path's
-//! top cross the outgoing light edge (claiming it) and enter the next
-//! path. Any leaf-to-root walk crosses at most `⌊log₂ n⌋` heavy paths, so
-//! one sweep has `O(log n)` *levels*; paths within a level are disjoint
-//! and run in parallel (rounds take the max, messages add).
+//! ([`construct_on_path_with`]); the parts whose requests survive to a
+//! path's top cross the outgoing light edge (claiming it) and enter the
+//! next path. Any leaf-to-root walk crosses at most `⌊log₂ n⌋` heavy
+//! paths, so one sweep has `O(log n)` *levels*; paths within a level are
+//! disjoint and run in parallel (rounds take the max, messages add).
 //!
 //! After each sweep every part's accumulated claims are re-examined: parts
 //! with at most `3b` terminal-blocks go inactive (the paper invokes
@@ -18,13 +18,26 @@
 //! active parts freeze per iteration when the graph really admits a
 //! `(b, c)` shortcut; we cap iterations and report stragglers so callers
 //! can double the budgets (the paper's doubling remark, Section 1.3).
-
-use std::collections::BTreeMap;
+//!
+//! # Flat-arena internals
+//!
+//! The per-path per-position entry tables (formerly
+//! `Vec<Vec<Vec<usize>>>`, reallocated every sweep) are an intrusive
+//! linked list indexed by node: `req_head[v]` chains `(part, next)`
+//! records in one arena, with a short contains-walk for dedup (chains are
+//! bounded by the part count). One [`Alg7Scratch`] is threaded through
+//! every heavy-path run of every sweep, and per-sweep claims accumulate
+//! in a flat `(part, edge)` log that is sorted, deduped, and grouped into
+//! [`Shortcut::extend_part`] — which sorts and dedups again, so the log
+//! order is irrelevant and the result is bit-identical to the old
+//! `BTreeMap` ledger.
 
 use rmo_congest::CostReport;
-use rmo_graph::{num::ceil_log2, Graph, HeavyPathDecomposition, NodeId, Partition, RootedTree};
+use rmo_graph::{
+    num::ceil_log2, EdgeId, Graph, HeavyPathDecomposition, NodeId, Partition, RootedTree,
+};
 
-use crate::alg7::construct_on_path;
+use crate::alg7::{construct_on_path_with, Alg7Scratch};
 use crate::model::Shortcut;
 
 /// Parameters for the deterministic construction.
@@ -65,6 +78,34 @@ pub struct DetConstructionResult {
     pub cost: CostReport,
 }
 
+/// Appends `part` to node `v`'s request chain unless already present.
+/// Returns whether it was inserted.
+fn push_unique(
+    head: &mut [usize],
+    next: &mut Vec<usize>,
+    part_of: &mut Vec<usize>,
+    v: NodeId,
+    part: usize,
+) -> bool {
+    let Some(&first) = head.get(v) else {
+        return false;
+    };
+    let mut cur = first;
+    while cur != usize::MAX {
+        if part_of.get(cur).copied() == Some(part) {
+            return false;
+        }
+        cur = next.get(cur).copied().unwrap_or(usize::MAX);
+    }
+    let idx = part_of.len();
+    part_of.push(part);
+    next.push(first);
+    if let Some(slot) = head.get_mut(v) {
+        *slot = idx;
+    }
+    true
+}
+
 /// Runs Algorithm 8.
 ///
 /// `terminals[i]` — the sub-part representatives of part `i`; only these
@@ -87,16 +128,11 @@ pub fn construct_deterministic(
         "one terminal set per part"
     );
     let hpd = HeavyPathDecomposition::new(tree);
-    // Precompute per-node position within its heavy path.
-    let mut pos_in_path: Vec<usize> = vec![0; tree.n()];
-    for p in 0..hpd.path_count() {
-        for (i, &v) in hpd.path_nodes(p).iter().enumerate() {
-            pos_in_path[v] = i;
-        }
-    }
     // Child-before-parent order: sort paths by depth of their top node,
     // descending (a child path's top is strictly deeper than its parent
-    // path's top).
+    // path's top). The sort must stay *stable*: same-depth paths run in
+    // path-id order, and the per-level round accounting below interleaves
+    // `max` with light-edge `+1`s, so reordering ties changes the count.
     let mut order: Vec<usize> = (0..hpd.path_count()).collect();
     order.sort_by_key(|&p| std::cmp::Reverse(tree.depth_of(hpd.path_top(p))));
     // Level of each path: 1 + max level of child paths (for parallel
@@ -106,84 +142,124 @@ pub fn construct_deterministic(
         let top = hpd.path_top(p);
         if let Some(parent) = tree.parent_of(top) {
             let q = hpd.path_of(parent);
-            level[q] = level[q].max(level[p] + 1);
+            let lp = level.get(p).copied().unwrap_or(0);
+            if let Some(lq) = level.get_mut(q) {
+                *lq = (*lq).max(lp + 1);
+            }
         }
     }
 
     let mut shortcut = Shortcut::empty(parts.num_parts());
     let mut active: Vec<usize> = parts
         .part_ids()
-        .filter(|&p| !terminals[p].is_empty())
+        .filter(|&p| terminals.get(p).is_some_and(|t| !t.is_empty()))
         .collect();
     // Heavy-path decomposition itself: O(depth) rounds, O(n) messages
     // (subtree sizes by convergecast, then a downward labeling).
     let mut cost = CostReport::new(2 * tree.depth() + 2, 2 * tree.n() as u64);
     let mut iterations = 0usize;
 
+    // Recycled sweep state (see module docs): request chains by node,
+    // one Algorithm 7 scratch, flat claim log, per-level round maxima.
+    let mut req_head: Vec<usize> = vec![usize::MAX; tree.n()];
+    let mut req_next: Vec<usize> = Vec::new();
+    let mut req_part: Vec<usize> = Vec::new();
+    let mut path_live: Vec<bool> = vec![false; hpd.path_count()];
+    let mut level_rounds: Vec<usize> = vec![0; hpd.path_count() + 2];
+    let mut edges_buf: Vec<EdgeId> = Vec::new();
+    let mut sweep_claims: Vec<(usize, EdgeId)> = Vec::new();
+    let mut s7 = Alg7Scratch::new();
+
     while !active.is_empty() && iterations < params.max_iterations {
         iterations += 1;
-        // Requests entering each path at each position.
-        let mut entry: Vec<Vec<Vec<usize>>> = (0..hpd.path_count())
-            .map(|p| vec![Vec::new(); hpd.path_nodes(p).len()])
-            .collect();
+        req_head.fill(usize::MAX);
+        req_next.clear();
+        req_part.clear();
+        path_live.fill(false);
+        level_rounds.fill(0);
+        sweep_claims.clear();
         for &part in &active {
-            for &r in &terminals[part] {
-                let p = hpd.path_of(r);
-                let e = &mut entry[p][pos_in_path[r]];
-                if !e.contains(&part) {
-                    e.push(part);
+            for &r in terminals.get(part).map(Vec::as_slice).unwrap_or(&[]) {
+                if push_unique(&mut req_head, &mut req_next, &mut req_part, r, part) {
+                    if let Some(live) = path_live.get_mut(hpd.path_of(r)) {
+                        *live = true;
+                    }
                 }
             }
         }
-        let mut claims: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        let mut level_rounds: BTreeMap<usize, usize> = BTreeMap::new();
         let mut messages = 0u64;
         for &p in &order {
-            let nodes = hpd.path_nodes(p);
-            if entry[p].iter().all(Vec::is_empty) {
+            if !path_live.get(p).copied().unwrap_or(false) {
                 continue;
             }
-            let edges: Vec<usize> = nodes[..nodes.len() - 1]
-                .iter()
-                .map(|&v| {
-                    tree.parent_edge_of(v)
-                        .expect("non-top path node has parent edge")
-                })
-                .collect();
-            let res = construct_on_path(nodes, &edges, &entry[p], params.congestion);
-            let lr = level_rounds.entry(level[p]).or_insert(0);
-            *lr = (*lr).max(res.cost.rounds);
-            messages += res.cost.messages;
-            for (part, es) in res.claimed {
-                claims.entry(part).or_default().extend(es);
+            let nodes = hpd.path_nodes(p);
+            edges_buf.clear();
+            let Some((_, body)) = nodes.split_last() else {
+                continue;
+            };
+            for &v in body {
+                let Some(e) = tree.parent_edge_of(v) else {
+                    continue; // unreachable: non-top path nodes have parents
+                };
+                edges_buf.push(e);
             }
+            for (i, &v) in nodes.iter().enumerate() {
+                let mut cur = req_head.get(v).copied().unwrap_or(usize::MAX);
+                while cur != usize::MAX {
+                    if let Some(&part) = req_part.get(cur) {
+                        s7.push_request(i, part);
+                    }
+                    cur = req_next.get(cur).copied().unwrap_or(usize::MAX);
+                }
+            }
+            let res = construct_on_path_with(nodes, &edges_buf, params.congestion, &mut s7);
+            if let Some(lr) = level.get(p).and_then(|&l| level_rounds.get_mut(l)) {
+                *lr = (*lr).max(res.cost.rounds);
+            }
+            messages += res.cost.messages;
+            sweep_claims.extend_from_slice(&s7.claims);
             // Forward survivors across the light edge.
             let top = hpd.path_top(p);
             if let Some(parent) = tree.parent_of(top) {
-                let light = tree.parent_edge_of(top).expect("top has parent edge");
+                let Some(light) = tree.parent_edge_of(top) else {
+                    continue; // unreachable: parent_of implies a parent edge
+                };
                 let q = hpd.path_of(parent);
-                for part in res.reached_top {
-                    claims.entry(part).or_default().push(light);
+                for &part in &s7.reached_top {
+                    sweep_claims.push((part, light));
                     messages += 1;
-                    let e = &mut entry[q][pos_in_path[parent]];
-                    if !e.contains(&part) {
-                        e.push(part);
+                    push_unique(&mut req_head, &mut req_next, &mut req_part, parent, part);
+                    if let Some(live) = path_live.get_mut(q) {
+                        *live = true;
                     }
                 }
-                let lr = level_rounds.entry(level[p]).or_insert(0);
-                *lr += 1; // one round to cross the light edge
+                if let Some(lr) = level.get(p).and_then(|&l| level_rounds.get_mut(l)) {
+                    *lr += 1; // one round to cross the light edge
+                }
             }
         }
-        let sweep_rounds: usize = level_rounds.values().sum();
+        let sweep_rounds: usize = level_rounds.iter().sum();
         cost += CostReport::new(sweep_rounds, messages);
         // Accumulate all claims (Algorithm 8 returns the union over
-        // iterations), then freeze satisfied parts.
-        for (&part, es) in &claims {
-            shortcut.extend_part(part, es.iter().copied());
+        // iterations), then freeze satisfied parts. `extend_part` sorts
+        // and dedups, so grouping the sorted log is exactly the old
+        // per-part BTreeMap ledger.
+        sweep_claims.sort_unstable();
+        sweep_claims.dedup();
+        for grp in sweep_claims.chunk_by(|a, b| a.0 == b.0) {
+            let Some(&(part, _)) = grp.first() else {
+                continue;
+            };
+            shortcut.extend_part(part, grp.iter().map(|&(_, e)| e));
         }
         active.retain(|&part| {
             let blocks = shortcut
-                .blocks_for_terminals(g, tree, part, &terminals[part])
+                .blocks_for_terminals(
+                    g,
+                    tree,
+                    part,
+                    terminals.get(part).map(Vec::as_slice).unwrap_or(&[]),
+                )
                 .len();
             blocks > 3 * params.target_block
         });

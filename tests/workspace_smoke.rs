@@ -10,10 +10,11 @@
 //!   threaded-vs-sequential/steal-log-replay bit-match assertions — plus
 //!   the ≥1.5× balanced-vs-pinned critical-path bound — on every CI
 //!   push;
-//! * `rmo-harness perf --quick --json` emits a well-formed `rmo-perf/1`
+//! * `rmo-harness perf --quick --json` emits a well-formed `rmo-perf/2`
 //!   JSON document covering the whole workload suite (primitives with
-//!   their dense-reference speedups, table2 PA, serve), so the perf
-//!   trajectory's machine-readable format can't silently rot.
+//!   their dense-reference speedups, table2 PA, the isolated pipeline
+//!   stages, serve), so the perf trajectory's machine-readable format
+//!   can't silently rot.
 //!
 //! These shell out to the same `cargo` that is running the test suite
 //! (Cargo releases the build-directory lock before executing test
@@ -164,7 +165,7 @@ fn harness_quick_perf_emits_valid_json() {
         assert_eq!(opens, closes, "unbalanced {open}{close} in:\n{json}");
     }
     assert!(
-        json.contains("\"schema\": \"rmo-perf/1\""),
+        json.contains("\"schema\": \"rmo-perf/2\""),
         "schema marker missing:\n{json}"
     );
     assert!(
@@ -187,6 +188,11 @@ fn harness_quick_perf_emits_valid_json() {
         "table2_pa/planar_grid",
         "table2_pa/treewidth3",
         "table2_pa/pathwidth3",
+        "pipeline/stage1_tree",
+        "pipeline/divisions",
+        "pipeline/shortcuts",
+        "pipeline/routing",
+        "pipeline/warm_solve",
         "serve/mixed_sequential",
     ] {
         assert!(
