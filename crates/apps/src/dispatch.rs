@@ -13,6 +13,8 @@
 //! the natural entry point for one-off callers that already hold an
 //! engine.
 
+use std::fmt;
+
 use rmo_congest::CostReport;
 use rmo_graph::{EdgeId, NodeId, Partition};
 
@@ -176,6 +178,99 @@ impl Query {
     }
 }
 
+/// Why a query could not be served — the typed vocabulary behind
+/// [`QueryResponse::Failed`]. Every variant renders ([`fmt::Display`])
+/// to the exact diagnostic string the serving layer has always
+/// produced, so failure handling can match on structure while log
+/// output and string-based assertions stay stable.
+///
+/// The variants split into three families: *engine errors*
+/// ([`FailReason::Engine`] — a [`PaError`] from validation or the
+/// pipeline), *contract violations* (a well-formed query whose
+/// parameters violate an application's documented preconditions), and
+/// *cluster-level* failures (routing problems the dispatch layer never
+/// sees). Admission rejections of the streaming front-end are a
+/// separate type — [`crate::stream::RejectReason`] — because a rejected
+/// query was never accepted at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailReason {
+    /// The engine rejected the instance ([`PaError`] preserved intact:
+    /// partition validation, value-count mismatches, pipeline errors).
+    Engine(PaError),
+    /// `Query::Sssp` named a source outside the graph.
+    SsspSourceOutOfRange {
+        /// The offending source id.
+        source: NodeId,
+        /// The graph's node count.
+        nodes: usize,
+    },
+    /// A subgraph query named an edge id outside the graph.
+    EdgeOutOfRange {
+        /// The first offending edge id.
+        edge: EdgeId,
+        /// The graph's edge count.
+        edges: usize,
+    },
+    /// `Query::MinCut` asked for zero sampling trials.
+    MinCutZeroTrials,
+    /// `Query::MinCut` on a graph with fewer than two nodes.
+    MinCutTooSmall {
+        /// The graph's node count.
+        nodes: usize,
+    },
+    /// `Query::Kdom` asked for radius zero.
+    KdomZeroRadius,
+    /// `Query::Eccentricity` asked for slack zero.
+    EccentricityZeroSlack,
+    /// The query named a [`crate::service::GraphId`] the cluster does
+    /// not hold (the raw id; rendered as `g{id}` like the `GraphId`).
+    UnregisteredGraph {
+        /// The raw graph id.
+        id: u64,
+    },
+    /// Internal invariant violation: the batch finished without the
+    /// scheduler ever placing this query.
+    NeverScheduled,
+}
+
+impl fmt::Display for FailReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailReason::Engine(e) => write!(f, "{e}"),
+            FailReason::SsspSourceOutOfRange { source, nodes } => write!(
+                f,
+                "sssp source {source} out of range (graph has {nodes} nodes)"
+            ),
+            FailReason::EdgeOutOfRange { edge, edges } => write!(
+                f,
+                "subgraph edge id {edge} out of range (graph has {edges} edges)"
+            ),
+            FailReason::MinCutZeroTrials => {
+                write!(f, "min-cut needs at least one sampling trial (got 0)")
+            }
+            FailReason::MinCutTooSmall { nodes } => {
+                write!(f, "min-cut needs at least 2 nodes (graph has {nodes})")
+            }
+            FailReason::KdomZeroRadius => {
+                write!(f, "k-dominating set needs a positive radius k (got 0)")
+            }
+            FailReason::EccentricityZeroSlack => {
+                write!(f, "eccentricity estimation needs a positive slack k (got 0)")
+            }
+            FailReason::UnregisteredGraph { id } => {
+                write!(f, "graph g{id} is not registered with this cluster")
+            }
+            FailReason::NeverScheduled => write!(f, "internal: query was never scheduled"),
+        }
+    }
+}
+
+impl From<PaError> for FailReason {
+    fn from(e: PaError) -> FailReason {
+        FailReason::Engine(e)
+    }
+}
+
 /// The typed result of one [`Query`], bit-comparable for determinism
 /// tests (threaded and sequential serving must produce equal responses).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -198,8 +293,9 @@ pub enum QueryResponse {
     Components(ComponentLabels),
     /// From [`Query::Verify`].
     Verify(Verdict),
-    /// The query was invalid for its graph ([`PaError`] rendered).
-    Failed(String),
+    /// The query was invalid for its graph (typed [`FailReason`];
+    /// its `Display` renders the classic diagnostic string).
+    Failed(FailReason),
 }
 
 impl QueryResponse {
@@ -227,17 +323,16 @@ impl QueryResponse {
 }
 
 fn fail(err: PaError) -> QueryResponse {
-    QueryResponse::Failed(err.to_string())
+    QueryResponse::Failed(FailReason::Engine(err))
 }
 
 /// The first out-of-range edge id in `h_edges`, as a `Failed` response.
 fn bad_edge(engine: &PaEngine<'_>, h_edges: &[rmo_graph::EdgeId]) -> Option<QueryResponse> {
     let m = engine.graph().m();
-    h_edges.iter().find(|&&e| e >= m).map(|&e| {
-        QueryResponse::Failed(format!(
-            "subgraph edge id {e} out of range (graph has {m} edges)"
-        ))
-    })
+    h_edges
+        .iter()
+        .find(|&&e| e >= m)
+        .map(|&e| QueryResponse::Failed(FailReason::EdgeOutOfRange { edge: e, edges: m }))
 }
 
 /// Executes one query on a caller-held session — the single entry point
@@ -269,10 +364,10 @@ pub fn run_query(engine: &mut PaEngine<'_>, query: &Query) -> QueryResponse {
         },
         Query::Sssp { source } => {
             if *source >= engine.graph().n() {
-                return QueryResponse::Failed(format!(
-                    "sssp source {source} out of range (graph has {} nodes)",
-                    engine.graph().n()
-                ));
+                return QueryResponse::Failed(FailReason::SsspSourceOutOfRange {
+                    source: *source,
+                    nodes: engine.graph().n(),
+                });
             }
             let config = SsspConfig {
                 pa: engine.config().pa(),
@@ -289,15 +384,12 @@ pub fn run_query(engine: &mut PaEngine<'_>, query: &Query) -> QueryResponse {
             // at least one edge to cut. Enforce it here so the serving
             // path degrades instead of tripping the assert.
             if *trials == 0 {
-                return QueryResponse::Failed(
-                    "min-cut needs at least one sampling trial (got 0)".to_string(),
-                );
+                return QueryResponse::Failed(FailReason::MinCutZeroTrials);
             }
             if engine.graph().n() < 2 {
-                return QueryResponse::Failed(format!(
-                    "min-cut needs at least 2 nodes (graph has {})",
-                    engine.graph().n()
-                ));
+                return QueryResponse::Failed(FailReason::MinCutTooSmall {
+                    nodes: engine.graph().n(),
+                });
             }
             let config = MinCutConfig {
                 pa: engine.config().pa(),
@@ -313,18 +405,14 @@ pub fn run_query(engine: &mut PaEngine<'_>, query: &Query) -> QueryResponse {
         Query::Kdom { k } => {
             // k_dominating_set_with_engine's contract: a positive radius.
             if *k == 0 {
-                return QueryResponse::Failed(
-                    "k-dominating set needs a positive radius k (got 0)".to_string(),
-                );
+                return QueryResponse::Failed(FailReason::KdomZeroRadius);
             }
             QueryResponse::Kdom(k_dominating_set_with_engine(engine, *k))
         }
         Query::Eccentricity { k } => {
             // Same positive-k contract as Kdom, which it builds on.
             if *k == 0 {
-                return QueryResponse::Failed(
-                    "eccentricity estimation needs a positive slack k (got 0)".to_string(),
-                );
+                return QueryResponse::Failed(FailReason::EccentricityZeroSlack);
             }
             QueryResponse::Eccentricity(approx_eccentricities_with_engine(engine, *k))
         }
@@ -432,14 +520,24 @@ mod tests {
         // Out-of-range node and edge ids fail instead of panicking in a
         // shard worker.
         let bad = run_query(&mut engine, &Query::Sssp { source: 8 });
-        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("out of range")));
+        assert!(
+            matches!(&bad, QueryResponse::Failed(m) if m.to_string().contains("out of range"))
+        );
+        assert!(matches!(
+            &bad,
+            QueryResponse::Failed(FailReason::SsspSourceOutOfRange { source: 8, nodes: 8 })
+        ));
         let bad = run_query(
             &mut engine,
             &Query::Components {
                 h_edges: vec![0, 7],
             },
         );
-        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("edge id 7")));
+        assert!(matches!(&bad, QueryResponse::Failed(m) if m.to_string().contains("edge id 7")));
+        assert!(matches!(
+            &bad,
+            QueryResponse::Failed(FailReason::EdgeOutOfRange { edge: 7, edges: 7 })
+        ));
         let bad = run_query(
             &mut engine,
             &Query::Verify {
@@ -460,19 +558,90 @@ mod tests {
         // k == 0 used to trip `assert!(k > 0)` inside the app and kill
         // the shard worker; now it degrades to a Failed response.
         let bad = run_query(&mut engine, &Query::Kdom { k: 0 });
-        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("positive radius")));
+        assert!(
+            matches!(&bad, QueryResponse::Failed(m) if m.to_string().contains("positive radius"))
+        );
+        assert!(matches!(
+            &bad,
+            QueryResponse::Failed(FailReason::KdomZeroRadius)
+        ));
         let bad = run_query(&mut engine, &Query::Eccentricity { k: 0 });
-        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("positive slack")));
+        assert!(
+            matches!(&bad, QueryResponse::Failed(m) if m.to_string().contains("positive slack"))
+        );
         // Degenerate min-cut instances likewise.
         let bad = run_query(&mut engine, &Query::MinCut { trials: 0 });
-        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("trial")));
+        assert!(matches!(&bad, QueryResponse::Failed(m) if m.to_string().contains("trial")));
         let single = gen::path(1);
         let mut tiny = PaEngine::new(&single, EngineConfig::new());
         let bad = run_query(&mut tiny, &Query::MinCut { trials: 2 });
-        assert!(matches!(&bad, QueryResponse::Failed(m) if m.contains("at least 2 nodes")));
+        assert!(
+            matches!(&bad, QueryResponse::Failed(m) if m.to_string().contains("at least 2 nodes"))
+        );
         // Failures bill nothing and leave the engine serviceable.
         assert_eq!(bad.cost(), CostReport::zero());
         assert!(run_query(&mut engine, &Query::Mst).is_ok());
+    }
+
+    #[test]
+    fn fail_reason_display_is_the_classic_diagnostic() {
+        // The typed reasons render to the exact strings the serving
+        // layer produced before FailReason existed — log output and
+        // string assertions must not drift.
+        let cases: Vec<(FailReason, &str)> = vec![
+            (
+                FailReason::Engine(PaError::Disconnected),
+                "graph must be connected",
+            ),
+            (
+                FailReason::SsspSourceOutOfRange { source: 8, nodes: 8 },
+                "sssp source 8 out of range (graph has 8 nodes)",
+            ),
+            (
+                FailReason::EdgeOutOfRange { edge: 7, edges: 7 },
+                "subgraph edge id 7 out of range (graph has 7 edges)",
+            ),
+            (
+                FailReason::MinCutZeroTrials,
+                "min-cut needs at least one sampling trial (got 0)",
+            ),
+            (
+                FailReason::MinCutTooSmall { nodes: 1 },
+                "min-cut needs at least 2 nodes (graph has 1)",
+            ),
+            (
+                FailReason::KdomZeroRadius,
+                "k-dominating set needs a positive radius k (got 0)",
+            ),
+            (
+                FailReason::EccentricityZeroSlack,
+                "eccentricity estimation needs a positive slack k (got 0)",
+            ),
+            (
+                FailReason::UnregisteredGraph { id: 99 },
+                "graph g99 is not registered with this cluster",
+            ),
+            (
+                FailReason::NeverScheduled,
+                "internal: query was never scheduled",
+            ),
+        ];
+        for (reason, rendered) in cases {
+            assert_eq!(reason.to_string(), rendered);
+        }
+        // PaError conversion keeps the error intact for matching.
+        let reason: FailReason = PaError::ValueCountMismatch {
+            expected: 4,
+            got: 2,
+        }
+        .into();
+        assert_eq!(
+            reason,
+            FailReason::Engine(PaError::ValueCountMismatch {
+                expected: 4,
+                got: 2
+            })
+        );
     }
 
     #[test]

@@ -27,15 +27,20 @@
 //! verification and a batch of aggregations — pays for leader election
 //! and the BFS tree once and shares cached pipeline artifacts.
 //!
-//! Two further modules turn the eight applications into a service:
+//! Three further modules turn the eight applications into a service:
 //!
 //! * [`dispatch`] — the unified [`Query`] / [`QueryResponse`]
 //!   vocabulary and the single [`run_query`] entry point over every
-//!   `*_with_engine` app.
+//!   `*_with_engine` app, with typed [`dispatch::FailReason`]s.
 //! * [`service`] — [`PaCluster`]: a sharded worker pool serving mixed
 //!   query traffic over many graphs concurrently, with warm per-graph
 //!   engines and a deterministic load-balancing scheduler (LPT
 //!   placement by estimated work, plus replayable work stealing).
+//! * [`stream`] — [`StreamGateway`]: the streaming front-end over the
+//!   cluster — logical arrival ticks, adaptive batching (size or
+//!   deadline), typed admission-control rejections, per-query response
+//!   streaming, and an [`stream::ArrivalLog`] that replays a recorded
+//!   run bit-for-bit.
 
 #![forbid(unsafe_code)]
 
@@ -56,10 +61,12 @@ pub mod mst;
 #[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod service;
 pub mod sssp;
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+pub mod stream;
 pub mod verify;
 
 pub use components::{component_labels, component_labels_with_engine, ComponentLabels};
-pub use dispatch::{run_query, Query, QueryResponse, VerifyCheck};
+pub use dispatch::{run_query, FailReason, Query, QueryResponse, VerifyCheck};
 pub use mincut::{approx_min_cut, approx_min_cut_with_engine, MinCutConfig, MinCutResult};
 pub use mst::{pa_mst, pa_mst_with_engine, MstConfig, PaMstResult};
 pub use service::{
@@ -67,3 +74,7 @@ pub use service::{
     SchedulePolicy, ServeLog, ServeReport, ShardStats, StealEvent,
 };
 pub use sssp::{approx_sssp, approx_sssp_with_engine, SsspConfig, SsspResult};
+pub use stream::{
+    mixed_arrivals, stamp_arrivals, zipf_arrivals, Arrival, ArrivalLog, RejectReason,
+    ReplayMismatch, StreamConfig, StreamEvent, StreamGateway, StreamReport,
+};

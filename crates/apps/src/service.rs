@@ -102,7 +102,7 @@ use rmo_core::{
     word_fingerprint, Aggregate, EngineConfig, EngineCore, EngineStats, PaEngine, PaError,
 };
 
-use crate::dispatch::{run_query, Query, QueryResponse, VerifyCheck};
+use crate::dispatch::{run_query, FailReason, Query, QueryResponse, VerifyCheck};
 
 /// The cluster-wide name of a registered graph. The `Pinned` policy
 /// hashes the id (stable FNV-1a), so ids chosen by the caller —
@@ -442,8 +442,10 @@ impl GroupHistory {
     }
 }
 
-/// Which execution engine a batch runs on.
-enum ExecMode<'a> {
+/// Which execution engine a batch runs on. Crate-visible so the
+/// streaming front-end ([`crate::stream::StreamGateway`]) can drive the
+/// same batch lifecycle as the public `serve*` entry points.
+pub(crate) enum ExecMode<'a> {
     /// One scoped worker per shard, stealing enabled under `Balanced`.
     Threaded,
     /// Shard by shard on the calling thread, no steals.
@@ -452,6 +454,15 @@ enum ExecMode<'a> {
     /// recorded [`ServeLog`].
     Replay(&'a ServeLog),
 }
+
+/// A per-response streaming hook: called with `(batch-local index,
+/// response)` the moment each response exists — from the collector as
+/// worker groups finish in the threaded mode, in execution order on the
+/// calling thread otherwise, and up front for plan-time failures. The
+/// response still lands in the batch's [`ServeReport`] afterwards; the
+/// hook is how the streaming front-end pushes responses to clients
+/// before the batch completes.
+pub(crate) type ResponseHook<'a> = &'a mut dyn FnMut(usize, &QueryResponse);
 
 /// A sharded worker pool owning one [`PaEngine`] session per registered
 /// graph (see the module docs for the full serving story).
@@ -633,9 +644,9 @@ impl PaCluster {
         let mut by_graph: BTreeMap<GraphId, Vec<usize>> = BTreeMap::new();
         for (idx, (id, _)) in queries.iter().enumerate() {
             if !self.slots.contains_key(id) {
-                responses[idx] = Some(QueryResponse::Failed(format!(
-                    "graph {id} is not registered with this cluster"
-                )));
+                responses[idx] = Some(QueryResponse::Failed(FailReason::UnregisteredGraph {
+                    id: id.0,
+                }));
                 continue;
             }
             by_graph
@@ -768,6 +779,7 @@ impl PaCluster {
         steal: bool,
         queries: &[(GraphId, Query)],
         responses: &mut [Option<QueryResponse>],
+        mut hook: Option<ResponseHook<'_>>,
     ) -> Vec<PanicPayload> {
         let mut panics = Vec::new();
         std::thread::scope(|scope| {
@@ -789,8 +801,13 @@ impl PaCluster {
                 .collect();
             drop(tx);
             // Every worker eventually drops its sender (group panics are
-            // contained inside run_worker), so the drain terminates.
+            // contained inside run_worker), so the drain terminates. The
+            // hook runs on the collecting thread, so streaming callers
+            // see responses the moment a worker produces them.
             for (idx, resp) in rx {
+                if let Some(h) = hook.as_mut() {
+                    h(idx, &resp);
+                }
                 responses[idx] = Some(resp);
             }
             panics = handles
@@ -813,10 +830,17 @@ impl PaCluster {
         shards: usize,
         queries: &[(GraphId, Query)],
         responses: &mut [Option<QueryResponse>],
+        mut hook: Option<ResponseHook<'_>>,
     ) -> Vec<PanicPayload> {
         let mut panics = Vec::new();
         for shard in 0..shards {
-            let mut emit = |idx: usize, resp: QueryResponse| responses[idx] = Some(resp);
+            let hook = &mut hook;
+            let mut emit = |idx: usize, resp: QueryResponse| {
+                if let Some(h) = hook.as_mut() {
+                    h(idx, &resp);
+                }
+                responses[idx] = Some(resp);
+            };
             if let Some(payload) = Self::run_worker(shard, false, state, slots, queries, &mut emit)
             {
                 panics.push(payload);
@@ -840,10 +864,25 @@ impl PaCluster {
     /// first panic is resumed. Because healthy groups serve regardless
     /// of where the panic happened, the post-panic cluster state is
     /// still identical across serving modes and steal timings.
-    fn run_batch(&mut self, queries: &[(GraphId, Query)], mode: ExecMode<'_>) -> ServeReport {
+    pub(crate) fn run_batch(
+        &mut self,
+        queries: &[(GraphId, Query)],
+        mode: ExecMode<'_>,
+        mut hook: Option<ResponseHook<'_>>,
+    ) -> ServeReport {
         // rmo-lint: allow(D3) — wall-clock measures the batch for ServeReport::wall only; no control flow reads it.
         let start = Instant::now();
         let (mut shard_groups, mut responses) = self.plan(queries);
+        // Plan-time failures (unregistered graphs) are final the moment
+        // the batch is planned; streaming callers hear about them before
+        // any execution.
+        if let Some(h) = hook.as_mut() {
+            for (idx, resp) in responses.iter().enumerate() {
+                if let Some(resp) = resp {
+                    h(idx, resp);
+                }
+            }
+        }
         for groups in &mut shard_groups {
             for group in groups.iter_mut() {
                 group.core = self.cores.remove(&group.id);
@@ -862,10 +901,16 @@ impl PaCluster {
                 steal,
                 queries,
                 &mut responses,
+                hook,
             ),
-            ExecMode::Sequential | ExecMode::Replay(_) => {
-                Self::run_on_caller(&self.slots, &state, self.shards, queries, &mut responses)
-            }
+            ExecMode::Sequential | ExecMode::Replay(_) => Self::run_on_caller(
+                &self.slots,
+                &state,
+                self.shards,
+                queries,
+                &mut responses,
+                hook,
+            ),
         };
         let mut state = state.into_inner().unwrap_or_else(|p| p.into_inner());
 
@@ -919,11 +964,7 @@ impl PaCluster {
         }
         let responses: Vec<QueryResponse> = responses
             .into_iter()
-            .map(|r| {
-                r.unwrap_or_else(|| {
-                    QueryResponse::Failed("internal: query was never scheduled".to_string())
-                })
-            })
+            .map(|r| r.unwrap_or(QueryResponse::Failed(FailReason::NeverScheduled)))
             .collect();
         ServeReport {
             stats: self.stats(),
@@ -951,7 +992,7 @@ impl PaCluster {
     /// post-panic cluster state is deterministic). Unregistered graphs
     /// do *not* panic; they answer [`QueryResponse::Failed`] per query.
     pub fn serve(&mut self, queries: &[(GraphId, Query)]) -> ServeReport {
-        self.run_batch(queries, ExecMode::Threaded)
+        self.run_batch(queries, ExecMode::Threaded, None)
     }
 
     /// Serves a batch on the calling thread: the *same* plan as
@@ -964,7 +1005,7 @@ impl PaCluster {
     /// Panics if a group panics (contained and re-raised like
     /// [`PaCluster::serve`]).
     pub fn serve_sequential(&mut self, queries: &[(GraphId, Query)]) -> ServeReport {
-        self.run_batch(queries, ExecMode::Sequential)
+        self.run_batch(queries, ExecMode::Sequential, None)
     }
 
     /// Serves a batch on the calling thread with the groups pre-placed
@@ -978,7 +1019,31 @@ impl PaCluster {
     /// Panics if the log does not match this batch's graph groups or
     /// shard count, or if a group panics.
     pub fn serve_replay(&mut self, queries: &[(GraphId, Query)], log: &ServeLog) -> ServeReport {
-        self.run_batch(queries, ExecMode::Replay(log))
+        self.run_batch(queries, ExecMode::Replay(log), None)
+    }
+
+    /// The deterministic pre-execution placement of a batch: for each
+    /// shard, the batch-local query indices in planned execution order
+    /// (graph groups in queue order, affinity classes inside each
+    /// group). This is the assignment the scheduler computes *before*
+    /// any worker runs — the threaded mode may steal groups away from
+    /// it at run time — so it is a pure function of the registered
+    /// fleet, the demand history, and the queries, identical in every
+    /// serving mode. The streaming front-end models per-query
+    /// completion ticks against it, which is what keeps modeled
+    /// latencies independent of run-time stealing. Queries that fail at
+    /// plan time (unregistered graphs) appear on no shard.
+    pub(crate) fn planned_execution(&self, queries: &[(GraphId, Query)]) -> Vec<Vec<usize>> {
+        let (shard_groups, _) = self.plan(queries);
+        shard_groups
+            .into_iter()
+            .map(|groups| {
+                groups
+                    .into_iter()
+                    .flat_map(|group| group.indices)
+                    .collect()
+            })
+            .collect()
     }
 }
 
@@ -1365,7 +1430,7 @@ mod tests {
                 cluster.serve_sequential(&queries)
             };
             assert!(
-                matches!(&report.responses[0], QueryResponse::Failed(m) if m.contains("not registered")),
+                matches!(&report.responses[0], QueryResponse::Failed(m) if m.to_string().contains("not registered")),
                 "unregistered graph answers Failed, got {:?}",
                 report.responses[0]
             );

@@ -16,6 +16,7 @@ pub mod mst;
 pub mod perf;
 pub mod serve;
 pub mod sssp;
+pub mod stream;
 pub mod table1;
 pub mod table2;
 pub mod verification;

@@ -17,7 +17,7 @@
 //! Experiments: `table1`, `table2`, `figure1`, `figure2`, `figure3`,
 //! `figure4`, `figure5`, `mst`, `mincut`, `sssp`, `verification`,
 //! `kdom`, `cds`, `leaderless`, `ablation`, `beyond`, `engine`,
-//! `serve`, `perf`, or `all`.
+//! `serve`, `stream`, `perf`, or `all`.
 //!
 //! Output is a set of markdown tables whose rows mirror what the paper
 //! reports; `EXPERIMENTS.md` records a captured run next to the paper's
@@ -80,6 +80,7 @@ fn main() {
         "beyond",
         "engine",
         "serve",
+        "stream",
         "perf",
     ];
     let run = |name: &str| match name {
@@ -101,6 +102,7 @@ fn main() {
         "beyond" => experiments::beyond::run(),
         "engine" => experiments::engine::run(quick),
         "serve" => experiments::serve::run(quick, skew),
+        "stream" => experiments::stream::run(quick),
         "perf" => experiments::perf::run(quick, json, baseline.as_deref()),
         other => {
             eprintln!("unknown experiment `{other}`");

@@ -60,12 +60,14 @@ pub fn classify(path: &str) -> FileClass {
         || path.starts_with("crates/core/src/")
         || path.starts_with("crates/shortcut/src/")
         || path == "crates/apps/src/dispatch.rs"
-        || path == "crates/apps/src/service.rs";
+        || path == "crates/apps/src/service.rs"
+        || path == "crates/apps/src/stream.rs";
     let timing_exempt = path.starts_with("crates/harness/") || path.starts_with("crates/bench/");
     let cost_accounting = path == "crates/congest/src/metrics.rs"
         || path == "crates/core/src/batch.rs"
         || path == "crates/core/src/pipeline.rs";
-    let lock_discipline = library && path.ends_with("/service.rs");
+    let lock_discipline = library
+        && (path.ends_with("/service.rs") || path == "crates/apps/src/stream.rs");
     FileClass {
         is_test,
         deterministic,

@@ -28,6 +28,10 @@ pub const SERVING_ENTRIES: &[&str] = &[
     "PaCluster::serve",
     "PaCluster::serve_sequential",
     "PaCluster::serve_replay",
+    "StreamGateway::run",
+    "StreamGateway::run_sequential",
+    "StreamGateway::run_channel",
+    "StreamGateway::replay",
 ];
 
 /// The dispatch surfaces Q1 holds to parity, all in the file that

@@ -376,12 +376,12 @@ fn contract_violations_fail_gracefully_across_the_cluster() {
         assert!(report.responses[0].is_ok(), "{:?}", report.responses[0]);
         match &report.responses[1] {
             QueryResponse::Failed(msg) => {
-                assert!(msg.contains("positive radius"), "{msg}")
+                assert!(msg.to_string().contains("positive radius"), "{msg}")
             }
             other => panic!("Kdom k=0 must fail gracefully, got {other:?}"),
         }
         match &report.responses[2] {
-            QueryResponse::Failed(msg) => assert!(msg.contains("trial"), "{msg}"),
+            QueryResponse::Failed(msg) => assert!(msg.to_string().contains("trial"), "{msg}"),
             other => panic!("MinCut trials=0 must fail gracefully, got {other:?}"),
         }
         assert!(report.responses[3].is_ok(), "{:?}", report.responses[3]);

@@ -256,3 +256,46 @@ fn harness_quick_serve_runs_threaded_cluster_with_skew() {
         "the skew run must print the scheduler-balance table; got:\n{stdout}"
     );
 }
+
+#[test]
+fn harness_quick_stream_runs_gateway_with_backpressure() {
+    let out = cargo()
+        .args([
+            "run",
+            "--quiet",
+            "-p",
+            "rmo-harness",
+            "--bin",
+            "rmo-harness",
+            "--",
+            "stream",
+            "--quick",
+        ])
+        .output()
+        .expect("failed to spawn rmo-harness");
+    // The experiment itself asserts the gateway's determinism contract
+    // on every row (threaded rerun + sequential run agree on the whole
+    // deterministic slice; the ArrivalLog replay reproduces the report
+    // bit-for-bit); a failed assertion is a non-zero exit here.
+    assert!(
+        out.status.success(),
+        "rmo-harness stream --quick exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Stream") && stdout.contains("| shards"),
+        "harness did not print the stream latency table; got:\n{stdout}"
+    );
+    for column in ["p50", "p95", "p99"] {
+        assert!(
+            stdout.contains(column),
+            "stream table must report {column} modeled latency; got:\n{stdout}"
+        );
+    }
+    assert!(
+        stdout.contains("high water") && stdout.contains("reject rate"),
+        "the admission-control table must be printed; got:\n{stdout}"
+    );
+}
