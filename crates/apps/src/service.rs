@@ -14,6 +14,16 @@
 //!   graph has served traffic) and runs an LPT assignment — heaviest
 //!   group first, onto the least-loaded shard — while the legacy
 //!   `Pinned` mode hashes each [`GraphId`] to a fixed shard;
+//! * optionally **splits** one hot graph's group across shards
+//!   ([`ReplicaPolicy`], off by default): a group whose estimated work
+//!   exceeds a threshold fraction of the mean per-shard load is cut
+//!   into contiguous chunks, each riding its own fork of the graph's
+//!   warmed engine ([`rmo_core::EngineCore::fork`] — stage-1 tree,
+//!   artifact cache, and division memo cloned, counters fresh) and
+//!   LPT-placed on a distinct shard; after the batch exactly one warm
+//!   core is re-parked (lowest replica index) with every other
+//!   replica's counters absorbed into it, and each fork is recorded as
+//!   a [`ReplicaEvent`] in the batch's [`ServeLog`];
 //! * serves the shards on `std::thread::scope` workers that stream
 //!   responses back over an `mpsc` channel ([`PaCluster::serve`]); in
 //!   `Balanced` mode an **idle worker steals** whole parked graph
@@ -157,6 +167,73 @@ pub struct StealEvent {
     pub to: usize,
 }
 
+/// How the `Balanced` planner splits one hot graph's group across
+/// shards (see the replica-scheduling paragraph in the module docs).
+///
+/// A group is eligible when its estimated work exceeds
+/// `threshold × mean per-shard load` of the batch, the graph's engine
+/// is already warm (forking a cold core would just build stage 1
+/// twice), and the group holds more than one query. An eligible group
+/// is cut into up to `max_replicas` contiguous chunks (never more than
+/// there are shards or queries), each riding a fork of the warmed
+/// [`EngineCore`] and LPT-placed on a distinct shard.
+///
+/// The default is [`ReplicaPolicy::disabled`]: splitting is strictly
+/// opt-in, so existing single-group placement behavior is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaPolicy {
+    /// Split when a group's estimated work exceeds this multiple of
+    /// the batch's mean per-shard load.
+    pub threshold: f64,
+    /// Upper bound on chunks per graph (`1` disables splitting).
+    pub max_replicas: usize,
+}
+
+impl Default for ReplicaPolicy {
+    fn default() -> ReplicaPolicy {
+        ReplicaPolicy::disabled()
+    }
+}
+
+impl ReplicaPolicy {
+    /// Replica scheduling off: no group is ever split (the default).
+    pub fn disabled() -> ReplicaPolicy {
+        ReplicaPolicy {
+            threshold: f64::INFINITY,
+            max_replicas: 1,
+        }
+    }
+
+    /// Split groups heavier than `threshold × mean shard load` into up
+    /// to `max_replicas` chunks.
+    ///
+    /// # Panics
+    /// Panics if `max_replicas` is zero or `threshold` is not positive.
+    pub fn new(threshold: f64, max_replicas: usize) -> ReplicaPolicy {
+        assert!(max_replicas >= 1, "a group is at least one chunk");
+        assert!(threshold > 0.0, "a non-positive threshold splits noise");
+        ReplicaPolicy {
+            threshold,
+            max_replicas,
+        }
+    }
+}
+
+/// One recorded fork: the planner split `graph`'s group into
+/// `replicas` contiguous chunks, initially placed on `shards`
+/// (indexed by replica; steals may move chunks afterwards, like any
+/// group). Events land in [`ServeLog::forks`] in plan order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaEvent {
+    /// The split graph.
+    pub graph: GraphId,
+    /// How many chunks the group was cut into (≥ 2).
+    pub replicas: usize,
+    /// The initial (pre-steal) shard of each chunk, indexed by replica;
+    /// all distinct.
+    pub shards: Vec<usize>,
+}
+
 /// The placement record of one batch: where every graph group actually
 /// executed, plus the steal events that moved groups off their initial
 /// LPT shard. Feeding a log back through [`PaCluster::serve_replay`]
@@ -166,8 +243,14 @@ pub struct StealEvent {
 pub struct ServeLog {
     /// Per shard, the graph groups it executed, in execution order.
     pub assignments: Vec<Vec<GraphId>>,
+    /// Aligned with `assignments`: the replica index of each executed
+    /// chunk (`0` for unsplit groups). Hand-built or hand-edited logs
+    /// may leave entries out; a missing index replays as replica 0.
+    pub replica_indices: Vec<Vec<usize>>,
     /// Every steal, in epoch order (empty for sequential/pinned runs).
     pub steals: Vec<StealEvent>,
+    /// Every planner fork of this batch, in plan order.
+    pub forks: Vec<ReplicaEvent>,
 }
 
 /// Per-shard serving counters for one batch.
@@ -185,6 +268,8 @@ pub struct ShardStats {
     pub graph_ids: Vec<GraphId>,
     /// Graph groups this shard stole from other shards' queues.
     pub stolen: u64,
+    /// Replica chunks (pieces of a split hot group) this shard ran.
+    pub replicas: u64,
     /// Time the worker spent serving (from first job to last).
     pub busy: Duration,
 }
@@ -203,6 +288,12 @@ pub struct ClusterStats {
     /// Graph groups stolen across shards over the cluster lifetime
     /// (nonzero only for threaded `Balanced` serving).
     pub steals: u64,
+    /// [`rmo_core::EngineCore::fork`] calls over the cluster lifetime
+    /// (replica engines created by the planner).
+    pub forks: u64,
+    /// Replica chunks executed over the cluster lifetime (a split into
+    /// `k` chunks counts `k`).
+    pub replicas: u64,
     /// Graphs with a live (warm) engine.
     pub warm_graphs: usize,
     /// Every engine's counters, merged ([`EngineStats::merge`]).
@@ -214,12 +305,20 @@ pub struct ClusterStats {
 
 impl fmt::Display for ClusterStats {
     /// One-line fleet summary, e.g.
-    /// `42 queries (0 failed) on 6 warm graphs over 4 shards, 2 stolen | hits/misses/evictions 18/12/0 (60.0% hit), …`.
+    /// `42 queries (0 failed) on 6 warm graphs over 4 shards, 2 stolen, 3 forks/4 replica runs | hits/misses/evictions 18/12/0 (60.0% hit), …`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} queries ({} failed) on {} warm graphs over {} shards, {} stolen | {}",
-            self.queries, self.failed, self.warm_graphs, self.shards, self.steals, self.engine,
+            "{} queries ({} failed) on {} warm graphs over {} shards, {} stolen, \
+             {} forks/{} replica runs | {}",
+            self.queries,
+            self.failed,
+            self.warm_graphs,
+            self.shards,
+            self.steals,
+            self.forks,
+            self.replicas,
+            self.engine,
         )
     }
 }
@@ -275,6 +374,12 @@ struct Group {
     indices: Vec<usize>,
     weight: u64,
     core: Option<EngineCore>,
+    /// Which chunk of a split group this is (`0` for unsplit groups —
+    /// and for the chunk that will survive as the re-parked core).
+    replica: usize,
+    /// Total chunks the graph's group was cut into this batch (`1`
+    /// when unsplit).
+    replicas: usize,
 }
 
 /// The shared scheduler state of one running batch, behind one mutex:
@@ -289,9 +394,11 @@ struct SchedState {
     steals: Vec<StealEvent>,
     /// Execution order per shard: the final assignment the log records.
     assignments: Vec<Vec<GraphId>>,
-    /// Warm cores banked as each group finishes (survives worker
-    /// panics in *other* groups).
-    finished: Vec<(GraphId, EngineCore)>,
+    /// Replica index per executed chunk, aligned with `assignments`.
+    replica_indices: Vec<Vec<usize>>,
+    /// Warm cores banked as each group finishes, tagged with their
+    /// replica index (survives worker panics in *other* groups).
+    finished: Vec<(GraphId, usize, EngineCore)>,
     stats: Vec<ShardStats>,
 }
 
@@ -307,8 +414,24 @@ impl SchedState {
             loads,
             steals: Vec::new(),
             assignments: vec![Vec::new(); shards],
+            replica_indices: vec![Vec::new(); shards],
             finished: Vec::new(),
             stats: vec![ShardStats::default(); shards],
+        }
+    }
+
+    /// Replica bookkeeping for a chunk `worker` is about to execute:
+    /// the replica index (aligned with the assignment push) and the
+    /// per-shard replica counter. Shared by the pop and steal paths of
+    /// [`SchedState::next_group`].
+    fn note_replica(&mut self, worker: usize, group: &Group) {
+        if let Some(indices) = self.replica_indices.get_mut(worker) {
+            indices.push(group.replica);
+        }
+        if group.replicas > 1 {
+            if let Some(stats) = self.stats.get_mut(worker) {
+                stats.replicas += 1;
+            }
         }
     }
 
@@ -322,6 +445,7 @@ impl SchedState {
         if let Some(group) = self.queues[worker].pop_front() {
             self.loads[worker] -= group.weight;
             self.assignments[worker].push(group.id);
+            self.note_replica(worker, &group);
             return Some(group);
         }
         if !steal {
@@ -340,6 +464,7 @@ impl SchedState {
         });
         self.stats[worker].stolen += 1;
         self.assignments[worker].push(group.id);
+        self.note_replica(worker, &group);
         Some(group)
     }
 }
@@ -365,18 +490,29 @@ fn apply_log(shard_groups: Vec<Vec<Group>>, log: &ServeLog) -> Vec<Vec<Group>> {
         log.assignments.len(),
         shard_groups.len()
     );
-    let mut pool: BTreeMap<GraphId, Group> = shard_groups
+    let mut pool: BTreeMap<(GraphId, usize), Group> = shard_groups
         .into_iter()
         .flatten()
-        .map(|group| (group.id, group))
+        .map(|group| ((group.id, group.replica), group))
         .collect();
     let out: Vec<Vec<Group>> = log
         .assignments
         .iter()
-        .map(|ids| {
+        .enumerate()
+        .map(|(shard, ids)| {
             ids.iter()
-                .map(|id| {
-                    pool.remove(id).unwrap_or_else(|| {
+                .enumerate()
+                .map(|(i, id)| {
+                    // Hand-built logs may omit replica indices; a missing
+                    // entry replays as replica 0 (always the right answer
+                    // for unsplit groups).
+                    let replica = log
+                        .replica_indices
+                        .get(shard)
+                        .and_then(|v| v.get(i))
+                        .copied()
+                        .unwrap_or(0);
+                    pool.remove(&(*id, replica)).unwrap_or_else(|| {
                         panic!("replay log names graph {id}, which has no group in this batch")
                     })
                 })
@@ -469,6 +605,9 @@ pub(crate) type ResponseHook<'a> = &'a mut dyn FnMut(usize, &QueryResponse);
 pub struct PaCluster {
     shards: usize,
     policy: SchedulePolicy,
+    /// When (and how far) the `Balanced` planner splits hot groups
+    /// into replica chunks. Disabled by default.
+    replica_policy: ReplicaPolicy,
     /// `BTreeMap` so every iteration order is deterministic.
     slots: BTreeMap<GraphId, GraphSlot>,
     /// Parked warm engine state, keyed like `slots`. Engines are built
@@ -482,6 +621,8 @@ pub struct PaCluster {
     served: u64,
     failed: u64,
     stolen_total: u64,
+    forks_total: u64,
+    replicas_total: u64,
     last_shard_stats: Vec<ShardStats>,
 }
 
@@ -504,12 +645,15 @@ impl PaCluster {
         PaCluster {
             shards,
             policy,
+            replica_policy: ReplicaPolicy::disabled(),
             slots: BTreeMap::new(),
             cores: BTreeMap::new(),
             history: BTreeMap::new(),
             served: 0,
             failed: 0,
             stolen_total: 0,
+            forks_total: 0,
+            replicas_total: 0,
             last_shard_stats: Vec::new(),
         }
     }
@@ -524,6 +668,20 @@ impl PaCluster {
     /// responses, so this is always safe).
     pub fn set_policy(&mut self, policy: SchedulePolicy) {
         self.policy = policy;
+    }
+
+    /// The active replica policy (see [`ReplicaPolicy`]).
+    pub fn replica_policy(&self) -> ReplicaPolicy {
+        self.replica_policy
+    }
+
+    /// Switches the replica policy for subsequent batches. Like
+    /// [`PaCluster::set_policy`], always safe: splitting moves *where*
+    /// queries execute (and which fork of a warm engine serves them),
+    /// never what they answer. Splitting only happens under
+    /// [`SchedulePolicy::Balanced`].
+    pub fn set_replica_policy(&mut self, policy: ReplicaPolicy) {
+        self.replica_policy = policy;
     }
 
     /// Registers `graph` under `id` with the default (deterministic)
@@ -610,6 +768,8 @@ impl PaCluster {
             failed: self.failed,
             shards: self.shards,
             steals: self.stolen_total,
+            forks: self.forks_total,
+            replicas: self.replicas_total,
             warm_graphs: self.cores.len(),
             engine,
             per_shard: self.last_shard_stats.clone(),
@@ -632,13 +792,49 @@ impl PaCluster {
         }
     }
 
+    /// How many chunks the planner cuts `group` into: 1 (no split)
+    /// unless replica scheduling is enabled under `Balanced`, the
+    /// graph's engine is warm (forking a cold core would rebuild stage
+    /// 1 twice for nothing), the group holds more than one query, and
+    /// its estimated work clears `threshold × mean_load` — then the
+    /// configured cap, bounded by the shard count (every chunk gets a
+    /// distinct shard) and the query count (every chunk gets work).
+    fn replica_fanout(&self, group: &Group, mean_load: u64) -> usize {
+        let policy = self.replica_policy;
+        if policy.max_replicas <= 1
+            || self.policy != SchedulePolicy::Balanced
+            || !self.cores.contains_key(&group.id)
+            || group.indices.len() <= 1
+        {
+            return 1;
+        }
+        // f64 comparison: the disabled threshold (∞) never splits, and
+        // integer weights stay exact far past any realistic batch.
+        if group.weight as f64 <= policy.threshold * mean_load as f64 {
+            return 1;
+        }
+        policy
+            .max_replicas
+            .min(self.shards)
+            .min(group.indices.len())
+    }
+
     /// Builds the batch plan: one [`Group`] per referenced graph
     /// (first-appearance order; affinity classes batched inside, in
     /// first-appearance order with submission order inside a class),
+    /// hot groups split into replica chunks per [`ReplicaPolicy`],
     /// placed per the active policy. Queries naming unregistered graphs
     /// are answered immediately with [`QueryResponse::Failed`] instead
     /// of scheduling (or panicking) — one bad query never kills a batch.
-    fn plan(&self, queries: &[(GraphId, Query)]) -> (Vec<Vec<Group>>, Vec<Option<QueryResponse>>) {
+    #[allow(clippy::type_complexity)]
+    fn plan(
+        &self,
+        queries: &[(GraphId, Query)],
+    ) -> (
+        Vec<Vec<Group>>,
+        Vec<Option<QueryResponse>>,
+        Vec<ReplicaEvent>,
+    ) {
         let mut responses: Vec<Option<QueryResponse>> = vec![None; queries.len()];
         let mut order: Vec<GraphId> = Vec::new();
         let mut by_graph: BTreeMap<GraphId, Vec<usize>> = BTreeMap::new();
@@ -657,7 +853,7 @@ impl PaCluster {
                 })
                 .push(idx);
         }
-        let mut groups: Vec<Group> = order
+        let groups: Vec<Group> = order
             .into_iter()
             .map(|id| {
                 // `order` records exactly the first appearance of every
@@ -677,10 +873,63 @@ impl PaCluster {
                     indices,
                     weight,
                     core: None,
+                    replica: 0,
+                    replicas: 1,
                 }
             })
             .collect();
+
+        // Replica pass: cut each hot group into contiguous chunks, one
+        // fork of the warmed engine per chunk ([`replica_fanout`] is 1
+        // for everything unless the policy is enabled under Balanced).
+        // Runs before the LPT sort, in first-appearance order, so the
+        // fork record is deterministic in the (workload, history) pair.
+        let total: u64 = groups.iter().map(|group| group.weight).sum();
+        let mean_load = total.checked_div(self.shards as u64).unwrap_or(0).max(1);
+        let mut forks: Vec<ReplicaEvent> = Vec::new();
+        let mut chunked: Vec<Group> = Vec::with_capacity(groups.len());
+        for mut group in groups {
+            let k = self.replica_fanout(&group, mean_load);
+            if k <= 1 {
+                chunked.push(group);
+                continue;
+            }
+            forks.push(ReplicaEvent {
+                graph: group.id,
+                replicas: k,
+                shards: vec![0; k],
+            });
+            let indices = std::mem::take(&mut group.indices);
+            let len = indices.len();
+            for replica in 0..k {
+                // Contiguous boundaries by integer interpolation: chunk
+                // sizes differ by at most one and the affinity-batched
+                // order is preserved inside each chunk.
+                let start = (replica * len).checked_div(k).unwrap_or(0);
+                let end = ((replica + 1) * len).checked_div(k).unwrap_or(0);
+                let chunk: Vec<usize> = indices.get(start..end).unwrap_or_default().to_vec();
+                let weight = group
+                    .weight
+                    .saturating_mul(chunk.len() as u64)
+                    .checked_div(len as u64)
+                    .unwrap_or(1)
+                    .max(1);
+                chunked.push(Group {
+                    id: group.id,
+                    indices: chunk,
+                    weight,
+                    core: None,
+                    replica,
+                    replicas: k,
+                });
+            }
+        }
+        let mut groups = chunked;
+
         let mut shard_groups: Vec<Vec<Group>> = (0..self.shards).map(|_| Vec::new()).collect();
+        // Where each split chunk landed, for the fork record and the
+        // distinct-shard constraint below.
+        let mut chunk_shards: BTreeMap<(GraphId, usize), usize> = BTreeMap::new();
         match self.policy {
             SchedulePolicy::Pinned => {
                 for group in groups {
@@ -696,6 +945,21 @@ impl PaCluster {
                 groups.sort_by_key(|group| std::cmp::Reverse(group.weight));
                 let mut loads = vec![0u64; self.shards];
                 for group in groups {
+                    // Chunks of one split graph must land on distinct
+                    // shards: mask the shards its siblings already took
+                    // out of the selection (fanout ≤ shards guarantees
+                    // an unmasked shard remains), restore after.
+                    let mut masked: Vec<(usize, u64)> = Vec::new();
+                    if group.replicas > 1 {
+                        for (_, &taken) in
+                            chunk_shards.range((group.id, 0)..=(group.id, usize::MAX))
+                        {
+                            if let Some(load) = loads.get_mut(taken) {
+                                masked.push((taken, *load));
+                                *load = u64::MAX;
+                            }
+                        }
+                    }
                     // Least-loaded shard, ties to the lowest index. The
                     // constructor guarantees at least one shard, so the
                     // fold over indices 1.. always has a valid start.
@@ -705,12 +969,30 @@ impl PaCluster {
                             shard = s;
                         }
                     }
+                    for (taken, load) in masked {
+                        if let Some(slot) = loads.get_mut(taken) {
+                            *slot = load;
+                        }
+                    }
+                    if group.replicas > 1 {
+                        chunk_shards.insert((group.id, group.replica), shard);
+                    }
                     loads[shard] += group.weight;
                     shard_groups[shard].push(group);
                 }
             }
         }
-        (shard_groups, responses)
+        for event in &mut forks {
+            event.shards = (0..event.replicas)
+                .map(|replica| {
+                    chunk_shards
+                        .get(&(event.graph, replica))
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .collect();
+        }
+        (shard_groups, responses, forks)
     }
 
     /// One worker's serving loop: pull groups off the shared scheduler
@@ -755,7 +1037,7 @@ impl PaCluster {
             match result {
                 Ok(core) => {
                     let mut st = lock(state);
-                    st.finished.push((group.id, core));
+                    st.finished.push((group.id, group.replica, core));
                     st.stats[shard].queries += group.indices.len() as u64;
                 }
                 Err(payload) => {
@@ -872,7 +1154,7 @@ impl PaCluster {
     ) -> ServeReport {
         // rmo-lint: allow(D3) — wall-clock measures the batch for ServeReport::wall only; no control flow reads it.
         let start = Instant::now();
-        let (mut shard_groups, mut responses) = self.plan(queries);
+        let (mut shard_groups, mut responses, forks) = self.plan(queries);
         // Plan-time failures (unregistered graphs) are final the moment
         // the batch is planned; streaming callers hear about them before
         // any execution.
@@ -883,9 +1165,28 @@ impl PaCluster {
                 }
             }
         }
+        // Fork warmed cores for split groups before execution (on the
+        // calling thread, outside any scheduler lock): replica 0 rides
+        // the original core, higher replicas ride fresh forks. The plan
+        // only splits warm graphs, so the removal always finds a core —
+        // but a miss just degrades that graph to cold chunks.
+        let mut replica_cores: BTreeMap<(GraphId, usize), EngineCore> = BTreeMap::new();
+        for event in &forks {
+            if let Some(core) = self.cores.remove(&event.graph) {
+                for replica in 1..event.replicas {
+                    replica_cores.insert((event.graph, replica), core.fork());
+                    self.forks_total += 1;
+                }
+                replica_cores.insert((event.graph, 0), core);
+            }
+        }
         for groups in &mut shard_groups {
             for group in groups.iter_mut() {
-                group.core = self.cores.remove(&group.id);
+                group.core = if group.replicas > 1 {
+                    replica_cores.remove(&(group.id, group.replica))
+                } else {
+                    self.cores.remove(&group.id)
+                };
             }
         }
         if let ExecMode::Replay(log) = mode {
@@ -915,20 +1216,40 @@ impl PaCluster {
         let mut state = state.into_inner().unwrap_or_else(|p| p.into_inner());
 
         // Bank warm cores: finished groups, plus groups a panic left
-        // queued (their engines never ran this batch).
-        for (id, core) in state.finished.drain(..) {
-            self.cores.insert(id, core);
+        // queued (their engines never ran this batch). A split graph
+        // banks several replicas; the deterministic survivor rule keeps
+        // the lowest replica index (the chunk that rode the original
+        // core) and absorbs every other replica's counters into it —
+        // BTreeMap order, never completion order, so the re-parked
+        // state is identical across serving modes and steal timings.
+        let mut banked: BTreeMap<GraphId, BTreeMap<usize, EngineCore>> = BTreeMap::new();
+        for (id, replica, core) in state.finished.drain(..) {
+            banked.entry(id).or_default().insert(replica, core);
         }
         for queue in &mut state.queues {
             for group in queue.drain(..) {
                 if let Some(core) = group.core {
-                    self.cores.insert(group.id, core);
+                    banked
+                        .entry(group.id)
+                        .or_default()
+                        .insert(group.replica, core);
                 }
+            }
+        }
+        for (id, replicas) in banked {
+            let mut replicas = replicas.into_values();
+            if let Some(mut survivor) = replicas.next() {
+                for replica in replicas {
+                    survivor.absorb(replica);
+                }
+                self.cores.insert(id, survivor);
             }
         }
         let log = ServeLog {
             assignments: state.assignments,
+            replica_indices: state.replica_indices,
             steals: state.steals,
+            forks,
         };
         let mut per_shard = state.stats;
         for (shard, stats) in per_shard.iter_mut().enumerate() {
@@ -936,6 +1257,11 @@ impl PaCluster {
         }
         self.last_shard_stats = per_shard;
         self.stolen_total += log.steals.len() as u64;
+        self.replicas_total += self
+            .last_shard_stats
+            .iter()
+            .map(|stats| stats.replicas)
+            .sum::<u64>();
         let answered = responses.iter().flatten();
         self.served += answered.clone().count() as u64;
         self.failed += answered.filter(|r| !r.is_ok()).count() as u64;
@@ -1031,10 +1357,12 @@ impl PaCluster {
     /// fleet, the demand history, and the queries, identical in every
     /// serving mode. The streaming front-end models per-query
     /// completion ticks against it, which is what keeps modeled
-    /// latencies independent of run-time stealing. Queries that fail at
-    /// plan time (unregistered graphs) appear on no shard.
-    pub(crate) fn planned_execution(&self, queries: &[(GraphId, Query)]) -> Vec<Vec<usize>> {
-        let (shard_groups, _) = self.plan(queries);
+    /// latencies independent of run-time stealing — and replica chunks
+    /// appear on their own shards, so a split hot graph's modeled
+    /// critical path actually drops. Queries that fail at plan time
+    /// (unregistered graphs) appear on no shard.
+    pub fn planned_execution(&self, queries: &[(GraphId, Query)]) -> Vec<Vec<usize>> {
+        let (shard_groups, _, _) = self.plan(queries);
         shard_groups
             .into_iter()
             .map(|groups| {
@@ -1253,8 +1581,9 @@ mod tests {
             (GraphId(1), pa(&rows_a, 3)),
             (GraphId(2), Query::Mst),
         ];
-        let (shard_groups, prefailed) = cluster.plan(&queries);
+        let (shard_groups, prefailed, forks) = cluster.plan(&queries);
         assert!(prefailed.iter().all(|r| r.is_none()));
+        assert!(forks.is_empty(), "replicas are strictly opt-in");
         assert_eq!(shard_groups.len(), 1);
         // Graph 1 first (first appearance), its rows_a class batched
         // (indices 0 then 3), then whole (2); then graph 2's group.
@@ -1287,7 +1616,7 @@ mod tests {
             (GraphId(3), pa(11)),
             (GraphId(4), pa(12)),
         ];
-        let (shard_groups, _) = cluster.plan(&queries);
+        let (shard_groups, _, _) = cluster.plan(&queries);
         // LPT: the heavy group goes first, alone on shard 0; the light
         // groups pile onto shard 1 until it catches up.
         assert_eq!(shard_groups[0].len(), 1);
@@ -1296,7 +1625,7 @@ mod tests {
         // And a hot graph with *all* the traffic forms one unsplittable
         // group (stealing granularity is the whole graph).
         let hot: Vec<_> = (0..6).map(|_| (GraphId(2), pa(10))).collect();
-        let (shard_groups, _) = cluster.plan(&hot);
+        let (shard_groups, _, _) = cluster.plan(&hot);
         let non_empty: Vec<usize> = shard_groups
             .iter()
             .enumerate()
@@ -1314,6 +1643,8 @@ mod tests {
             indices: Vec::new(),
             weight,
             core: None,
+            replica: 0,
+            replicas: 1,
         };
         let mut state = SchedState::new(vec![
             vec![group(1, 10), group(2, 5)],
@@ -1345,6 +1676,92 @@ mod tests {
         );
         // With stealing off, an idle worker just stops.
         assert!(state.next_group(0, false).is_none());
+    }
+
+    #[test]
+    fn replica_plan_splits_the_hot_group_onto_distinct_shards() {
+        let mut cluster = PaCluster::with_policy(4, SchedulePolicy::Balanced);
+        cluster.add_graph(GraphId(1), gen::grid(5, 5));
+        cluster.add_graph(GraphId(2), gen::path(12));
+        cluster.set_replica_policy(ReplicaPolicy::new(0.5, 3));
+        let rows: Vec<usize> = (0..25).map(|v| v / 5).collect();
+        let pa = |v: u64| Query::Pa {
+            assignment: rows.clone(),
+            values: vec![v; 25],
+            agg: Aggregate::Sum,
+        };
+        let hot: Vec<_> = (0..6u64).map(|v| (GraphId(1), pa(v))).collect();
+        // Cold graphs never split: there is no warm core to fork.
+        let (_, _, forks) = cluster.plan(&hot);
+        assert!(forks.is_empty(), "cold graphs are never split");
+        // Warm the hot graph, then the same batch splits three ways.
+        cluster.serve_sequential(&[(GraphId(1), pa(99))]);
+        let (shard_groups, _, forks) = cluster.plan(&hot);
+        assert_eq!(forks.len(), 1, "{forks:?}");
+        let event = &forks[0];
+        assert_eq!(event.graph, GraphId(1));
+        assert_eq!(event.replicas, 3);
+        let mut distinct = event.shards.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(
+            distinct.len(),
+            3,
+            "chunks land on distinct shards: {:?}",
+            event.shards
+        );
+        // The chunks partition the six queries contiguously, two each,
+        // and each chunk knows its replica coordinates.
+        let mut chunks: Vec<(usize, usize, Vec<usize>)> = shard_groups
+            .iter()
+            .flatten()
+            .filter(|g| g.id == GraphId(1))
+            .map(|g| (g.replica, g.replicas, g.indices.clone()))
+            .collect();
+        chunks.sort();
+        let sizes: Vec<usize> = chunks.iter().map(|(_, _, idx)| idx.len()).collect();
+        assert_eq!(sizes, vec![2, 2, 2]);
+        assert!(chunks.iter().all(|&(_, total, _)| total == 3));
+        let flat: Vec<usize> = chunks.into_iter().flat_map(|(_, _, idx)| idx).collect();
+        assert_eq!(flat, vec![0, 1, 2, 3, 4, 5], "contiguous in plan order");
+    }
+
+    #[test]
+    fn replica_chunks_fold_into_one_demand_history() {
+        let mut windows = Vec::new();
+        for threaded in [true, false] {
+            let mut cluster = PaCluster::with_policy(4, SchedulePolicy::Balanced);
+            cluster.add_graph(GraphId(1), gen::grid(5, 5));
+            cluster.set_replica_policy(ReplicaPolicy::new(0.5, 4));
+            let rows: Vec<usize> = (0..25).map(|v| v / 5).collect();
+            let pa = |v: u64| Query::Pa {
+                assignment: rows.clone(),
+                values: vec![v; 25],
+                agg: Aggregate::Sum,
+            };
+            cluster.serve_sequential(&[(GraphId(1), pa(0))]);
+            let hot: Vec<_> = (1..9u64).map(|v| (GraphId(1), pa(v))).collect();
+            let report = if threaded {
+                cluster.serve(&hot)
+            } else {
+                cluster.serve_sequential(&hot)
+            };
+            assert!(!report.log.forks.is_empty(), "the hot group split");
+            // Demand attribution is per *graph*, not per replica: all
+            // eight chunked queries land in one window, so the EWMA
+            // keeps estimating the graph's full demand after a split.
+            let h = cluster.history[&GraphId(1)];
+            assert_eq!(h.queries, 8, "one window, one count per query");
+            assert!(h.mean_work().is_some());
+            // Decay math on the folded window: both accumulators age by
+            // exactly 3/4, preserving the mean work per query.
+            let mut aged = h;
+            aged.decay();
+            assert_eq!(aged.queries, 6);
+            assert_eq!(aged.work, h.work * 3 / 4);
+            windows.push((h.queries, h.work));
+        }
+        assert_eq!(windows[0], windows[1], "history is mode-independent");
     }
 
     #[test]
@@ -1495,6 +1912,7 @@ mod tests {
         assert!(line.contains("1 queries (0 failed)"), "{line}");
         assert!(line.contains("over 4 shards"), "{line}");
         assert!(line.contains("stolen"), "{line}");
+        assert!(line.contains("0 forks/0 replica runs"), "{line}");
         assert!(line.contains("hits/misses"), "{line}");
     }
 

@@ -17,7 +17,11 @@
 //!   any query whose home shard (the stable [`PaCluster::shard_of`]
 //!   hash) already holds [`StreamConfig::high_water`] admitted-but-
 //!   unfinished queries — backpressure instead of unbounded queueing —
-//!   plus unknown graphs and non-monotone ticks;
+//!   plus unknown graphs and non-monotone ticks. A graph the cluster
+//!   last served **split across replica shards** (see
+//!   `ReplicaPolicy`) is charged to the least-loaded member of its
+//!   replica set instead of only its home shard, so replicating a hot
+//!   graph widens its admission headroom to match;
 //! * closed batches execute on the cluster's shared batch core
 //!   ([`PaCluster`]'s `run_batch`), and **responses stream back
 //!   per-query** (see [`StreamEvent::Response`]) the moment each
@@ -172,10 +176,14 @@ impl Default for StreamConfig {
 /// `Display` form is the operator-facing diagnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
-    /// The query's home shard is at the high-water mark: `depth`
-    /// admitted queries are still unfinished there.
+    /// The query's admission shard is at the high-water mark: `depth`
+    /// admitted queries are still unfinished there. For an unsplit
+    /// graph this is its home shard; for a graph last served across
+    /// replica shards it is the *least-loaded* replica-set member —
+    /// saturation means every member is full.
     ShardSaturated {
-        /// The saturated home shard ([`PaCluster::shard_of`]).
+        /// The saturated admission shard ([`PaCluster::shard_of`] for
+        /// an unsplit graph, the least-loaded replica otherwise).
         shard: usize,
         /// Unfinished admitted queries on that shard at arrival.
         depth: usize,
@@ -461,7 +469,7 @@ struct ClosedBatch {
 struct InFlight {
     batch: usize,
     done_tick: u64,
-    /// Home-shard depth to release at `done_tick`, per shard.
+    /// Admission depth to release at `done_tick`, per charged shard.
     releases: BTreeMap<usize, usize>,
 }
 
@@ -477,8 +485,17 @@ struct Session<'a> {
     /// Every arrival seen, indexed by sequence number.
     arrived: Vec<Arrival>,
     outcomes: Vec<StreamOutcome>,
-    /// Admitted-but-unfinished queries per home shard.
+    /// Admitted-but-unfinished queries per admission shard.
     depths: BTreeMap<usize, usize>,
+    /// Replica placement of the most recent batch that *split* each
+    /// graph (from its `ServeLog` fork events): admission charges the
+    /// least-loaded member instead of only the home shard. A graph
+    /// served unsplit drops back to home-shard accounting.
+    replica_sets: BTreeMap<GraphId, Vec<usize>>,
+    /// The shard each admitted query's depth was charged to, by
+    /// sequence number — releases must decrement the shard that was
+    /// actually charged, not the recomputed home shard.
+    charged: BTreeMap<usize, usize>,
     /// The open batch's sequence numbers.
     open: Vec<usize>,
     open_tick: u64,
@@ -519,6 +536,8 @@ impl<'a> Session<'a> {
             arrived: Vec::new(),
             outcomes: Vec::new(),
             depths: BTreeMap::new(),
+            replica_sets: BTreeMap::new(),
+            charged: BTreeMap::new(),
             open: Vec::new(),
             open_tick: 0,
             closed: VecDeque::new(),
@@ -547,6 +566,23 @@ impl<'a> Session<'a> {
         self.arrived.push(arrival);
     }
 
+    /// The shard an arrival's admission depth is charged to, with the
+    /// depth already held there: the least-loaded member of the
+    /// graph's current replica set (ascending shard order breaks
+    /// ties), or the home shard when the graph is unsplit.
+    fn admission_shard(&self, graph: GraphId, home: usize) -> (usize, usize) {
+        let mut best: Option<(usize, usize)> = None;
+        if let Some(set) = self.replica_sets.get(&graph) {
+            for &shard in set {
+                let depth = self.depths.get(&shard).copied().unwrap_or(0);
+                if best.is_none_or(|(_, held)| depth < held) {
+                    best = Some((shard, depth));
+                }
+            }
+        }
+        best.unwrap_or((home, self.depths.get(&home).copied().unwrap_or(0)))
+    }
+
     /// One arrival: advance logical time to its tick (firing every
     /// due close/serve/done event first), then run admission.
     fn on_arrival(&mut self, arrival: Arrival, sink: &mut dyn FnMut(StreamEvent)) {
@@ -565,8 +601,8 @@ impl<'a> Session<'a> {
             self.reject(arrival, reason, sink);
             return;
         }
-        let shard = self.cluster.shard_of(arrival.graph);
-        let depth = self.depths.get(&shard).copied().unwrap_or(0);
+        let home = self.cluster.shard_of(arrival.graph);
+        let (shard, depth) = self.admission_shard(arrival.graph, home);
         if depth >= self.config.high_water {
             let reason = RejectReason::ShardSaturated {
                 shard,
@@ -578,6 +614,7 @@ impl<'a> Session<'a> {
         }
         *self.depths.entry(shard).or_insert(0) += 1;
         let seq = self.outcomes.len();
+        self.charged.insert(seq, shard);
         sink(StreamEvent::Admitted {
             seq,
             tick: arrival.tick,
@@ -791,6 +828,17 @@ impl<'a> Session<'a> {
             }
             None => report.log,
         };
+        // Refresh the replica view for later admissions: a graph this
+        // batch *split* admits against its replica set from now on; a
+        // graph it served unsplit falls back to home-shard accounting.
+        // Fork events are planner output (pre-steal, mode-independent),
+        // so replay sees the identical admission sequence.
+        for (graph, _) in &queries {
+            self.replica_sets.remove(graph);
+        }
+        for event in &serve_log.forks {
+            self.replica_sets.insert(event.graph, event.shards.clone());
+        }
         // Model per-query completion: each planned shard retires its
         // queries in order at `work_per_tick` cost units per tick.
         let mut done = start;
@@ -830,9 +878,16 @@ impl<'a> Session<'a> {
         }
         let mut releases: BTreeMap<usize, usize> = BTreeMap::new();
         for &seq in &batch.seqs {
-            if let Some(a) = self.arrived.get(seq) {
-                *releases.entry(self.cluster.shard_of(a.graph)).or_insert(0) += 1;
-            }
+            // Release the shard admission actually charged (a replica
+            // member for split graphs, the home shard otherwise).
+            let shard = match self.charged.remove(&seq) {
+                Some(shard) => shard,
+                None => match self.arrived.get(seq) {
+                    Some(a) => self.cluster.shard_of(a.graph),
+                    None => continue,
+                },
+            };
+            *releases.entry(shard).or_insert(0) += 1;
         }
         self.batches.push(BatchRecord {
             open_tick: batch.open_tick,
@@ -1333,6 +1388,73 @@ mod tests {
         assert!(stamp_arrivals(mixed_workload(&cluster, 10, 3), 3, 0)
             .iter()
             .all(|x| x.tick == 0));
+    }
+
+    #[test]
+    fn replicated_graph_admits_against_its_replica_set() {
+        use crate::service::ReplicaPolicy;
+        // One hot graph on a 4-shard cluster. After a batch splits the
+        // graph over replica shards, later arrivals are charged to the
+        // least-loaded replica member — admitting where home-shard
+        // accounting (the control fleet) rejects.
+        let fleet = |replicas: bool| {
+            let mut cluster = PaCluster::new(4);
+            cluster.add_graph(GraphId(1), gen::grid(5, 5));
+            if replicas {
+                cluster.set_replica_policy(ReplicaPolicy::new(0.5, 3));
+            }
+            cluster
+        };
+        let config = StreamConfig::new()
+            .with_max_batch(3)
+            .with_max_wait_ticks(10)
+            .with_high_water(4)
+            .with_work_per_tick(1);
+        // Warm-up solve (batch 0, unsplit: the core is cold), then a
+        // burst of three that batch 1 serves split three ways.
+        let mut trace = vec![mst_at(0, 1), mst_at(50, 1), mst_at(50, 1), mst_at(50, 1)];
+        // Learn batch 1's modeled start tick, then land two probes
+        // exactly there: the burst's depth is still held, the split
+        // has just been recorded.
+        let probe_tick = {
+            let report = StreamGateway::new(fleet(true), config).run(&trace);
+            report.log.batches[1].start_tick
+        };
+        trace.push(mst_at(probe_tick, 1));
+        trace.push(mst_at(probe_tick, 1));
+        let mut gateway = StreamGateway::new(fleet(true), config);
+        let report = gateway.run(&trace);
+        assert!(
+            !report.log.batches[1].serve.forks.is_empty(),
+            "the burst batch splits the hot graph"
+        );
+        assert_eq!(
+            report.stats.rejected,
+            0,
+            "replica-set accounting spreads the held depth: {:?}",
+            report.rejections()
+        );
+        // Control: the same trace with replicas disabled piles every
+        // charge on the home shard, and the second probe bounces.
+        let mut control_gateway = StreamGateway::new(fleet(false), config);
+        let control = control_gateway.run(&trace);
+        assert!(control.log.batches[1].serve.forks.is_empty());
+        assert!(
+            matches!(
+                control.outcomes[5].result,
+                Err(RejectReason::ShardSaturated { .. })
+            ),
+            "{:?}",
+            control.outcomes[5].result
+        );
+        // The widened admission stays deterministic: the sequential
+        // executor and a bit-for-bit replay agree.
+        let sequential = StreamGateway::new(fleet(true), config).run_sequential(&trace);
+        assert_eq!(sequential.outcomes, report.outcomes);
+        assert_eq!(sequential.stats, report.stats);
+        let mut fresh = StreamGateway::new(fleet(true), config);
+        let replayed = fresh.replay(&trace, &report.log).expect("log matches");
+        assert_eq!(replayed, report);
     }
 
     #[test]

@@ -298,6 +298,7 @@ impl std::fmt::Display for EngineStats {
     }
 }
 
+#[derive(Clone)]
 struct CacheEntry {
     /// The full part vector, to rule out fingerprint collisions.
     assignment: Vec<usize>,
@@ -365,6 +366,58 @@ impl EngineCore {
     /// [`PaEngine::from_core`] checks).
     pub fn graph_fingerprint(&self) -> u64 {
         self.graph_fp
+    }
+
+    /// Clones this core's warm state into a replica with fresh counters.
+    ///
+    /// The replica shares nothing mutable with the original: the stage-1
+    /// tree, the per-partition artifact cache, and the division memo are
+    /// cloned (no artifact is rebuilt, so the replica serves the same
+    /// cache hits the original would), while [`EngineStats`] start from
+    /// zero so replica work is attributable. Cost provenance stays
+    /// single-charge: the clone carries the stage-1 *tree* but a zero
+    /// stage-1 cost with `base_charged` already set, so a fleet of
+    /// replicas never re-charges election + BFS a second time. A core
+    /// forked before stage 1 exists simply lets each side build (and
+    /// account) its own tree lazily.
+    ///
+    /// Serving schedulers use this to split one hot graph's batch across
+    /// shards and later fold the replicas back with [`EngineCore::absorb`].
+    pub fn fork(&self) -> EngineCore {
+        let stage1 = OnceLock::new();
+        if let Some((tree, _)) = self.stage1.get() {
+            let _ = stage1.set((tree.clone(), CostReport::zero()));
+        }
+        EngineCore {
+            config: self.config,
+            pa: self.pa,
+            net: self.net.clone(),
+            stage1,
+            base_charged: true,
+            cache: self
+                .cache
+                .iter()
+                .map(|(fp, entry)| (*fp, entry.clone()))
+                .collect(),
+            division_cache: self.division_cache.clone(),
+            scratch: SolveScratch::new(),
+            clock: self.clock,
+            stats: EngineStats::default(),
+            graph_fp: self.graph_fp,
+        }
+    }
+
+    /// Folds a replica's counters back into this core (the inverse of
+    /// [`EngineCore::fork`], run once per replica after a split batch).
+    ///
+    /// Only the raw lifetime counters merge — `cached_partitions` and
+    /// `base_cost` are derived from live state at [`EngineCore::stats`]
+    /// time, so absorbing never double-counts them — and the replica's
+    /// caches are dropped: the survivor keeps its own warm artifacts,
+    /// which the fork guaranteed are a superset of what the batch
+    /// started from.
+    pub fn absorb(&mut self, replica: EngineCore) {
+        self.stats.merge(&replica.stats);
     }
 }
 
@@ -877,6 +930,48 @@ mod tests {
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert_eq!(stats.solves, 2);
         assert_eq!(stats.cached_partitions, 1);
+    }
+
+    #[test]
+    fn fork_preserves_warm_artifacts_with_fresh_counters() {
+        let (g, parts, values) = grid_instance();
+        let mut engine = PaEngine::new(&g, EngineConfig::new());
+        let original = engine.solve(&parts, &values, Aggregate::Sum).unwrap();
+        let mut core = engine.into_core();
+
+        // The replica starts with zeroed counters but the full warm
+        // state: same cached partitions, no base cost to re-charge.
+        let replica = core.fork();
+        let fresh = replica.stats();
+        assert_eq!((fresh.hits, fresh.misses, fresh.solves), (0, 0, 0));
+        assert_eq!(fresh.cached_partitions, 1, "artifact cache cloned");
+        assert_eq!(
+            fresh.base_cost,
+            CostReport::zero(),
+            "stage 1 is never charged twice across a fork"
+        );
+
+        // A solve on the replica is a pure cache hit — fork rebuilt
+        // nothing, so the hit-rate economics survive the split.
+        let mut forked = PaEngine::from_core(&g, replica);
+        let warm = forked.solve(&parts, &values, Aggregate::Sum).unwrap();
+        assert_eq!(warm.aggregates, original.aggregates);
+        assert_eq!(warm.cost, warm.broadcast_cost.repeated(3));
+        let after = forked.stats();
+        assert_eq!((after.hits, after.misses), (1, 0));
+        assert!((after.hit_rate() - 1.0).abs() < 1e-12);
+
+        // Absorbing folds the replica's raw counters back into the
+        // survivor without double-counting derived fields.
+        let before = core.stats();
+        core.absorb(forked.into_core());
+        let merged = core.stats();
+        assert_eq!(merged.hits, before.hits + 1);
+        assert_eq!(merged.misses, before.misses);
+        assert_eq!(merged.solves, before.solves + 1);
+        assert_eq!(merged.cached_partitions, 1, "derived from live cache");
+        assert_eq!(merged.base_cost, before.base_cost, "charged exactly once");
+        assert_eq!(merged.charged, before.charged + warm.cost);
     }
 
     #[test]

@@ -47,15 +47,16 @@ use crate::util::print_table;
 /// Wall time is the minimum over this many runs of each entry.
 const ITERATIONS: usize = 3;
 
-/// One measured suite entry.
-struct Entry {
-    name: &'static str,
-    wall_ms: f64,
-    rounds: usize,
-    messages: u64,
+/// One measured suite entry. Shared with the `serve --hot` scenario,
+/// which emits the same schema into `BENCH_cluster.json`.
+pub(crate) struct Entry {
+    pub(crate) name: &'static str,
+    pub(crate) wall_ms: f64,
+    pub(crate) rounds: usize,
+    pub(crate) messages: u64,
     /// Dense reference simulator on the identical workload (primitive
     /// entries only).
-    reference_wall_ms: Option<f64>,
+    pub(crate) reference_wall_ms: Option<f64>,
 }
 
 impl Entry {
@@ -349,7 +350,7 @@ fn run_suite(quick: bool) -> Vec<Entry> {
 }
 
 /// JSON string escaping for the few fixed names we emit.
-fn emit_json(mode: &str, entries: &[Entry]) -> String {
+pub(crate) fn emit_json(mode: &str, entries: &[Entry]) -> String {
     let mut body = String::new();
     for (i, e) in entries.iter().enumerate() {
         if i > 0 {
@@ -419,7 +420,7 @@ fn parse_entries(text: &str) -> Vec<(String, f64, usize, u64)> {
 ///   normalized by the suite-median ratio, so a uniformly faster or
 ///   slower machine cancels out; an entry fails only if it exceeds
 ///   [`TOLERANCE`]× the median *and* clears [`NOISE_FLOOR_MS`].
-fn check_baseline(entries: &[Entry], path: &str) -> Result<String, String> {
+pub(crate) fn check_baseline(entries: &[Entry], path: &str) -> Result<String, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline `{path}`: {e}"))?;
     let after = text

@@ -1,18 +1,20 @@
 //! `rmo-harness` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! rmo-harness <experiment> [--quick] [--skew] [--json]
+//! rmo-harness <experiment> [--quick] [--skew] [--hot] [--json]
 //!             [--check-baseline <path>]
 //! ```
 //!
 //! `--skew` adds the scheduler-balance scenarios (zipf popularity,
-//! adversarial one-shard hashing) to the `serve` experiment. `--json`
-//! switches the `perf` experiment to its machine-readable output
-//! (schema `rmo-perf/2`; see `BENCH_simulator.json` and
-//! `BENCH_pipeline.json`). `--check-baseline <path>` turns the `perf`
-//! run into a regression gate against the `"after"` block of a recorded
-//! baseline file (non-zero exit on count drift or slowdown beyond
-//! tolerance).
+//! adversarial one-shard hashing) to the `serve` experiment; `--hot`
+//! switches `serve` to the single-hot-graph replica-scheduling
+//! scenario instead. `--json` switches the `perf` experiment (and
+//! `serve --hot`) to machine-readable output (schema `rmo-perf/2`;
+//! see `BENCH_simulator.json`, `BENCH_pipeline.json`, and
+//! `BENCH_cluster.json`). `--check-baseline <path>` turns the `perf`
+//! (or `serve --hot`) run into a regression gate against the
+//! `"after"` block of a recorded baseline file (non-zero exit on
+//! count drift or slowdown beyond tolerance).
 //!
 //! Experiments: `table1`, `table2`, `figure1`, `figure2`, `figure3`,
 //! `figure4`, `figure5`, `mst`, `mincut`, `sssp`, `verification`,
@@ -34,6 +36,7 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let skew = args.iter().any(|a| a == "--skew");
+    let hot = args.iter().any(|a| a == "--hot");
     let json = args.iter().any(|a| a == "--json");
     let baseline = args
         .iter()
@@ -101,7 +104,7 @@ fn main() {
         "ablation" => experiments::ablation::run(quick),
         "beyond" => experiments::beyond::run(),
         "engine" => experiments::engine::run(quick),
-        "serve" => experiments::serve::run(quick, skew),
+        "serve" => experiments::serve::run(quick, skew, hot, json, baseline.as_deref()),
         "stream" => experiments::stream::run(quick),
         "perf" => experiments::perf::run(quick, json, baseline.as_deref()),
         other => {

@@ -32,6 +32,12 @@ pub const SERVING_ENTRIES: &[&str] = &[
     "StreamGateway::run_sequential",
     "StreamGateway::run_channel",
     "StreamGateway::replay",
+    // The replica-scheduling path: forking and re-absorbing warmed
+    // cores runs on the serving batch path (outside any lock), so the
+    // panic-freedom walk must cover it even if a refactor ever detaches
+    // it from `run_batch`.
+    "EngineCore::fork",
+    "EngineCore::absorb",
 ];
 
 /// The dispatch surfaces Q1 holds to parity, all in the file that

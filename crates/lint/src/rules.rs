@@ -274,6 +274,11 @@ const BLOCKING: &[&str] = &[
     "pipeline_for",
     "run_query",
     "join",
+    // Replica scheduling: cloning a warmed engine (stage-1 tree +
+    // artifact cache) and merging counters back are batch-path work —
+    // never under the scheduler guard.
+    "fork",
+    "absorb",
 ];
 
 /// Methods that pass a `lock()` result through while still returning

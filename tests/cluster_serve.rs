@@ -16,8 +16,8 @@
 
 use rmo_apps::dispatch::{Query, QueryResponse};
 use rmo_apps::service::{
-    colliding_graph_ids, mixed_workload, zipf_workload, GraphId, PaCluster, SchedulePolicy,
-    ServeLog,
+    colliding_graph_ids, mixed_workload, zipf_workload, GraphId, PaCluster, ReplicaPolicy,
+    SchedulePolicy, ServeLog,
 };
 use rmo_core::{Aggregate, EngineCore, PaEngine};
 use rmo_graph::gen;
@@ -394,6 +394,105 @@ fn contract_violations_fail_gracefully_across_the_cluster() {
     assert_eq!(
         reports[0], reports[1],
         "graceful failures must stay mode-independent"
+    );
+}
+
+/// A replica-enabled cluster: one hot graph, one satellite, 4 shards.
+fn replica_cluster() -> PaCluster {
+    let mut cluster = PaCluster::with_policy(4, SchedulePolicy::Balanced);
+    cluster.add_graph(GraphId(1), gen::grid(5, 5));
+    cluster.add_graph(GraphId(2), gen::path(12));
+    cluster.set_replica_policy(ReplicaPolicy::new(0.5, 3));
+    cluster
+}
+
+/// Warm both cores (cold engines never split), identically in every
+/// serving mode.
+fn warm_replica_cluster() -> PaCluster {
+    let mut cluster = replica_cluster();
+    cluster.serve_sequential(&[(GraphId(1), Query::Mst), (GraphId(2), Query::Mst)]);
+    cluster
+}
+
+#[test]
+fn fork_events_are_pinned_and_replay_bit_for_bit() {
+    // Six hot queries on the warmed graph: the planner must fork the
+    // engine exactly once, three ways, onto three distinct shards —
+    // pinned exactly, in both serving modes, and through replay.
+    let hot: Vec<(GraphId, Query)> = (0..6).map(|_| (GraphId(1), Query::Mst)).collect();
+    let mut by_mode = Vec::new();
+    for threaded in [true, false] {
+        let mut cluster = warm_replica_cluster();
+        let report = if threaded {
+            cluster.serve(&hot)
+        } else {
+            cluster.serve_sequential(&hot)
+        };
+        assert_eq!(report.log.forks.len(), 1, "one split, one event");
+        let event = &report.log.forks[0];
+        assert_eq!(event.graph, GraphId(1));
+        assert_eq!(event.replicas, 3, "max_replicas caps the fan-out");
+        let mut shards = event.shards.clone();
+        shards.sort_unstable();
+        shards.dedup();
+        assert_eq!(shards.len(), 3, "chunks land on distinct shards");
+        assert_eq!(report.stats.forks, 2, "a 3-way split forks two fresh cores");
+        assert_eq!(report.stats.replicas, 3, "three replica chunk runs");
+        // The fork log replays bit-for-bit on a fresh warmed cluster.
+        let mut fresh = warm_replica_cluster();
+        let replay = fresh.serve_replay(&hot, &report.log);
+        assert_eq!(replay.responses, report.responses);
+        assert_eq!(replay.log.assignments, report.log.assignments);
+        assert_eq!(replay.log.replica_indices, report.log.replica_indices);
+        assert_eq!(replay.log.forks, report.log.forks);
+        assert!(replay.log.steals.is_empty());
+        by_mode.push((
+            report.responses.clone(),
+            report.stats.engine,
+            report.log.forks.clone(),
+        ));
+    }
+    assert_eq!(by_mode[0], by_mode[1], "fork placement is mode-independent");
+}
+
+#[test]
+fn split_batch_reparks_one_survivor_with_merged_counters() {
+    // The survivor rule: after a split batch exactly one warm core is
+    // re-parked (lowest replica index) carrying every replica's merged
+    // counters — so the engine totals are mode-independent and the next
+    // solve is a cache hit, not a rebuild.
+    let hot: Vec<(GraphId, Query)> = (0..6).map(|_| (GraphId(1), Query::Mst)).collect();
+    let mut lifetime = Vec::new();
+    for threaded in [true, false] {
+        let mut cluster = warm_replica_cluster();
+        let before = cluster.stats().engine;
+        assert_eq!(
+            (before.hits, before.misses),
+            (0, 2),
+            "two cold warm-up solves"
+        );
+        let report = if threaded {
+            cluster.serve(&hot)
+        } else {
+            cluster.serve_sequential(&hot)
+        };
+        assert!(!report.log.forks.is_empty(), "the hot batch splits");
+        // Every chunk solved on a warmed fork: six hits, zero new
+        // misses — forking never rebuilds artifacts.
+        let after = cluster.stats().engine;
+        assert_eq!(after.hits - before.hits, 6, "all replica runs were warm");
+        assert_eq!(after.misses, before.misses, "no replica rebuilt anything");
+        // The re-parked survivor serves the follow-up from cache.
+        let follow = cluster.serve(&[(GraphId(1), Query::Mst)]);
+        assert!(follow.log.forks.is_empty(), "a single query is never split");
+        let parked = cluster.stats().engine;
+        assert_eq!(parked.hits - after.hits, 1, "survivor kept the warm cache");
+        assert_eq!(parked.misses, after.misses);
+        lifetime.push(parked);
+    }
+    assert_eq!(
+        lifetime[0], lifetime[1],
+        "merged survivor counters must not depend on the serving mode"
     );
 }
 

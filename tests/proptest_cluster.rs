@@ -1,12 +1,14 @@
 //! Property-based determinism of the serving layer: for arbitrary shard
-//! counts, seeds, skew exponents, and scheduling policies, threaded
-//! serving (LPT placement + work stealing) bit-matches the sequential
-//! replay — responses, per-query costs, and engine counters — and the
-//! recorded steal log reproduces the exact placement.
+//! counts, seeds, skew exponents, scheduling policies, and replica
+//! policies, threaded serving (LPT placement + replica splitting +
+//! work stealing) bit-matches the sequential replay — responses,
+//! per-query costs, and engine counters — and the recorded steal/fork
+//! log reproduces the exact placement.
 
 use proptest::prelude::*;
 
-use rmo::apps::service::{zipf_workload, GraphId, PaCluster, SchedulePolicy};
+use rmo::apps::service::{zipf_workload, GraphId, PaCluster, ReplicaPolicy, SchedulePolicy};
+use rmo::apps::Query;
 use rmo::graph::gen;
 
 fn skew_cluster(shards: usize, policy: SchedulePolicy) -> PaCluster {
@@ -28,24 +30,44 @@ proptest! {
         // 0 = uniform traffic; large = almost everything on one graph.
         exponent in 0u32..30,
         pinned in any::<bool>(),
+        // Replica splitting: 1 disables it structurally; low thresholds
+        // with several replicas split any group that dominates the mean.
+        max_replicas in 1usize..5,
+        threshold_tenths in 1u32..16,
     ) {
         let policy = if pinned { SchedulePolicy::Pinned } else { SchedulePolicy::Balanced };
+        let replica = ReplicaPolicy::new(f64::from(threshold_tenths) / 10.0, max_replicas);
+        // Identically prepared clusters with *warm* cores: replica
+        // splitting only forks warmed engines, so the warm-up batch is
+        // what makes the policy dimension actually bite.
+        let warmup: Vec<(GraphId, Query)> = (0..4).map(|g| (GraphId(g), Query::Mst)).collect();
+        let prepared = || {
+            let mut cluster = skew_cluster(shards, policy);
+            cluster.set_replica_policy(replica);
+            cluster.serve_sequential(&warmup);
+            cluster
+        };
         let workload = zipf_workload(
             &skew_cluster(1, policy),
             20,
             seed,
             f64::from(exponent) / 10.0,
         );
-        let mut threaded = skew_cluster(shards, policy);
+        let mut threaded = prepared();
         let t = threaded.serve(&workload);
-        let s = skew_cluster(shards, policy).serve_sequential(&workload);
+        let s = prepared().serve_sequential(&workload);
         prop_assert_eq!(&t.responses, &s.responses);
         prop_assert_eq!(t.stats.engine, s.stats.engine);
-        prop_assert_eq!(t.stats.queries, workload.len() as u64);
-        // The steal log replays to the identical placement.
-        let r = skew_cluster(shards, policy).serve_replay(&workload, &t.log);
+        prop_assert_eq!(t.stats.queries, (workload.len() + warmup.len()) as u64);
+        prop_assert_eq!(t.stats.forks, s.stats.forks);
+        prop_assert_eq!(t.stats.replicas, s.stats.replicas);
+        // The steal/fork log replays to the identical placement,
+        // replica chunks included.
+        let r = prepared().serve_replay(&workload, &t.log);
         prop_assert_eq!(&r.responses, &t.responses);
         prop_assert_eq!(&r.log.assignments, &t.log.assignments);
+        prop_assert_eq!(&r.log.replica_indices, &t.log.replica_indices);
+        prop_assert_eq!(&r.log.forks, &t.log.forks);
         prop_assert!(r.log.steals.is_empty());
     }
 }
